@@ -1,0 +1,28 @@
+//! RowHammer attack patterns and the paper's three attack improvements
+//! (§8.1).
+//!
+//! * [`patterns`] — single-, double-, and many-sided access patterns
+//!   and a uniform attack executor with outcome accounting.
+//! * [`temp_aware`] — Improvement 1: a temperature-aware attacker that
+//!   profiles rows at the operating temperature and targets the row
+//!   whose HCfirst is lowest *there*, cutting hammer count and attack
+//!   time versus an uninformed row choice.
+//! * [`trigger`] — Improvement 2: a temperature-dependent trigger built
+//!   from a cell that only flips in a narrow temperature range.
+//! * [`long_open`] — Improvement 3: extending each aggressor activation
+//!   with extra column READs (10–15 reads ≈ 5× on-time), increasing BER
+//!   and defeating defenses whose threshold assumes baseline timing.
+//!
+//! These are *simulated security studies* against the calibrated fault
+//! model — the library exists to quantify the paper's claims, not to
+//! attack real systems.
+
+pub mod long_open;
+pub mod patterns;
+pub mod temp_aware;
+pub mod trigger;
+
+pub use long_open::{long_open_study, LongOpenStudy};
+pub use patterns::{AccessPattern, AttackOutcome};
+pub use temp_aware::{temperature_aware_study, TempAwareStudy};
+pub use trigger::{TemperatureTrigger, TriggerStudy};

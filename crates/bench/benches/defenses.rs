@@ -1,0 +1,60 @@
+//! Benchmarks of the §8 improvements: attack studies, the defense
+//! matrix, and the per-improvement evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_bench::{run_defense_matrix, run_target, RunConfig};
+use rh_core::Scale;
+use rh_defense::{Defense, Graphene, Para};
+use rh_dram::{BankId, RowAddr};
+use std::time::Duration;
+
+fn cfg() -> RunConfig {
+    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2 }
+}
+
+fn bench_improvements(c: &mut Criterion) {
+    let mut g = c.benchmark_group("improvements");
+    g.sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(2));
+    for t in ["attack1", "attack3", "defense1", "defense2", "defense5", "defense6", "trrespass", "chipkill", "ablation"] {
+        g.bench_function(t, |b| {
+            b.iter(|| run_target(t, &cfg()).expect(t));
+        });
+    }
+    g.bench_function("defense-matrix", |b| {
+        b.iter(|| run_defense_matrix(&cfg()).expect("matrix"));
+    });
+    g.finish();
+}
+
+fn bench_defense_hot_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("defense-hot-path");
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("para_on_activation", |b| {
+        let mut p = Para::new(0.001, 3);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            p.on_activation(BankId(0), RowAddr(i % 1024), u64::from(i))
+        });
+    });
+    g.bench_function("graphene_on_activation", |b| {
+        let mut gr = Graphene::new(32_000, 1_300_000);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            gr.on_activation(BankId(0), RowAddr(i % 64), u64::from(i))
+        });
+    });
+    g.bench_function("blockhammer_on_activation", |b| {
+        let mut bh = rh_defense::BlockHammer::new(32_000, 64_000_000_000, 9);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            bh.on_activation(BankId(0), RowAddr((i % 128) as u32), i * 51_000)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_improvements, bench_defense_hot_paths);
+criterion_main!(benches);

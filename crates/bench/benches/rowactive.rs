@@ -1,0 +1,38 @@
+//! Benchmarks regenerating the §6 aggressor-active-time study:
+//! Figs. 7, 8, 9, 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_bench::{run_target, RunConfig};
+use rh_core::experiments::rowactive;
+use rh_core::{Characterizer, Scale};
+use rh_dram::Manufacturer;
+use rh_softmc::TestBench;
+use std::time::Duration;
+
+fn cfg() -> RunConfig {
+    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2 }
+}
+
+fn bench_rowactive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rowactive");
+    g.sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(2));
+    for fig in ["fig7", "fig8", "fig9", "fig10"] {
+        g.bench_function(format!("{fig}_all_manufacturers"), |b| {
+            b.iter(|| run_target(fig, &cfg()).expect(fig));
+        });
+    }
+    // The underlying single-module sweep, isolated.
+    g.bench_function("sweep_single_module", |b| {
+        b.iter_with_setup(
+            || {
+                Characterizer::new(TestBench::new(Manufacturer::B, 42), Scale::Smoke)
+                    .expect("characterizer")
+            },
+            |mut ch| rowactive::row_active_analysis(&mut ch).expect("sweep"),
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rowactive);
+criterion_main!(benches);

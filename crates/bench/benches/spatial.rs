@@ -1,0 +1,25 @@
+//! Benchmarks regenerating the §7 spatial-variation study:
+//! Figs. 11, 12, 13, 14, 15.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_bench::{run_target, RunConfig};
+use rh_core::Scale;
+use std::time::Duration;
+
+fn cfg() -> RunConfig {
+    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2 }
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial");
+    g.sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(2));
+    for fig in ["fig11", "fig12", "fig13", "fig14", "fig15", "ddr3"] {
+        g.bench_function(fig, |b| {
+            b.iter(|| run_target(fig, &cfg()).expect(fig));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spatial);
+criterion_main!(benches);

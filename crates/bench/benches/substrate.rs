@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the simulation substrate: hammer throughput,
+//! cell-profile derivation, the HCfirst binary search, row-mapping
+//! reverse engineering, temperature settling, and ECC codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_core::{Characterizer, Scale};
+use rh_defense::ecc;
+use rh_dram::{BankId, Manufacturer, RowAddr};
+use rh_faultmodel::{cell, MfrProfile};
+use rh_softmc::{Program, TemperatureController, TestBench};
+use std::time::Duration;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.measurement_time(Duration::from_secs(5));
+
+    g.bench_function("bulk_hammer_150k", |b| {
+        let mut bench = TestBench::new(Manufacturer::B, 1);
+        bench.set_temperature(75.0).unwrap();
+        b.iter(|| {
+            bench
+                .hammer_double_sided(BankId(0), RowAddr(999), RowAddr(1001), 150_000, None, None)
+                .unwrap();
+        });
+    });
+
+    g.bench_function("program_hammer_1k", |b| {
+        let mut bench = TestBench::new(Manufacturer::B, 1);
+        let t = bench.module().config().timing;
+        let p = Program::double_sided_hammer(BankId(0), RowAddr(9), RowAddr(11), 1000, t.t_ras, t.t_rp);
+        b.iter(|| bench.run(&p).unwrap());
+    });
+
+    g.bench_function("derive_row_cells", |b| {
+        let profile = MfrProfile::for_manufacturer(Manufacturer::A);
+        let mut row = 0u32;
+        b.iter(|| {
+            row = row.wrapping_add(1);
+            cell::derive_row_cells(&profile, 42, BankId(0), RowAddr(row), 8192, 512)
+        });
+    });
+
+    g.bench_function("hc_first_binary_search", |b| {
+        let mut ch =
+            Characterizer::new(TestBench::new(Manufacturer::B, 7), Scale::Smoke).unwrap();
+        ch.set_temperature(75.0).unwrap();
+        let p = ch.wcdp();
+        b.iter(|| ch.hc_first(RowAddr(600), p, None, None).unwrap());
+    });
+
+    g.bench_function("mapping_reverse_engineering", |b| {
+        b.iter_with_setup(
+            || {
+                let mut bench = TestBench::new(Manufacturer::A, 3);
+                bench.set_temperature(75.0).unwrap();
+                bench
+            },
+            |mut bench| {
+                rh_core::mapping_re::reverse_engineer(&mut bench, BankId(0), Scale::Smoke)
+                    .unwrap()
+            },
+        );
+    });
+
+    g.bench_function("temperature_settle", |b| {
+        b.iter(|| {
+            let mut tc = TemperatureController::new(5);
+            tc.set_and_settle(75.0).unwrap()
+        });
+    });
+
+    g.bench_function("ecc_encode_decode", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            ecc::decode(ecc::encode(x))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

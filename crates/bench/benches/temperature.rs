@@ -1,0 +1,32 @@
+//! Benchmarks regenerating the §5 temperature study: Table 3 and
+//! Figs. 3, 4, 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_bench::{run_target, RunConfig};
+use rh_core::Scale;
+use std::time::Duration;
+
+fn cfg() -> RunConfig {
+    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2 }
+}
+
+fn bench_temperature(c: &mut Criterion) {
+    let mut g = c.benchmark_group("temperature");
+    g.sample_size(10).measurement_time(Duration::from_secs(20)).warm_up_time(Duration::from_secs(2));
+    g.bench_function("table3_cell_ranges", |b| {
+        b.iter(|| run_target("table3", &cfg()).expect("table3"));
+    });
+    g.bench_function("fig3_range_grid", |b| {
+        b.iter(|| run_target("fig3", &cfg()).expect("fig3"));
+    });
+    g.bench_function("fig4_ber_vs_temperature", |b| {
+        b.iter(|| run_target("fig4", &cfg()).expect("fig4"));
+    });
+    g.bench_function("fig5_hcfirst_vs_temperature", |b| {
+        b.iter(|| run_target("fig5", &cfg()).expect("fig5"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_temperature);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR] <target>...
+//! repro all       # everything, in paper order
+//! repro --list    # available targets
+//! ```
+//!
+//! `--out DIR` additionally writes `<target>.txt` and `<target>.json`
+//! into DIR for downstream plotting.
+
+use rh_bench::{run_target, targets, RunConfig};
+use rh_core::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR] <target>...\n\
+         targets: {} | defense-matrix | all",
+        targets().join(" | ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = RunConfig::default();
+    let mut json = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                cfg.scale = match args.next().as_deref() {
+                    Some("smoke") => Scale::Smoke,
+                    Some("default") => Scale::Default,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                }
+            }
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => usage(),
+            },
+            "--modules" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(m) => cfg.modules_per_mfr = m,
+                None => usage(),
+            },
+            "--json" => json = true,
+            "--out" => match args.next() {
+                Some(d) => out_dir = Some(PathBuf::from(d)),
+                None => usage(),
+            },
+            "--list" => {
+                for t in targets() {
+                    println!("{t}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = targets().iter().map(|s| s.to_string()).collect();
+        wanted.push("defense-matrix".to_string());
+    }
+    for t in &wanted {
+        match run_target(t, &cfg) {
+            Ok(out) => {
+                if let Some(dir) = &out_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir)
+                        .and_then(|_| std::fs::write(dir.join(format!("{t}.txt")), &out.text))
+                        .and_then(|_| {
+                            std::fs::write(
+                                dir.join(format!("{t}.json")),
+                                serde_json::to_vec_pretty(&out.data).unwrap_or_default(),
+                            )
+                        })
+                    {
+                        eprintln!("repro {t}: failed to write output files: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if json {
+                    println!(
+                        "{}",
+                        serde_json::json!({"target": out.target, "data": out.data})
+                    );
+                } else {
+                    println!("==== {} ====", out.target);
+                    println!("{}", out.text);
+                }
+            }
+            Err(e) => {
+                eprintln!("repro {t}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

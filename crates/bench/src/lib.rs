@@ -1,0 +1,10 @@
+//! The reproduction harness: one runner per table and figure of the
+//! paper, shared by the `repro` binary and the Criterion benches.
+//!
+//! Every runner returns the rendered text (the same rows/series the
+//! paper reports). `repro --json` additionally dumps the raw result
+//! structures.
+
+pub mod runners;
+
+pub use runners::{run_defense_matrix, run_target, targets, RunConfig, RunOutput};

@@ -1,0 +1,964 @@
+//! Experiment runners, one per reproduced table/figure/improvement.
+
+use rh_attack::{long_open_study, temperature_aware_study, trigger};
+use rh_core::experiments::{dose, parallel_modules, rowactive, spatial, temperature};
+use rh_core::{observations as obs, report, CharError, Characterizer, Scale};
+use rh_defense::{
+    blockhammer_area_pct, cooling, cost, ecc, graphene_area_pct, profiling, retire, scheduler,
+    sim::DefenseSim, BlockHammer, Graphene, Para, TargetRowRefresh, ThresholdConfig, Twice,
+};
+use rh_dram::{ddr4_modules_of, BankId, Manufacturer, RowAddr};
+use rh_softmc::{Program, TestBench};
+use serde_json::{json, Value};
+
+/// Configuration of a reproduction run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Base seed mixed into every module identity (new seed = new set
+    /// of simulated modules).
+    pub seed: u64,
+    /// Modules per manufacturer for multi-module figures (11/14/15).
+    pub modules_per_mfr: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { scale: Scale::Default, seed: 0, modules_per_mfr: 2 }
+    }
+}
+
+/// The output of one runner.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Target name (e.g. `"fig7"`).
+    pub target: &'static str,
+    /// Rendered text report.
+    pub text: String,
+    /// Raw machine-readable results.
+    pub data: Value,
+}
+
+/// All runnable target names, in paper order, followed by the
+/// extension studies (DDR3 cross-check, TRRespass-style dilution,
+/// chipkill, and the fault-model ablations).
+pub fn targets() -> Vec<&'static str> {
+    vec![
+        "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "observations", "attack1",
+        "attack2", "attack3", "defense1", "defense2", "defense3", "defense4", "defense5",
+        "defense6", "ddr3", "trrespass", "chipkill", "ablation", "overhead", "patterns",
+        "hcsweep", "memctl",
+    ]
+}
+
+fn characterizer(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> Result<Characterizer, CharError> {
+    let modules = ddr4_modules_of(mfr);
+    let module = &modules[index % modules.len()];
+    let bench = TestBench::with_config(
+        module.module_config(),
+        mfr,
+        module.seed() ^ cfg.seed.rotate_left(17),
+    );
+    Characterizer::new(bench, cfg.scale)
+}
+
+fn per_mfr<T: Send>(
+    cfg: &RunConfig,
+    f: impl Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
+) -> Result<Vec<(Manufacturer, T)>, CharError> {
+    let modules: Vec<Characterizer> = Manufacturer::ALL
+        .into_iter()
+        .map(|m| characterizer(m, cfg, 0))
+        .collect::<Result<_, _>>()?;
+    let out = parallel_modules(modules, f)?;
+    Ok(Manufacturer::ALL.into_iter().zip(out.into_iter().map(|(_, t)| t)).collect())
+}
+
+fn run_table1() -> RunOutput {
+    RunOutput { target: "table1", text: report::table1(), data: json!({}) }
+}
+
+fn run_table2() -> RunOutput {
+    let data = serde_json::to_value(rh_dram::tested_modules()).unwrap_or(Value::Null);
+    RunOutput { target: "table2", text: report::table2(), data }
+}
+
+fn run_temp_ranges(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
+    let results = per_mfr(cfg, temperature::cell_temp_ranges)?;
+    let mut text = String::new();
+    if target == "table3" {
+        let rows: Vec<(&str, &temperature::TempRangeAnalysis)> = results
+            .iter()
+            .map(|(m, a)| (["Mfr. A", "Mfr. B", "Mfr. C", "Mfr. D"][m.index()], a))
+            .collect();
+        text = report::table3(&rows);
+        text.push_str("paper: 99.1% / 98.9% / 98.0% / 99.2%\n");
+    } else {
+        for (m, a) in &results {
+            text.push_str(&report::fig3(&m.to_string(), a));
+            text.push('\n');
+        }
+        text.push_str("paper all-temps corner: 14.2% / 17.4% / 9.6% / 29.8%\n");
+    }
+    let data = serde_json::to_value(
+        results.iter().map(|(m, a)| (m.to_string(), a)).collect::<Vec<_>>(),
+    )
+    .unwrap_or(Value::Null);
+    Ok(RunOutput { target, text, data })
+}
+
+fn run_fig4(cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let results = per_mfr(cfg, temperature::ber_vs_temperature)?;
+    let mut text = String::new();
+    for (m, f) in &results {
+        text.push_str(&report::fig4(&m.to_string(), f));
+        text.push('\n');
+    }
+    text.push_str(
+        "paper trend 50->90C (victim): A up ~+100%, B down ~-20%, C up ~+40%, D up ~+200%\n",
+    );
+    let data = serde_json::to_value(
+        results.iter().map(|(m, f)| (m.to_string(), f)).collect::<Vec<_>>(),
+    )
+    .unwrap_or(Value::Null);
+    Ok(RunOutput { target: "fig4", text, data })
+}
+
+fn run_fig5(cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let results = per_mfr(cfg, temperature::hcfirst_vs_temperature)?;
+    let mut text = String::new();
+    for (m, f) in &results {
+        text.push_str(&report::fig5(&m.to_string(), f));
+        text.push('\n');
+    }
+    text.push_str("paper crossings at 50->90C: A P45, B P67, C P71, D P40; magnitude ratio ~4x\n");
+    let data = serde_json::to_value(
+        results.iter().map(|(m, f)| (m.to_string(), f)).collect::<Vec<_>>(),
+    )
+    .unwrap_or(Value::Null);
+    Ok(RunOutput { target: "fig5", text, data })
+}
+
+fn run_fig6() -> RunOutput {
+    // The command-timing diagram: record the three §6 test sequences.
+    let mut bench = TestBench::new(Manufacturer::D, 1);
+    let timing = bench.module().config().timing;
+    let mut text = String::from("Fig. 6: command timings of the aggressor active-time tests\n");
+    for (name, t_on, t_off) in [
+        ("Baseline", timing.t_ras, timing.t_rp),
+        ("AggressorOn (+30ns)", timing.t_ras + 30_000, timing.t_rp),
+        ("AggressorOff (+8ns)", timing.t_ras, timing.t_rp + 8_000),
+    ] {
+        bench.controller_mut().set_record_trace(true);
+        let p = Program::double_sided_hammer(BankId(0), RowAddr(10), RowAddr(12), 1, t_on, t_off);
+        bench.run(&p).expect("trace run");
+        text.push_str(&format!("--- {name} ---\n"));
+        text.push_str(&rh_dram::command::render_trace(bench.controller().trace()));
+        bench.controller_mut().set_record_trace(false);
+    }
+    RunOutput { target: "fig6", text, data: json!({}) }
+}
+
+fn run_rowactive(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
+    let results = per_mfr(cfg, rowactive::row_active_analysis)?;
+    let mut text = String::new();
+    for (m, a) in &results {
+        let label = m.to_string();
+        match target {
+            "fig7" => text.push_str(&report::fig_ber_sweep("Fig. 7", &label, a, true)),
+            "fig8" => text.push_str(&report::fig_hc_sweep("Fig. 8", &label, a, true)),
+            "fig9" => text.push_str(&report::fig_ber_sweep("Fig. 9", &label, a, false)),
+            _ => text.push_str(&report::fig_hc_sweep("Fig. 10", &label, a, false)),
+        }
+        text.push('\n');
+    }
+    match target {
+        "fig7" => text.push_str("paper BER gain at 154.5ns: 10.2x / 3.1x / 4.4x / 9.6x\n"),
+        "fig8" => text.push_str("paper HCfirst reduction: 40.0% / 28.3% / 32.7% / 37.3%\n"),
+        "fig9" => text.push_str("paper BER drop at 40.5ns: 6.3x / 2.9x / 4.9x / 5.0x\n"),
+        _ => text.push_str("paper HCfirst increase: 33.8% / 24.7% / 50.1% / 33.7%\n"),
+    }
+    let data = serde_json::to_value(
+        results.iter().map(|(m, a)| (m.to_string(), a)).collect::<Vec<_>>(),
+    )
+    .unwrap_or(Value::Null);
+    Ok(RunOutput { target, text, data })
+}
+
+fn spatial_modules(
+    cfg: &RunConfig,
+    mfr: Manufacturer,
+) -> Result<Vec<Characterizer>, CharError> {
+    (0..cfg.modules_per_mfr).map(|i| characterizer(mfr, cfg, i)).collect()
+}
+
+fn run_fig11(cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let mut text = String::new();
+    let mut data = Vec::new();
+    for mfr in Manufacturer::ALL {
+        let modules = spatial_modules(cfg, mfr)?;
+        let results = parallel_modules(modules, spatial::row_variation)?;
+        for (i, (_, rv)) in results.iter().enumerate() {
+            text.push_str(&report::fig11(&format!("{mfr} module {i}"), rv));
+            data.push((mfr.to_string(), i, rv.clone()));
+        }
+        text.push('\n');
+    }
+    text.push_str("paper: P99 >= 1.6x, P95 >= 2.0x, P90 >= 2.2x the most vulnerable row\n");
+    Ok(RunOutput {
+        target: "fig11",
+        text,
+        data: serde_json::to_value(data).unwrap_or(Value::Null),
+    })
+}
+
+fn run_fig12_13(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
+    let results = per_mfr(cfg, spatial::column_map)?;
+    let mut text = String::new();
+    let mut data = Vec::new();
+    for (m, cm) in &results {
+        if target == "fig12" {
+            text.push_str(&report::fig12(&m.to_string(), cm));
+        } else {
+            let cv = spatial::column_variation(cm);
+            text.push_str(&report::fig13(&m.to_string(), &cv));
+            data.push((m.to_string(), serde_json::to_value(&cv).unwrap_or(Value::Null)));
+        }
+        text.push('\n');
+    }
+    if target == "fig12" {
+        text.push_str("paper zero-flip columns: 27.8% / 0% / 31.1% / 9.96%\n");
+        let d = results
+            .iter()
+            .map(|(m, cm)| (m.to_string(), cm.zero_fraction(), cm.max_count()))
+            .collect::<Vec<_>>();
+        return Ok(RunOutput {
+            target,
+            text,
+            data: serde_json::to_value(d).unwrap_or(Value::Null),
+        });
+    }
+    text.push_str("paper CV=0 share: Mfr. B 50.9%, Mfr. C 16.6%; CV=1 share: A 59.8%, C 30.6%, D 29.1%\n");
+    Ok(RunOutput { target, text, data: serde_json::to_value(data).unwrap_or(Value::Null) })
+}
+
+fn run_fig14_15(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
+    let mut text = String::new();
+    let mut data = Vec::new();
+    // The subarray regression and similarity studies need several
+    // modules per manufacturer for a stable picture.
+    let cfg = &RunConfig { modules_per_mfr: cfg.modules_per_mfr.max(3), ..*cfg };
+    for mfr in Manufacturer::ALL {
+        let modules = spatial_modules(cfg, mfr)?;
+        let results = parallel_modules(modules, spatial::subarray_hcfirst)?;
+        let per_module: Vec<Vec<spatial::SubarrayPoint>> =
+            results.into_iter().map(|(_, p)| p).collect();
+        if target == "fig14" {
+            let all: Vec<spatial::SubarrayPoint> =
+                per_module.iter().flatten().cloned().collect();
+            let fit = spatial::subarray_fit(&all);
+            text.push_str(&report::fig14(&mfr.to_string(), &all, fit));
+            data.push((mfr.to_string(), serde_json::to_value(&all).unwrap_or(Value::Null)));
+        } else {
+            let sim = spatial::subarray_similarity(&per_module);
+            text.push_str(&report::fig15(&mfr.to_string(), &sim));
+            data.push((mfr.to_string(), serde_json::to_value(&sim).unwrap_or(Value::Null)));
+        }
+        text.push('\n');
+    }
+    if target == "fig14" {
+        text.push_str("paper fits: A y=0.46x R2 0.73, B y=0.41x R2 0.78, C y=0.42x R2 0.93, D y=0.67x R2 0.42\n");
+    } else {
+        text.push_str("paper: same-module P5 ~0.975 (Mfr. C); cross-module P5 down to 0.66\n");
+    }
+    Ok(RunOutput { target, text, data: serde_json::to_value(data).unwrap_or(Value::Null) })
+}
+
+fn run_observations(cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    // One Mfr. B module carries most checks (B flips the most at
+    // reduced scales). The temperature-trend checks (Obsv. 4, 6) run on
+    // a Mfr. D module, the paper's strongest rising-trend manufacturer;
+    // manufacturer-specific trends are covered by the per-figure
+    // targets.
+    let mut ch = characterizer(Manufacturer::B, cfg, 0)?;
+    let ranges = temperature::cell_temp_ranges(&mut ch)?;
+    let mut ch_d = characterizer(Manufacturer::D, cfg, 0)?;
+    let ber_t = temperature::ber_vs_temperature(&mut ch_d)?;
+    let hc_t = temperature::hcfirst_vs_temperature(&mut ch_d)?;
+    let ra = rowactive::row_active_analysis(&mut ch)?;
+    let rv = spatial::row_variation(&mut ch)?;
+    let cm = spatial::column_map(&mut ch)?;
+    let cv = spatial::column_variation(&cm);
+    let sa = spatial::subarray_hcfirst(&mut ch)?;
+    let mut ch2 = characterizer(Manufacturer::B, cfg, 1)?;
+    let sa2 = spatial::subarray_hcfirst(&mut ch2)?;
+    let sim = spatial::subarray_similarity(&[sa.clone(), sa2]);
+    let checks = vec![
+        obs::obsv1(&ranges),
+        obs::obsv2(&ranges),
+        obs::obsv3(&ranges),
+        obs::obsv4(&ber_t),
+        obs::obsv5(&hc_t),
+        obs::obsv6(&hc_t),
+        obs::obsv7(&hc_t),
+        obs::obsv8(&ra),
+        obs::obsv9(&ra),
+        obs::obsv10(&ra),
+        obs::obsv11(&ra),
+        obs::obsv12(&rv),
+        obs::obsv13(&cm),
+        obs::obsv14(&cv),
+        obs::obsv15(&sa),
+        obs::obsv16(&sim),
+    ];
+    let text = report::observations(&checks);
+    let data = serde_json::to_value(&checks).unwrap_or(Value::Null);
+    Ok(RunOutput { target: "observations", text, data })
+}
+
+fn run_attack(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
+    let mut ch = characterizer(Manufacturer::B, cfg, 0)?;
+    match target {
+        "attack1" => {
+            let candidates: Vec<u32> = (0..16).map(|i| 700 + 6 * i).collect();
+            let s = temperature_aware_study(&mut ch, &candidates, 80.0)?;
+            let text = format!(
+                "Attack Improvement 1: temperature-aware targeting at {}°C\n\
+                 uninformed pick HCfirst: {}\ninformed pick HCfirst: {} (row {})\n\
+                 hammer-count reduction: {:.0}% (paper: up to ~50%)\n",
+                s.temperature,
+                s.uninformed_hc,
+                s.informed_hc,
+                s.informed_row,
+                s.reduction * 100.0
+            );
+            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+        }
+        "attack2" => {
+            let candidates: Vec<u32> = (0..16).map(|i| 1200 + 6 * i).collect();
+            let s = trigger::build_trigger(&mut ch, &candidates, 10.0)?;
+            let mut text = format!(
+                "Attack Improvement 2: temperature trigger\nprofiled cells: {}\n\
+                 narrow-range share: {:.1}%\n",
+                s.cells_profiled,
+                s.narrow_fraction * 100.0
+            );
+            if let Some(t) = &s.trigger {
+                text.push_str(&format!(
+                    "trigger cell: row {} byte {} bit {} — fires within {:.0}–{:.0}°C\n",
+                    t.row, t.byte, t.bit, t.t_lo, t.t_hi
+                ));
+            } else {
+                text.push_str("no suitable narrow-range cell in this sample\n");
+            }
+            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+        }
+        _ => {
+            ch.set_temperature(50.0)?;
+            let victims: Vec<u32> = (0..12).map(|i| 1500 + 6 * i).collect();
+            let s = long_open_study(&mut ch, &victims, 15)?;
+            let text = format!(
+                "Attack Improvement 3: READ-extended aggressor open time\n\
+                 reads/activation: {} (effective tAggOn {:.1} ns)\n\
+                 BER: {:.1} -> {:.1} ({:.1}x; paper 3.2x-10.2x)\n\
+                 HCfirst: {:.0} -> {:.0} (-{:.0}%; paper ~36%)\n\
+                 defeats threshold configured at baseline HCfirst: {}\n",
+                s.reads_per_activation,
+                s.effective_t_on as f64 / 1000.0,
+                s.ber_baseline,
+                s.ber_extended,
+                s.ber_gain(),
+                s.hc_baseline,
+                s.hc_extended,
+                s.hc_reduction() * 100.0,
+                s.defeats_baseline_threshold()
+            );
+            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+        }
+    }
+}
+
+fn run_defense(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
+    match target {
+        "defense1" => {
+            let uni = ThresholdConfig::uniform_worst_case();
+            let dual = ThresholdConfig::dual_obsv12();
+            let text = format!(
+                "Defense Improvement 1: per-row-class thresholds (Obsv. 12)\n\
+                 Graphene area: {:.2}% -> {:.2}% ({:.0}% reduction; paper 80%)\n\
+                 BlockHammer area: {:.2}% -> {:.2}% ({:.0}% reduction; paper 33%)\n\
+                 PARA slowdown: {:.0}% -> {:.0}% (paper: 28% halved)\n",
+                graphene_area_pct(uni),
+                graphene_area_pct(dual),
+                cost::area_reduction(graphene_area_pct(uni), graphene_area_pct(dual)) * 100.0,
+                blockhammer_area_pct(uni),
+                blockhammer_area_pct(dual),
+                cost::area_reduction(blockhammer_area_pct(uni), blockhammer_area_pct(dual))
+                    * 100.0,
+                cost::para_slowdown_pct(1.0),
+                cost::para_slowdown_pct(2.0),
+            );
+            let data = json!({
+                "graphene": {"uniform": graphene_area_pct(uni), "dual": graphene_area_pct(dual)},
+                "blockhammer": {"uniform": blockhammer_area_pct(uni), "dual": blockhammer_area_pct(dual)},
+            });
+            Ok(RunOutput { target, text, data })
+        }
+        "defense2" => {
+            let mut ch = characterizer(Manufacturer::C, cfg, 0)?;
+            let fp = profiling::fast_profile(&mut ch, 6, 6)?;
+            let text = format!(
+                "Defense Improvement 2: subarray-sampled profiling (Obsv. 15/16)\n\
+                 profiled {} subarrays; model y = {:.2}x + {:.0} (R2 {:.2})\n\
+                 held-out subarray: predicted min {:.0}, measured min {:.0} (error {:.0}%)\n\
+                 speedup vs full profile: {:.0}x (paper: >=10x)\n",
+                fp.profiled.len(),
+                fp.model.slope,
+                fp.model.intercept,
+                fp.model.r2,
+                fp.predicted_min,
+                fp.measured_min,
+                fp.prediction_error() * 100.0,
+                fp.speedup()
+            );
+            Ok(RunOutput { target, text, data: serde_json::to_value(&fp).unwrap_or(Value::Null) })
+        }
+        "defense3" => {
+            let mut ch = characterizer(Manufacturer::B, cfg, 0)?;
+            let rows: Vec<u32> = (0..12).map(|i| 3000 + 6 * i).collect();
+            let plan = retire::build_plan(&mut ch, &rows)?;
+            let residual = retire::residual_risk(&mut ch, &plan, 70.0, 5.0)?;
+            let text = format!(
+                "Defense Improvement 3: temperature-aware row retirement (Obsv. 1/3)\n\
+                 profiled rows: {} vulnerable: {}\n\
+                 retired at 70°C (5°C guard): {} rows ({:.0}% of vulnerable)\n\
+                 residual flipping rows after retirement: {}\n",
+                rows.len(),
+                plan.vulnerable.len(),
+                plan.rows_to_retire(70.0, 5.0).len(),
+                plan.retired_fraction(70.0, 5.0) * 100.0,
+                residual
+            );
+            Ok(RunOutput { target, text, data: serde_json::to_value(&plan).unwrap_or(Value::Null) })
+        }
+        "defense4" => {
+            let mut ch = characterizer(Manufacturer::A, cfg, 0)?;
+            let rows: Vec<u32> = (0..14).map(|i| 5000 + 6 * i).collect();
+            let s = cooling::cooling_study(&mut ch, &rows, 90.0, 50.0)?;
+            let text = format!(
+                "Defense Improvement 4: cooling (Obsv. 4)\n\
+                 BER at {:.0}°C: {:.1}; at {:.0}°C: {:.1}\n\
+                 reduction from cooling: {:.0}% (paper: ~25% for Mfr. A; our Mfr. A trend is stronger)\n",
+                s.hot, s.ber_hot, s.cold, s.ber_cold, s.reduction() * 100.0
+            );
+            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+        }
+        "defense5" => {
+            let mut ch = characterizer(Manufacturer::B, cfg, 0)?;
+            let rows: Vec<u32> = (0..12).map(|i| 6000 + 6 * i).collect();
+            let s = scheduler::scheduler_study(&mut ch, &rows, 15)?;
+            let text = format!(
+                "Defense Improvement 5: open-time-limiting scheduler (Obsv. 8)\n\
+                 attacker requests tAggOn {:.1} ns via 15 READs/activation\n\
+                 BER without cap: {:.1}; with tRAS cap: {:.1} (x{:.1} mitigation)\n",
+                s.requested_t_on as f64 / 1000.0,
+                s.ber_unlimited,
+                s.ber_capped,
+                s.mitigation_factor()
+            );
+            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+        }
+        _ => {
+            // defense6: ECC interleaving on measured flip positions.
+            let mut ch = characterizer(Manufacturer::B, cfg, 0)?;
+            ch.set_temperature(75.0)?;
+            let pattern = ch.wcdp();
+            let mut flips_bits: Vec<usize> = Vec::new();
+            for i in 0..12u32 {
+                let v = RowAddr(7000 + 6 * i);
+                for (byte, bit) in
+                    ch.flipped_cells(v, pattern, rh_core::metrics::BER_HAMMERS)?
+                {
+                    flips_bits.push(byte as usize * 8 + bit as usize);
+                }
+            }
+            let total = ch.bench().module().row_bytes() * 8;
+            let (seq_ok, seq_bad) =
+                ecc::corrected_flips(ecc::Interleaving::Sequential, &flips_bits, total);
+            let (spr_ok, spr_bad) =
+                ecc::corrected_flips(ecc::Interleaving::ColumnSpread, &flips_bits, total);
+            let text = format!(
+                "Defense Improvement 6: non-uniform ECC (Obsv. 13/14)\n\
+                 RowHammer flips observed: {}\n\
+                 SEC-DED sequential layout: {} corrected, {} uncorrectable words\n\
+                 vulnerability-aware spread: {} corrected, {} uncorrectable words\n",
+                flips_bits.len(),
+                seq_ok,
+                seq_bad,
+                spr_ok,
+                spr_bad
+            );
+            let data = json!({
+                "flips": flips_bits.len(),
+                "sequential": {"corrected": seq_ok, "uncorrectable": seq_bad},
+                "spread": {"corrected": spr_ok, "uncorrectable": spr_bad},
+            });
+            Ok(RunOutput { target, text, data })
+        }
+    }
+}
+
+/// DDR3 cross-check: the paper verifies Obsv. 2 on its three DDR3
+/// SODIMMs; this runner characterizes them and reports the same
+/// temperature statistics plus baseline BER/HCfirst.
+fn run_ddr3(cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let mut text = String::from("DDR3 SODIMM cross-check (Table 2's three DDR3 modules)\n");
+    let mut data = Vec::new();
+    for module in rh_dram::tested_modules()
+        .into_iter()
+        .filter(|m| m.standard == rh_dram::DramStandard::Ddr3)
+    {
+        let bench = TestBench::for_module(&module);
+        let mut ch = Characterizer::new(bench, cfg.scale)?;
+        let ranges = temperature::cell_temp_ranges(&mut ch)?;
+        ch.set_temperature(75.0)?;
+        let mut hc = Vec::new();
+        for i in 0..8u32 {
+            if let Some(h) = ch.hc_first_default(RowAddr(2000 + 6 * i))? {
+                hc.push(h as f64);
+            }
+        }
+        text.push_str(&format!(
+            "{}: vulnerable cells {}, all-temps {:.1}% (Obsv. 2 {}), no-gaps {:.1}%, mean HCfirst {:.0}\n",
+            module.label,
+            ranges.vulnerable_cells,
+            ranges.full_range_fraction * 100.0,
+            if ranges.full_range_fraction > 0.03 { "holds" } else { "NOT confirmed" },
+            ranges.no_gap_fraction * 100.0,
+            rh_stats::mean(&hc),
+        ));
+        data.push((module.label.clone(), ranges));
+    }
+    text.push_str("paper: Obsv. 2 verified on the three DDR3 SODIMMs (§5.1)\n");
+    Ok(RunOutput {
+        target: "ddr3",
+        text,
+        data: serde_json::to_value(data).unwrap_or(Value::Null),
+    })
+}
+
+/// TRRespass-style many-sided study: mitigation dilution of a small
+/// in-DRAM TRR sampler as decoy pairs grow.
+fn run_trrespass(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let mut text =
+        String::from("Many-sided hammering vs a 4-entry TRR sampler (TRRespass mechanics)\n");
+    let mut rows = Vec::new();
+    for pairs in [1u8, 2, 4, 8, 12] {
+        let mut bench = TestBench::new(Manufacturer::B, 99);
+        bench.set_temperature(75.0)?;
+        let mut sim = DefenseSim::new(bench);
+        let mut trr = TargetRowRefresh::new(4, 2);
+        let o = sim
+            .run_many_sided(&mut trr, RowAddr(5000), pairs, 60_000, None)
+            .map_err(CharError::from)?;
+        let eff = o.victim_refreshes as f64 / o.refreshes.max(1) as f64 * 100.0;
+        text.push_str(&format!(
+            "{:>2} pairs: flips {:>3}  refreshes {:>6}  on-victim {:>5.1}%  achieved {:>6}\n",
+            pairs, o.victim_flips, o.refreshes, eff, o.achieved_hammers
+        ));
+        rows.push(o);
+    }
+    text.push_str(
+        "mitigation efficiency collapses with decoy pairs; full bypasses additionally\n\
+         exploit sampler determinism not modeled here (DESIGN.md §1)\n",
+    );
+    Ok(RunOutput {
+        target: "trrespass",
+        text,
+        data: serde_json::to_value(&rows).unwrap_or(Value::Null),
+    })
+}
+
+/// Chipkill vs SEC-DED on measured RowHammer flips (Improvement 6's
+/// chipkill discussion).
+fn run_chipkill(cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    use rh_defense::ecc::chipkill;
+    let mut ch = characterizer(Manufacturer::B, cfg, 0)?;
+    ch.set_temperature(75.0)?;
+    let pattern = ch.wcdp();
+    let mut flips: Vec<(u32, u8)> = Vec::new();
+    for i in 0..12u32 {
+        flips.extend(ch.flipped_cells(
+            RowAddr(7000 + 6 * i),
+            pattern,
+            2 * rh_core::metrics::BER_HAMMERS,
+        )?);
+    }
+    let ck = chipkill::decode_flips(&flips);
+    let bit_positions: Vec<usize> =
+        flips.iter().map(|&(b, bit)| b as usize * 8 + bit as usize).collect();
+    let total = ch.bench().module().row_bytes() * 8;
+    let (sec_ok, sec_bad) =
+        ecc::corrected_flips(ecc::Interleaving::Sequential, &bit_positions, total);
+    let text = format!(
+        "Chipkill vs SEC-DED on {} measured RowHammer flips\n\
+         SEC-DED (sequential words): {} corrected, {} uncorrectable words\n\
+         chipkill (per-column symbols): {} corrected, {} uncorrectable codewords\n",
+        flips.len(),
+        sec_ok,
+        sec_bad,
+        ck.corrected,
+        ck.uncorrectable
+    );
+    let data = json!({
+        "flips": flips.len(),
+        "secded": {"corrected": sec_ok, "uncorrectable": sec_bad},
+        "chipkill": {"corrected": ck.corrected, "uncorrectable": ck.uncorrectable},
+    });
+    Ok(RunOutput { target: "chipkill", text, data })
+}
+
+/// Fault-model ablations: disable one calibrated mechanism at a time
+/// and show which headline result it carries.
+fn run_ablation(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    use rh_faultmodel::{MfrProfile, RowHammerModel};
+    let mfr = Manufacturer::B;
+    let base_profile = MfrProfile::for_manufacturer(mfr);
+    let study = |profile: MfrProfile| -> Result<(f64, f64), CharError> {
+        let bench = TestBench::with_fault_model(
+            rh_dram::ModuleConfig::ddr4(mfr),
+            RowHammerModel::with_profile(profile, 4242),
+            4242,
+        );
+        let mut ch = Characterizer::new(bench, Scale::Smoke)?;
+        let a = rowactive::row_active_analysis(&mut ch)?;
+        // Fig. 11's percentile factor needs a wider row sample than the
+        // smoke plan: measure 48 rows directly.
+        ch.set_temperature(75.0)?;
+        let mut hc = Vec::new();
+        for i in 0..48u32 {
+            if let Some(h) = ch.hc_first_default(RowAddr(1000 + 6 * i))? {
+                hc.push(h as f64);
+            }
+        }
+        let min = hc.iter().copied().fold(f64::INFINITY, f64::min);
+        let p95 = if hc.is_empty() { 0.0 } else { rh_stats::percentile(&hc, 5.0) / min };
+        Ok((a.ber_gain_on(), p95))
+    };
+    let (gain_base, p95_base) = study(base_profile)?;
+    let (gain_no_on, _) = study(MfrProfile { on_slope: 0.0, ..base_profile })?;
+    let (_, p95_no_weak) = study(MfrProfile { weak_row_fraction: 0.0, ..base_profile })?;
+    let text = format!(
+        "Fault-model ablations (Mfr. B module)\n\
+         tAggOn BER gain:   calibrated {gain_base:.1}x  |  on_slope=0 -> {gain_no_on:.1}x\n\
+         (the g_on damage factor carries the entire Fig. 7/8 effect)\n\
+         Fig. 11 P95 factor: calibrated {p95_base:.1}x  |  weak_row_fraction=0 -> {p95_no_weak:.1}x\n\
+         (the weak-row tail carries Obsv. 12's vulnerable minority)\n"
+    );
+    let data = json!({
+        "ber_gain_on": {"calibrated": gain_base, "no_on_slope": gain_no_on},
+        "p95_factor": {"calibrated": p95_base, "no_weak_rows": p95_no_weak},
+    });
+    Ok(RunOutput { target: "ablation", text, data })
+}
+
+/// Memory-controller study: row-buffer policies (including the
+/// Improvement-5 open-time cap) and MC-side defense hooks on a benign
+/// request stream.
+fn run_memctl() -> RunOutput {
+    use rh_softmc::{MemController, MemRequest, RowPolicy};
+    let stream = |n: u64| -> Vec<MemRequest> {
+        // 70%-locality stream over 8 banks, xorshift-deterministic.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut unit = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut rows = [1000u32; 8];
+        (0..n)
+            .map(|i| {
+                let bank = (i % 8) as u32;
+                if unit() > 0.7 {
+                    rows[bank as usize] = 1000 + (unit() * 2048.0) as u32;
+                }
+                MemRequest {
+                    id: i,
+                    bank: BankId(bank),
+                    row: RowAddr(rows[bank as usize]),
+                    column: (i % 64) as u32,
+                    is_write: i % 4 == 0,
+                    arrival: i * 4_000,
+                }
+            })
+            .collect()
+    };
+    let run = |policy: RowPolicy,
+               hook: Option<rh_softmc::ActivationHook>|
+     -> rh_softmc::MemStats {
+        let module = rh_dram::DramModule::new(rh_dram::ModuleConfig::ddr4(Manufacturer::D));
+        let mut mc = MemController::new(module, policy);
+        if let Some(h) = hook {
+            mc.set_hook(h);
+        }
+        for r in stream(200_000) {
+            mc.submit(r).expect("in-range bank");
+        }
+        mc.drain()
+    };
+    let mut text = String::from(
+        "Memory-controller study: 200K requests, 70% locality, 8 banks\n",
+    );
+    let mut data = Vec::new();
+    let mut row = |name: &str, s: rh_softmc::MemStats| {
+        text.push_str(&format!(
+            "{:<26} mean latency {:>7.1} ns  hit rate {:>5.1}%  refreshes {:>6}\n",
+            name,
+            s.mean_latency() / 1000.0,
+            s.hit_rate() * 100.0,
+            s.hook_refreshes
+        ));
+        data.push((name.to_string(), s));
+    };
+    row("open page", run(RowPolicy::OpenPage, None));
+    row("closed page", run(RowPolicy::ClosedPage, None));
+    row(
+        "capped open (3x tRAS)",
+        run(RowPolicy::CappedOpen { cap: 3 * 34_500 }, None),
+    );
+    row(
+        "open + PARA hook",
+        run(RowPolicy::OpenPage, Some(rh_defense::traits::as_hook(Para::new(0.002, 7)))),
+    );
+    row(
+        "open + Graphene hook",
+        run(
+            RowPolicy::OpenPage,
+            Some(rh_defense::traits::as_hook(Graphene::new(32_000, 1_300_000))),
+        ),
+    );
+    text.push_str(
+        "the Improvement-5 cap costs little on benign traffic while denying\n\
+         attackers extended aggressor-open time\n",
+    );
+    RunOutput {
+        target: "memctl",
+        text,
+        data: serde_json::to_value(&data).unwrap_or(Value::Null),
+    }
+}
+
+/// BER-vs-hammer-count dose response (the basis of the paper's 150 K
+/// choice, §4.2 footnote 3).
+fn run_hcsweep(cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let results = per_mfr(cfg, dose::dose_response)?;
+    let mut text = String::from("BER vs hammer count (75C, WCDP)\n");
+    for (m, d) in &results {
+        text.push_str(&format!("{m}:\n"));
+        for p in &d.points {
+            text.push_str(&format!(
+                "  {:>7} hammers: mean BER {:>7.1}  flipping rows {:>5.1}%\n",
+                p.hammers,
+                p.mean_ber,
+                p.flipping_rows * 100.0
+            ));
+        }
+    }
+    text.push_str("paper: 150K chosen as attack-realistic and sufficient on every module\n");
+    let data = serde_json::to_value(
+        results.iter().map(|(m, d)| (m.to_string(), d)).collect::<Vec<_>>(),
+    )
+    .unwrap_or(Value::Null);
+    Ok(RunOutput { target: "hcsweep", text, data })
+}
+
+/// Benign-workload overhead of the defense roster (the performance
+/// dimension of §8.2 Improvement 1).
+fn run_overhead() -> RunOutput {
+    use rh_defense::overhead::slowdown;
+    let timing = rh_dram::TimingParams::ddr4_2400();
+    let accesses = 400_000;
+    let mut text = String::from(
+        "Benign-workload overhead (50% row-buffer locality, 400K accesses)\n",
+    );
+    let mut data = Vec::new();
+    let mut row = |name: &str, d: &mut dyn rh_defense::Defense| {
+        let (report, s) = slowdown(d, 0.5, accesses, &timing);
+        text.push_str(&format!(
+            "{:<22} slowdown {:>6.2}%  refreshes {:>6}  throttle {:>6.2} ms\n",
+            name,
+            s * 100.0,
+            report.refreshes,
+            report.throttle_delay as f64 / 1e9
+        ));
+        data.push((name.to_string(), s, report));
+    };
+    row("PARA (worst-case T)", &mut Para::for_threshold(1_000, 40, 7));
+    row("PARA (2x T, Obsv.12)", &mut Para::for_threshold(2_000, 40, 7));
+    row("Graphene@8K", &mut Graphene::new(8_000, 1_300_000));
+    row("BlockHammer@4K", &mut BlockHammer::new(4_000, 64_000_000_000, 5));
+    row("TWiCe@8K", &mut Twice::new(8_000, 64_000_000_000));
+    text.push_str(
+        "paper: PARA at worst-case HCfirst costs 28% slowdown, halved at 2x threshold\n",
+    );
+    RunOutput {
+        target: "overhead",
+        text,
+        data: serde_json::to_value(&data).unwrap_or(Value::Null),
+    }
+}
+
+/// Per-manufacturer worst-case data pattern scores (the purpose behind
+/// Table 1).
+fn run_patterns(cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let mut text = String::from("Data-pattern scores (victim-row flips at 150K hammers)\n");
+    let mut data = Vec::new();
+    for mfr in Manufacturer::ALL {
+        let mut ch = characterizer(mfr, cfg, 0)?;
+        ch.set_temperature(75.0)?;
+        let mapping = ch.mapping();
+        let scores = rh_core::wcdp::score_patterns(
+            ch.bench_mut(),
+            &mapping,
+            BankId(0),
+            cfg.scale,
+        )?;
+        let best = scores.iter().max_by_key(|s| s.flips).expect("scores");
+        text.push_str(&format!("{mfr}: WCDP = {}\n", best.kind.name()));
+        for s in &scores {
+            text.push_str(&format!("   {:<12} {:>6}\n", s.kind.name(), s.flips));
+        }
+        data.push((mfr.to_string(), scores));
+    }
+    Ok(RunOutput {
+        target: "patterns",
+        text,
+        data: serde_json::to_value(&data).unwrap_or(Value::Null),
+    })
+}
+
+/// Evaluates the classic defense roster against a double-sided attack
+/// (a bonus target exercised by the benches and examples).
+pub fn run_defense_matrix(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let hammers = 150_000;
+    let mut text = String::from("Defense matrix: double-sided attack, 150K hammers\n");
+    let mut rows = Vec::new();
+    // Fixed module identity: the baseline row must flip undefended for
+    // the comparison to be meaningful.
+    let mk_bench = || {
+        let mut b = TestBench::new(Manufacturer::B, 99);
+        b.set_temperature(75.0).expect("settle");
+        b
+    };
+    let defenses: Vec<Box<dyn rh_defense::Defense>> = vec![
+        Box::new(rh_defense::traits::NoDefense),
+        Box::new(Para::new(0.002, 7)),
+        Box::new(Graphene::new(8_000, 1_300_000)),
+        Box::new(BlockHammer::new(4_000, 64_000_000_000, 5)),
+        Box::new(TargetRowRefresh::new(4, 2)),
+        Box::new(Twice::new(8_000, 64_000_000_000)),
+    ];
+    for mut d in defenses {
+        let mut sim = DefenseSim::new(mk_bench());
+        let o = sim
+            .run_double_sided(d.as_mut(), RowAddr(5000), hammers, None)
+            .map_err(CharError::from)?;
+        text.push_str(&format!(
+            "{:<12} flips {:>5}  refreshes {:>6}  throttle {:>8.2} ms  achieved {:>7}\n",
+            o.defense,
+            o.victim_flips,
+            o.refreshes,
+            o.throttle_delay as f64 / 1e9,
+            o.achieved_hammers
+        ));
+        rows.push(o);
+    }
+    Ok(RunOutput {
+        target: "defense-matrix",
+        text,
+        data: serde_json::to_value(&rows).unwrap_or(Value::Null),
+    })
+}
+
+/// Runs one named target.
+///
+/// # Errors
+///
+/// Unknown targets are rejected; experiment errors propagate.
+pub fn run_target(target: &str, cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    match target {
+        "table1" => Ok(run_table1()),
+        "table2" => Ok(run_table2()),
+        "table3" => run_temp_ranges(cfg, "table3"),
+        "fig3" => run_temp_ranges(cfg, "fig3"),
+        "fig4" => run_fig4(cfg),
+        "fig5" => run_fig5(cfg),
+        "fig6" => Ok(run_fig6()),
+        "fig7" => run_rowactive(cfg, "fig7"),
+        "fig8" => run_rowactive(cfg, "fig8"),
+        "fig9" => run_rowactive(cfg, "fig9"),
+        "fig10" => run_rowactive(cfg, "fig10"),
+        "fig11" => run_fig11(cfg),
+        "fig12" => run_fig12_13(cfg, "fig12"),
+        "fig13" => run_fig12_13(cfg, "fig13"),
+        "fig14" => run_fig14_15(cfg, "fig14"),
+        "fig15" => run_fig14_15(cfg, "fig15"),
+        "observations" => run_observations(cfg),
+        "attack1" | "attack2" | "attack3" => {
+            run_attack(cfg, targets().iter().find(|t| **t == target).expect("known"))
+        }
+        "defense1" | "defense2" | "defense3" | "defense4" | "defense5" | "defense6" => {
+            run_defense(cfg, targets().iter().find(|t| **t == target).expect("known"))
+        }
+        "ddr3" => run_ddr3(cfg),
+        "overhead" => Ok(run_overhead()),
+        "hcsweep" => run_hcsweep(cfg),
+        "memctl" => Ok(run_memctl()),
+        "patterns" => run_patterns(cfg),
+        "trrespass" => run_trrespass(cfg),
+        "chipkill" => run_chipkill(cfg),
+        "ablation" => run_ablation(cfg),
+        "defense-matrix" => run_defense_matrix(cfg),
+        other => Err(CharError::Infra(rh_softmc::SoftMcError::InvalidProgram {
+            reason: format!("unknown repro target '{other}'"),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke() -> RunConfig {
+        RunConfig { scale: Scale::Smoke, seed: 5, modules_per_mfr: 2 }
+    }
+
+    #[test]
+    fn static_targets_render() {
+        assert!(run_target("table1", &smoke()).unwrap().text.contains("colstripe"));
+        assert!(run_target("table2", &smoke()).unwrap().text.contains("DDR4"));
+        assert!(run_target("fig6", &smoke()).unwrap().text.contains("ACT(b0,r10)"));
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        assert!(run_target("fig99", &smoke()).is_err());
+    }
+
+    #[test]
+    fn rowactive_target_reports_gains() {
+        let out = run_target("fig7", &smoke()).unwrap();
+        assert!(out.text.contains("BER gain"));
+        assert!(out.text.contains("Mfr. D"));
+    }
+
+    #[test]
+    fn defense1_matches_paper_numbers() {
+        let out = run_target("defense1", &smoke()).unwrap();
+        assert!(out.text.contains("80"));
+        assert!(out.text.contains("33"));
+    }
+}

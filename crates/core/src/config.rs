@@ -1,0 +1,184 @@
+//! Experiment sizing: the paper's full-scale row counts versus reduced
+//! samples for CI and unit tests.
+
+use serde::{Deserialize, Serialize};
+
+/// How much of a bank each experiment samples.
+///
+/// The paper tests the first, middle, and last 8 K rows of a bank with
+/// 5 repetitions (§4.2). `Paper` reproduces that; `Default` keeps the
+/// same structure at a size that runs in seconds; `Smoke` is for unit
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// A handful of rows, one region, one repetition.
+    Smoke,
+    /// Dozens of rows per region, three regions, two repetitions.
+    Default,
+    /// The paper's 3 × 8 K rows with 5 repetitions.
+    Paper,
+}
+
+impl Scale {
+    /// Victim rows sampled per bank region.
+    pub fn rows_per_region(self) -> u32 {
+        match self {
+            Scale::Smoke => 6,
+            Scale::Default => 48,
+            Scale::Paper => 8192,
+        }
+    }
+
+    /// Number of bank regions (first / middle / last).
+    pub fn regions(self) -> u32 {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Default | Scale::Paper => 3,
+        }
+    }
+
+    /// Test repetitions (the paper repeats each test five times).
+    pub fn repetitions(self) -> u32 {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Default => 2,
+            Scale::Paper => 5,
+        }
+    }
+
+    /// Tested temperature grid (°C). The paper sweeps 50–90 °C in 5 °C
+    /// steps.
+    pub fn temperatures(self) -> Vec<f64> {
+        match self {
+            Scale::Smoke => vec![50.0, 70.0, 90.0],
+            Scale::Default | Scale::Paper => (0..9).map(|i| 50.0 + 5.0 * i as f64).collect(),
+        }
+    }
+
+    /// How many radius-8 neighborhood rows get the data pattern. The
+    /// paper writes V±[1..8]; the fault model's blast radius is ±2, so
+    /// reduced scales write ±2 without changing any observable.
+    pub fn neighborhood_radius(self) -> u32 {
+        match self {
+            Scale::Smoke | Scale::Default => 2,
+            Scale::Paper => 8,
+        }
+    }
+
+    /// Rows sampled for worst-case data pattern identification.
+    pub fn wcdp_rows(self) -> u32 {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Default => 12,
+            Scale::Paper => 64,
+        }
+    }
+
+    /// Rows sampled for row-mapping reverse engineering.
+    pub fn mapping_rows(self) -> u32 {
+        match self {
+            Scale::Smoke => 24,
+            Scale::Default => 48,
+            Scale::Paper => 128,
+        }
+    }
+}
+
+/// The concrete set of victim rows an experiment visits on one module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestPlan {
+    /// Victim logical rows, spaced to avoid cross-test contamination.
+    pub victims: Vec<u32>,
+    /// Test repetitions.
+    pub repetitions: u32,
+}
+
+impl TestPlan {
+    /// Builds the plan for a bank of `rows_per_bank` rows at `scale`:
+    /// victims from the first, middle, and last regions (§4.2), strided
+    /// so consecutive victims' neighborhoods do not overlap.
+    pub fn for_bank(rows_per_bank: u32, scale: Scale) -> Self {
+        const STRIDE: u32 = 6;
+        let n = scale.rows_per_region();
+        let span = n * STRIDE;
+        let margin = 16; // keep clear of bank edges
+        let starts: Vec<u32> = match scale.regions() {
+            1 => vec![margin],
+            _ => vec![
+                margin,
+                (rows_per_bank / 2).saturating_sub(span / 2),
+                rows_per_bank.saturating_sub(span + margin),
+            ],
+        };
+        let mut victims = Vec::with_capacity((n * scale.regions()) as usize);
+        // On small banks the regions can overlap (e.g., Paper scale on
+        // a 32 K-row bank spans the whole bank three times over), so
+        // deduplicate across regions, preserving order.
+        let mut seen = std::collections::HashSet::new();
+        for s in starts {
+            for i in 0..n {
+                let v = s + i * STRIDE;
+                // Keep clear of both bank edges (saturated region starts
+                // on tiny banks would otherwise emit edge victims).
+                if v >= margin && v + margin < rows_per_bank && seen.insert(v) {
+                    victims.push(v);
+                }
+            }
+        }
+        Self { victims, repetitions: scale.repetitions() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_methodology() {
+        let s = Scale::Paper;
+        assert_eq!(s.rows_per_region(), 8192);
+        assert_eq!(s.regions(), 3);
+        assert_eq!(s.repetitions(), 5);
+        assert_eq!(s.temperatures().len(), 9);
+        assert_eq!(s.neighborhood_radius(), 8);
+    }
+
+    #[test]
+    fn default_temperatures_are_5c_grid() {
+        let t = Scale::Default.temperatures();
+        assert_eq!(t[0], 50.0);
+        assert_eq!(*t.last().unwrap(), 90.0);
+        for w in t.windows(2) {
+            assert_eq!(w[1] - w[0], 5.0);
+        }
+    }
+
+    #[test]
+    fn plan_victims_are_strided_and_in_range() {
+        let p = TestPlan::for_bank(65_536, Scale::Default);
+        assert_eq!(p.victims.len(), 48 * 3);
+        for w in p.victims.windows(2) {
+            assert!(w[1] > w[0], "victims must be increasing within regions or jump regions");
+        }
+        for &v in &p.victims {
+            assert!(v >= 8 && v + 8 < 65_536);
+        }
+    }
+
+    #[test]
+    fn plan_regions_cover_first_middle_last() {
+        let p = TestPlan::for_bank(65_536, Scale::Default);
+        let first = p.victims.first().copied().unwrap();
+        let last = p.victims.last().copied().unwrap();
+        assert!(first < 1024);
+        assert!(last > 60_000);
+        assert!(p.victims.iter().any(|&v| (30_000..36_000).contains(&v)));
+    }
+
+    #[test]
+    fn smoke_plan_is_tiny() {
+        let p = TestPlan::for_bank(32_768, Scale::Smoke);
+        assert!(p.victims.len() <= 6);
+        assert_eq!(p.repetitions, 1);
+    }
+}

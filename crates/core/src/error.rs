@@ -1,0 +1,78 @@
+//! Error type of the characterization library.
+
+use rh_dram::DramError;
+use rh_softmc::SoftMcError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while characterizing a module.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CharError {
+    /// The testing infrastructure failed.
+    Infra(SoftMcError),
+    /// Row-mapping reverse engineering could not find a consistent
+    /// scheme.
+    MappingUnresolved {
+        /// Number of adjacency observations collected.
+        observations: usize,
+    },
+    /// A victim row too close to the bank edge for the requested
+    /// neighborhood.
+    VictimOutOfRange {
+        /// The offending row.
+        row: u32,
+    },
+}
+
+impl fmt::Display for CharError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharError::Infra(e) => write!(f, "infrastructure error: {e}"),
+            CharError::MappingUnresolved { observations } => write!(
+                f,
+                "no row-mapping scheme consistent with {observations} adjacency observations"
+            ),
+            CharError::VictimOutOfRange { row } => {
+                write!(f, "victim row {row} too close to the bank edge")
+            }
+        }
+    }
+}
+
+impl Error for CharError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CharError::Infra(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<SoftMcError> for CharError {
+    fn from(e: SoftMcError) -> Self {
+        CharError::Infra(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<DramError> for CharError {
+    fn from(e: DramError) -> Self {
+        CharError::Infra(SoftMcError::Dram(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CharError::MappingUnresolved { observations: 3 };
+        assert!(e.to_string().contains("3 adjacency"));
+        assert!(Error::source(&e).is_none());
+        let e2 = CharError::from(SoftMcError::InvalidProgram { reason: "x".into() });
+        assert!(Error::source(&e2).is_some());
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's three characterization studies: temperature (§5),
+//! aggressor row active time (§6), and spatial variation (§7).
+
+pub mod dose;
+pub mod rowactive;
+pub mod spatial;
+pub mod temperature;
+
+use crate::error::CharError;
+use crate::Characterizer;
+
+/// Runs `f` over several characterizers in parallel OS threads and
+/// collects the results in input order.
+///
+/// # Errors
+///
+/// The first error any worker produced.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn parallel_modules<T, F>(
+    modules: Vec<Characterizer>,
+    f: F,
+) -> Result<Vec<(Characterizer, T)>, CharError>
+where
+    T: Send,
+    F: Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
+{
+    let results = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = modules
+            .into_iter()
+            .map(|mut ch| {
+                let f = &f;
+                s.spawn(move |_| {
+                    let r = f(&mut ch);
+                    (ch, r)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("thread scope panicked");
+    let mut out = Vec::with_capacity(results.len());
+    for (ch, r) in results {
+        out.push((ch, r?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use rh_dram::Manufacturer;
+    use rh_softmc::TestBench;
+
+    #[test]
+    fn parallel_runs_every_module() {
+        let modules: Vec<Characterizer> = (0..3)
+            .map(|i| {
+                Characterizer::new(TestBench::new(Manufacturer::D, 100 + i), Scale::Smoke)
+                    .unwrap()
+            })
+            .collect();
+        let out = parallel_modules(modules, |ch| Ok(ch.bench().module_seed())).unwrap();
+        let seeds: Vec<u64> = out.iter().map(|(_, s)| *s).collect();
+        assert_eq!(seeds, vec![100, 101, 102]);
+    }
+}

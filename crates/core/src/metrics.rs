@@ -1,0 +1,363 @@
+//! The study's two metrics (§4.2): **BER** — bit flips per victim row
+//! at a fixed hammer count — and **HCfirst** — the minimum hammer count
+//! at which the first bit flip appears, located by binary search with
+//! 512-activation accuracy under a 512 K-hammer cap.
+
+use crate::config::Scale;
+use crate::error::CharError;
+use crate::mapping_re;
+use crate::wcdp;
+use rh_dram::{BankId, DataPattern, Picos, RowAddr, RowMapping};
+use rh_softmc::TestBench;
+use serde::{Deserialize, Serialize};
+
+/// Hammer count of all BER experiments (150 K hammers = 300 K
+/// activations, §4.2).
+pub const BER_HAMMERS: u64 = 150_000;
+
+/// Cap of the HCfirst search (tests stay under one 64 ms refresh
+/// window, §4.2).
+pub const HC_FIRST_CAP: u64 = 512 * 1024;
+
+/// Accuracy of the HCfirst binary search, in hammers.
+pub const HC_FIRST_ACCURACY: u64 = 512;
+
+/// Bit flips measured in one double-sided hammer test.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BerMeasurement {
+    /// Flips in the double-sided victim row (physical distance 0).
+    pub victim: u64,
+    /// Flips in the single-sided victim at physical distance −2.
+    pub left2: u64,
+    /// Flips in the single-sided victim at physical distance +2.
+    pub right2: u64,
+}
+
+impl BerMeasurement {
+    /// Total flips across the three observed victim rows.
+    pub fn total(&self) -> u64 {
+        self.victim + self.left2 + self.right2
+    }
+}
+
+/// A fully-initialized characterization session for one module: the
+/// row mapping has been reverse engineered and the module's worst-case
+/// data pattern identified, exactly as the paper's methodology
+/// prescribes before any measurement (§4.2).
+#[derive(Debug)]
+pub struct Characterizer {
+    bench: TestBench,
+    bank: BankId,
+    scale: Scale,
+    mapping: RowMapping,
+    wcdp: DataPattern,
+}
+
+impl Characterizer {
+    /// Prepares a module for characterization: reverse-engineers the
+    /// row mapping by single-sided hammering and identifies the
+    /// worst-case data pattern (both at 75 °C).
+    ///
+    /// # Errors
+    ///
+    /// [`CharError::MappingUnresolved`] if no consistent mapping scheme
+    /// explains the observed aggressor→victim adjacency, or
+    /// infrastructure errors.
+    pub fn new(mut bench: TestBench, scale: Scale) -> Result<Self, CharError> {
+        let bank = BankId(0);
+        bench.set_temperature(75.0)?;
+        let mapping = mapping_re::reverse_engineer(&mut bench, bank, scale)?;
+        let wcdp = wcdp::find_wcdp(&mut bench, &mapping, bank, scale)?;
+        Ok(Self { bench, bank, scale, mapping, wcdp })
+    }
+
+    /// The test bench under control.
+    pub fn bench(&self) -> &TestBench {
+        &self.bench
+    }
+
+    /// Mutable access to the test bench.
+    pub fn bench_mut(&mut self) -> &mut TestBench {
+        &mut self.bench
+    }
+
+    /// The bank all tests run in.
+    pub fn bank(&self) -> BankId {
+        self.bank
+    }
+
+    /// The experiment scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The reverse-engineered row mapping.
+    pub fn mapping(&self) -> RowMapping {
+        self.mapping
+    }
+
+    /// The module's worst-case data pattern.
+    pub fn wcdp(&self) -> DataPattern {
+        self.wcdp
+    }
+
+    /// Sets the chip temperature through the closed-loop controller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rh_softmc::SoftMcError::TemperatureUnstable`].
+    pub fn set_temperature(&mut self, celsius: f64) -> Result<f64, CharError> {
+        Ok(self.bench.set_temperature(celsius)?)
+    }
+
+    /// Logical address of a physical row under the inferred mapping.
+    pub fn logical_of(&self, phys: RowAddr) -> RowAddr {
+        self.mapping.physical_to_logical(phys)
+    }
+
+    /// Writes `pattern` to the victim and its physical ±radius
+    /// neighborhood (the paper writes V±[1..8], Table 1).
+    ///
+    /// # Errors
+    ///
+    /// [`CharError::VictimOutOfRange`] if the neighborhood exceeds the
+    /// bank, or device errors.
+    pub fn write_neighborhood(
+        &mut self,
+        victim_phys: RowAddr,
+        pattern: DataPattern,
+    ) -> Result<(), CharError> {
+        let radius = self.scale.neighborhood_radius() as i64;
+        let rows = self.bench.module().geometry().rows_per_bank;
+        if (victim_phys.0 as i64) < radius || victim_phys.0 as i64 + radius >= rows as i64 {
+            return Err(CharError::VictimOutOfRange { row: victim_phys.0 });
+        }
+        let row_bytes = self.bench.module().row_bytes();
+        for d in -radius..=radius {
+            let phys = RowAddr((victim_phys.0 as i64 + d) as u32);
+            let logical = self.mapping.physical_to_logical(phys);
+            let fill = pattern.row_fill(phys, d, row_bytes);
+            self.bench.module_mut().write_row_direct(self.bank, logical, &fill)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the row at physical distance `d` from the victim and
+    /// counts bits that differ from the written pattern.
+    fn count_flips(
+        &mut self,
+        victim_phys: RowAddr,
+        d: i64,
+        pattern: DataPattern,
+    ) -> Result<u64, CharError> {
+        let phys = RowAddr((victim_phys.0 as i64 + d) as u32);
+        let logical = self.mapping.physical_to_logical(phys);
+        let read = self.bench.module_mut().read_row_direct(self.bank, logical)?;
+        let expect = pattern.row_fill(phys, d, read.len());
+        Ok(read
+            .iter()
+            .zip(&expect)
+            .map(|(a, b)| u64::from((a ^ b).count_ones()))
+            .sum())
+    }
+
+    /// One double-sided hammer test (§4.2): writes the neighborhood,
+    /// hammers both physical neighbors of the victim `hammers` times at
+    /// the given timings, and reads back the double-sided victim and
+    /// the two single-sided victims (±2).
+    ///
+    /// # Errors
+    ///
+    /// Range and device errors.
+    pub fn measure_ber(
+        &mut self,
+        victim_phys: RowAddr,
+        pattern: DataPattern,
+        hammers: u64,
+        t_on: Option<Picos>,
+        t_off: Option<Picos>,
+    ) -> Result<BerMeasurement, CharError> {
+        self.write_neighborhood(victim_phys, pattern)?;
+        let left = self.mapping.physical_to_logical(RowAddr(victim_phys.0 - 1));
+        let right = self.mapping.physical_to_logical(RowAddr(victim_phys.0 + 1));
+        self.bench.hammer_double_sided(self.bank, left, right, hammers, t_on, t_off)?;
+        Ok(BerMeasurement {
+            victim: self.count_flips(victim_phys, 0, pattern)?,
+            left2: self.count_flips(victim_phys, -2, pattern)?,
+            right2: self.count_flips(victim_phys, 2, pattern)?,
+        })
+    }
+
+    /// BER at the paper's standard 150 K hammers with the module's
+    /// worst-case pattern and standard timings.
+    ///
+    /// # Errors
+    ///
+    /// Range and device errors.
+    pub fn measure_ber_default(&mut self, victim_phys: RowAddr) -> Result<BerMeasurement, CharError> {
+        let p = self.wcdp;
+        self.measure_ber(victim_phys, p, BER_HAMMERS, None, None)
+    }
+
+    /// One double-sided hammer test that reports the *positions* of the
+    /// flipped bits in the victim row (used by the per-cell temperature
+    /// clustering of §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Range and device errors.
+    pub fn flipped_cells(
+        &mut self,
+        victim_phys: RowAddr,
+        pattern: DataPattern,
+        hammers: u64,
+    ) -> Result<Vec<(u32, u8)>, CharError> {
+        self.write_neighborhood(victim_phys, pattern)?;
+        let left = self.mapping.physical_to_logical(RowAddr(victim_phys.0 - 1));
+        let right = self.mapping.physical_to_logical(RowAddr(victim_phys.0 + 1));
+        self.bench.hammer_double_sided(self.bank, left, right, hammers, None, None)?;
+        let logical = self.mapping.physical_to_logical(victim_phys);
+        let read = self.bench.module_mut().read_row_direct(self.bank, logical)?;
+        let expect = pattern.row_fill(victim_phys, 0, read.len());
+        let mut out = Vec::new();
+        for (i, (a, b)) in read.iter().zip(&expect).enumerate() {
+            let mut diff = a ^ b;
+            while diff != 0 {
+                let bit = diff.trailing_zeros() as u8;
+                out.push((i as u32, bit));
+                diff &= diff - 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a single double-sided test at `hammers` flips any bit in
+    /// the victim row.
+    fn flips_at(
+        &mut self,
+        victim_phys: RowAddr,
+        pattern: DataPattern,
+        hammers: u64,
+        t_on: Option<Picos>,
+        t_off: Option<Picos>,
+    ) -> Result<bool, CharError> {
+        Ok(self.measure_ber(victim_phys, pattern, hammers, t_on, t_off)?.victim > 0)
+    }
+
+    /// The paper's HCfirst binary search (§4.2): start at 256 K
+    /// hammers, step by Δ = 128 K, halving Δ each test down to 512;
+    /// `None` if the row survives the 512 K cap.
+    ///
+    /// # Errors
+    ///
+    /// Range and device errors.
+    pub fn hc_first(
+        &mut self,
+        victim_phys: RowAddr,
+        pattern: DataPattern,
+        t_on: Option<Picos>,
+        t_off: Option<Picos>,
+    ) -> Result<Option<u64>, CharError> {
+        if !self.flips_at(victim_phys, pattern, HC_FIRST_CAP, t_on, t_off)? {
+            return Ok(None);
+        }
+        let mut hc: i64 = 256 * 1024;
+        let mut delta: i64 = 128 * 1024;
+        let mut best: i64 = HC_FIRST_CAP as i64;
+        while delta >= HC_FIRST_ACCURACY as i64 {
+            let probe = hc.clamp(HC_FIRST_ACCURACY as i64, HC_FIRST_CAP as i64);
+            if self.flips_at(victim_phys, pattern, probe as u64, t_on, t_off)? {
+                best = best.min(probe);
+                hc = probe - delta;
+            } else {
+                hc = probe + delta;
+            }
+            delta /= 2;
+        }
+        Ok(Some(best as u64))
+    }
+
+    /// HCfirst with the module's worst-case pattern at standard
+    /// timings, taking the minimum over the scale's repetitions (the
+    /// paper repeats five times and keeps the minimum, Fig. 11).
+    ///
+    /// # Errors
+    ///
+    /// Range and device errors.
+    pub fn hc_first_default(&mut self, victim_phys: RowAddr) -> Result<Option<u64>, CharError> {
+        let p = self.wcdp;
+        let mut best: Option<u64> = None;
+        for _ in 0..self.scale.repetitions() {
+            if let Some(hc) = self.hc_first(victim_phys, p, None, None)? {
+                best = Some(best.map_or(hc, |b: u64| b.min(hc)));
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_dram::Manufacturer;
+
+    fn characterizer(mfr: Manufacturer) -> Characterizer {
+        Characterizer::new(TestBench::new(mfr, 42), Scale::Smoke).unwrap()
+    }
+
+    #[test]
+    fn construction_resolves_mapping_to_ground_truth() {
+        for mfr in Manufacturer::ALL {
+            let ch = characterizer(mfr);
+            assert_eq!(
+                ch.mapping(),
+                RowMapping::for_manufacturer(mfr),
+                "{mfr}: reverse engineering disagrees with ground truth"
+            );
+        }
+    }
+
+    #[test]
+    fn ber_increases_with_hammer_count() {
+        let mut ch = characterizer(Manufacturer::B);
+        ch.set_temperature(75.0).unwrap();
+        let p = ch.wcdp();
+        let low = ch.measure_ber(RowAddr(600), p, 20_000, None, None).unwrap();
+        let high = ch.measure_ber(RowAddr(600), p, 500_000, None, None).unwrap();
+        assert!(high.victim > low.victim);
+    }
+
+    #[test]
+    fn double_sided_victim_flips_most() {
+        let mut ch = characterizer(Manufacturer::B);
+        ch.set_temperature(75.0).unwrap();
+        let m = ch.measure_ber_default(RowAddr(600)).unwrap();
+        assert!(m.victim >= m.left2);
+        assert!(m.victim >= m.right2);
+    }
+
+    #[test]
+    fn hc_first_is_consistent_with_direct_test() {
+        let mut ch = characterizer(Manufacturer::B);
+        ch.set_temperature(75.0).unwrap();
+        let p = ch.wcdp();
+        if let Some(hc) = ch.hc_first(RowAddr(444), p, None, None).unwrap() {
+            // Hammering at ~2× HCfirst must flip (floor noise aside).
+            assert!(ch
+                .measure_ber(RowAddr(444), p, hc * 2, None, None)
+                .unwrap()
+                .victim
+                > 0);
+            assert!(hc >= HC_FIRST_ACCURACY);
+            assert!(hc <= HC_FIRST_CAP);
+        }
+    }
+
+    #[test]
+    fn victim_at_edge_rejected() {
+        let mut ch = characterizer(Manufacturer::A);
+        let p = ch.wcdp();
+        let e = ch.measure_ber(RowAddr(0), p, 1000, None, None).unwrap_err();
+        assert!(matches!(e, CharError::VictimOutOfRange { .. }));
+    }
+}

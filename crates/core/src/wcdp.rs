@@ -1,0 +1,126 @@
+//! Worst-case data pattern identification (§4.2, Table 1): test every
+//! pattern on a row sample and keep the one producing the most bit
+//! flips.
+
+use crate::config::Scale;
+use crate::error::CharError;
+use rh_dram::{BankId, DataPattern, PatternKind, RowAddr, RowMapping};
+use rh_softmc::TestBench;
+use serde::{Deserialize, Serialize};
+
+/// BER hammer count used during pattern identification (the standard
+/// 150 K of §4.2).
+const WCDP_HAMMERS: u64 = 150_000;
+
+/// Flip totals of one candidate pattern over the sample rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternScore {
+    /// The candidate pattern.
+    pub kind: PatternKind,
+    /// Total victim-row flips over the sample.
+    pub flips: u64,
+}
+
+/// Scores all seven Table-1 patterns on a sample of victim rows.
+///
+/// # Errors
+///
+/// Device errors from hammering/reads.
+pub fn score_patterns(
+    bench: &mut TestBench,
+    mapping: &RowMapping,
+    bank: BankId,
+    scale: Scale,
+) -> Result<Vec<PatternScore>, CharError> {
+    let row_bytes = bench.module().row_bytes();
+    let radius = scale.neighborhood_radius() as i64;
+    let seed = bench.module_seed();
+    let mut scores = Vec::with_capacity(PatternKind::ALL.len());
+    for kind in PatternKind::ALL {
+        let pattern = DataPattern::new(kind, seed);
+        let mut flips = 0u64;
+        for i in 0..scale.wcdp_rows() {
+            let victim = RowAddr(1024 + 6 * i);
+            for d in -radius..=radius {
+                let phys = RowAddr((victim.0 as i64 + d) as u32);
+                let logical = mapping.physical_to_logical(phys);
+                let fill = pattern.row_fill(phys, d, row_bytes);
+                bench.module_mut().write_row_direct(bank, logical, &fill)?;
+            }
+            let left = mapping.physical_to_logical(RowAddr(victim.0 - 1));
+            let right = mapping.physical_to_logical(RowAddr(victim.0 + 1));
+            bench.hammer_double_sided(bank, left, right, WCDP_HAMMERS, None, None)?;
+            let logical = mapping.physical_to_logical(victim);
+            let read = bench.module_mut().read_row_direct(bank, logical)?;
+            let expect = pattern.row_fill(victim, 0, row_bytes);
+            flips += read
+                .iter()
+                .zip(&expect)
+                .map(|(a, b)| u64::from((a ^ b).count_ones()))
+                .sum::<u64>();
+        }
+        scores.push(PatternScore { kind, flips });
+    }
+    Ok(scores)
+}
+
+/// Identifies the module's worst-case data pattern (§4.2).
+///
+/// # Errors
+///
+/// Device errors from hammering/reads.
+pub fn find_wcdp(
+    bench: &mut TestBench,
+    mapping: &RowMapping,
+    bank: BankId,
+    scale: Scale,
+) -> Result<DataPattern, CharError> {
+    let scores = score_patterns(bench, mapping, bank, scale)?;
+    let best = scores
+        .iter()
+        .max_by_key(|s| s.flips)
+        .expect("seven patterns scored");
+    Ok(DataPattern::new(best.kind, bench.module_seed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_dram::Manufacturer;
+
+    #[test]
+    fn wcdp_matches_cell_orientation_majority() {
+        // Mfr. C has 66 % anti-cells (flips 0→1): the worst-case victim
+        // fill should store zeros in the victim row — rowstripe (0x00
+        // at even distances) should beat its complement. Aggregated
+        // over several modules to wash out small-sample noise.
+        let mapping = RowMapping::for_manufacturer(Manufacturer::C);
+        let (mut zero_heavy, mut one_heavy, mut best_total) = (0u64, 0u64, 0u64);
+        for seed in [4u64, 5, 6, 7] {
+            let mut bench = TestBench::new(Manufacturer::C, seed);
+            bench.set_temperature(75.0).unwrap();
+            let scores = score_patterns(&mut bench, &mapping, BankId(0), Scale::Smoke).unwrap();
+            zero_heavy +=
+                scores.iter().find(|s| s.kind == PatternKind::Rowstripe).unwrap().flips;
+            one_heavy +=
+                scores.iter().find(|s| s.kind == PatternKind::RowstripeInv).unwrap().flips;
+            best_total += scores.iter().map(|s| s.flips).max().unwrap();
+        }
+        assert!(
+            zero_heavy >= one_heavy,
+            "rowstripe {zero_heavy} < complement {one_heavy} across modules"
+        );
+        assert!(best_total > 0, "no pattern flipped anything across four modules");
+    }
+
+    #[test]
+    fn scores_cover_all_patterns() {
+        let mut bench = TestBench::new(Manufacturer::B, 5);
+        bench.set_temperature(75.0).unwrap();
+        let mapping = RowMapping::for_manufacturer(Manufacturer::B);
+        let scores = score_patterns(&mut bench, &mapping, BankId(0), Scale::Smoke).unwrap();
+        assert_eq!(scores.len(), 7);
+        let kinds: std::collections::HashSet<_> = scores.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds.len(), 7);
+    }
+}

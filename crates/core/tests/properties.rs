@@ -1,0 +1,83 @@
+//! Property-based tests over the characterization methodology.
+
+use proptest::prelude::*;
+use rh_core::config::{Scale, TestPlan};
+use rh_core::mapping_re::{infer_scheme, Adjacency};
+use rh_dram::{RowAddr, RowMapping};
+
+fn any_scale() -> impl Strategy<Value = Scale> {
+    prop::sample::select(vec![Scale::Smoke, Scale::Default, Scale::Paper])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn test_plans_stay_inside_the_bank(rows in 1024u32..=65_536, scale in any_scale()) {
+        let plan = TestPlan::for_bank(rows, scale);
+        for &v in &plan.victims {
+            prop_assert!(v >= 8, "victim {v} too close to row 0");
+            prop_assert!(v + 8 < rows, "victim {v} too close to the last row of {rows}");
+        }
+    }
+
+    #[test]
+    fn test_plan_victims_never_share_neighborhoods(rows in 4096u32..=65_536) {
+        let plan = TestPlan::for_bank(rows, Scale::Default);
+        let mut sorted = plan.victims.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            prop_assert!(w[1] - w[0] >= 4, "victims {} and {} overlap blast radii", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn mapping_inference_inverts_any_candidate_scheme(cond_bit in 2u32..=5, mask in 1u32..=7) {
+        prop_assume!(mask & (1 << cond_bit) == 0);
+        let truth = RowMapping::ConditionalXor { cond_bit, mask };
+        // Perfect adjacency observations for a spread of rows.
+        let obs: Vec<Adjacency> = (64u32..640)
+            .step_by(9)
+            .map(|r| {
+                let a = RowAddr(r);
+                let ap = truth.logical_to_physical(a);
+                Adjacency {
+                    aggressor: a,
+                    victims: [ap.0 - 1, ap.0 + 1]
+                        .into_iter()
+                        .map(|p| truth.physical_to_logical(RowAddr(p)))
+                        .collect(),
+                }
+            })
+            .collect();
+        let inferred = infer_scheme(&obs).expect("consistent scheme exists");
+        // The inferred scheme must agree with the truth everywhere,
+        // even if expressed differently.
+        for r in 0..2048u32 {
+            prop_assert_eq!(
+                inferred.logical_to_physical(RowAddr(r)),
+                truth.logical_to_physical(RowAddr(r))
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_inference_rejects_non_adjacent_noise(gap in 3u32..8) {
+        // A constant non-adjacent logical gap across many low-bit
+        // residues cannot be explained by any conditional-XOR
+        // involution. (A single such observation may coincidentally fit
+        // a scheme; a residue-covering set cannot.)
+        let obs: Vec<Adjacency> = (64u32..64 + 16)
+            .map(|r| Adjacency { aggressor: RowAddr(r), victims: vec![RowAddr(r + gap)] })
+            .collect();
+        prop_assert!(infer_scheme(&obs).is_err());
+    }
+
+    #[test]
+    fn scales_are_ordered(rows in 8192u32..=65_536) {
+        let smoke = TestPlan::for_bank(rows, Scale::Smoke).victims.len();
+        let default = TestPlan::for_bank(rows, Scale::Default).victims.len();
+        let paper = TestPlan::for_bank(rows, Scale::Paper).victims.len();
+        prop_assert!(smoke < default && default < paper);
+    }
+}

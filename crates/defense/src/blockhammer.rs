@@ -1,0 +1,173 @@
+//! BlockHammer (Yağlıkçı+ HPCA'21): paired counting Bloom filters over
+//! rotating time windows estimate per-row activation rates; rows whose
+//! estimate exceeds the blacklist threshold are throttled so they can
+//! never reach HCfirst within a refresh window.
+
+use crate::traits::{Defense, DefenseAction};
+use rh_dram::{BankId, Picos, RowAddr};
+
+/// One counting Bloom filter.
+#[derive(Debug, Clone)]
+struct CountingBloom {
+    counters: Vec<u32>,
+    hashes: u32,
+    seed: u64,
+}
+
+impl CountingBloom {
+    fn new(size: usize, hashes: u32, seed: u64) -> Self {
+        Self { counters: vec![0; size], hashes, seed }
+    }
+
+    fn index(&self, row: u32, k: u32) -> usize {
+        let mut h = self.seed ^ (u64::from(k) << 32) ^ u64::from(row);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (h ^ (h >> 31)) as usize % self.counters.len()
+    }
+
+    fn insert(&mut self, row: u32) -> u32 {
+        let mut min = u32::MAX;
+        for k in 0..self.hashes {
+            let i = self.index(row, k);
+            self.counters[i] += 1;
+            min = min.min(self.counters[i]);
+        }
+        min
+    }
+
+    fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+}
+
+/// The BlockHammer defense (one bank's filters).
+#[derive(Debug, Clone)]
+pub struct BlockHammer {
+    /// Blacklisting threshold (count-min estimate).
+    threshold: u32,
+    /// Rotating filter pair.
+    active: CountingBloom,
+    history: CountingBloom,
+    /// Window length (half the refresh window).
+    epoch: Picos,
+    epoch_start: Picos,
+    /// Throttle delay applied to blacklisted rows, sized so a
+    /// blacklisted row cannot exceed the RowHammer threshold within the
+    /// refresh window.
+    throttle: Picos,
+}
+
+impl BlockHammer {
+    /// Creates BlockHammer blacklisting rows whose estimate reaches
+    /// `threshold` within a `refresh_window`-long history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32, refresh_window: Picos, seed: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        // Filter sized for a worst-case activation stream: one counter
+        // per potential distinct aggressor within a window.
+        let size = 1024;
+        Self {
+            threshold,
+            active: CountingBloom::new(size, 4, seed),
+            history: CountingBloom::new(size, 4, seed ^ 0xDEAD),
+            epoch: refresh_window / 2,
+            epoch_start: 0,
+            // Delay so that a blacklisted row is limited to ~threshold
+            // activations per epoch: epoch / threshold.
+            throttle: refresh_window / 2 / u64::from(threshold),
+        }
+    }
+
+    /// The blacklist threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    fn rotate_if_due(&mut self, now: Picos) {
+        if now.saturating_sub(self.epoch_start) >= self.epoch {
+            std::mem::swap(&mut self.active, &mut self.history);
+            self.active.clear();
+            self.epoch_start = now;
+        }
+    }
+}
+
+impl Defense for BlockHammer {
+    fn name(&self) -> &'static str {
+        "BlockHammer"
+    }
+
+    fn on_activation(&mut self, _bank: BankId, row: RowAddr, now: Picos) -> Vec<DefenseAction> {
+        self.rotate_if_due(now);
+        let estimate = self.active.insert(row.0);
+        if estimate >= self.threshold {
+            vec![DefenseAction::Throttle { delay: self.throttle }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_refresh_window(&mut self) {
+        self.active.clear();
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REFW: Picos = 64_000_000_000;
+
+    #[test]
+    fn benign_stream_is_not_throttled() {
+        let mut b = BlockHammer::new(1000, REFW, 3);
+        for r in 0..5000u32 {
+            let acts = b.on_activation(BankId(0), RowAddr(r), u64::from(r) * 51_000);
+            assert!(acts.is_empty(), "benign row {r} throttled");
+        }
+    }
+
+    #[test]
+    fn hammering_row_gets_throttled() {
+        let mut b = BlockHammer::new(1000, REFW, 3);
+        let mut throttled = false;
+        for i in 0..2000u64 {
+            if !b.on_activation(BankId(0), RowAddr(7), i * 51_000).is_empty() {
+                throttled = true;
+                break;
+            }
+        }
+        assert!(throttled, "aggressor escaped BlockHammer");
+    }
+
+    #[test]
+    fn throttle_delay_bounds_rate() {
+        let b = BlockHammer::new(1000, REFW, 3);
+        // With the throttle applied, at most ~threshold more
+        // activations fit in an epoch.
+        let max_acts = b.epoch / b.throttle;
+        assert!(max_acts <= 1000);
+    }
+
+    #[test]
+    fn filters_rotate_across_epochs() {
+        let mut b = BlockHammer::new(100, REFW, 3);
+        // 99 activations at time ~0: not blacklisted.
+        for i in 0..99u64 {
+            assert!(b.on_activation(BankId(0), RowAddr(5), i).is_empty());
+        }
+        // After two epoch rotations the count is forgotten.
+        b.on_activation(BankId(0), RowAddr(9), REFW / 2 + 1);
+        b.on_activation(BankId(0), RowAddr(9), REFW + 2);
+        for i in 0..99u64 {
+            assert!(b
+                .on_activation(BankId(0), RowAddr(5), REFW + 10 + i)
+                .is_empty());
+        }
+    }
+}

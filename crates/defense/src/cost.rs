@@ -1,0 +1,151 @@
+//! §8.2 Improvement 1: per-row-class threshold configuration and the
+//! area-cost model.
+//!
+//! Obsv. 12: 95 % of rows exhibit HCfirst ≥ 2× the worst case, so a
+//! defense can run its main tracker at 2×HCfirst and cover the weak
+//! 5 % with a small static list. Following the BlockHammer [163]
+//! costing methodology, the paper estimates the area of
+//! Graphene/BlockHammer at ≈0.5 %/0.6 % of a high-end processor die
+//! when configured for the worst case, dropping to ≈0.1 %/0.4 % with
+//! the dual-threshold configuration (80 %/33 % reductions).
+//!
+//! Model shapes (constants calibrated to those published estimates):
+//!
+//! * Graphene's cost is a CAM whose entry count scales with `W/T` and
+//!   whose match/priority logic scales with entry count again —
+//!   quadratic in `W/T`.
+//! * BlockHammer's cost is a fixed control component plus counting
+//!   Bloom filters scaling with `W/T`.
+
+use serde::{Deserialize, Serialize};
+
+/// Reference worst-case threshold at which the published areas were
+/// estimated.
+const T_REF: f64 = 1.0;
+
+/// Graphene die-area share at the reference threshold (%).
+const GRAPHENE_AREA_REF: f64 = 0.5;
+
+/// BlockHammer die-area share at the reference threshold (%).
+const BLOCKHAMMER_AREA_REF: f64 = 0.6;
+
+/// BlockHammer's threshold-independent control share (%).
+const BLOCKHAMMER_FIXED: f64 = 0.2;
+
+/// Die-area share of the static weak-row list of the dual-threshold
+/// configuration (%): 5 % of 64 K row addresses at 17 bits is ≈17 KiB
+/// of SRAM — negligible at processor scale.
+const WEAK_LIST_AREA: f64 = 0.005;
+
+/// A per-row-class threshold configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdConfig {
+    /// Tracker threshold relative to the worst-case HCfirst (1.0 =
+    /// worst case everywhere; 2.0 = the Obsv.-12 dual configuration's
+    /// main-tracker threshold).
+    pub threshold_factor: f64,
+    /// Fraction of rows covered by the static weak-row list at the
+    /// worst-case threshold (0.0 = uniform configuration).
+    pub weak_fraction: f64,
+}
+
+impl ThresholdConfig {
+    /// The conservative uniform configuration (everything at the
+    /// worst-case HCfirst).
+    pub fn uniform_worst_case() -> Self {
+        Self { threshold_factor: 1.0, weak_fraction: 0.0 }
+    }
+
+    /// The paper's dual configuration: worst case for 5 % of rows,
+    /// 2×HCfirst for the remaining 95 % (Obsv. 12).
+    pub fn dual_obsv12() -> Self {
+        Self { threshold_factor: 2.0, weak_fraction: 0.05 }
+    }
+
+    fn weak_list_area(&self) -> f64 {
+        if self.weak_fraction > 0.0 {
+            WEAK_LIST_AREA * (self.weak_fraction / 0.05)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Graphene die-area share (%) under `cfg`.
+pub fn graphene_area_pct(cfg: ThresholdConfig) -> f64 {
+    let ratio = T_REF / cfg.threshold_factor;
+    GRAPHENE_AREA_REF * ratio * ratio + cfg.weak_list_area()
+}
+
+/// BlockHammer die-area share (%) under `cfg`.
+pub fn blockhammer_area_pct(cfg: ThresholdConfig) -> f64 {
+    let ratio = T_REF / cfg.threshold_factor;
+    BLOCKHAMMER_FIXED + (BLOCKHAMMER_AREA_REF - BLOCKHAMMER_FIXED) * ratio + cfg.weak_list_area()
+}
+
+/// Relative area reduction of `to` versus `from` for a given cost
+/// function.
+pub fn area_reduction(from: f64, to: f64) -> f64 {
+    if from > 0.0 {
+        1.0 - to / from
+    } else {
+        0.0
+    }
+}
+
+/// PARA slowdown model (§8.2 Improvement 1, last paragraph): the
+/// paper cites a 28 % average slowdown at HCfirst = 1 K, halved for
+/// rows configured at 2× the threshold. Slowdown scales inversely with
+/// the threshold (refresh probability ∝ 1/T).
+pub fn para_slowdown_pct(threshold_factor: f64) -> f64 {
+    28.0 / threshold_factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_areas_match_published_estimates() {
+        let u = ThresholdConfig::uniform_worst_case();
+        assert!((graphene_area_pct(u) - 0.5).abs() < 1e-9);
+        assert!((blockhammer_area_pct(u) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_config_reproduces_paper_reductions() {
+        let u = ThresholdConfig::uniform_worst_case();
+        let d = ThresholdConfig::dual_obsv12();
+        // Graphene: 0.5 % -> ~0.1 % (paper: 80 % reduction).
+        let g = graphene_area_pct(d);
+        assert!((g - 0.13).abs() < 0.05, "graphene dual area {g}");
+        let g_red = area_reduction(graphene_area_pct(u), g);
+        assert!((g_red - 0.80).abs() < 0.10, "graphene reduction {g_red}");
+        // BlockHammer: 0.6 % -> ~0.4 % (paper: 33 % reduction).
+        let b = blockhammer_area_pct(d);
+        assert!((b - 0.405).abs() < 0.05, "blockhammer dual area {b}");
+        let b_red = area_reduction(blockhammer_area_pct(u), b);
+        assert!((b_red - 0.33).abs() < 0.08, "blockhammer reduction {b_red}");
+    }
+
+    #[test]
+    fn higher_thresholds_always_cheaper() {
+        let mut prev_g = f64::INFINITY;
+        let mut prev_b = f64::INFINITY;
+        for f in [1.0, 1.5, 2.0, 4.0] {
+            let cfg = ThresholdConfig { threshold_factor: f, weak_fraction: 0.0 };
+            let g = graphene_area_pct(cfg);
+            let b = blockhammer_area_pct(cfg);
+            assert!(g < prev_g);
+            assert!(b < prev_b);
+            prev_g = g;
+            prev_b = b;
+        }
+    }
+
+    #[test]
+    fn para_slowdown_halves_at_double_threshold() {
+        assert_eq!(para_slowdown_pct(1.0), 28.0);
+        assert_eq!(para_slowdown_pct(2.0), 14.0);
+    }
+}

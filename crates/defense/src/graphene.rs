@@ -1,0 +1,144 @@
+//! Graphene (Park+ MICRO'20): exact frequent-element counting with the
+//! Misra–Gries algorithm; any row whose activation count estimate
+//! reaches the threshold gets its neighbors refreshed.
+
+use crate::traits::{Defense, DefenseAction};
+use rh_dram::{BankId, Picos, RowAddr};
+use std::collections::HashMap;
+
+/// The Graphene defense (one bank's table).
+#[derive(Debug, Clone)]
+pub struct Graphene {
+    /// Refresh-trigger threshold (activations).
+    threshold: u64,
+    /// Maximum tracked entries (Misra–Gries table size).
+    entries: usize,
+    /// Row -> estimated count.
+    table: HashMap<u32, u64>,
+    /// The Misra–Gries spillover counter.
+    spill: u64,
+}
+
+impl Graphene {
+    /// Creates Graphene triggering neighbor refreshes at `threshold`
+    /// activations, with a table sized for a `window` of activations
+    /// (entries = window/threshold, the Misra–Gries guarantee bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u64, window: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        let entries = (window / threshold).max(1) as usize;
+        Self { threshold, entries, table: HashMap::new(), spill: 0 }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// The table capacity.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+}
+
+impl Defense for Graphene {
+    fn name(&self) -> &'static str {
+        "Graphene"
+    }
+
+    fn on_activation(&mut self, _bank: BankId, row: RowAddr, _now: Picos) -> Vec<DefenseAction> {
+        let count = if let Some(c) = self.table.get_mut(&row.0) {
+            *c += 1;
+            *c
+        } else if self.table.len() < self.entries {
+            self.table.insert(row.0, self.spill + 1);
+            self.spill + 1
+        } else {
+            // Misra–Gries decrement step: all counters shrink by one
+            // (tracked via the spill counter); evict any that fall to
+            // the spill level.
+            self.spill += 1;
+            let spill = self.spill;
+            self.table.retain(|_, c| *c > spill);
+            return Vec::new();
+        };
+        if count >= self.threshold {
+            // Reset the counter and refresh both neighbors.
+            self.table.insert(row.0, self.spill);
+            vec![
+                DefenseAction::RefreshRow(row.offset(-1)),
+                DefenseAction::RefreshRow(row.offset(1)),
+            ]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_refresh_window(&mut self) {
+        self.table.clear();
+        self.spill = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_at_threshold() {
+        let mut g = Graphene::new(100, 10_000);
+        let mut refreshes = 0;
+        for _ in 0..100 {
+            refreshes += g.on_activation(BankId(0), RowAddr(50), 0).len();
+        }
+        assert_eq!(refreshes, 2, "both neighbors refreshed exactly once at threshold");
+    }
+
+    #[test]
+    fn repeated_hammering_triggers_repeatedly() {
+        let mut g = Graphene::new(100, 10_000);
+        let mut refreshes = 0;
+        for _ in 0..1000 {
+            refreshes += g.on_activation(BankId(0), RowAddr(50), 0).len();
+        }
+        assert_eq!(refreshes, 2 * 10);
+    }
+
+    #[test]
+    fn never_misses_a_heavy_hitter_among_noise() {
+        // Misra–Gries guarantee: with entries = window/threshold, a row
+        // activated >= threshold times within the window is tracked.
+        let window = 10_000u64;
+        let mut g = Graphene::new(500, window);
+        let mut refreshed = false;
+        let mut noise_row = 1000u32;
+        for i in 0..window {
+            if i % 10 == 0 {
+                // Aggressor hit every 10th activation: 1000 times total.
+                if !g.on_activation(BankId(0), RowAddr(7), 0).is_empty() {
+                    refreshed = true;
+                }
+            } else {
+                noise_row += 1;
+                g.on_activation(BankId(0), RowAddr(noise_row), 0);
+            }
+        }
+        assert!(refreshed, "heavy hitter escaped Graphene");
+    }
+
+    #[test]
+    fn window_reset_clears_state() {
+        let mut g = Graphene::new(10, 100);
+        for _ in 0..9 {
+            g.on_activation(BankId(0), RowAddr(1), 0);
+        }
+        g.on_refresh_window();
+        // Nine more after the reset must not trigger.
+        let acts: usize =
+            (0..9).map(|_| g.on_activation(BankId(0), RowAddr(1), 0).len()).sum();
+        assert_eq!(acts, 0);
+    }
+}

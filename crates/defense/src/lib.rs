@@ -1,0 +1,63 @@
+//! RowHammer defenses and the paper's six defense improvements (§8.2).
+//!
+//! Mechanisms (all operating on physical row addresses; the evaluation
+//! assumes the memory controller knows the in-DRAM mapping, as on-die
+//! and mapping-aware deployments do):
+//!
+//! * [`para`] — PARA: probabilistic adjacent-row refresh (Kim+ ISCA'14).
+//! * [`graphene`] — Graphene: Misra–Gries frequent-element counters
+//!   (Park+ MICRO'20).
+//! * [`blockhammer`] — BlockHammer: counting-Bloom-filter blacklisting
+//!   with throttling (Yağlıkçı+ HPCA'21).
+//! * [`trr`] — an in-DRAM Target-Row-Refresh sampler of the kind the
+//!   paper disables during characterization.
+//! * [`rfm`] — the DDR5/LPDDR5 Refresh-Management hook: a per-bank
+//!   activation counter that grants the on-die defense service time.
+//! * [`twice`] — TWiCe: time-window counters with pruning (Lee+
+//!   ISCA'19).
+//!
+//! Improvements from the paper's §8.2:
+//!
+//! * [`cost`] — Improvement 1: per-row-class threshold configuration
+//!   and the area model reproducing the 33 % (BlockHammer) and ~80 %
+//!   (Graphene) area reductions.
+//! * [`profiling`] — Improvement 2: subarray-sampled fast profiling
+//!   with the Fig.-14 linear model (≥10× fewer tests).
+//! * [`retire`] — Improvement 3: temperature-aware row retirement.
+//! * [`cooling`] — Improvement 4: BER reduction from operating colder.
+//! * [`scheduler`] — Improvement 5: bounding the aggressor row open
+//!   time in the memory controller.
+//! * [`ecc`] — Improvement 6: SEC-DED ECC with vulnerability-aware,
+//!   non-uniform bit interleaving.
+//!
+//! [`sim`] evaluates any [`Defense`] against attack patterns on the
+//! calibrated fault model, reporting bit flips, refresh energy proxy,
+//! and throttling delay; [`overhead`] measures the same defenses' cost
+//! on synthetic *benign* workloads (slowdown, spurious refreshes).
+
+pub mod blockhammer;
+pub mod cooling;
+pub mod cost;
+pub mod ecc;
+pub mod graphene;
+pub mod overhead;
+pub mod para;
+pub mod profiling;
+pub mod retire;
+pub mod rfm;
+pub mod scheduler;
+pub mod sim;
+pub mod traits;
+pub mod trr;
+pub mod twice;
+
+pub use blockhammer::BlockHammer;
+pub use cost::{blockhammer_area_pct, graphene_area_pct, ThresholdConfig};
+pub use graphene::Graphene;
+pub use overhead::{run_workload, OverheadReport, Workload};
+pub use para::Para;
+pub use rfm::RefreshManagement;
+pub use sim::{DefenseOutcome, DefenseSim};
+pub use traits::{Defense, DefenseAction};
+pub use trr::TargetRowRefresh;
+pub use twice::Twice;

@@ -1,0 +1,116 @@
+//! PARA (Kim+ ISCA'14): on every activation, refresh an adjacent row
+//! with probability `p`. Stateless except for the RNG — the cheapest
+//! defense, with probabilistic guarantees.
+
+use crate::traits::{Defense, DefenseAction};
+use rh_dram::{BankId, Picos, RowAddr};
+
+/// The PARA defense.
+#[derive(Debug, Clone)]
+pub struct Para {
+    /// Refresh probability per activation.
+    p: f64,
+    state: u64,
+}
+
+impl Para {
+    /// Creates PARA with refresh probability `p` and a deterministic
+    /// RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < p <= 1.0`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "probability out of range");
+        Self { p, state: seed | 1 }
+    }
+
+    /// PARA configured for a target HCfirst threshold: the probability
+    /// is chosen so an aggressor reaching `hc_first` activations leaves
+    /// a victim un-refreshed with probability below `2^-failure_exp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hc_first` is zero.
+    pub fn for_threshold(hc_first: u64, failure_exp: u32, seed: u64) -> Self {
+        assert!(hc_first > 0, "threshold must be positive");
+        // (1-p)^hc < 2^-k  =>  p > 1 - 2^(-k/hc)
+        let p = 1.0 - 2.0f64.powf(-(failure_exp as f64) / hc_first as f64);
+        Self::new(p.clamp(1e-6, 1.0), seed)
+    }
+
+    /// The configured probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        // xorshift64*.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Defense for Para {
+    fn name(&self) -> &'static str {
+        "PARA"
+    }
+
+    fn on_activation(&mut self, _bank: BankId, row: RowAddr, _now: Picos) -> Vec<DefenseAction> {
+        if self.next_unit() < self.p {
+            // Refresh one neighbor, alternating sides pseudo-randomly.
+            let side = if self.next_unit() < 0.5 { -1i64 } else { 1 };
+            vec![DefenseAction::RefreshRow(row.offset(side))]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_rate_tracks_probability() {
+        let mut p = Para::new(0.1, 7);
+        let n = 50_000;
+        let refreshed = (0..n)
+            .filter(|_| !p.on_activation(BankId(0), RowAddr(100), 0).is_empty())
+            .count();
+        let rate = refreshed as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn refreshes_target_neighbors() {
+        let mut p = Para::new(1.0, 9);
+        for _ in 0..64 {
+            let a = p.on_activation(BankId(0), RowAddr(100), 0);
+            assert_eq!(a.len(), 1);
+            match a[0] {
+                DefenseAction::RefreshRow(r) => {
+                    assert!(r == RowAddr(99) || r == RowAddr(101));
+                }
+                DefenseAction::Throttle { .. } => panic!("PARA never throttles"),
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_configuration_scales() {
+        let weak = Para::for_threshold(10_000, 40, 1);
+        let strong = Para::for_threshold(100_000, 40, 1);
+        assert!(weak.probability() > strong.probability());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn zero_probability_rejected() {
+        Para::new(0.0, 1);
+    }
+}

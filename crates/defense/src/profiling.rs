@@ -1,0 +1,150 @@
+//! §8.2 Improvement 2: fast RowHammer profiling via subarray sampling.
+//!
+//! Obsv. 15/16: subarray HCfirst distributions are similar within a
+//! module and the subarray minimum tracks the subarray average through
+//! a linear model (Fig. 14). Profiling a few subarrays and predicting
+//! the rest cuts characterization time by an order of magnitude.
+
+use rh_core::experiments::spatial::{subarray_fit, SubarrayPoint};
+use rh_core::{CharError, Characterizer};
+use rh_dram::RowAddr;
+use rh_stats::LinearFit;
+use serde::{Deserialize, Serialize};
+
+/// Result of the fast-profiling study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastProfile {
+    /// The linear min-vs-avg model fitted on the profiled subarrays.
+    pub model: LinearFit,
+    /// Subarrays fully profiled.
+    pub profiled: Vec<SubarrayPoint>,
+    /// Predicted minimum HCfirst of the validation subarray.
+    pub predicted_min: f64,
+    /// Measured minimum HCfirst of the validation subarray.
+    pub measured_min: f64,
+    /// HCfirst binary searches spent profiling (the time proxy).
+    pub tests_spent: u64,
+    /// Searches a full profile of the whole bank would spend.
+    pub tests_full: u64,
+}
+
+impl FastProfile {
+    /// Relative prediction error on the held-out subarray.
+    pub fn prediction_error(&self) -> f64 {
+        if self.measured_min > 0.0 {
+            (self.predicted_min - self.measured_min).abs() / self.measured_min
+        } else {
+            0.0
+        }
+    }
+
+    /// Profiling speedup versus the full profile.
+    pub fn speedup(&self) -> f64 {
+        self.tests_full as f64 / self.tests_spent.max(1) as f64
+    }
+}
+
+/// Profiles `sample_subarrays` subarrays (with `rows_per` rows each),
+/// fits the Fig.-14 model, and validates the prediction on one
+/// held-out subarray whose average is measured with `rows_per` rows
+/// but whose minimum the model must predict.
+///
+/// # Errors
+///
+/// Device/infrastructure errors, and `MappingUnresolved` never (the
+/// characterizer is already initialized).
+pub fn fast_profile(
+    ch: &mut Characterizer,
+    sample_subarrays: u32,
+    rows_per: u32,
+) -> Result<FastProfile, CharError> {
+    ch.set_temperature(75.0)?;
+    let geometry = ch.bench().module().geometry();
+    let total = geometry.subarrays();
+    let stride = (total / (sample_subarrays + 1)).max(1);
+    let mut tests_spent = 0u64;
+    let profile_subarray = |ch: &mut Characterizer,
+                                sa: u32,
+                                tests: &mut u64|
+     -> Result<Option<SubarrayPoint>, CharError> {
+        let base = sa * geometry.subarray_rows;
+        let mut samples = Vec::new();
+        for j in 0..rows_per {
+            let v = base + 16 + j * 6;
+            if v + 16 >= (sa + 1) * geometry.subarray_rows {
+                break;
+            }
+            *tests += 1;
+            if let Some(hc) = ch.hc_first_default(RowAddr(v))? {
+                samples.push(hc as f64);
+            }
+        }
+        if samples.is_empty() {
+            return Ok(None);
+        }
+        let avg = rh_stats::mean(&samples);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        Ok(Some(SubarrayPoint { subarray: sa, avg, min, samples }))
+    };
+
+    let mut profiled = Vec::new();
+    for i in 0..sample_subarrays {
+        if let Some(p) = profile_subarray(ch, i * stride, &mut tests_spent)? {
+            profiled.push(p);
+        }
+    }
+    let model = subarray_fit(&profiled)
+        .unwrap_or(LinearFit { slope: 0.5, intercept: 0.0, r2: 0.0, n: 0 });
+    // Held-out subarray: measure fully for validation (validation cost
+    // is not charged to the profiler).
+    let mut validation_tests = 0u64;
+    let held_out = profile_subarray(ch, sample_subarrays * stride, &mut validation_tests)?
+        .unwrap_or(SubarrayPoint { subarray: 0, avg: 0.0, min: 0.0, samples: vec![] });
+    let predicted_min = model.predict(held_out.avg);
+    // A full profile visits every row of every subarray.
+    let tests_full = u64::from(total) * u64::from(geometry.subarray_rows);
+    Ok(FastProfile {
+        model,
+        profiled,
+        predicted_min,
+        measured_min: held_out.min,
+        tests_spent,
+        tests_full,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::Scale;
+    use rh_dram::Manufacturer;
+    use rh_softmc::TestBench;
+
+    #[test]
+    fn sampling_gives_order_of_magnitude_speedup() {
+        let bench = TestBench::new(Manufacturer::C, 61);
+        let mut ch = Characterizer::new(bench, Scale::Smoke).unwrap();
+        let fp = fast_profile(&mut ch, 4, 4).unwrap();
+        assert!(fp.speedup() >= 10.0, "speedup {}", fp.speedup());
+        assert!(!fp.profiled.is_empty());
+    }
+
+    #[test]
+    fn prediction_lands_in_the_right_regime() {
+        let bench = TestBench::new(Manufacturer::C, 62);
+        let mut ch = Characterizer::new(bench, Scale::Smoke).unwrap();
+        let fp = fast_profile(&mut ch, 4, 5).unwrap();
+        if fp.measured_min > 0.0 {
+            // The model predicts the held-out subarray's minimum within
+            // a factor of ~2 (the paper positions this for systems that
+            // tolerate approximate profiles).
+            assert!(
+                fp.prediction_error() < 1.0,
+                "prediction error {:.2} (predicted {:.0}, measured {:.0})",
+                fp.prediction_error(),
+                fp.predicted_min,
+                fp.measured_min
+            );
+        }
+    }
+}

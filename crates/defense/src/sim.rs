@@ -1,0 +1,373 @@
+//! Defense evaluation harness: runs attack patterns against a
+//! [`Defense`] on the calibrated fault model and reports bit flips,
+//! refresh energy proxy, and throttling delay.
+//!
+//! The simulator works in physical row addresses (the defense either
+//! lives on-die or is assumed to know the mapping, as the paper's §8.2
+//! improvements do).
+
+use crate::traits::{Defense, DefenseAction};
+use rh_dram::{BankId, Picos, RowAddr, RowMapping};
+use rh_softmc::{SoftMcError, TestBench};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one attack-vs-defense run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseOutcome {
+    /// Defense mechanism name.
+    pub defense: String,
+    /// Bit flips in the victim row after the attack.
+    pub victim_flips: u64,
+    /// Preventive row refreshes issued (energy proxy).
+    pub refreshes: u64,
+    /// Preventive refreshes that actually landed on the victim row
+    /// (mitigation efficiency; many-sided patterns dilute this).
+    pub victim_refreshes: u64,
+    /// Total throttling delay added (performance proxy, ps).
+    pub throttle_delay: Picos,
+    /// Hammers actually achieved per aggressor within the time budget.
+    pub achieved_hammers: u64,
+    /// Wall-clock duration of the attack (ps).
+    pub duration: Picos,
+}
+
+impl DefenseOutcome {
+    /// Energy the defense spent on preventive refreshes (pJ), under
+    /// the standard DDR4 rank energy model.
+    pub fn defense_energy_pj(&self) -> f64 {
+        rh_dram::EnergyModel::ddr4_2400_x8_rank().refresh_energy(self.refreshes)
+    }
+
+    /// Energy the attacker spent on activations (pJ).
+    pub fn attack_energy_pj(&self) -> f64 {
+        let e = rh_dram::EnergyModel::ddr4_2400_x8_rank();
+        // Two aggressor activations per achieved hammer at standard
+        // timings (row-cycle energy dominates).
+        2.0 * self.achieved_hammers as f64 * e.act_pre
+    }
+
+    /// Whether the defense prevented every bit flip.
+    pub fn defended(&self) -> bool {
+        self.victim_flips == 0
+    }
+}
+
+/// An attack-vs-defense simulator over one module.
+#[derive(Debug)]
+pub struct DefenseSim {
+    bench: TestBench,
+    mapping: RowMapping,
+    bank: BankId,
+    /// Interval between simulated REF commands (ps); `None` withholds
+    /// refresh entirely (the characterization mode).
+    refresh_interval: Option<Picos>,
+}
+
+impl DefenseSim {
+    /// Creates a simulator on a fresh test bench.
+    pub fn new(bench: TestBench) -> Self {
+        let mapping = bench.module().config().mapping;
+        Self { bench, mapping, bank: BankId(0), refresh_interval: Some(7_800_000) }
+    }
+
+    /// Sets (or disables) the periodic REF stream.
+    pub fn set_refresh_interval(&mut self, interval: Option<Picos>) {
+        self.refresh_interval = interval;
+    }
+
+    /// The underlying bench.
+    pub fn bench_mut(&mut self) -> &mut TestBench {
+        &mut self.bench
+    }
+
+    fn apply_actions(
+        &mut self,
+        actions: Vec<DefenseAction>,
+        victim: RowAddr,
+        now: &mut Picos,
+        outcome: &mut DefenseOutcome,
+    ) -> Result<(), SoftMcError> {
+        for a in actions {
+            match a {
+                DefenseAction::RefreshRow(phys) => {
+                    self.bench.module_mut().refresh_row_physical(self.bank, phys)?;
+                    outcome.refreshes += 1;
+                    if phys == victim {
+                        outcome.victim_refreshes += 1;
+                    }
+                }
+                DefenseAction::Throttle { delay } => {
+                    *now += delay;
+                    outcome.throttle_delay += delay;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a many-sided (TRRespass-style) attack: `pairs` nested
+    /// aggressor pairs hammered round-robin around `victim`. With one
+    /// pair this is the standard double-sided attack; with many pairs
+    /// the center victim still receives its full distance-1 dose while
+    /// capacity-limited trackers (the in-DRAM TRR sampler) overflow.
+    ///
+    /// # Errors
+    ///
+    /// Device/infrastructure errors.
+    pub fn run_many_sided(
+        &mut self,
+        defense: &mut dyn Defense,
+        victim: RowAddr,
+        pairs: u8,
+        hammers: u64,
+        time_budget: Option<Picos>,
+    ) -> Result<DefenseOutcome, SoftMcError> {
+        let timing = self.bench.module().config().timing;
+        let budget = time_budget.unwrap_or(timing.t_refw);
+        let row_bytes = self.bench.module().row_bytes();
+        let reach = 2 * i64::from(pairs);
+        for d in -reach..=reach {
+            let phys = victim.offset(d);
+            let logical = self.mapping.physical_to_logical(phys);
+            self.bench.module_mut().write_row_direct(self.bank, logical, &vec![0u8; row_bytes])?;
+        }
+        let mut aggressors = Vec::with_capacity(2 * pairs as usize);
+        for d in 1..=i64::from(pairs) {
+            aggressors.push(victim.offset(-(2 * d - 1)));
+            aggressors.push(victim.offset(2 * d - 1));
+        }
+        let mut outcome = DefenseOutcome {
+            defense: defense.name().to_string(),
+            victim_flips: 0,
+            refreshes: 0,
+            victim_refreshes: 0,
+            throttle_delay: 0,
+            achieved_hammers: 0,
+            duration: 0,
+        };
+        let mut now: Picos = 0;
+        let mut next_ref = self.refresh_interval.unwrap_or(Picos::MAX);
+        let step = timing.t_ras + timing.t_rp;
+        'attack: for _ in 0..hammers {
+            for &phys in &aggressors {
+                if now >= budget {
+                    break 'attack;
+                }
+                while now >= next_ref {
+                    let acts = defense.on_ref();
+                    self.apply_actions(acts, victim, &mut now, &mut outcome)?;
+                    next_ref += self.refresh_interval.unwrap_or(Picos::MAX);
+                }
+                let logical = self.mapping.physical_to_logical(phys);
+                self.bench
+                    .module_mut()
+                    .hammer_direct(self.bank, logical, 1, timing.t_ras, timing.t_rp)?;
+                now += step;
+                let acts = defense.on_activation(self.bank, phys, now);
+                self.apply_actions(acts, victim, &mut now, &mut outcome)?;
+            }
+            outcome.achieved_hammers += 1;
+        }
+        outcome.duration = now;
+        let logical = self.mapping.physical_to_logical(victim);
+        let read = self.bench.module_mut().read_row_direct(self.bank, logical)?;
+        outcome.victim_flips = read.iter().map(|b| u64::from(b.count_ones())).sum();
+        Ok(outcome)
+    }
+
+    /// Runs a double-sided attack on physical `victim` for up to
+    /// `hammers` per aggressor within `time_budget` (defaults to one
+    /// 64 ms refresh window), with `defense` observing every
+    /// activation.
+    ///
+    /// # Errors
+    ///
+    /// Device/infrastructure errors.
+    pub fn run_double_sided(
+        &mut self,
+        defense: &mut dyn Defense,
+        victim: RowAddr,
+        hammers: u64,
+        time_budget: Option<Picos>,
+    ) -> Result<DefenseOutcome, SoftMcError> {
+        let timing = self.bench.module().config().timing;
+        let budget = time_budget.unwrap_or(timing.t_refw);
+        let row_bytes = self.bench.module().row_bytes();
+        // Victim neighborhood: all zeros (anti-cells flip).
+        for d in -2i64..=2 {
+            let phys = victim.offset(d);
+            let logical = self.mapping.physical_to_logical(phys);
+            self.bench.module_mut().write_row_direct(self.bank, logical, &vec![0u8; row_bytes])?;
+        }
+        let aggressors = [victim.offset(-1), victim.offset(1)];
+        let mut outcome = DefenseOutcome {
+            defense: defense.name().to_string(),
+            victim_flips: 0,
+            refreshes: 0,
+            victim_refreshes: 0,
+            throttle_delay: 0,
+            achieved_hammers: 0,
+            duration: 0,
+        };
+        let mut now: Picos = 0;
+        let mut next_ref = self.refresh_interval.unwrap_or(Picos::MAX);
+        let step = timing.t_ras + timing.t_rp;
+        'attack: for _ in 0..hammers {
+            for phys in aggressors {
+                if now >= budget {
+                    break 'attack;
+                }
+                // REF stream.
+                while now >= next_ref {
+                    let acts = defense.on_ref();
+                    self.apply_actions(acts, victim, &mut now, &mut outcome)?;
+                    next_ref += self.refresh_interval.unwrap_or(Picos::MAX);
+                }
+                let logical = self.mapping.physical_to_logical(phys);
+                self.bench
+                    .module_mut()
+                    .hammer_direct(self.bank, logical, 1, timing.t_ras, timing.t_rp)?;
+                now += step;
+                let acts = defense.on_activation(self.bank, phys, now);
+                self.apply_actions(acts, victim, &mut now, &mut outcome)?;
+            }
+            outcome.achieved_hammers += 1;
+        }
+        outcome.duration = now;
+        let logical = self.mapping.physical_to_logical(victim);
+        let read = self.bench.module_mut().read_row_direct(self.bank, logical)?;
+        outcome.victim_flips = read.iter().map(|b| u64::from(b.count_ones())).sum();
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphene::Graphene;
+    use crate::para::Para;
+    use crate::traits::NoDefense;
+    use rh_dram::Manufacturer;
+
+    /// Hammer budget for tests: enough to flip bits on Mfr. B
+    /// undefended, small enough for debug-mode speed.
+    const HAMMERS: u64 = 150_000;
+
+    fn sim() -> DefenseSim {
+        let mut bench = TestBench::new(Manufacturer::B, 99);
+        bench.set_temperature(75.0).unwrap();
+        DefenseSim::new(bench)
+    }
+
+    #[test]
+    fn undefended_attack_succeeds() {
+        let mut s = sim();
+        let mut none = NoDefense;
+        let o = s.run_double_sided(&mut none, RowAddr(5000), HAMMERS, None).unwrap();
+        assert!(!o.defended(), "undefended module must flip at 150K hammers");
+        assert_eq!(o.achieved_hammers, HAMMERS);
+        assert_eq!(o.refreshes, 0);
+    }
+
+    #[test]
+    fn graphene_stops_the_attack() {
+        let mut s = sim();
+        let mut g = Graphene::new(8_000, 1_300_000);
+        let o = s.run_double_sided(&mut g, RowAddr(5000), HAMMERS, None).unwrap();
+        assert!(o.defended(), "Graphene@8K let {} flips through", o.victim_flips);
+        assert!(o.refreshes > 0);
+    }
+
+    #[test]
+    fn para_reduces_flips() {
+        let mut baseline = sim();
+        let mut none = NoDefense;
+        let b = baseline.run_double_sided(&mut none, RowAddr(5000), HAMMERS, None).unwrap();
+        let mut s = sim();
+        let mut p = Para::new(0.005, 3);
+        let o = s.run_double_sided(&mut p, RowAddr(5000), HAMMERS, None).unwrap();
+        assert!(o.victim_flips <= b.victim_flips);
+        assert!(o.refreshes > 0);
+    }
+
+    #[test]
+    fn blockhammer_throttling_caps_achieved_hammers() {
+        let mut s = sim();
+        let mut bh = crate::blockhammer::BlockHammer::new(4_000, 64_000_000_000, 5);
+        let o = s.run_double_sided(&mut bh, RowAddr(5000), HAMMERS, None).unwrap();
+        assert!(o.throttle_delay > 0, "BlockHammer never throttled");
+        assert!(
+            o.achieved_hammers < HAMMERS,
+            "throttling should not allow all {HAMMERS} hammers in one window"
+        );
+        assert!(o.defended(), "BlockHammer let {} flips through", o.victim_flips);
+    }
+
+    #[test]
+    fn trr_defends_double_sided_but_not_many_sided_tracking() {
+        let mut s = sim();
+        let mut trr = crate::trr::TargetRowRefresh::new(4, 2);
+        let o = s.run_double_sided(&mut trr, RowAddr(5000), HAMMERS, None).unwrap();
+        // With only two aggressors, the sampler sees them: defended.
+        assert!(o.defended(), "TRR missed a plain double-sided attack");
+        assert!(o.refreshes > 0);
+    }
+
+    #[test]
+    fn many_sided_attack_dilutes_trr_mitigations() {
+        // TRRespass mechanics: decoy aggressor pairs thrash the small
+        // sampler so TRR burns its mitigation budget on decoys. With
+        // continuous REF servicing the victim still gets occasional
+        // refreshes in this model (full bypasses exploit
+        // implementation determinism we intentionally do not model —
+        // see DESIGN.md), but the victim's share of mitigations
+        // collapses and the energy cost explodes.
+        let mut a = sim();
+        let mut trr1 = crate::trr::TargetRowRefresh::new(4, 2);
+        let ds = a.run_double_sided(&mut trr1, RowAddr(5000), 60_000, None).unwrap();
+        let mut b = sim();
+        let mut trr2 = crate::trr::TargetRowRefresh::new(4, 2);
+        let ms = b.run_many_sided(&mut trr2, RowAddr(5000), 8, 60_000, None).unwrap();
+        let eff = |o: &DefenseOutcome| o.victim_refreshes as f64 / o.refreshes.max(1) as f64;
+        assert!(
+            eff(&ms) < eff(&ds) / 2.0,
+            "many-sided should at least halve mitigation efficiency: {} vs {}",
+            eff(&ms),
+            eff(&ds)
+        );
+    }
+
+    #[test]
+    fn many_sided_with_one_pair_equals_double_sided() {
+        let mut a = sim();
+        let mut b = sim();
+        let mut n1 = NoDefense;
+        let mut n2 = NoDefense;
+        let x = a.run_double_sided(&mut n1, RowAddr(5000), 40_000, None).unwrap();
+        let y = b.run_many_sided(&mut n2, RowAddr(5000), 1, 40_000, None).unwrap();
+        assert_eq!(x.achieved_hammers, y.achieved_hammers);
+        // Same module identity, same dose: flip counts match within
+        // trial noise.
+        assert!(x.victim_flips.abs_diff(y.victim_flips) <= 2);
+    }
+
+    #[test]
+    fn energy_accounting_is_consistent() {
+        let mut s = sim();
+        let mut p = Para::new(0.005, 3);
+        let o = s.run_double_sided(&mut p, RowAddr(5000), 60_000, None).unwrap();
+        assert!(o.attack_energy_pj() > 0.0);
+        // PARA's refresh energy is a small fraction of attack energy at
+        // p = 0.5%.
+        assert!(o.defense_energy_pj() < o.attack_energy_pj() * 0.05);
+    }
+
+    #[test]
+    fn twice_defends_double_sided() {
+        let mut s = sim();
+        let mut tw = crate::twice::Twice::new(8_000, 64_000_000_000);
+        let o = s.run_double_sided(&mut tw, RowAddr(5000), HAMMERS, None).unwrap();
+        assert!(o.defended(), "TWiCe@8K let {} flips through", o.victim_flips);
+        assert!(o.refreshes > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The common defense interface.
+
+use rh_dram::{BankId, Picos, RowAddr};
+use serde::{Deserialize, Serialize};
+
+/// An action a defense takes in response to an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DefenseAction {
+    /// Preventively refresh a (victim) physical row.
+    RefreshRow(RowAddr),
+    /// Delay the requester before its next activation (BlockHammer-
+    /// style throttling).
+    Throttle {
+        /// Added delay in picoseconds.
+        delay: Picos,
+    },
+}
+
+/// A RowHammer defense mechanism observing the activation stream of
+/// one bank group.
+///
+/// Implementations are deterministic given their construction seed so
+/// evaluations are reproducible.
+pub trait Defense: Send {
+    /// Mechanism name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Observes one activation of `row` and returns any actions.
+    fn on_activation(&mut self, bank: BankId, row: RowAddr, now: Picos) -> Vec<DefenseAction>;
+
+    /// Called when the memory controller issues a REF command
+    /// (in-DRAM mechanisms like TRR act here).
+    fn on_ref(&mut self) -> Vec<DefenseAction> {
+        Vec::new()
+    }
+
+    /// Called when a refresh window elapses (counters may reset).
+    fn on_refresh_window(&mut self) {}
+}
+
+/// Adapts a [`Defense`] into a memory-controller activation hook so it
+/// can protect the production request path
+/// ([`rh_softmc::MemController`]), not just the test bench.
+pub fn as_hook<D: Defense + 'static>(mut defense: D) -> rh_softmc::ActivationHook {
+    Box::new(move |bank, row, now| {
+        defense
+            .on_activation(bank, row, now)
+            .into_iter()
+            .map(|a| match a {
+                DefenseAction::RefreshRow(r) => rh_softmc::HookAction::RefreshRow(r),
+                DefenseAction::Throttle { delay } => rh_softmc::HookAction::Delay(delay),
+            })
+            .collect()
+    })
+}
+
+/// A defense that does nothing (the unprotected baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDefense;
+
+impl Defense for NoDefense {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn on_activation(&mut self, _: BankId, _: RowAddr, _: Picos) -> Vec<DefenseAction> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_defense_is_silent() {
+        let mut d = NoDefense;
+        assert_eq!(d.name(), "none");
+        assert!(d.on_activation(BankId(0), RowAddr(1), 0).is_empty());
+        d.on_refresh_window();
+    }
+}

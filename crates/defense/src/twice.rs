@@ -1,0 +1,153 @@
+//! TWiCe (Lee+ ISCA'19): Time Window Counters. A table of per-row
+//! activation counters pruned periodically: rows whose count stays
+//! below a pruning threshold proportional to elapsed time cannot reach
+//! the RowHammer threshold within the refresh window and are dropped,
+//! keeping the table small while guaranteeing detection.
+
+use crate::traits::{Defense, DefenseAction};
+use rh_dram::{BankId, Picos, RowAddr};
+use std::collections::HashMap;
+
+/// The TWiCe defense (one bank's table).
+#[derive(Debug, Clone)]
+pub struct Twice {
+    /// Refresh-trigger threshold (activations within a refresh window).
+    threshold: u64,
+    /// Refresh window length (ps).
+    refresh_window: Picos,
+    /// Pruning interval (ps): the window is split into this many-ps
+    /// sub-intervals; a tracked row must average `threshold /
+    /// (window/interval)` activations per interval to stay tracked.
+    prune_interval: Picos,
+    /// Row -> (count, first-seen time).
+    table: HashMap<u32, (u64, Picos)>,
+    /// Next scheduled pruning time.
+    next_prune: Picos,
+    /// Lifetime maximum table occupancy (area proxy).
+    peak_entries: usize,
+}
+
+impl Twice {
+    /// Creates TWiCe for the given RowHammer `threshold` and
+    /// `refresh_window`, pruning 32 times per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u64, refresh_window: Picos) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        let prune_interval = refresh_window / 32;
+        Self {
+            threshold,
+            refresh_window,
+            prune_interval,
+            table: HashMap::new(),
+            next_prune: prune_interval,
+            peak_entries: 0,
+        }
+    }
+
+    /// Largest number of simultaneously tracked rows so far.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    fn prune(&mut self, now: Picos) {
+        // A row on track to reach `threshold` within the window must
+        // have accumulated at least threshold * elapsed/window counts.
+        let threshold = self.threshold;
+        let window = self.refresh_window;
+        self.table.retain(|_, (count, since)| {
+            let elapsed = now.saturating_sub(*since).max(1);
+            let required = (threshold as u128 * elapsed as u128 / window as u128) as u64;
+            *count + 1 >= required
+        });
+    }
+}
+
+impl Defense for Twice {
+    fn name(&self) -> &'static str {
+        "TWiCe"
+    }
+
+    fn on_activation(&mut self, _bank: BankId, row: RowAddr, now: Picos) -> Vec<DefenseAction> {
+        while now >= self.next_prune {
+            let at = self.next_prune;
+            self.prune(at);
+            self.next_prune += self.prune_interval;
+        }
+        let entry = self.table.entry(row.0).or_insert((0, now));
+        entry.0 += 1;
+        let count = entry.0;
+        self.peak_entries = self.peak_entries.max(self.table.len());
+        if count >= self.threshold {
+            self.table.insert(row.0, (0, now));
+            vec![
+                DefenseAction::RefreshRow(row.offset(-1)),
+                DefenseAction::RefreshRow(row.offset(1)),
+            ]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_refresh_window(&mut self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REFW: Picos = 64_000_000_000;
+
+    #[test]
+    fn triggers_at_threshold() {
+        let mut t = Twice::new(100, REFW);
+        let mut refreshes = 0;
+        for i in 0..100u64 {
+            refreshes += t.on_activation(BankId(0), RowAddr(9), i * 51_000).len();
+        }
+        assert_eq!(refreshes, 2);
+    }
+
+    #[test]
+    fn pruning_drops_slow_rows() {
+        let mut t = Twice::new(100_000, REFW);
+        // Touch 10 000 distinct rows slowly across half a window.
+        for i in 0..10_000u64 {
+            t.on_activation(BankId(0), RowAddr(i as u32), i * (REFW / 20_000));
+        }
+        // The table must have stayed far below the touched-row count.
+        assert!(
+            t.peak_entries() < 5_000,
+            "TWiCe table grew to {} entries",
+            t.peak_entries()
+        );
+    }
+
+    #[test]
+    fn aggressor_survives_pruning() {
+        let mut t = Twice::new(2_000, REFW);
+        let mut refreshed = false;
+        // A fast aggressor: one activation every tRC.
+        for i in 0..2_000u64 {
+            if !t.on_activation(BankId(0), RowAddr(7), i * 51_000).is_empty() {
+                refreshed = true;
+            }
+        }
+        assert!(refreshed, "fast aggressor escaped TWiCe");
+    }
+
+    #[test]
+    fn window_reset_clears_table() {
+        let mut t = Twice::new(10, REFW);
+        for i in 0..9u64 {
+            t.on_activation(BankId(0), RowAddr(3), i);
+        }
+        t.on_refresh_window();
+        let acts: usize = (0..9u64).map(|i| t.on_activation(BankId(0), RowAddr(3), i).len()).sum();
+        assert_eq!(acts, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the defense guarantees: detection bounds
+//! that must hold for *any* access stream, not just the curated attack
+//! patterns.
+
+use proptest::prelude::*;
+use rh_defense::{BlockHammer, Defense, Graphene, Para, Twice};
+use rh_dram::{BankId, Picos, RowAddr};
+
+const REFW: Picos = 64_000_000_000;
+const T_RC: Picos = 51_000;
+
+/// A bounded synthetic activation stream: (row, repeat) segments.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u32, u16)>> {
+    prop::collection::vec((0u32..2048, 1u16..64), 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn graphene_never_lets_a_row_cross_threshold_untreated(segments in stream_strategy()) {
+        // Misra–Gries guarantee: with entries = window/threshold, any
+        // row reaching `threshold` activations within the window gets
+        // its neighbors refreshed before exceeding 2x the threshold.
+        let threshold = 256u64;
+        let window = 16_384u64;
+        let mut g = Graphene::new(threshold, window);
+        let mut untreated: std::collections::HashMap<u32, u64> = Default::default();
+        let mut issued = 0u64;
+        for (row, reps) in segments {
+            for _ in 0..reps {
+                if issued == window {
+                    g.on_refresh_window();
+                    untreated.clear();
+                    issued = 0;
+                }
+                issued += 1;
+                let acts = g.on_activation(BankId(0), RowAddr(row), issued * T_RC);
+                let c = untreated.entry(row).or_insert(0);
+                *c += 1;
+                if !acts.is_empty() {
+                    *c = 0;
+                }
+                prop_assert!(
+                    untreated[&row] <= 2 * threshold,
+                    "row {row} reached {} untreated activations",
+                    untreated[&row]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn twice_refreshes_any_fast_heavy_hitter(row in 0u32..65_536, threshold in 64u64..512) {
+        let mut t = Twice::new(threshold, REFW);
+        let mut refreshed = false;
+        for i in 0..threshold {
+            if !t.on_activation(BankId(0), RowAddr(row), i * T_RC).is_empty() {
+                refreshed = true;
+            }
+        }
+        prop_assert!(refreshed, "row {row} hit {threshold} times without treatment");
+    }
+
+    #[test]
+    fn para_refresh_rate_is_close_to_p(p in 0.01f64..0.5, seed in 1u64..1000) {
+        let mut para = Para::new(p, seed);
+        let n = 20_000u64;
+        let refreshed = (0..n)
+            .filter(|i| !para.on_activation(BankId(0), RowAddr(1), i * T_RC).is_empty())
+            .count();
+        let rate = refreshed as f64 / n as f64;
+        prop_assert!((rate - p).abs() < 0.02, "rate {rate} vs p {p}");
+    }
+
+    #[test]
+    fn para_only_refreshes_adjacent_rows(seed in 1u64..1000, row in 2u32..10_000) {
+        let mut para = Para::new(0.5, seed);
+        for i in 0..256u64 {
+            for a in para.on_activation(BankId(0), RowAddr(row), i) {
+                if let rh_defense::DefenseAction::RefreshRow(r) = a {
+                    prop_assert!(r.0.abs_diff(row) == 1, "refreshed {r} for aggressor {row}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blockhammer_never_throttles_unique_rows(seed in 1u64..100) {
+        // Every activation targets a distinct row: no estimate can
+        // reach the threshold, so no throttling.
+        let mut bh = BlockHammer::new(512, REFW, seed);
+        for i in 0..4_000u32 {
+            let acts = bh.on_activation(BankId(0), RowAddr(i), u64::from(i) * T_RC);
+            prop_assert!(acts.is_empty(), "unique-row stream throttled at {i}");
+        }
+    }
+
+    #[test]
+    fn blockhammer_always_throttles_a_determined_hammer(seed in 1u64..100, row in 0u32..4096) {
+        let threshold = 1_000u32;
+        let mut bh = BlockHammer::new(threshold, REFW, seed);
+        let mut throttled = false;
+        for i in 0..u64::from(threshold) + 8 {
+            if !bh.on_activation(BankId(0), RowAddr(row), i * T_RC).is_empty() {
+                throttled = true;
+                break;
+            }
+        }
+        prop_assert!(throttled, "row {row} hammered past the threshold unthrottled");
+    }
+}

@@ -1,0 +1,150 @@
+//! The DRAM command set (§2.2) and timestamped command traces.
+
+use crate::geometry::{BankId, RowAddr};
+use crate::timing::Picos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A DRAM command as issued by the memory controller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// Activate (open) `row` in `bank`.
+    Act {
+        /// Target bank.
+        bank: BankId,
+        /// Memory-controller-visible (logical) row address.
+        row: RowAddr,
+    },
+    /// Precharge (close) `bank`.
+    Pre {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Precharge all banks.
+    PreAll,
+    /// Read one column burst from the open row of `bank`.
+    Rd {
+        /// Target bank.
+        bank: BankId,
+        /// Column address.
+        column: u32,
+    },
+    /// Write one column burst to the open row of `bank`.
+    Wr {
+        /// Target bank.
+        bank: BankId,
+        /// Column address.
+        column: u32,
+        /// The 8-byte beat to store.
+        data: [u8; 8],
+    },
+    /// Refresh (the paper withholds REF during tests to disable TRR,
+    /// §4.2; issued only by defense evaluations).
+    Ref,
+    /// No operation for one command clock.
+    Nop,
+}
+
+impl Command {
+    /// The bank this command addresses, if any.
+    pub fn bank(&self) -> Option<BankId> {
+        match self {
+            Command::Act { bank, .. }
+            | Command::Pre { bank }
+            | Command::Rd { bank, .. }
+            | Command::Wr { bank, .. } => Some(*bank),
+            Command::PreAll | Command::Ref | Command::Nop => None,
+        }
+    }
+
+    /// Short mnemonic as printed in timing diagrams (Fig. 6).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Command::Act { .. } => "ACT",
+            Command::Pre { .. } => "PRE",
+            Command::PreAll => "PREA",
+            Command::Rd { .. } => "RD",
+            Command::Wr { .. } => "WR",
+            Command::Ref => "REF",
+            Command::Nop => "NOP",
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Act { bank, row } => write!(f, "ACT(b{},r{})", bank.0, row.0),
+            Command::Pre { bank } => write!(f, "PRE(b{})", bank.0),
+            Command::PreAll => write!(f, "PREA"),
+            Command::Rd { bank, column } => write!(f, "RD(b{},c{column})", bank.0),
+            Command::Wr { bank, column, .. } => write!(f, "WR(b{},c{column})", bank.0),
+            Command::Ref => write!(f, "REF"),
+            Command::Nop => write!(f, "NOP"),
+        }
+    }
+}
+
+/// A command stamped with its issue time, forming command traces like
+/// the timing diagram of Fig. 6.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedCommand {
+    /// Issue time in picoseconds since trace start.
+    pub at: Picos,
+    /// The command.
+    pub cmd: Command,
+}
+
+impl fmt::Display for TimedCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:>10}ps {}", self.at, self.cmd)
+    }
+}
+
+/// Renders a command trace as a one-line-per-command timing diagram
+/// with inter-command gaps, the textual equivalent of Fig. 6.
+pub fn render_trace(trace: &[TimedCommand]) -> String {
+    let mut out = String::new();
+    let mut prev: Option<Picos> = None;
+    for tc in trace {
+        let gap = prev.map(|p| tc.at.saturating_sub(p)).unwrap_or(0);
+        if prev.is_some() {
+            out.push_str(&format!("  | +{:.1} ns\n", gap as f64 / 1000.0));
+        }
+        out.push_str(&format!("{}\n", tc));
+        prev = Some(tc.at);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_extraction() {
+        assert_eq!(Command::Act { bank: BankId(3), row: RowAddr(1) }.bank(), Some(BankId(3)));
+        assert_eq!(Command::Ref.bank(), None);
+        assert_eq!(Command::PreAll.bank(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Command::Act { bank: BankId(1), row: RowAddr(7) };
+        assert_eq!(c.to_string(), "ACT(b1,r7)");
+        assert_eq!(c.mnemonic(), "ACT");
+        assert_eq!(Command::Nop.to_string(), "NOP");
+    }
+
+    #[test]
+    fn trace_rendering_includes_gaps() {
+        let trace = vec![
+            TimedCommand { at: 0, cmd: Command::Act { bank: BankId(0), row: RowAddr(1) } },
+            TimedCommand { at: 34_500, cmd: Command::Pre { bank: BankId(0) } },
+        ];
+        let s = render_trace(&trace);
+        assert!(s.contains("ACT(b0,r1)"));
+        assert!(s.contains("+34.5 ns"));
+        assert!(s.contains("PRE(b0)"));
+    }
+}

@@ -1,0 +1,148 @@
+//! DRAM energy accounting (IDD-style), used to price RowHammer attacks
+//! and defenses in energy terms — the paper frames defense overheads as
+//! performance, **energy**, and area (§1, §3).
+//!
+//! Per-command energies follow the usual current-based estimation
+//! (Micron TN-41-01 methodology) for a DDR4-2400 x8 device at
+//! VDD = 1.2 V, scaled to the whole rank. Absolute joules are
+//! approximate; relative comparisons (attack vs benign, defense on vs
+//! off) are the point.
+
+use crate::command::Command;
+use crate::timing::{Picos, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// Energy in picojoules.
+pub type Picojoules = f64;
+
+/// Per-command and background energy coefficients of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of one ACT+PRE pair (row cycle), pJ.
+    pub act_pre: Picojoules,
+    /// Energy of one RD burst, pJ.
+    pub read: Picojoules,
+    /// Energy of one WR burst, pJ.
+    pub write: Picojoules,
+    /// Energy of refreshing one row (a targeted refresh), pJ.
+    pub refresh_row: Picojoules,
+    /// Background power while a row is active, pJ per ns.
+    pub active_standby_per_ns: Picojoules,
+    /// Background power while precharged, pJ per ns.
+    pub precharge_standby_per_ns: Picojoules,
+}
+
+impl EnergyModel {
+    /// DDR4-2400 x8 rank coefficients (eight devices in lock-step).
+    pub fn ddr4_2400_x8_rank() -> Self {
+        // Per-device estimates scaled by 8 devices:
+        // ACT+PRE ≈ 2.2 nJ/rank, RD/WR burst ≈ 1.1/1.2 nJ,
+        // row refresh ≈ one row cycle.
+        Self {
+            act_pre: 2_200.0,
+            read: 1_100.0,
+            write: 1_250.0,
+            refresh_row: 2_200.0,
+            active_standby_per_ns: 180.0e-3 * 8.0,
+            precharge_standby_per_ns: 120.0e-3 * 8.0,
+        }
+    }
+
+    /// Energy of one command (the ACT carries the whole row-cycle
+    /// energy; PRE is folded in).
+    pub fn command_energy(&self, cmd: &Command) -> Picojoules {
+        match cmd {
+            Command::Act { .. } => self.act_pre,
+            Command::Rd { .. } => self.read,
+            Command::Wr { .. } => self.write,
+            Command::Ref => self.refresh_row,
+            Command::Pre { .. } | Command::PreAll | Command::Nop => 0.0,
+        }
+    }
+
+    /// Background energy over a span with the given active-time share.
+    pub fn background(&self, span: Picos, active_share: f64) -> Picojoules {
+        let ns = span as f64 / 1000.0;
+        ns * (active_share * self.active_standby_per_ns
+            + (1.0 - active_share) * self.precharge_standby_per_ns)
+    }
+
+    /// Energy of a double-sided hammer campaign: `hammers` pairs of
+    /// activations at the given timings, plus background power.
+    pub fn hammer_energy(
+        &self,
+        hammers: u64,
+        t_on: Picos,
+        t_off: Picos,
+        _timing: &TimingParams,
+    ) -> Picojoules {
+        let acts = 2 * hammers;
+        let span = acts * (t_on + t_off);
+        let active_share = t_on as f64 / (t_on + t_off) as f64;
+        acts as f64 * self.act_pre + self.background(span, active_share)
+    }
+
+    /// Energy of `refreshes` targeted victim refreshes.
+    pub fn refresh_energy(&self, refreshes: u64) -> Picojoules {
+        refreshes as f64 * self.refresh_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BankId;
+    use crate::geometry::RowAddr;
+
+    fn m() -> EnergyModel {
+        EnergyModel::ddr4_2400_x8_rank()
+    }
+
+    #[test]
+    fn commands_price_correctly() {
+        let e = m();
+        assert_eq!(e.command_energy(&Command::Act { bank: BankId(0), row: RowAddr(1) }), e.act_pre);
+        assert_eq!(e.command_energy(&Command::Pre { bank: BankId(0) }), 0.0);
+        assert!(e.command_energy(&Command::Rd { bank: BankId(0), column: 0 }) > 0.0);
+        assert_eq!(e.command_energy(&Command::Nop), 0.0);
+    }
+
+    #[test]
+    fn hammer_energy_scales_linearly() {
+        let e = m();
+        let t = TimingParams::ddr4_2400();
+        let e1 = e.hammer_energy(100_000, t.t_ras, t.t_rp, &t);
+        let e2 = e.hammer_energy(200_000, t.t_ras, t.t_rp, &t);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_open_time_costs_more_energy() {
+        // The §8.1 Improvement-3 attacker pays for its amplification.
+        let e = m();
+        let t = TimingParams::ddr4_2400();
+        let base = e.hammer_energy(150_000, t.t_ras, t.t_rp, &t);
+        let long = e.hammer_energy(150_000, 154_500, t.t_rp, &t);
+        assert!(long > base);
+    }
+
+    #[test]
+    fn a_full_attack_is_millijoule_scale() {
+        // Sanity: 150K double-sided hammers ≈ 0.7 mJ of row cycles —
+        // the right order of magnitude for DDR4.
+        let e = m();
+        let t = TimingParams::ddr4_2400();
+        let total = e.hammer_energy(150_000, t.t_ras, t.t_rp, &t);
+        assert!(total > 0.3e9 && total < 3.0e9, "attack energy {total} pJ");
+    }
+
+    #[test]
+    fn background_interpolates_between_states() {
+        let e = m();
+        let lo = e.background(1_000_000, 0.0);
+        let hi = e.background(1_000_000, 1.0);
+        let mid = e.background(1_000_000, 0.5);
+        assert!(lo < mid && mid < hi);
+        assert!((mid - (lo + hi) / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,370 @@
+//! DRAM geometry: address-space newtypes, chip organizations, and the
+//! derived per-module layout (Fig. 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bank index within a chip/module (banks operate in lock-step across
+/// the chips of a rank, so a module-level bank maps to the same bank in
+/// every chip).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BankId(pub u32);
+
+/// A row address within a bank. Depending on context this is either a
+/// *logical* (memory-controller-visible) or *physical* (in-DRAM) row;
+/// conversion goes through [`crate::mapping::RowMapping`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RowAddr(pub u32);
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl RowAddr {
+    /// The row at signed offset `d` from this one, saturating at zero.
+    ///
+    /// ```
+    /// use rh_dram::RowAddr;
+    /// assert_eq!(RowAddr(10).offset(-2), RowAddr(8));
+    /// assert_eq!(RowAddr(1).offset(-5), RowAddr(0));
+    /// ```
+    pub fn offset(self, d: i64) -> RowAddr {
+        RowAddr((self.0 as i64 + d).max(0) as u32)
+    }
+}
+
+/// A chip index within a rank (0-based, ordered by data-byte lane).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ChipId(pub u8);
+
+/// A subarray index within a bank (the paper assumes 512-row
+/// subarrays, §7.3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SubarrayId(pub u32);
+
+/// DRAM chip data-bus width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChipOrg {
+    /// 4-bit wide chips (16 per 64-bit rank).
+    X4,
+    /// 8-bit wide chips (8 per 64-bit rank).
+    X8,
+    /// 16-bit wide chips (4 per 64-bit rank).
+    X16,
+}
+
+impl ChipOrg {
+    /// Data-bus bits of one chip.
+    pub fn width_bits(self) -> u32 {
+        match self {
+            ChipOrg::X4 => 4,
+            ChipOrg::X8 => 8,
+            ChipOrg::X16 => 16,
+        }
+    }
+
+    /// Number of chips forming a 64-bit rank.
+    pub fn chips_per_rank(self) -> u32 {
+        64 / self.width_bits()
+    }
+}
+
+impl fmt::Display for ChipOrg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.width_bits())
+    }
+}
+
+/// DRAM chip storage density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Density {
+    /// 4 Gbit chips.
+    Gb4,
+    /// 8 Gbit chips.
+    Gb8,
+}
+
+impl Density {
+    /// Chip capacity in bits.
+    pub fn bits(self) -> u64 {
+        match self {
+            Density::Gb4 => 4 << 30,
+            Density::Gb8 => 8 << 30,
+        }
+    }
+}
+
+impl fmt::Display for Density {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Density::Gb4 => write!(f, "4Gb"),
+            Density::Gb8 => write!(f, "8Gb"),
+        }
+    }
+}
+
+/// The four anonymized DRAM manufacturers of the paper (Table 4 maps
+/// them to Micron, Samsung, SK Hynix, and Nanya).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Manufacturer {
+    /// Mfr. A (Micron in Table 4).
+    A,
+    /// Mfr. B (Samsung in Table 4).
+    B,
+    /// Mfr. C (SK Hynix in Table 4).
+    C,
+    /// Mfr. D (Nanya in Table 4).
+    D,
+}
+
+impl Manufacturer {
+    /// All four manufacturers in paper order.
+    pub const ALL: [Manufacturer; 4] = [Self::A, Self::B, Self::C, Self::D];
+
+    /// The real-world vendor name disclosed in Table 4.
+    pub fn vendor_name(self) -> &'static str {
+        match self {
+            Self::A => "Micron",
+            Self::B => "Samsung",
+            Self::C => "SK Hynix",
+            Self::D => "Nanya",
+        }
+    }
+
+    /// Stable small index (0..4) for seeding and array lookups.
+    pub fn index(self) -> usize {
+        match self {
+            Self::A => 0,
+            Self::B => 1,
+            Self::C => 2,
+            Self::D => 3,
+        }
+    }
+}
+
+impl fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::A => write!(f, "Mfr. A"),
+            Self::B => write!(f, "Mfr. B"),
+            Self::C => write!(f, "Mfr. C"),
+            Self::D => write!(f, "Mfr. D"),
+        }
+    }
+}
+
+/// The geometry of one DRAM module (a rank of lock-step chips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Banks per chip (lock-step across the rank).
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Column addresses per row (one column = one 64-bit beat across
+    /// the rank).
+    pub columns: u32,
+    /// Chip organization.
+    pub org: ChipOrg,
+    /// Chip density.
+    pub density: Density,
+    /// Rows per subarray (the paper conservatively assumes 512).
+    pub subarray_rows: u32,
+}
+
+impl DramGeometry {
+    /// Geometry of the DDR4 8 Gb x8 configuration (Mfrs. A and D in
+    /// Table 2).
+    pub fn ddr4_8gb_x8() -> Self {
+        Self {
+            banks: 16,
+            rows_per_bank: 65_536,
+            columns: 1024,
+            org: ChipOrg::X8,
+            density: Density::Gb8,
+            subarray_rows: 512,
+        }
+    }
+
+    /// Geometry of the DDR4 4 Gb x8 configuration (Mfrs. B and C).
+    pub fn ddr4_4gb_x8() -> Self {
+        Self {
+            banks: 16,
+            rows_per_bank: 32_768,
+            columns: 1024,
+            org: ChipOrg::X8,
+            density: Density::Gb4,
+            subarray_rows: 512,
+        }
+    }
+
+    /// Geometry of the DDR3 4 Gb x8 configuration (Table 2, DDR3
+    /// SODIMMs).
+    pub fn ddr3_4gb_x8() -> Self {
+        Self {
+            banks: 8,
+            rows_per_bank: 65_536,
+            columns: 1024,
+            org: ChipOrg::X8,
+            density: Density::Gb4,
+            subarray_rows: 512,
+        }
+    }
+
+    /// Number of chips forming the 64-bit rank.
+    pub fn chips(self) -> u32 {
+        self.org.chips_per_rank()
+    }
+
+    /// Bytes stored by one row across the whole rank.
+    pub fn row_bytes(self) -> usize {
+        (self.columns as usize) * 8
+    }
+
+    /// Bytes of one row belonging to a single chip.
+    pub fn row_bytes_per_chip(self) -> usize {
+        self.row_bytes() / self.chips() as usize
+    }
+
+    /// Subarray containing `row`.
+    pub fn subarray_of(self, row: RowAddr) -> SubarrayId {
+        SubarrayId(row.0 / self.subarray_rows)
+    }
+
+    /// Number of subarrays per bank.
+    pub fn subarrays(self) -> u32 {
+        self.rows_per_bank / self.subarray_rows
+    }
+
+    /// Whether `row` is a legal physical/logical row address.
+    pub fn contains_row(self, row: RowAddr) -> bool {
+        row.0 < self.rows_per_bank
+    }
+
+    /// Whether `bank` is a legal bank index.
+    pub fn contains_bank(self, bank: BankId) -> bool {
+        bank.0 < self.banks
+    }
+
+    /// Decomposes a byte offset within a row into `(chip, column,
+    /// bit-lane base)`. Lock-step layout: column `c` occupies bytes
+    /// `c*8..c*8+8`, byte `j` of the beat belongs to chip `j * chips/8`
+    /// rounded into the chip lane (for x8: byte `j` ↔ chip `j`).
+    pub fn chip_of_byte(self, byte_offset: usize) -> ChipId {
+        let within_beat = (byte_offset % 8) as u32;
+        // For x8: one byte per chip per beat. For x4: two chips share a
+        // byte (nibbles); attribute the byte to the even chip of the
+        // pair. For x16: one chip covers two bytes.
+        let chips = self.chips();
+        ChipId((within_beat * chips / 8) as u8)
+    }
+
+    /// Column address of a byte offset within a row.
+    pub fn column_of_byte(self, byte_offset: usize) -> u32 {
+        (byte_offset / 8) as u32
+    }
+}
+
+/// Fully-qualified coordinate of one DRAM cell in a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellCoord {
+    /// Bank of the cell.
+    pub bank: BankId,
+    /// Physical row of the cell.
+    pub row: RowAddr,
+    /// Byte offset within the row (module-level).
+    pub byte: u32,
+    /// Bit index within the byte (0 = LSB).
+    pub bit: u8,
+}
+
+impl CellCoord {
+    /// Global bit index of the cell within its row.
+    pub fn bit_index(self) -> u64 {
+        self.byte as u64 * 8 + self.bit as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_org_widths() {
+        assert_eq!(ChipOrg::X4.chips_per_rank(), 16);
+        assert_eq!(ChipOrg::X8.chips_per_rank(), 8);
+        assert_eq!(ChipOrg::X16.chips_per_rank(), 4);
+    }
+
+    #[test]
+    fn density_bits() {
+        assert_eq!(Density::Gb8.bits(), 2 * Density::Gb4.bits());
+    }
+
+    #[test]
+    fn ddr4_8gb_row_bytes() {
+        let g = DramGeometry::ddr4_8gb_x8();
+        assert_eq!(g.row_bytes(), 8192);
+        assert_eq!(g.row_bytes_per_chip(), 1024);
+        assert_eq!(g.chips(), 8);
+    }
+
+    #[test]
+    fn subarray_boundaries() {
+        let g = DramGeometry::ddr4_8gb_x8();
+        assert_eq!(g.subarray_of(RowAddr(0)), SubarrayId(0));
+        assert_eq!(g.subarray_of(RowAddr(511)), SubarrayId(0));
+        assert_eq!(g.subarray_of(RowAddr(512)), SubarrayId(1));
+        assert_eq!(g.subarrays(), 128);
+    }
+
+    #[test]
+    fn row_offset_saturates() {
+        assert_eq!(RowAddr(0).offset(-1), RowAddr(0));
+        assert_eq!(RowAddr(5).offset(3), RowAddr(8));
+    }
+
+    #[test]
+    fn chip_of_byte_x8_layout() {
+        let g = DramGeometry::ddr4_8gb_x8();
+        assert_eq!(g.chip_of_byte(0), ChipId(0));
+        assert_eq!(g.chip_of_byte(7), ChipId(7));
+        assert_eq!(g.chip_of_byte(8), ChipId(0));
+        assert_eq!(g.column_of_byte(0), 0);
+        assert_eq!(g.column_of_byte(8), 1);
+        assert_eq!(g.column_of_byte(8191), 1023);
+    }
+
+    #[test]
+    fn bounds_checks() {
+        let g = DramGeometry::ddr4_4gb_x8();
+        assert!(g.contains_row(RowAddr(32_767)));
+        assert!(!g.contains_row(RowAddr(32_768)));
+        assert!(g.contains_bank(BankId(15)));
+        assert!(!g.contains_bank(BankId(16)));
+    }
+
+    #[test]
+    fn manufacturer_roundtrip() {
+        for m in Manufacturer::ALL {
+            assert_eq!(Manufacturer::ALL[m.index()], m);
+            assert!(!m.vendor_name().is_empty());
+        }
+        assert_eq!(Manufacturer::B.to_string(), "Mfr. B");
+    }
+
+    #[test]
+    fn cell_bit_index() {
+        let c = CellCoord { bank: BankId(0), row: RowAddr(1), byte: 10, bit: 3 };
+        assert_eq!(c.bit_index(), 83);
+    }
+}

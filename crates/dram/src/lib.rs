@@ -1,0 +1,63 @@
+//! DRAM device model — the hardware substrate of the RowHammer
+//! sensitivities reproduction.
+//!
+//! This crate models everything the paper's testing infrastructure
+//! touches on the DRAM side:
+//!
+//! * [`geometry`] — channels, ranks, chips, banks, subarrays, rows, and
+//!   columns, plus the chip organizations of the tested modules
+//!   (x4/x8, 4 Gb/8 Gb).
+//! * [`timing`] — DDR3-1600 and DDR4-2400 timing parameters (tRAS, tRP,
+//!   tRCD, …) with picosecond resolution and the per-standard command
+//!   clock granularity (2.5 ns / 1.25 ns) of the SoftMC infrastructure.
+//! * [`command`] — the DRAM command set (ACT/PRE/PREA/RD/WR/REF/NOP).
+//! * [`bank`] — the per-bank state machine with timing-violation
+//!   detection and activation bookkeeping.
+//! * [`module`] — a rank of lock-step chips with sparse row storage and
+//!   a pluggable [`DisturbanceModel`] hook through which a RowHammer
+//!   fault model injects bit flips.
+//! * [`mapping`] — in-DRAM logical→physical row-address scrambling
+//!   schemes, which characterization code reverse-engineers exactly as
+//!   the paper does (§4.2).
+//! * [`data`] — the data patterns of Table 1 (colstripe, checkered,
+//!   rowstripe, random, and complements).
+//! * [`energy`] — IDD-style per-command energy accounting for pricing
+//!   attacks and defenses in energy terms.
+//! * [`population`] — the tested-module inventory of Tables 2 and 4.
+//!
+//! # Examples
+//!
+//! ```
+//! use rh_dram::{DramModule, ModuleConfig};
+//!
+//! let mut module = DramModule::new(ModuleConfig::ddr4_8gb_x8());
+//! let bank = rh_dram::BankId(0);
+//! let row = rh_dram::RowAddr(42);
+//! module.write_row_direct(bank, row, &vec![0xAA; module.row_bytes()]).unwrap();
+//! let data = module.read_row_direct(bank, row).unwrap();
+//! assert!(data.iter().all(|&b| b == 0xAA));
+//! ```
+
+pub mod bank;
+pub mod command;
+pub mod data;
+pub mod energy;
+pub mod error;
+pub mod geometry;
+pub mod mapping;
+pub mod module;
+pub mod population;
+pub mod timing;
+
+pub use bank::{AggressionStats, Bank, BankState};
+pub use command::{Command, TimedCommand};
+pub use data::{DataPattern, PatternKind};
+pub use energy::{EnergyModel, Picojoules};
+pub use error::DramError;
+pub use geometry::{
+    BankId, CellCoord, ChipId, ChipOrg, Density, DramGeometry, Manufacturer, RowAddr, SubarrayId,
+};
+pub use mapping::RowMapping;
+pub use module::{BitFlip, DisturbanceModel, DramModule, ModuleConfig, NullDisturbance};
+pub use population::{ddr4_modules_of, tested_modules, DramStandard, TestedModule};
+pub use timing::{Picos, TimingParams, NS};

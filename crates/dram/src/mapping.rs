@@ -1,0 +1,159 @@
+//! In-DRAM logical→physical row-address mapping (§4.2).
+//!
+//! DRAM manufacturers internally scramble memory-controller-visible row
+//! addresses; the paper reverse-engineers the scrambling by single-sided
+//! hammering. This module provides the ground-truth schemes the device
+//! model uses — characterization code must *not* read them directly but
+//! recover them through `rh-core`'s mapping reverse engineering
+//! (exactly as the paper does).
+
+use crate::geometry::{Manufacturer, RowAddr};
+use serde::{Deserialize, Serialize};
+
+/// A bijective logical↔physical row-address mapping.
+///
+/// All provided schemes are involutions (applying them twice yields the
+/// identity), which matches the remapping structures observed in real
+/// chips (bit inversions conditioned on higher address bits).
+///
+/// ```
+/// use rh_dram::{RowMapping, RowAddr};
+///
+/// let m = RowMapping::for_manufacturer(rh_dram::Manufacturer::A);
+/// let l = RowAddr(12345);
+/// assert_eq!(m.physical_to_logical(m.logical_to_physical(l)), l);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowMapping {
+    /// Physical row equals logical row.
+    Direct,
+    /// When bit `cond_bit` of the logical address is set, the low bits
+    /// selected by `mask` are inverted. `mask` must not contain
+    /// `cond_bit`, which keeps the transform a bijective involution.
+    ConditionalXor {
+        /// Address bit that enables the inversion.
+        cond_bit: u32,
+        /// Bits inverted when enabled.
+        mask: u32,
+    },
+}
+
+impl RowMapping {
+    /// The ground-truth mapping scheme of each manufacturer profile.
+    pub fn for_manufacturer(mfr: Manufacturer) -> Self {
+        match mfr {
+            // Mfr. A: 3-bit group inversion conditioned on bit 3.
+            Manufacturer::A => RowMapping::ConditionalXor { cond_bit: 3, mask: 0b111 },
+            // Mfr. B: pairwise swap conditioned on bit 2.
+            Manufacturer::B => RowMapping::ConditionalXor { cond_bit: 2, mask: 0b11 },
+            // Mfr. C: sparse inversion conditioned on bit 3.
+            Manufacturer::C => RowMapping::ConditionalXor { cond_bit: 3, mask: 0b101 },
+            // Mfr. D: no remapping.
+            Manufacturer::D => RowMapping::Direct,
+        }
+    }
+
+    /// Translates a memory-controller-visible row to its in-DRAM
+    /// physical row.
+    pub fn logical_to_physical(self, row: RowAddr) -> RowAddr {
+        match self {
+            RowMapping::Direct => row,
+            RowMapping::ConditionalXor { cond_bit, mask } => {
+                debug_assert_eq!(mask & (1 << cond_bit), 0, "mask must not contain cond_bit");
+                if (row.0 >> cond_bit) & 1 == 1 {
+                    RowAddr(row.0 ^ mask)
+                } else {
+                    row
+                }
+            }
+        }
+    }
+
+    /// Translates an in-DRAM physical row back to the
+    /// memory-controller-visible address.
+    pub fn physical_to_logical(self, row: RowAddr) -> RowAddr {
+        // All schemes are involutions.
+        self.logical_to_physical(row)
+    }
+
+    /// The logical rows physically adjacent (distance ±1) to logical
+    /// `row`, clipped to `rows` rows per bank. Useful for oracle-side
+    /// verification in tests; characterization code derives this
+    /// through reverse engineering instead.
+    pub fn logical_neighbors(self, row: RowAddr, rows: u32) -> Vec<RowAddr> {
+        let phys = self.logical_to_physical(row);
+        let mut out = Vec::with_capacity(2);
+        if phys.0 > 0 {
+            out.push(self.physical_to_logical(RowAddr(phys.0 - 1)));
+        }
+        if phys.0 + 1 < rows {
+            out.push(self.physical_to_logical(RowAddr(phys.0 + 1)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_are_involutions() {
+        for mfr in Manufacturer::ALL {
+            let m = RowMapping::for_manufacturer(mfr);
+            for r in 0..4096u32 {
+                let l = RowAddr(r);
+                assert_eq!(m.physical_to_logical(m.logical_to_physical(l)), l, "{mfr} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_schemes_are_bijective_on_a_block() {
+        for mfr in Manufacturer::ALL {
+            let m = RowMapping::for_manufacturer(mfr);
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..1024u32 {
+                seen.insert(m.logical_to_physical(RowAddr(r)).0);
+            }
+            assert_eq!(seen.len(), 1024, "{mfr} mapping not bijective");
+        }
+    }
+
+    #[test]
+    fn direct_is_identity() {
+        assert_eq!(RowMapping::Direct.logical_to_physical(RowAddr(77)), RowAddr(77));
+    }
+
+    #[test]
+    fn mfr_a_scrambles_some_rows() {
+        let m = RowMapping::for_manufacturer(Manufacturer::A);
+        // Row 8 has bit 3 set: low three bits inverted.
+        assert_eq!(m.logical_to_physical(RowAddr(8)), RowAddr(8 ^ 0b111));
+        // Row 7 has bit 3 clear: unchanged.
+        assert_eq!(m.logical_to_physical(RowAddr(7)), RowAddr(7));
+    }
+
+    #[test]
+    fn neighbors_are_physically_adjacent() {
+        for mfr in Manufacturer::ALL {
+            let m = RowMapping::for_manufacturer(mfr);
+            for r in 1..512u32 {
+                let row = RowAddr(r);
+                for n in m.logical_neighbors(row, 1 << 16) {
+                    let d = (m.logical_to_physical(n).0 as i64
+                        - m.logical_to_physical(row).0 as i64)
+                        .abs();
+                    assert_eq!(d, 1, "{mfr}: {n} not adjacent to {row}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_row_has_single_neighbor() {
+        let m = RowMapping::Direct;
+        assert_eq!(m.logical_neighbors(RowAddr(0), 16).len(), 1);
+        assert_eq!(m.logical_neighbors(RowAddr(15), 16).len(), 1);
+    }
+}

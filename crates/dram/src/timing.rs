@@ -1,0 +1,175 @@
+//! DRAM timing parameters (§2.2 of the paper) with picosecond
+//! resolution, and the standard DDR3-1600 / DDR4-2400 parameter sets of
+//! the tested modules.
+
+use serde::{Deserialize, Serialize};
+
+/// A duration or point in time, in picoseconds.
+pub type Picos = u64;
+
+/// One nanosecond in picoseconds.
+pub const NS: Picos = 1_000;
+
+/// The timing parameters relevant to the paper's experiments.
+///
+/// The paper sweeps *aggressor row active time* by extending tRAS
+/// (tAggOn, 34.5→154.5 ns) and *precharged time* by extending tRP
+/// (tAggOff, 16.5→40.5 ns); all other parameters stay at their
+/// standard values (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Minimum row active time before PRE (ps).
+    pub t_ras: Picos,
+    /// Minimum precharge time before the next ACT (ps).
+    pub t_rp: Picos,
+    /// ACT-to-column-command delay (ps).
+    pub t_rcd: Picos,
+    /// Column-to-column delay (ps).
+    pub t_ccd: Picos,
+    /// Write recovery time (ps).
+    pub t_wr: Picos,
+    /// Refresh window: every row must be refreshed once per window (ps).
+    pub t_refw: Picos,
+    /// Average refresh command interval (ps).
+    pub t_refi: Picos,
+    /// Command-clock granularity of the testing infrastructure (ps):
+    /// 1250 for the DDR4 SoftMC port, 2500 for DDR3 (§4.1).
+    pub clock: Picos,
+}
+
+impl TimingParams {
+    /// DDR4-2400 timing set (matches the DIMMs of Table 4; JESD79-4C).
+    pub fn ddr4_2400() -> Self {
+        Self {
+            t_ras: 34_500, // 34.5 ns: the paper's baseline tAggOn
+            t_rp: 16_500,  // 16.5 ns: the paper's baseline tAggOff (tRP ≈ 13.75ns rounded to infra grid)
+            t_rcd: 13_750,
+            t_ccd: 5_000,
+            t_wr: 15_000,
+            t_refw: 64_000_000_000, // 64 ms
+            t_refi: 7_800_000,      // 7.8 us
+            clock: 1_250,
+        }
+    }
+
+    /// DDR3-1600 timing set (JESD79-3; SODIMMs of Table 4).
+    pub fn ddr3_1600() -> Self {
+        Self {
+            t_ras: 35_000,
+            t_rp: 13_750,
+            t_rcd: 13_750,
+            t_ccd: 5_000,
+            t_wr: 15_000,
+            t_refw: 64_000_000_000,
+            t_refi: 7_800_000,
+            clock: 2_500,
+        }
+    }
+
+    /// The minimum ACT-to-ACT period of a same-bank double-sided hammer
+    /// loop: `tRAS + tRP`.
+    pub fn t_rc(&self) -> Picos {
+        self.t_ras + self.t_rp
+    }
+
+    /// Rounds `t` up to the infrastructure's command-clock grid.
+    ///
+    /// ```
+    /// use rh_dram::TimingParams;
+    /// let t = TimingParams::ddr4_2400();
+    /// assert_eq!(t.quantize(1), 1250);
+    /// assert_eq!(t.quantize(1250), 1250);
+    /// assert_eq!(t.quantize(1251), 2500);
+    /// ```
+    pub fn quantize(&self, t: Picos) -> Picos {
+        t.div_ceil(self.clock) * self.clock
+    }
+
+    /// Maximum number of activations of one aggressor pair inside a
+    /// refresh window at the given on/off times (the paper caps HCfirst
+    /// search at 512 K hammers so tests stay under 64 ms).
+    pub fn max_hammers_in_refw(&self, t_on: Picos, t_off: Picos) -> u64 {
+        // One "hammer" is a pair of activations (both aggressor rows).
+        self.t_refw / (2 * (t_on + t_off))
+    }
+
+    /// Returns a copy with an extended aggressor-on time (the paper's
+    /// Aggressor On tests, Fig. 6 middle).
+    pub fn with_t_agg_on(mut self, t_on: Picos) -> Self {
+        assert!(t_on >= self.t_ras, "tAggOn below the standard tRAS is not tested");
+        self.t_ras = t_on;
+        self
+    }
+
+    /// Returns a copy with an extended aggressor-off time (the paper's
+    /// Aggressor Off tests, Fig. 6 bottom).
+    pub fn with_t_agg_off(mut self, t_off: Picos) -> Self {
+        assert!(t_off >= self.t_rp, "tAggOff below the standard tRP is not tested");
+        self.t_rp = t_off;
+        self
+    }
+}
+
+/// The paper's tAggOn sweep points: 34.5 ns to 154.5 ns in 30 ns steps
+/// (§6).
+pub fn t_agg_on_sweep() -> Vec<Picos> {
+    (0..5).map(|i| 34_500 + 30_000 * i).collect()
+}
+
+/// The paper's tAggOff sweep points: 16.5 ns to 40.5 ns in 8 ns steps
+/// (Figs. 9/10 use 16.5, 24.5, 32.5, 40.5 ns).
+pub fn t_agg_off_sweep() -> Vec<Picos> {
+    (0..4).map(|i| 16_500 + 8_000 * i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let t = TimingParams::ddr4_2400();
+        assert_eq!(t.t_ras, 34_500);
+        assert_eq!(t.t_rp, 16_500);
+        assert_eq!(t.t_rc(), 51_000);
+    }
+
+    #[test]
+    fn sweep_endpoints_match_paper() {
+        let on = t_agg_on_sweep();
+        assert_eq!(on.first(), Some(&34_500));
+        assert_eq!(on.last(), Some(&154_500));
+        assert_eq!(on.len(), 5);
+        let off = t_agg_off_sweep();
+        assert_eq!(off.first(), Some(&16_500));
+        assert_eq!(off.last(), Some(&40_500));
+    }
+
+    #[test]
+    fn quantize_rounds_up_to_grid() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(t.quantize(0), 0);
+        assert_eq!(t.quantize(2_499), 2_500);
+        assert_eq!(t.quantize(5_000), 5_000);
+    }
+
+    #[test]
+    fn refresh_window_fits_512k_hammers() {
+        let t = TimingParams::ddr4_2400();
+        // 512K hammers must fit in 64 ms at baseline timings (§4.2).
+        assert!(t.max_hammers_in_refw(t.t_ras, t.t_rp) >= 512 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the standard tRAS")]
+    fn t_agg_on_below_tras_rejected() {
+        TimingParams::ddr4_2400().with_t_agg_on(10_000);
+    }
+
+    #[test]
+    fn extended_timings_apply() {
+        let t = TimingParams::ddr4_2400().with_t_agg_on(154_500).with_t_agg_off(40_500);
+        assert_eq!(t.t_ras, 154_500);
+        assert_eq!(t.t_rp, 40_500);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the DRAM device model.
+
+use proptest::prelude::*;
+use rh_dram::{
+    BankId, Command, DataPattern, DramModule, Manufacturer, ModuleConfig, PatternKind,
+    RowAddr, RowMapping, TimedCommand,
+};
+
+fn any_mfr() -> impl Strategy<Value = Manufacturer> {
+    prop::sample::select(Manufacturer::ALL.to_vec())
+}
+
+fn any_pattern() -> impl Strategy<Value = PatternKind> {
+    prop::sample::select(PatternKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapping_bijective(mfr in any_mfr(), row in 0u32..1_000_000) {
+        let m = RowMapping::for_manufacturer(mfr);
+        let l = RowAddr(row);
+        prop_assert_eq!(m.physical_to_logical(m.logical_to_physical(l)), l);
+    }
+
+    #[test]
+    fn mapping_preserves_row_space(mfr in any_mfr(), row in 0u32..65_536) {
+        let m = RowMapping::for_manufacturer(mfr);
+        let p = m.logical_to_physical(RowAddr(row));
+        // Conditional XOR schemes only permute within small blocks.
+        prop_assert!(p.0 < 65_536);
+    }
+
+    #[test]
+    fn write_read_roundtrip(mfr in any_mfr(), bank in 0u32..8, row in 0u32..32_768, byte in any::<u8>()) {
+        let mut m = DramModule::new(ModuleConfig::ddr4(mfr));
+        let data = vec![byte; m.row_bytes()];
+        m.write_row_direct(BankId(bank), RowAddr(row), &data).unwrap();
+        prop_assert_eq!(m.read_row_direct(BankId(bank), RowAddr(row)).unwrap(), data);
+    }
+
+    #[test]
+    fn distinct_rows_do_not_alias(mfr in any_mfr(), r1 in 0u32..4096, r2 in 0u32..4096) {
+        prop_assume!(r1 != r2);
+        let mut m = DramModule::new(ModuleConfig::ddr4(mfr));
+        let d1 = vec![0x11u8; m.row_bytes()];
+        let d2 = vec![0x22u8; m.row_bytes()];
+        m.write_row_direct(BankId(0), RowAddr(r1), &d1).unwrap();
+        m.write_row_direct(BankId(0), RowAddr(r2), &d2).unwrap();
+        prop_assert_eq!(m.read_row_direct(BankId(0), RowAddr(r1)).unwrap(), d1);
+        prop_assert_eq!(m.read_row_direct(BankId(0), RowAddr(r2)).unwrap(), d2);
+    }
+
+    #[test]
+    fn pattern_fill_length_and_determinism(kind in any_pattern(), row in 0u32..10_000, d in -8i64..=8, len in 1usize..4096) {
+        let p = DataPattern::new(kind, 1234);
+        let a = p.row_fill(RowAddr(row), d, len);
+        let b = p.row_fill(RowAddr(row), d, len);
+        prop_assert_eq!(a.len(), len);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn command_hammer_loop_counts_activations(n in 1u64..50) {
+        let mut m = DramModule::new(ModuleConfig::ddr4(Manufacturer::D));
+        let t = m.config().timing;
+        let b = BankId(0);
+        let mut at = 0;
+        for _ in 0..n {
+            m.issue(&TimedCommand { at, cmd: Command::Act { bank: b, row: RowAddr(10) } }).unwrap();
+            at += t.t_ras;
+            m.issue(&TimedCommand { at, cmd: Command::Pre { bank: b } }).unwrap();
+            at += t.t_rp;
+        }
+        // Direct mapping for Mfr. D: logical row 10 is physical row 10.
+        prop_assert_eq!(m.bank(b).stats().count(RowAddr(10)), n);
+    }
+
+    #[test]
+    fn quantize_idempotent(t_ps in 0u64..10_000_000) {
+        let t = rh_dram::TimingParams::ddr4_2400();
+        let q = t.quantize(t_ps);
+        prop_assert_eq!(t.quantize(q), q);
+        prop_assert!(q >= t_ps);
+        prop_assert!(q - t_ps < t.clock);
+    }
+}

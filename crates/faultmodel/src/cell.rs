@@ -1,0 +1,369 @@
+//! Per-cell vulnerability profiles: threshold, bounded temperature
+//! window with inflection point, and flip direction.
+
+use crate::profile::MfrProfile;
+use crate::rng;
+use crate::variation;
+use rh_dram::{BankId, RowAddr};
+use serde::{Deserialize, Serialize};
+
+/// Domain-separation tags for the per-cell derivations.
+mod tag {
+    pub const PLACE: u64 = 0x10;
+    pub const THRESH: u64 = 0x11;
+    pub const ORIENT: u64 = 0x12;
+    pub const WINDOW: u64 = 0x13;
+    pub const INFL: u64 = 0x14;
+    pub const NOISE: u64 = 0x15;
+}
+
+/// The bounded temperature range within which a cell can experience
+/// RowHammer bit flips (Obsv. 1: ranges are continuous and
+/// cell-specific; Obsv. 3: they can be as narrow as 5 °C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TempWindow {
+    /// Lowest vulnerable temperature (°C); may lie below the tested
+    /// range (the paper tests 50–90 °C).
+    pub lo: f64,
+    /// Highest vulnerable temperature (°C).
+    pub hi: f64,
+    /// Temperature of maximum vulnerability (the inflection point of
+    /// Yang et al.'s charge-trap model, §5.3).
+    pub inflection: f64,
+}
+
+impl TempWindow {
+    /// Whether the cell can flip at all at temperature `t`.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.lo && t <= self.hi
+    }
+
+    /// Normalized squared distance of `t` from the inflection point
+    /// (0 at the inflection, ~1 at the window edge).
+    ///
+    /// The normalization scale is capped at 30 °C so that cells with
+    /// very wide (or unbounded) windows still exhibit a meaningful
+    /// vulnerability peak around their inflection point — this is what
+    /// drives the manufacturer-level BER-vs-temperature trends of
+    /// Fig. 4.
+    pub fn normalized_dist2(&self, t: f64) -> f64 {
+        let half = ((self.hi - self.lo) / 2.0).clamp(2.5, 30.0);
+        let d = (t - self.inflection) / half;
+        d * d
+    }
+}
+
+/// One vulnerable DRAM cell within a row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellVulnerability {
+    /// Byte offset within the row (module-level).
+    pub byte: u32,
+    /// Bit within the byte.
+    pub bit: u8,
+    /// Base flip threshold in hammer units at the inflection
+    /// temperature, all spatial factors applied.
+    pub threshold: f64,
+    /// Vulnerable temperature window.
+    pub window: TempWindow,
+    /// Threshold-vs-temperature curvature.
+    pub kappa: f64,
+    /// `true` if the cell is an anti-cell (flips 0→1); `false` for
+    /// true-cells (flip 1→0).
+    pub anti_cell: bool,
+}
+
+impl CellVulnerability {
+    /// Effective threshold (hammer units) at temperature `t`, or `None`
+    /// outside the vulnerable window.
+    pub fn threshold_at(&self, t: f64) -> Option<f64> {
+        if !self.window.contains(t) {
+            return None;
+        }
+        Some(self.threshold * (1.0 + self.kappa * self.window.normalized_dist2(t)))
+    }
+
+    /// Whether the stored bit value `bit` can flip in this cell
+    /// (true-cells lose a 1, anti-cells gain a 1).
+    pub fn susceptible(&self, stored_bit_is_one: bool) -> bool {
+        stored_bit_is_one != self.anti_cell
+    }
+
+    /// Per-trial multiplicative threshold noise for trial `nonce`.
+    pub fn trial_noise(&self, profile: &MfrProfile, module_seed: u64, nonce: u64) -> f64 {
+        rng::lognormal(
+            module_seed,
+            &[tag::NOISE, self.byte as u64, self.bit as u64, nonce],
+            0.0,
+            profile.rep_noise_sigma,
+        )
+    }
+}
+
+/// Derives the vulnerable-cell population of one physical row.
+///
+/// The derivation is a pure function of `(module_seed, bank, row)`:
+/// `profile.cells_per_row` cells are placed by rejection-sampling
+/// columns against [`variation::column_weight`], then given thresholds
+/// combining module/subarray/row/cell log-normal factors and a bounded
+/// temperature window per the manufacturer's Fig.-3 statistics.
+pub fn derive_row_cells(
+    profile: &MfrProfile,
+    module_seed: u64,
+    bank: BankId,
+    row: RowAddr,
+    row_bytes: usize,
+    subarray_rows: u32,
+) -> Vec<CellVulnerability> {
+    let columns = (row_bytes / 8) as u32;
+    let chips = 8u8;
+    let spatial = variation::module_factor(profile, module_seed)
+        * variation::subarray_factor(profile, module_seed, bank, row.0 / subarray_rows)
+        * variation::row_factor(profile, module_seed, bank, row);
+
+    let mut cells = Vec::with_capacity(profile.cells_per_row as usize);
+    for i in 0..profile.cells_per_row {
+        let cell_key = [bank.0 as u64, row.0 as u64, i as u64];
+
+        // --- placement: rejection-sample a chip-column by weight ---
+        let (chip, column) = {
+            let mut pick = (0u8, 0u32);
+            for attempt in 0..16u64 {
+                let h = rng::hash(
+                    module_seed,
+                    &[tag::PLACE, cell_key[0], cell_key[1], cell_key[2], attempt],
+                );
+                let chip = (h % chips as u64) as u8;
+                let column = ((h >> 8) % columns as u64) as u32;
+                let w = variation::column_weight(profile, module_seed, chip, column);
+                if rng::unit(rng::mix(h ^ 0x5bd1)) < w {
+                    pick = (chip, column);
+                    break;
+                }
+                pick = (chip, column);
+                // On the final attempt, land only on a non-immune column.
+                if attempt == 15 && w == 0.0 {
+                    pick = (chip, (column + 1) % columns);
+                }
+            }
+            pick
+        };
+        // Guard: never place cells on immune columns.
+        let (chip, column) = {
+            let mut c = column;
+            let mut k = chip;
+            let mut guard = 0;
+            while variation::column_weight(profile, module_seed, k, c) == 0.0 && guard < 64 {
+                c = (c + 1) % columns;
+                if c == 0 {
+                    k = (k + 1) % chips;
+                }
+                guard += 1;
+            }
+            (k, c)
+        };
+        let byte = column * 8 + chip as u32;
+        let bit = (rng::hash(module_seed, &[tag::PLACE, 0xB17, cell_key[0], cell_key[1], cell_key[2]])
+            % 8) as u8;
+
+        // --- threshold ---
+        let ln_med = profile.hc_median.ln();
+        let threshold = spatial
+            * rng::lognormal(
+                module_seed,
+                &[tag::THRESH, cell_key[0], cell_key[1], cell_key[2]],
+                ln_med,
+                profile.sigma_cell,
+            );
+
+        // --- temperature window (Fig. 3 statistics) ---
+        let u_kind = rng::uniform(module_seed, &[tag::WINDOW, cell_key[0], cell_key[1], cell_key[2]]);
+        let u_pos =
+            rng::uniform(module_seed, &[tag::WINDOW, 1, cell_key[0], cell_key[1], cell_key[2]]);
+        let u_width =
+            rng::uniform(module_seed, &[tag::WINDOW, 2, cell_key[0], cell_key[1], cell_key[2]]);
+        let width = 3.0 - profile.width_mean * (1.0 - u_width).max(1e-12).ln(); // 3 + Exp(mean)
+        let (lo, hi) = if u_kind < profile.p_full_range {
+            (-273.0, 300.0)
+        } else if u_kind < profile.p_full_range + (1.0 - profile.p_full_range) * profile.p_rising {
+            // Rising type: window opens inside the tested range.
+            let lo = 47.0 + 45.0 * u_pos;
+            (lo, lo + width)
+        } else {
+            // Falling type: window closes inside the tested range.
+            let hi = 48.0 + 45.0 * u_pos;
+            (hi - width, hi)
+        };
+        // Inflection placement: density shaped by the manufacturer's
+        // bias (positive = vulnerability peaks at hotter temperatures,
+        // so BER rises with temperature — Fig. 4 A/C/D; negative = the
+        // opposite — Fig. 4 B).
+        let infl_u =
+            rng::uniform(module_seed, &[tag::INFL, cell_key[0], cell_key[1], cell_key[2]]);
+        let infl_jitter =
+            rng::normal(module_seed, &[tag::INFL, 1, cell_key[0], cell_key[1], cell_key[2]]);
+        let shape = 1.0 + 2.5 * profile.infl_bias.abs();
+        let mut pos = infl_u.powf(1.0 / shape);
+        if profile.infl_bias < 0.0 {
+            pos = 1.0 - pos;
+        }
+        pos = (pos + 0.08 * infl_jitter).clamp(0.0, 1.0);
+        let inflection = if lo < -200.0 {
+            // Full-range cells: place the inflection around the tested
+            // window so temperature trends still apply.
+            42.0 + 58.0 * pos
+        } else {
+            lo + (hi - lo) * pos
+        };
+
+        let anti_cell = rng::uniform(module_seed, &[tag::ORIENT, cell_key[0], cell_key[1], cell_key[2]])
+            < profile.anti_cell_fraction;
+
+        cells.push(CellVulnerability {
+            byte,
+            bit,
+            threshold,
+            window: TempWindow { lo, hi, inflection },
+            kappa: profile.kappa,
+            anti_cell,
+        });
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_dram::Manufacturer;
+
+    fn cells(mfr: Manufacturer, row: u32) -> Vec<CellVulnerability> {
+        let p = MfrProfile::for_manufacturer(mfr);
+        derive_row_cells(&p, 42, BankId(0), RowAddr(row), 8192, 512)
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(cells(Manufacturer::A, 100), cells(Manufacturer::A, 100));
+    }
+
+    #[test]
+    fn rows_differ() {
+        assert_ne!(cells(Manufacturer::A, 100), cells(Manufacturer::A, 101));
+    }
+
+    #[test]
+    fn cell_count_matches_profile() {
+        let p = MfrProfile::for_manufacturer(Manufacturer::B);
+        assert_eq!(cells(Manufacturer::B, 5).len(), p.cells_per_row as usize);
+    }
+
+    #[test]
+    fn cells_fit_in_row() {
+        for c in cells(Manufacturer::C, 9) {
+            assert!((c.byte as usize) < 8192);
+            assert!(c.bit < 8);
+        }
+    }
+
+    #[test]
+    fn no_cells_on_immune_columns() {
+        let p = MfrProfile::for_manufacturer(Manufacturer::C);
+        for c in cells(Manufacturer::C, 77) {
+            let chip = (c.byte % 8) as u8;
+            let col = c.byte / 8;
+            assert!(
+                variation::column_weight(&p, 42, chip, col) > 0.0,
+                "cell on immune column {col} chip {chip}"
+            );
+        }
+    }
+
+    #[test]
+    fn windows_are_well_formed() {
+        for c in cells(Manufacturer::D, 3) {
+            assert!(c.window.lo < c.window.hi);
+            assert!(c.window.contains(c.window.inflection));
+        }
+    }
+
+    #[test]
+    fn threshold_minimal_at_inflection() {
+        for c in cells(Manufacturer::A, 8).into_iter().take(32) {
+            let at_infl = c.threshold_at(c.window.inflection);
+            if let Some(h0) = at_infl {
+                for t in [c.window.inflection - 3.0, c.window.inflection + 3.0] {
+                    if let Some(h) = c.threshold_at(t) {
+                        assert!(h >= h0, "threshold dips away from inflection");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outside_window_is_invulnerable() {
+        for c in cells(Manufacturer::B, 4) {
+            if c.window.lo > -200.0 {
+                assert_eq!(c.threshold_at(c.window.lo - 1.0), None);
+                assert_eq!(c.threshold_at(c.window.hi + 1.0), None);
+            }
+        }
+    }
+
+    #[test]
+    fn full_range_fraction_near_profile() {
+        let p = MfrProfile::for_manufacturer(Manufacturer::D);
+        let mut full = 0usize;
+        let mut total = 0usize;
+        for row in 0..50u32 {
+            for c in cells(Manufacturer::D, row) {
+                total += 1;
+                if c.window.lo < -200.0 {
+                    full += 1;
+                }
+            }
+        }
+        let frac = full as f64 / total as f64;
+        assert!((frac - p.p_full_range).abs() < 0.03, "full-range fraction {frac}");
+    }
+
+    #[test]
+    fn anti_cell_fraction_near_profile() {
+        let p = MfrProfile::for_manufacturer(Manufacturer::C);
+        let mut anti = 0usize;
+        let mut total = 0usize;
+        for row in 0..50u32 {
+            for c in cells(Manufacturer::C, row) {
+                total += 1;
+                if c.anti_cell {
+                    anti += 1;
+                }
+            }
+        }
+        let frac = anti as f64 / total as f64;
+        assert!((frac - p.anti_cell_fraction).abs() < 0.03, "anti fraction {frac}");
+    }
+
+    #[test]
+    fn susceptibility_follows_orientation() {
+        let c = CellVulnerability {
+            byte: 0,
+            bit: 0,
+            threshold: 1.0,
+            window: TempWindow { lo: 0.0, hi: 100.0, inflection: 50.0 },
+            kappa: 1.0,
+            anti_cell: true,
+        };
+        assert!(c.susceptible(false)); // anti-cell flips a stored 0
+        assert!(!c.susceptible(true));
+    }
+
+    #[test]
+    fn trial_noise_is_near_one_and_varies() {
+        let p = MfrProfile::for_manufacturer(Manufacturer::A);
+        let c = cells(Manufacturer::A, 1)[0];
+        let n1 = c.trial_noise(&p, 42, 0);
+        let n2 = c.trial_noise(&p, 42, 1);
+        assert_ne!(n1, n2);
+        assert!((n1 - 1.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Disturbance accumulation: how much damage one aggressor activation
+//! episode inflicts, as a function of its on- and off-time (§6 of the
+//! paper).
+//!
+//! Damage is measured in *hammer units*: one double-sided hammer (one
+//! activation of each neighbor at baseline DDR4 timings) deposits 1.0
+//! unit on the victim row. A cell flips when the accumulated units
+//! exceed its threshold.
+
+use crate::profile::MfrProfile;
+use rh_dram::{Picos, NS};
+
+/// Accumulated disturbance on one victim row, in hammer units.
+pub type DisturbanceUnits = f64;
+
+/// Baseline aggressor on-time (standard tRAS, 34.5 ns) used as the
+/// `g_on` anchor.
+pub const T_ON_BASE: Picos = 34_500;
+
+/// Baseline aggressor off-time (standard tRP as driven by the paper's
+/// infrastructure, 16.5 ns) used as the `g_off` anchor.
+pub const T_OFF_BASE: Picos = 16_500;
+
+/// Damage multiplier from the aggressor's on-time:
+/// `g_on = 1 + a · (tOn − 34.5 ns) / 120 ns`.
+///
+/// Longer open time injects more electrons into the victim cells
+/// (Obsv. 8/9; §6.3): at tOn = 154.5 ns the multiplier equals
+/// `1/(1−r)` where `r` is the paper's per-manufacturer HCfirst
+/// reduction. Below-baseline on-times are clamped to the baseline.
+pub fn g_on(profile: &MfrProfile, t_on: Picos) -> f64 {
+    let x = (t_on.saturating_sub(T_ON_BASE)) as f64 / (120.0 * NS as f64);
+    1.0 + profile.on_slope * x
+}
+
+/// Damage multiplier from the bank's precharged time:
+/// `g_off = 1 / (1 + b · (tOff − 16.5 ns) / 24 ns)`.
+///
+/// A longer precharged interval reduces cross-talk coupling per
+/// activation (Obsv. 10/11; §6.3): at tOff = 40.5 ns, HCfirst grows by
+/// the paper's per-manufacturer percentage `b`.
+pub fn g_off(profile: &MfrProfile, t_off: Picos) -> f64 {
+    let x = (t_off.saturating_sub(T_OFF_BASE)) as f64 / (24.0 * NS as f64);
+    1.0 / (1.0 + profile.off_slope * x)
+}
+
+/// Units deposited on a *distance-1* victim by `count` single
+/// activations of an adjacent aggressor with the given timings.
+///
+/// One double-sided hammer = two such activations (one per aggressor) =
+/// 1.0 unit, so a single activation deposits 0.5 units at baseline.
+pub fn units_distance1(profile: &MfrProfile, count: u64, t_on: Picos, t_off: Picos) -> f64 {
+    0.5 * count as f64 * g_on(profile, t_on) * g_off(profile, t_off)
+}
+
+/// Coupling weight of a *distance-2* victim relative to distance 1
+/// (weak second-neighbor coupling; keeps reverse engineering honest —
+/// the nearest rows flip by far the most).
+pub const DISTANCE2_WEIGHT: f64 = 0.08;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_dram::Manufacturer;
+
+    fn p(m: Manufacturer) -> MfrProfile {
+        MfrProfile::for_manufacturer(m)
+    }
+
+    #[test]
+    fn g_on_is_one_at_baseline() {
+        for m in Manufacturer::ALL {
+            assert_eq!(g_on(&p(m), T_ON_BASE), 1.0);
+        }
+    }
+
+    #[test]
+    fn g_on_at_max_matches_hcfirst_reduction() {
+        // 1/g_on(154.5ns) = 1 - reduction.
+        let reductions = [0.400, 0.283, 0.327, 0.373];
+        for (m, r) in Manufacturer::ALL.into_iter().zip(reductions) {
+            let g = g_on(&p(m), 154_500);
+            assert!((1.0 / g - (1.0 - r)).abs() < 1e-9, "{m}");
+        }
+    }
+
+    #[test]
+    fn g_off_is_one_at_baseline_and_shrinks() {
+        for m in Manufacturer::ALL {
+            assert_eq!(g_off(&p(m), T_OFF_BASE), 1.0);
+            assert!(g_off(&p(m), 40_500) < 1.0);
+        }
+    }
+
+    #[test]
+    fn g_off_at_max_matches_hcfirst_increase() {
+        let increases = [0.338, 0.247, 0.501, 0.337];
+        for (m, inc) in Manufacturer::ALL.into_iter().zip(increases) {
+            let g = g_off(&p(m), 40_500);
+            assert!((1.0 / g - (1.0 + inc)).abs() < 1e-9, "{m}");
+        }
+    }
+
+    #[test]
+    fn units_scale_linearly_with_count() {
+        let pr = p(Manufacturer::A);
+        let u1 = units_distance1(&pr, 1000, T_ON_BASE, T_OFF_BASE);
+        let u2 = units_distance1(&pr, 2000, T_ON_BASE, T_OFF_BASE);
+        assert!((u2 - 2.0 * u1).abs() < 1e-9);
+        assert_eq!(u1, 500.0);
+    }
+
+    #[test]
+    fn clamps_below_baseline() {
+        let pr = p(Manufacturer::C);
+        assert_eq!(g_on(&pr, 1_000), 1.0);
+        assert_eq!(g_off(&pr, 1_000), 1.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The RowHammer disturbance model: plugs into
+//! [`rh_dram::DramModule`] and turns accumulated aggressor activity
+//! into bit flips according to the calibrated per-cell profiles.
+
+use crate::cell::{derive_row_cells, CellVulnerability};
+use crate::retention::{derive_retention_cells, RetentionCell};
+use crate::disturb::{units_distance1, DISTANCE2_WEIGHT};
+use crate::profile::MfrProfile;
+use rh_dram::{BankId, BitFlip, DisturbanceModel, Manufacturer, Picos, RowAddr};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The calibrated RowHammer fault model of one DRAM module.
+///
+/// Install it into a module with [`rh_dram::DramModule::with_model`].
+/// The model keys all derived state off a `module_seed`, so two models
+/// with the same `(manufacturer, seed)` are *the same physical module*.
+pub struct RowHammerModel {
+    profile: MfrProfile,
+    module_seed: u64,
+    temperature: f64,
+    row_bytes: usize,
+    subarray_rows: u32,
+    /// Accumulated disturbance per (bank, physical row), hammer units.
+    acc: HashMap<(u32, u32), f64>,
+    /// Cache of derived vulnerable-cell populations.
+    cells: HashMap<(u32, u32), Arc<Vec<CellVulnerability>>>,
+    /// Incremented on every restore; salts per-trial threshold noise.
+    trial_nonce: u64,
+    /// Last restore time per (bank, physical row): the retention clock.
+    last_restore: HashMap<(u32, u32), Picos>,
+    /// Cache of derived retention-weak cells.
+    retention_cells: HashMap<(u32, u32), Arc<Vec<RetentionCell>>>,
+}
+
+impl std::fmt::Debug for RowHammerModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowHammerModel")
+            .field("manufacturer", &self.profile.manufacturer)
+            .field("module_seed", &self.module_seed)
+            .field("temperature", &self.temperature)
+            .field("rows_accumulating", &self.acc.len())
+            .finish()
+    }
+}
+
+impl RowHammerModel {
+    /// Creates the model for a module of `mfr` with identity
+    /// `module_seed`, using the calibrated profile.
+    pub fn new(mfr: Manufacturer, module_seed: u64) -> Self {
+        Self::with_profile(MfrProfile::for_manufacturer(mfr), module_seed)
+    }
+
+    /// Creates the model with an explicit (possibly ablated) profile.
+    pub fn with_profile(profile: MfrProfile, module_seed: u64) -> Self {
+        Self {
+            profile,
+            module_seed,
+            temperature: 50.0,
+            row_bytes: 8192,
+            subarray_rows: 512,
+            acc: HashMap::new(),
+            cells: HashMap::new(),
+            trial_nonce: 0,
+            last_restore: HashMap::new(),
+            retention_cells: HashMap::new(),
+        }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &MfrProfile {
+        &self.profile
+    }
+
+    /// The module identity seed.
+    pub fn module_seed(&self) -> u64 {
+        self.module_seed
+    }
+
+    /// Oracle access to the vulnerable cells of a physical row.
+    ///
+    /// Characterization code must not use this (it reconstructs
+    /// vulnerability by hammering); it exists for tests, examples, and
+    /// defense studies that assume a profiling step already ran.
+    pub fn row_cells(&mut self, bank: BankId, row: RowAddr) -> Arc<Vec<CellVulnerability>> {
+        let key = (bank.0, row.0);
+        if let Some(c) = self.cells.get(&key) {
+            return Arc::clone(c);
+        }
+        let derived = Arc::new(derive_row_cells(
+            &self.profile,
+            self.module_seed,
+            bank,
+            row,
+            self.row_bytes,
+            self.subarray_rows,
+        ));
+        // Bound the cache so multi-million-row sweeps do not grow
+        // memory without limit.
+        if self.cells.len() > 4096 {
+            self.cells.clear();
+        }
+        self.cells.insert(key, Arc::clone(&derived));
+        derived
+    }
+
+    /// Accumulated disturbance (hammer units) on a physical row.
+    pub fn accumulated(&self, bank: BankId, row: RowAddr) -> f64 {
+        self.acc.get(&(bank.0, row.0)).copied().unwrap_or(0.0)
+    }
+
+    /// Clears all accumulated disturbance (e.g., between tests).
+    pub fn reset_disturbance(&mut self) {
+        self.acc.clear();
+    }
+
+    /// Oracle access to the retention-weak cells of a physical row.
+    pub fn retention_cells(&mut self, bank: BankId, row: RowAddr) -> Arc<Vec<RetentionCell>> {
+        let key = (bank.0, row.0);
+        if let Some(c) = self.retention_cells.get(&key) {
+            return Arc::clone(c);
+        }
+        let derived = Arc::new(derive_retention_cells(
+            &self.profile,
+            self.module_seed,
+            bank,
+            row,
+            self.row_bytes,
+        ));
+        if self.retention_cells.len() > 8192 {
+            self.retention_cells.clear();
+        }
+        self.retention_cells.insert(key, Arc::clone(&derived));
+        derived
+    }
+
+    /// Time the row has sat without a restore, as of `now`.
+    fn idle_time(&self, bank: BankId, row: RowAddr, now: Picos) -> Picos {
+        now.saturating_sub(self.last_restore.get(&(bank.0, row.0)).copied().unwrap_or(now))
+    }
+}
+
+impl DisturbanceModel for RowHammerModel {
+    fn on_hammer(&mut self, bank: BankId, row: RowAddr, count: u64, t_on: Picos, t_off: Picos) {
+        let units = units_distance1(&self.profile, count, t_on, t_off);
+        // Distance-1 victims.
+        for d in [-1i64, 1] {
+            let v = row.0 as i64 + d;
+            if v >= 0 {
+                *self.acc.entry((bank.0, v as u32)).or_insert(0.0) += units;
+            }
+        }
+        // Weak distance-2 coupling.
+        for d in [-2i64, 2] {
+            let v = row.0 as i64 + d;
+            if v >= 0 {
+                *self.acc.entry((bank.0, v as u32)).or_insert(0.0) += units * DISTANCE2_WEIGHT;
+            }
+        }
+    }
+
+    fn flips_on_activate(
+        &mut self,
+        bank: BankId,
+        row: RowAddr,
+        data: &[u8],
+        now: Picos,
+    ) -> Vec<BitFlip> {
+        let dose = self.accumulated(bank, row);
+        let idle = self.idle_time(bank, row, now);
+        let temperature = self.temperature;
+        let mut flips = Vec::new();
+        // Retention leakage: cells that sat unrefreshed past their
+        // (temperature-accelerated) retention time.
+        if idle > 0 {
+            let rcells = self.retention_cells(bank, row);
+            for c in rcells.iter() {
+                if !c.leaked(idle, temperature) {
+                    continue;
+                }
+                let stored = (data[c.byte as usize] >> c.bit) & 1 == 1;
+                // Leakage moves the cell toward its discharged value.
+                if stored != c.anti_cell {
+                    flips.push(BitFlip { byte: c.byte, bit: c.bit });
+                }
+            }
+        }
+        if dose < 1.0 {
+            return flips;
+        }
+        let nonce = self.trial_nonce;
+        let cells = self.row_cells(bank, row);
+        let profile = self.profile;
+        let seed = self.module_seed;
+        for c in cells.iter() {
+            let Some(h) = c.threshold_at(temperature) else { continue };
+            let stored = (data[c.byte as usize] >> c.bit) & 1 == 1;
+            if !c.susceptible(stored) {
+                continue;
+            }
+            if dose >= h * c.trial_noise(&profile, seed, nonce) {
+                flips.push(BitFlip { byte: c.byte, bit: c.bit });
+            }
+        }
+        flips
+    }
+
+    fn on_restore(&mut self, bank: BankId, row: RowAddr, now: Picos) {
+        self.acc.remove(&(bank.0, row.0));
+        self.last_restore.insert((bank.0, row.0), now);
+        self.trial_nonce = self.trial_nonce.wrapping_add(1);
+    }
+
+    fn set_temperature(&mut self, celsius: f64) {
+        self.temperature = celsius;
+    }
+
+    fn temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RowHammerModel {
+        let mut m = RowHammerModel::new(Manufacturer::A, 7);
+        m.set_temperature(75.0);
+        m
+    }
+
+    #[test]
+    fn hammering_accumulates_on_neighbors() {
+        let mut m = model();
+        m.on_hammer(BankId(0), RowAddr(100), 1000, 34_500, 16_500);
+        assert_eq!(m.accumulated(BankId(0), RowAddr(99)), 500.0);
+        assert_eq!(m.accumulated(BankId(0), RowAddr(101)), 500.0);
+        let d2 = m.accumulated(BankId(0), RowAddr(102));
+        assert!(d2 > 0.0 && d2 < 500.0);
+        assert_eq!(m.accumulated(BankId(0), RowAddr(100)), 0.0);
+    }
+
+    #[test]
+    fn restore_clears_accumulation() {
+        let mut m = model();
+        m.on_hammer(BankId(0), RowAddr(10), 100, 34_500, 16_500);
+        m.on_restore(BankId(0), RowAddr(9), 0);
+        assert_eq!(m.accumulated(BankId(0), RowAddr(9)), 0.0);
+        assert!(m.accumulated(BankId(0), RowAddr(11)) > 0.0);
+    }
+
+    #[test]
+    fn no_flips_without_disturbance() {
+        let mut m = model();
+        let flips = m.flips_on_activate(BankId(0), RowAddr(5), &vec![0u8; 8192], 0);
+        assert!(flips.is_empty());
+    }
+
+    #[test]
+    fn heavy_double_sided_hammering_flips_bits() {
+        let mut m = model();
+        // Hammer both neighbors of row 500 very hard.
+        m.on_hammer(BankId(0), RowAddr(499), 2_000_000, 34_500, 16_500);
+        m.on_hammer(BankId(0), RowAddr(501), 2_000_000, 34_500, 16_500);
+        // All-zero data allows anti-cells (62 % for Mfr. A) to flip.
+        let flips = m.flips_on_activate(BankId(0), RowAddr(500), &vec![0u8; 8192], 0);
+        assert!(!flips.is_empty(), "2M double-sided hammers must flip something");
+    }
+
+    #[test]
+    fn flips_respect_stored_data_orientation() {
+        let mut m = model();
+        m.on_hammer(BankId(0), RowAddr(499), 2_000_000, 34_500, 16_500);
+        m.on_hammer(BankId(0), RowAddr(501), 2_000_000, 34_500, 16_500);
+        let flips_zero = m.flips_on_activate(BankId(0), RowAddr(500), &vec![0x00u8; 8192], 0);
+        let flips_ones = m.flips_on_activate(BankId(0), RowAddr(500), &vec![0xFFu8; 8192], 0);
+        // Anti-cells flip in the all-zero fill; true-cells in all-ones.
+        // The two sets must be disjoint (different cells).
+        let set0: std::collections::HashSet<_> =
+            flips_zero.iter().map(|f| (f.byte, f.bit)).collect();
+        for f in &flips_ones {
+            assert!(!set0.contains(&(f.byte, f.bit)));
+        }
+    }
+
+    #[test]
+    fn longer_on_time_flips_more() {
+        let count = 150_000;
+        let flips_at = |t_on: Picos| -> usize {
+            let mut m = model();
+            (0..20u32)
+                .map(|i| {
+                    let v = 500 + 4 * i;
+                    m.reset_disturbance();
+                    m.on_hammer(BankId(0), RowAddr(v - 1), count, t_on, 16_500);
+                    m.on_hammer(BankId(0), RowAddr(v + 1), count, t_on, 16_500);
+                    m.flips_on_activate(BankId(0), RowAddr(v), &vec![0u8; 8192], 0).len()
+                })
+                .sum()
+        };
+        assert!(flips_at(154_500) > flips_at(34_500));
+    }
+
+    #[test]
+    fn longer_off_time_flips_fewer() {
+        let count = 400_000;
+        let flips_at = |t_off: Picos| {
+            let mut m = model();
+            m.on_hammer(BankId(0), RowAddr(499), count, 34_500, t_off);
+            m.on_hammer(BankId(0), RowAddr(501), count, 34_500, t_off);
+            m.flips_on_activate(BankId(0), RowAddr(500), &vec![0u8; 8192], 0).len()
+        };
+        assert!(flips_at(40_500) <= flips_at(16_500));
+    }
+
+    #[test]
+    fn temperature_gates_flips() {
+        // A cell vulnerable only in a window should not flip far outside
+        // every window: physically impossible temperatures see fewer
+        // (only full-range cells remain).
+        let count = 1_000_000;
+        let flips_at = |t: f64| {
+            let mut m = model();
+            m.set_temperature(t);
+            m.on_hammer(BankId(0), RowAddr(499), count, 34_500, 16_500);
+            m.on_hammer(BankId(0), RowAddr(501), count, 34_500, 16_500);
+            m.flips_on_activate(BankId(0), RowAddr(500), &vec![0u8; 8192], 0).len()
+        };
+        // At -200 °C only full-range cells are in-window and their
+        // parabola is far from inflection: fewer flips than at 75 °C.
+        assert!(flips_at(-200.0) < flips_at(75.0));
+    }
+
+    #[test]
+    fn model_is_deterministic_given_seed() {
+        let run = || {
+            let mut m = RowHammerModel::new(Manufacturer::C, 123);
+            m.set_temperature(60.0);
+            m.on_hammer(BankId(1), RowAddr(999), 800_000, 64_500, 16_500);
+            m.on_hammer(BankId(1), RowAddr(1001), 800_000, 64_500, 16_500);
+            m.flips_on_activate(BankId(1), RowAddr(1000), &vec![0x55u8; 8192], 0)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_are_different_modules() {
+        let flips = |seed: u64| {
+            let mut m = RowHammerModel::new(Manufacturer::C, seed);
+            m.set_temperature(75.0);
+            m.on_hammer(BankId(0), RowAddr(499), 600_000, 34_500, 16_500);
+            m.on_hammer(BankId(0), RowAddr(501), 600_000, 34_500, 16_500);
+            m.flips_on_activate(BankId(0), RowAddr(500), &vec![0u8; 8192], 0)
+        };
+        assert_ne!(flips(1), flips(2));
+    }
+}

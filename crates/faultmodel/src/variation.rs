@@ -1,0 +1,194 @@
+//! Spatial variation factors (§7): per-module, per-subarray, per-row,
+//! and per-column variation of the RowHammer vulnerability.
+
+use crate::profile::MfrProfile;
+use crate::rng;
+use rh_dram::{BankId, RowAddr};
+
+/// Domain-separation tags for the hash derivations.
+mod tag {
+    pub const MODULE: u64 = 0x01;
+    pub const SUBARRAY: u64 = 0x02;
+    pub const ROW: u64 = 0x03;
+    pub const ROW_WEAK: u64 = 0x04;
+    pub const COL_DESIGN: u64 = 0x05;
+    pub const COL_PROC: u64 = 0x06;
+    pub const COL_ZERO: u64 = 0x07;
+}
+
+/// Per-module threshold factor (log-normal around 1; Obsv. 16: modules
+/// of the same manufacturer differ).
+pub fn module_factor(profile: &MfrProfile, module_seed: u64) -> f64 {
+    rng::lognormal(module_seed, &[tag::MODULE], 0.0, profile.sigma_module)
+}
+
+/// Per-subarray threshold factor (log-normal around 1, tight:
+/// subarrays within a module are similar — Obsv. 15/16).
+pub fn subarray_factor(
+    profile: &MfrProfile,
+    module_seed: u64,
+    bank: BankId,
+    subarray: u32,
+) -> f64 {
+    rng::lognormal(
+        module_seed,
+        &[tag::SUBARRAY, bank.0 as u64, subarray as u64],
+        0.0,
+        profile.sigma_subarray,
+    )
+}
+
+/// Per-row threshold factor: log-normal bulk plus an extra-vulnerable
+/// tail (Obsv. 12: ~5 % of rows are ≈2× more vulnerable).
+pub fn row_factor(profile: &MfrProfile, module_seed: u64, bank: BankId, row: RowAddr) -> f64 {
+    let base = rng::lognormal(
+        module_seed,
+        &[tag::ROW, bank.0 as u64, row.0 as u64],
+        0.0,
+        profile.sigma_row,
+    );
+    let weak = rng::uniform(module_seed, &[tag::ROW_WEAK, bank.0 as u64, row.0 as u64]);
+    if weak < profile.weak_row_fraction {
+        base * profile.weak_row_factor
+    } else {
+        base
+    }
+}
+
+/// Vulnerable-cell *placement weight* of a chip-column in `[0, 1]`.
+///
+/// Mixes a design-induced component (a function of the column address
+/// only — identical across chips and modules of the manufacturer) with
+/// a process-induced per-chip component (Obsv. 13/14); a per-chip
+/// fraction of columns is fully immune (Fig. 12's zero-flip columns).
+pub fn column_weight(
+    profile: &MfrProfile,
+    module_seed: u64,
+    chip: u8,
+    column: u32,
+) -> f64 {
+    // Process-induced: varies per (module, chip, column).
+    if profile.col_zero_fraction > 0.0 {
+        let z = rng::uniform(module_seed, &[tag::COL_ZERO, chip as u64, column as u64]);
+        if z < profile.col_zero_fraction {
+            return 0.0;
+        }
+    }
+    // Design-induced: per manufacturer, shared across chips/modules.
+    // Seeded by the manufacturer index so every module of a vendor
+    // shares the same design profile.
+    let design_seed = 0xD0_5160_0000 + profile.manufacturer.index() as u64;
+    let design = {
+        // Smooth periodic sensitivity along the row (distance to
+        // repeating wordline-driver stripes, §7.4) plus per-column hash.
+        let stripe = ((column % 128) as f64 / 128.0 * std::f64::consts::TAU).sin() * 0.5 + 0.5;
+        let h = rng::uniform(design_seed, &[tag::COL_DESIGN, column as u64]);
+        0.3 * stripe + 0.7 * h
+    };
+    let process = rng::uniform(module_seed, &[tag::COL_PROC, chip as u64, column as u64]);
+    profile.design_share * design + (1.0 - profile.design_share) * process
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_dram::Manufacturer;
+    use rh_stats::coefficient_of_variation;
+
+    fn p(m: Manufacturer) -> MfrProfile {
+        MfrProfile::for_manufacturer(m)
+    }
+
+    #[test]
+    fn factors_are_deterministic() {
+        let pr = p(Manufacturer::A);
+        assert_eq!(module_factor(&pr, 7), module_factor(&pr, 7));
+        assert_eq!(
+            row_factor(&pr, 7, BankId(0), RowAddr(5)),
+            row_factor(&pr, 7, BankId(0), RowAddr(5))
+        );
+    }
+
+    #[test]
+    fn weak_row_tail_fraction_is_close_to_profile() {
+        let pr = p(Manufacturer::A);
+        let n = 20_000u32;
+        // Weak rows are those whose factor carries the extra 0.55×.
+        let weak = (0..n)
+            .filter(|&r| {
+                let f = row_factor(&pr, 1, BankId(0), RowAddr(r));
+                let base =
+                    rng::lognormal(1, &[tag::ROW, 0, r as u64], 0.0, pr.sigma_row);
+                (f / base - pr.weak_row_factor).abs() < 1e-9
+            })
+            .count();
+        let frac = weak as f64 / n as f64;
+        assert!((frac - pr.weak_row_fraction).abs() < 0.01, "weak fraction {frac}");
+    }
+
+    #[test]
+    fn zero_columns_fraction_matches_profile() {
+        for m in [Manufacturer::A, Manufacturer::C, Manufacturer::D] {
+            let pr = p(m);
+            let mut zero = 0usize;
+            let mut total = 0usize;
+            for chip in 0..8u8 {
+                for col in 0..1024u32 {
+                    total += 1;
+                    if column_weight(&pr, 99, chip, col) == 0.0 {
+                        zero += 1;
+                    }
+                }
+            }
+            let frac = zero as f64 / total as f64;
+            assert!(
+                (frac - pr.col_zero_fraction).abs() < 0.03,
+                "{m}: zero col fraction {frac} vs {}",
+                pr.col_zero_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn mfr_b_has_no_zero_columns() {
+        let pr = p(Manufacturer::B);
+        for chip in 0..8u8 {
+            for col in (0..1024u32).step_by(7) {
+                assert!(column_weight(&pr, 3, chip, col) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn design_dominated_columns_agree_across_chips() {
+        // Mfr. B (design_share 0.8): the same column on different chips
+        // should have correlated weights; Mfr. A (0.25) should not.
+        let pb = p(Manufacturer::B);
+        let pa = p(Manufacturer::A);
+        let spread = |pr: &MfrProfile| -> f64 {
+            let mut cvs = Vec::new();
+            for col in 0..256u32 {
+                let ws: Vec<f64> =
+                    (0..8u8).map(|c| column_weight(pr, 55, c, col)).collect();
+                if ws.iter().any(|w| *w == 0.0) {
+                    continue;
+                }
+                cvs.push(coefficient_of_variation(&ws));
+            }
+            cvs.iter().sum::<f64>() / cvs.len() as f64
+        };
+        assert!(spread(&pb) < spread(&pa), "B should vary less across chips than A");
+    }
+
+    #[test]
+    fn subarray_factors_tighter_than_module_factors() {
+        let pr = p(Manufacturer::C);
+        let sub: Vec<f64> =
+            (0..64).map(|s| subarray_factor(&pr, 11, BankId(0), s)).collect();
+        let modules: Vec<f64> = (0..64).map(|m| module_factor(&pr, m)).collect();
+        assert!(
+            coefficient_of_variation(&sub) < coefficient_of_variation(&modules),
+            "subarray variation must be tighter than module variation"
+        );
+    }
+}

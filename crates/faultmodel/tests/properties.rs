@@ -1,0 +1,81 @@
+//! Property-based tests over the fault model's invariants.
+
+use proptest::prelude::*;
+use rh_dram::{BankId, DisturbanceModel, Manufacturer, RowAddr};
+use rh_faultmodel::{g_off, g_on, MfrProfile, RowHammerModel};
+
+fn any_mfr() -> impl Strategy<Value = Manufacturer> {
+    prop::sample::select(Manufacturer::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn g_on_monotone_nondecreasing(mfr in any_mfr(), a in 34_500u64..200_000, d in 0u64..100_000) {
+        let p = MfrProfile::for_manufacturer(mfr);
+        prop_assert!(g_on(&p, a + d) >= g_on(&p, a));
+    }
+
+    #[test]
+    fn g_off_monotone_nonincreasing(mfr in any_mfr(), a in 16_500u64..60_000, d in 0u64..40_000) {
+        let p = MfrProfile::for_manufacturer(mfr);
+        prop_assert!(g_off(&p, a + d) <= g_off(&p, a));
+    }
+
+    #[test]
+    fn accumulation_is_additive(mfr in any_mfr(), n1 in 1u64..200_000, n2 in 1u64..200_000) {
+        let mut split = RowHammerModel::new(mfr, 5);
+        split.on_hammer(BankId(0), RowAddr(100), n1, 34_500, 16_500);
+        split.on_hammer(BankId(0), RowAddr(100), n2, 34_500, 16_500);
+        let mut joint = RowHammerModel::new(mfr, 5);
+        joint.on_hammer(BankId(0), RowAddr(100), n1 + n2, 34_500, 16_500);
+        let a = split.accumulated(BankId(0), RowAddr(101));
+        let b = joint.accumulated(BankId(0), RowAddr(101));
+        prop_assert!((a - b).abs() < 1e-6 * b.max(1.0), "split {a} vs joint {b}");
+    }
+
+    #[test]
+    fn flips_monotone_in_dose(mfr in any_mfr(), seed in 0u64..64, hc in 10_000u64..250_000) {
+        let flips_at = |count: u64| {
+            let mut m = RowHammerModel::new(mfr, seed);
+            m.set_temperature(75.0);
+            m.on_hammer(BankId(0), RowAddr(999), count, 34_500, 16_500);
+            m.on_hammer(BankId(0), RowAddr(1001), count, 34_500, 16_500);
+            m.flips_on_activate(BankId(0), RowAddr(1000), &vec![0u8; 8192], 0).len()
+        };
+        // Trial noise is salted by the restore nonce, which both runs
+        // share here (fresh models), so monotonicity is exact.
+        prop_assert!(flips_at(2 * hc) >= flips_at(hc));
+    }
+
+    #[test]
+    fn restore_fully_clears_row(mfr in any_mfr(), count in 1u64..1_000_000) {
+        let mut m = RowHammerModel::new(mfr, 9);
+        m.on_hammer(BankId(0), RowAddr(10), count, 34_500, 16_500);
+        m.on_restore(BankId(0), RowAddr(11), 0);
+        prop_assert_eq!(m.accumulated(BankId(0), RowAddr(11)), 0.0);
+        // The other victim is untouched.
+        prop_assert!(m.accumulated(BankId(0), RowAddr(9)) > 0.0);
+    }
+
+    #[test]
+    fn no_flips_without_hammering(mfr in any_mfr(), row in 2u32..10_000, fill in any::<u8>()) {
+        let mut m = RowHammerModel::new(mfr, 3);
+        m.set_temperature(75.0);
+        let flips = m.flips_on_activate(BankId(0), RowAddr(row), &vec![fill; 8192], 0);
+        prop_assert!(flips.is_empty());
+    }
+
+    #[test]
+    fn flip_positions_are_in_bounds(mfr in any_mfr(), seed in 0u64..32) {
+        let mut m = RowHammerModel::new(mfr, seed);
+        m.set_temperature(75.0);
+        m.on_hammer(BankId(0), RowAddr(499), 512_000, 154_500, 16_500);
+        m.on_hammer(BankId(0), RowAddr(501), 512_000, 154_500, 16_500);
+        for f in m.flips_on_activate(BankId(0), RowAddr(500), &vec![0u8; 8192], 0) {
+            prop_assert!((f.byte as usize) < 8192);
+            prop_assert!(f.bit < 8);
+        }
+    }
+}

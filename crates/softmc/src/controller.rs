@@ -1,0 +1,253 @@
+//! The simulated memory controller: executes SoftMC programs against a
+//! DRAM module with precise time accounting, and provides a bulk
+//! double-sided-hammer fast path for large sweeps.
+
+use crate::error::SoftMcError;
+use crate::program::{Instr, Program};
+use rh_dram::{
+    BankId, Command, DramModule, Picos, RowAddr, TimedCommand,
+};
+use serde::{Deserialize, Serialize};
+
+/// The result of executing one program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecResult {
+    /// Beats returned by RD instructions, in program order.
+    pub reads: Vec<[u8; 8]>,
+    /// Total commands issued.
+    pub commands: u64,
+    /// Wall-clock duration of the program in picoseconds.
+    pub duration: Picos,
+}
+
+/// A SoftMC-like memory controller bound to one DRAM module.
+#[derive(Debug)]
+pub struct SoftMcController {
+    module: DramModule,
+    /// When set, executed commands are recorded for trace rendering
+    /// (the textual Fig. 6).
+    record_trace: bool,
+    trace: Vec<TimedCommand>,
+}
+
+impl SoftMcController {
+    /// Creates a controller driving `module`.
+    pub fn new(module: DramModule) -> Self {
+        Self { module, record_trace: false, trace: Vec::new() }
+    }
+
+    /// The module under test.
+    pub fn module(&self) -> &DramModule {
+        &self.module
+    }
+
+    /// Mutable access to the module under test.
+    pub fn module_mut(&mut self) -> &mut DramModule {
+        &mut self.module
+    }
+
+    /// Enables or disables command-trace recording.
+    pub fn set_record_trace(&mut self, on: bool) {
+        self.record_trace = on;
+        if !on {
+            self.trace.clear();
+        }
+    }
+
+    /// The recorded command trace (empty unless recording is enabled).
+    pub fn trace(&self) -> &[TimedCommand] {
+        &self.trace
+    }
+
+    /// Executes `program`, advancing module time by exactly the
+    /// program's delays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors ([`SoftMcError::Dram`]) such as timing
+    /// violations and reads of uninitialized rows.
+    pub fn run(&mut self, program: &Program) -> Result<ExecResult, SoftMcError> {
+        let start = self.module.now();
+        let mut at = start;
+        let mut result = ExecResult::default();
+        self.run_instrs(program.instrs(), &mut at, &mut result)?;
+        // Advance the device clock past any trailing Wait so the next
+        // program starts after this one's final delays.
+        if at > self.module.now() {
+            self.module.issue(&TimedCommand { at, cmd: Command::Nop })?;
+        }
+        // Attribute the final precharge episodes to the fault model.
+        self.module.flush_hammers();
+        result.duration = at - start;
+        Ok(result)
+    }
+
+    fn run_instrs(
+        &mut self,
+        instrs: &[Instr],
+        at: &mut Picos,
+        result: &mut ExecResult,
+    ) -> Result<(), SoftMcError> {
+        for i in instrs {
+            match i {
+                Instr::Wait { ps } => *at += ps,
+                Instr::Loop { count, body } => {
+                    for _ in 0..*count {
+                        self.run_instrs(body, at, result)?;
+                    }
+                }
+                Instr::Act { bank, row } => {
+                    self.issue(*at, Command::Act { bank: *bank, row: *row }, result)?;
+                }
+                Instr::Pre { bank } => {
+                    self.issue(*at, Command::Pre { bank: *bank }, result)?;
+                }
+                Instr::Rd { bank, column } => {
+                    if let Some(beat) =
+                        self.issue(*at, Command::Rd { bank: *bank, column: *column }, result)?
+                    {
+                        result.reads.push(beat);
+                    }
+                }
+                Instr::Wr { bank, column, data } => {
+                    self.issue(
+                        *at,
+                        Command::Wr { bank: *bank, column: *column, data: *data },
+                        result,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn issue(
+        &mut self,
+        at: Picos,
+        cmd: Command,
+        result: &mut ExecResult,
+    ) -> Result<Option<[u8; 8]>, SoftMcError> {
+        let tc = TimedCommand { at, cmd };
+        if self.record_trace {
+            self.trace.push(tc.clone());
+        }
+        result.commands += 1;
+        Ok(self.module.issue(&tc)?)
+    }
+
+    /// Bulk fast path for the standard double-sided hammer: equivalent
+    /// to running [`Program::double_sided_hammer`] but without walking
+    /// `4 × count` instructions. Equivalence is asserted by the
+    /// `bulk_path_matches_program_path` integration test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device address errors.
+    pub fn hammer_double_sided(
+        &mut self,
+        bank: BankId,
+        left: RowAddr,
+        right: RowAddr,
+        count: u64,
+        t_on: Picos,
+        t_off: Picos,
+    ) -> Result<(), SoftMcError> {
+        self.module.hammer_direct(bank, left, count, t_on, t_off)?;
+        self.module.hammer_direct(bank, right, count, t_on, t_off)?;
+        Ok(())
+    }
+
+    /// Bulk single-sided hammer fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device address errors.
+    pub fn hammer_single_sided(
+        &mut self,
+        bank: BankId,
+        aggressor: RowAddr,
+        count: u64,
+        t_on: Picos,
+        t_off: Picos,
+    ) -> Result<(), SoftMcError> {
+        self.module.hammer_direct(bank, aggressor, count, t_on, t_off)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_dram::{Manufacturer, ModuleConfig};
+
+    fn controller() -> SoftMcController {
+        SoftMcController::new(DramModule::new(ModuleConfig::ddr4(Manufacturer::D)))
+    }
+
+    #[test]
+    fn executes_write_then_read_program() {
+        let mut c = controller();
+        let t = c.module().config().timing;
+        let data = vec![0x3Cu8; c.module().row_bytes()];
+        c.run(&Program::write_row(BankId(0), RowAddr(7), &data, &t)).unwrap();
+        let r = c
+            .run(&Program::read_row(BankId(0), RowAddr(7), 1024, &t))
+            .unwrap();
+        assert_eq!(r.reads.len(), 1024);
+        assert!(r.reads.iter().all(|b| *b == [0x3C; 8]));
+    }
+
+    #[test]
+    fn duration_accounts_waits() {
+        let mut c = controller();
+        let p = Program::new(vec![Instr::Wait { ps: 123 }, Instr::Wait { ps: 877 }]).unwrap();
+        let r = c.run(&p).unwrap();
+        assert_eq!(r.duration, 1000);
+        assert_eq!(r.commands, 0);
+    }
+
+    #[test]
+    fn hammer_program_counts_activations() {
+        let mut c = controller();
+        let t = c.module().config().timing;
+        let p = Program::double_sided_hammer(
+            BankId(0),
+            RowAddr(20),
+            RowAddr(22),
+            50,
+            t.t_ras,
+            t.t_rp,
+        );
+        let r = c.run(&p).unwrap();
+        assert_eq!(r.commands, 200);
+        assert_eq!(c.module().bank(BankId(0)).stats().count(RowAddr(20)), 50);
+        assert_eq!(c.module().bank(BankId(0)).stats().count(RowAddr(22)), 50);
+        assert_eq!(r.duration, 50 * 2 * (t.t_ras + t.t_rp));
+    }
+
+    #[test]
+    fn trace_recording_captures_commands() {
+        let mut c = controller();
+        c.set_record_trace(true);
+        let t = c.module().config().timing;
+        let p = Program::double_sided_hammer(BankId(0), RowAddr(1), RowAddr(3), 2, t.t_ras, t.t_rp);
+        c.run(&p).unwrap();
+        assert_eq!(c.trace().len(), 8);
+        let rendered = rh_dram::command::render_trace(c.trace());
+        assert!(rendered.contains("ACT(b0,r1)"));
+        c.set_record_trace(false);
+        assert!(c.trace().is_empty());
+    }
+
+    #[test]
+    fn timing_violation_propagates() {
+        let mut c = controller();
+        let p = Program::new(vec![
+            Instr::Act { bank: BankId(0), row: RowAddr(1) },
+            Instr::Wait { ps: 100 }, // far below tRAS
+            Instr::Pre { bank: BankId(0) },
+        ])
+        .unwrap();
+        assert!(matches!(c.run(&p), Err(SoftMcError::Dram(_))));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type of the testing infrastructure.
+
+use rh_dram::DramError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while driving the test bench.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SoftMcError {
+    /// The DRAM device rejected a command.
+    Dram(DramError),
+    /// A program failed validation before execution.
+    InvalidProgram {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The temperature controller could not settle on the setpoint.
+    TemperatureUnstable {
+        /// Requested temperature (°C).
+        target: f64,
+        /// Temperature reached when giving up (°C).
+        reached: f64,
+    },
+}
+
+impl fmt::Display for SoftMcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoftMcError::Dram(e) => write!(f, "dram error: {e}"),
+            SoftMcError::InvalidProgram { reason } => write!(f, "invalid program: {reason}"),
+            SoftMcError::TemperatureUnstable { target, reached } => {
+                write!(f, "temperature did not settle at {target} °C (reached {reached} °C)")
+            }
+        }
+    }
+}
+
+impl Error for SoftMcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SoftMcError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<DramError> for SoftMcError {
+    fn from(e: DramError) -> Self {
+        SoftMcError::Dram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_dram::{BankId, RowAddr};
+
+    #[test]
+    fn displays_and_sources() {
+        let e = SoftMcError::from(DramError::UninitializedRow {
+            bank: BankId(0),
+            row: RowAddr(1),
+        });
+        assert!(e.to_string().contains("dram error"));
+        assert!(Error::source(&e).is_some());
+        let e2 = SoftMcError::InvalidProgram { reason: "empty loop".into() };
+        assert!(e2.to_string().contains("empty loop"));
+        assert!(Error::source(&e2).is_none());
+    }
+}

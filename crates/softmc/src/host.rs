@@ -1,0 +1,222 @@
+//! The assembled test bench of Fig. 2: a DRAM module under test (with
+//! its calibrated fault model), the SoftMC memory controller, and the
+//! temperature controller, wired together the way the paper's host
+//! machine drives them.
+
+use crate::controller::SoftMcController;
+use crate::error::SoftMcError;
+use crate::program::Program;
+use crate::temperature::TemperatureController;
+use rh_dram::{
+    BankId, DramModule, Manufacturer, ModuleConfig, Picos, RowAddr, TestedModule,
+};
+use rh_faultmodel::RowHammerModel;
+
+/// A complete RowHammer test bench for one DRAM module.
+///
+/// Refresh is withheld for the lifetime of the bench (the paper's
+/// methodology §4.2: no REF commands are issued, disabling in-DRAM
+/// TRR), and every temperature change goes through the closed-loop
+/// controller before the fault model sees it.
+#[derive(Debug)]
+pub struct TestBench {
+    controller: SoftMcController,
+    temperature: TemperatureController,
+    manufacturer: Manufacturer,
+    module_seed: u64,
+}
+
+impl TestBench {
+    /// Builds a bench for a DDR4 module of `mfr` with fault-model
+    /// identity `module_seed`.
+    pub fn new(mfr: Manufacturer, module_seed: u64) -> Self {
+        Self::with_config(ModuleConfig::ddr4(mfr), mfr, module_seed)
+    }
+
+    /// Builds a bench for an inventory module from Table 4.
+    pub fn for_module(module: &TestedModule) -> Self {
+        Self::with_config(module.module_config(), module.manufacturer, module.seed())
+    }
+
+    /// Builds a bench with an explicit module configuration.
+    pub fn with_config(cfg: ModuleConfig, mfr: Manufacturer, module_seed: u64) -> Self {
+        let model = RowHammerModel::new(mfr, module_seed);
+        Self::with_fault_model(cfg, model, module_seed)
+    }
+
+    /// Builds a bench with an explicit (possibly ablated) fault model —
+    /// the entry point for ablation studies that vary one calibration
+    /// knob at a time.
+    pub fn with_fault_model(cfg: ModuleConfig, model: RowHammerModel, module_seed: u64) -> Self {
+        let manufacturer = model.profile().manufacturer;
+        let module = DramModule::with_model(cfg, Box::new(model));
+        Self {
+            controller: SoftMcController::new(module),
+            temperature: TemperatureController::new(module_seed ^ 0x7E49),
+            manufacturer,
+            module_seed,
+        }
+    }
+
+    /// The module's manufacturer.
+    pub fn manufacturer(&self) -> Manufacturer {
+        self.manufacturer
+    }
+
+    /// The fault-model identity seed.
+    pub fn module_seed(&self) -> u64 {
+        self.module_seed
+    }
+
+    /// The memory controller.
+    pub fn controller(&self) -> &SoftMcController {
+        &self.controller
+    }
+
+    /// Mutable access to the memory controller.
+    pub fn controller_mut(&mut self) -> &mut SoftMcController {
+        &mut self.controller
+    }
+
+    /// The module under test.
+    pub fn module(&self) -> &DramModule {
+        self.controller.module()
+    }
+
+    /// Mutable access to the module under test.
+    pub fn module_mut(&mut self) -> &mut DramModule {
+        self.controller.module_mut()
+    }
+
+    /// The temperature controller.
+    pub fn temperature_controller(&self) -> &TemperatureController {
+        &self.temperature
+    }
+
+    /// Sets the chip temperature through the closed-loop controller:
+    /// settles within ±0.1 °C and propagates the *true* chip
+    /// temperature to the fault model (the die tracks the package,
+    /// §4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`SoftMcError::TemperatureUnstable`] if the plant cannot reach
+    /// `celsius` (e.g., below ambient).
+    pub fn set_temperature(&mut self, celsius: f64) -> Result<f64, SoftMcError> {
+        let reached = self.temperature.set_and_settle(celsius)?;
+        self.module_mut().set_temperature(reached);
+        Ok(reached)
+    }
+
+    /// Runs a SoftMC program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller/device errors.
+    pub fn run(&mut self, program: &Program) -> Result<crate::ExecResult, SoftMcError> {
+        self.controller.run(program)
+    }
+
+    /// Bulk double-sided hammer at the module's standard timings unless
+    /// overridden.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device address errors.
+    pub fn hammer_double_sided(
+        &mut self,
+        bank: BankId,
+        left: RowAddr,
+        right: RowAddr,
+        count: u64,
+        t_on: Option<Picos>,
+        t_off: Option<Picos>,
+    ) -> Result<(), SoftMcError> {
+        let timing = self.module().config().timing;
+        self.controller.hammer_double_sided(
+            bank,
+            left,
+            right,
+            count,
+            t_on.unwrap_or(timing.t_ras),
+            t_off.unwrap_or(timing.t_rp),
+        )
+    }
+
+    /// Bulk single-sided hammer at standard timings unless overridden.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device address errors.
+    pub fn hammer_single_sided(
+        &mut self,
+        bank: BankId,
+        aggressor: RowAddr,
+        count: u64,
+        t_on: Option<Picos>,
+        t_off: Option<Picos>,
+    ) -> Result<(), SoftMcError> {
+        let timing = self.module().config().timing;
+        self.controller.hammer_single_sided(
+            bank,
+            aggressor,
+            count,
+            t_on.unwrap_or(timing.t_ras),
+            t_off.unwrap_or(timing.t_rp),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reaches_paper_temperatures() {
+        let mut b = TestBench::new(Manufacturer::A, 3);
+        let reached = b.set_temperature(85.0).unwrap();
+        assert!((reached - 85.0).abs() <= 0.1);
+        assert_eq!(b.module().model().temperature(), reached);
+    }
+
+    #[test]
+    fn bench_for_inventory_module() {
+        let modules = rh_dram::tested_modules();
+        let b = TestBench::for_module(&modules[0]);
+        assert_eq!(b.manufacturer(), Manufacturer::A);
+        assert_eq!(b.module_seed(), modules[0].seed());
+    }
+
+    #[test]
+    fn hammering_through_bench_flips_bits() {
+        let mut b = TestBench::new(Manufacturer::B, 11);
+        b.set_temperature(75.0).unwrap();
+        let bank = BankId(0);
+        let row_bytes = b.module().row_bytes();
+        for r in 4998..=5002u32 {
+            b.module_mut().write_row_direct(bank, RowAddr(r), &vec![0u8; row_bytes]).unwrap();
+        }
+        b.hammer_double_sided(bank, RowAddr(4999), RowAddr(5001), 400_000, None, None).unwrap();
+        let victim = b.module_mut().read_row_direct(bank, RowAddr(5000)).unwrap();
+        let flips: u32 = victim.iter().map(|x| x.count_ones()).sum();
+        assert!(flips > 0, "400K hammers on Mfr. B should flip bits");
+    }
+
+    #[test]
+    fn same_seed_same_bench_behavior() {
+        let flips = |seed: u64| {
+            let mut b = TestBench::new(Manufacturer::C, seed);
+            b.set_temperature(75.0).unwrap();
+            let bank = BankId(1);
+            let row_bytes = b.module().row_bytes();
+            for r in 98..=102u32 {
+                b.module_mut()
+                    .write_row_direct(bank, RowAddr(r), &vec![0u8; row_bytes])
+                    .unwrap();
+            }
+            b.hammer_double_sided(bank, RowAddr(99), RowAddr(101), 500_000, None, None).unwrap();
+            b.module_mut().read_row_direct(bank, RowAddr(100)).unwrap()
+        };
+        assert_eq!(flips(9), flips(9));
+    }
+}

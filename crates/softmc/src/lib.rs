@@ -1,0 +1,54 @@
+//! SoftMC-like DRAM testing infrastructure simulator (§4.1 of the
+//! paper).
+//!
+//! The paper drives real chips with SoftMC on Xilinx FPGA boards and
+//! regulates temperature with heater pads under a Maxwell FT200 PID
+//! controller. This crate provides the simulated equivalents:
+//!
+//! * [`program`] — SoftMC-style instruction streams (ACT/PRE/RD/WR with
+//!   explicit delays and loops) plus builders for the paper's hammer
+//!   sequences, including the extended-on-time sequences of Fig. 6.
+//! * [`controller`] — executes programs against an [`rh_dram::DramModule`]
+//!   with command-clock accounting, and offers a bulk double-sided
+//!   hammer fast path proven equivalent to the instruction-level path.
+//! * [`temperature`] — a closed-loop PID temperature controller with
+//!   heater/ambient dynamics and ±0.1 °C measurement error.
+//! * [`host`] — the assembled test bench of Fig. 2: module under test +
+//!   memory controller + temperature controller, with refresh withheld
+//!   so in-DRAM TRR cannot interfere (§4.2).
+//! * [`memctl`] — a request-level production memory controller
+//!   (FR-FCFS, row-buffer policies including §8.2 Improvement 5's
+//!   open-time cap, defense hooks, latency statistics).
+//!
+//! # Examples
+//!
+//! ```
+//! use rh_dram::{BankId, Manufacturer, RowAddr};
+//! use rh_softmc::TestBench;
+//!
+//! let mut bench = TestBench::new(Manufacturer::A, 42);
+//! bench.set_temperature(75.0)?;
+//! let bank = BankId(0);
+//! let row_bytes = bench.module().row_bytes();
+//! for r in 998..=1002 {
+//!     bench.module_mut().write_row_direct(bank, RowAddr(r), &vec![0; row_bytes])?;
+//! }
+//! bench.hammer_double_sided(bank, RowAddr(999), RowAddr(1001), 200_000, None, None)?;
+//! let victim = bench.module_mut().read_row_direct(bank, RowAddr(1000))?;
+//! println!("{} flipped bits", victim.iter().map(|b| b.count_ones()).sum::<u32>());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod controller;
+pub mod error;
+pub mod host;
+pub mod memctl;
+pub mod program;
+pub mod temperature;
+
+pub use controller::{ExecResult, SoftMcController};
+pub use error::SoftMcError;
+pub use host::TestBench;
+pub use memctl::{ActivationHook, HookAction, MemController, MemRequest, MemStats, RowPolicy};
+pub use program::{Instr, Program};
+pub use temperature::TemperatureController;

@@ -1,0 +1,188 @@
+//! Closed-loop temperature control (§4.1): silicone heater pads pressed
+//! to the module, a thermocouple on the chip, and a PID controller
+//! keeping the chip within ±0.1 °C of the setpoint.
+
+use serde::{Deserialize, Serialize};
+
+/// Ambient (unheated) temperature of the test chamber, °C.
+pub const AMBIENT_C: f64 = 35.0;
+
+/// Guaranteed measurement accuracy of the infrastructure, °C (§4.1).
+pub const MEASUREMENT_ERROR_C: f64 = 0.1;
+
+/// The simulated Maxwell-FT200-style PID temperature controller.
+///
+/// The plant is a first-order thermal model
+/// `dT/dt = k_heat · power − k_cool · (T − ambient)`, stepped at a
+/// fixed control period; the PID loop drives heater `power ∈ [0, 1]`.
+///
+/// ```
+/// let mut tc = rh_softmc::TemperatureController::new(42);
+/// let reached = tc.set_and_settle(75.0).unwrap();
+/// assert!((reached - 75.0).abs() <= 0.1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemperatureController {
+    setpoint: f64,
+    chip_temp: f64,
+    integral: f64,
+    prev_error: f64,
+    power: f64,
+    steps: u64,
+    noise_seed: u64,
+    /// Proportional gain.
+    kp: f64,
+    /// Integral gain.
+    ki: f64,
+    /// Derivative gain.
+    kd: f64,
+    /// Heating rate at full power, °C per step.
+    k_heat: f64,
+    /// Cooling rate toward ambient, fraction per step.
+    k_cool: f64,
+}
+
+impl TemperatureController {
+    /// Creates a controller at ambient temperature. `noise_seed` makes
+    /// the ±0.1 °C sensor noise deterministic per test bench.
+    pub fn new(noise_seed: u64) -> Self {
+        Self {
+            setpoint: AMBIENT_C,
+            chip_temp: AMBIENT_C,
+            integral: 0.0,
+            prev_error: 0.0,
+            power: 0.0,
+            steps: 0,
+            noise_seed,
+            kp: 0.12,
+            ki: 0.02,
+            kd: 0.05,
+            k_heat: 2.0,
+            k_cool: 0.02,
+        }
+    }
+
+    /// The commanded setpoint (°C).
+    pub fn setpoint(&self) -> f64 {
+        self.setpoint
+    }
+
+    /// The true (noise-free) chip temperature (°C) — oracle access for
+    /// tests; experiments must use [`measure`](Self::measure).
+    pub fn true_temperature(&self) -> f64 {
+        self.chip_temp
+    }
+
+    /// Current heater power in `[0, 1]`.
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Reads the thermocouple: the chip temperature within ±0.1 °C.
+    pub fn measure(&mut self) -> f64 {
+        self.steps = self.steps.wrapping_add(1);
+        let mut z = self.noise_seed ^ self.steps.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        self.chip_temp + MEASUREMENT_ERROR_C * (2.0 * u - 1.0)
+    }
+
+    /// Commands a new setpoint without waiting.
+    pub fn set_setpoint(&mut self, celsius: f64) {
+        self.setpoint = celsius;
+        self.integral = 0.0;
+    }
+
+    /// Advances the control loop one period.
+    pub fn step(&mut self) {
+        let error = self.setpoint - self.chip_temp;
+        self.integral = (self.integral + error).clamp(-50.0, 50.0);
+        let derivative = error - self.prev_error;
+        self.prev_error = error;
+        self.power =
+            (self.kp * error + self.ki * self.integral + self.kd * derivative).clamp(0.0, 1.0);
+        self.chip_temp += self.k_heat * self.power - self.k_cool * (self.chip_temp - AMBIENT_C);
+    }
+
+    /// Commands `celsius` and runs the loop until the chip stays within
+    /// ±0.1 °C for 50 consecutive periods. Returns the settled true
+    /// temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reached temperature in the error if the loop fails
+    /// to settle within 100 000 periods (e.g., a setpoint below what
+    /// the unpowered plant can reach).
+    pub fn set_and_settle(&mut self, celsius: f64) -> Result<f64, crate::SoftMcError> {
+        self.set_setpoint(celsius);
+        let mut stable = 0u32;
+        for _ in 0..100_000 {
+            self.step();
+            if (self.chip_temp - celsius).abs() <= MEASUREMENT_ERROR_C {
+                stable += 1;
+                if stable >= 50 {
+                    return Ok(self.chip_temp);
+                }
+            } else {
+                stable = 0;
+            }
+        }
+        Err(crate::SoftMcError::TemperatureUnstable { target: celsius, reached: self.chip_temp })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settles_across_paper_range() {
+        let mut tc = TemperatureController::new(7);
+        for t in (50..=90).step_by(5) {
+            let reached = tc.set_and_settle(t as f64).unwrap();
+            assert!((reached - t as f64).abs() <= MEASUREMENT_ERROR_C, "{t} °C: {reached}");
+        }
+    }
+
+    #[test]
+    fn cannot_cool_below_ambient() {
+        let mut tc = TemperatureController::new(7);
+        let e = tc.set_and_settle(20.0).unwrap_err();
+        assert!(matches!(e, crate::SoftMcError::TemperatureUnstable { .. }));
+    }
+
+    #[test]
+    fn measurement_error_bounded() {
+        let mut tc = TemperatureController::new(9);
+        tc.set_and_settle(70.0).unwrap();
+        for _ in 0..1000 {
+            let m = tc.measure();
+            assert!((m - tc.true_temperature()).abs() <= MEASUREMENT_ERROR_C + 1e-12);
+        }
+    }
+
+    #[test]
+    fn measurement_noise_varies() {
+        let mut tc = TemperatureController::new(9);
+        tc.set_and_settle(70.0).unwrap();
+        let a = tc.measure();
+        let b = tc.measure();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn power_rises_when_heating() {
+        let mut tc = TemperatureController::new(1);
+        tc.set_setpoint(90.0);
+        tc.step();
+        assert!(tc.power() > 0.0);
+    }
+
+    #[test]
+    fn settling_is_deterministic_per_seed() {
+        let mut a = TemperatureController::new(5);
+        let mut b = TemperatureController::new(5);
+        assert_eq!(a.set_and_settle(65.0).unwrap(), b.set_and_settle(65.0).unwrap());
+    }
+}

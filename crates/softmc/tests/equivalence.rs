@@ -1,0 +1,105 @@
+//! Equivalence of the bulk hammer fast path and the instruction-level
+//! SoftMC program path, plus property tests over the infrastructure.
+
+use proptest::prelude::*;
+use rh_dram::{BankId, DramModule, Manufacturer, ModuleConfig, Picos, RowAddr};
+use rh_faultmodel::RowHammerModel;
+use rh_softmc::{Program, SoftMcController, TestBench};
+
+/// Builds a controller with the calibrated fault model for `mfr`/`seed`.
+fn bench_controller(mfr: Manufacturer, seed: u64, temp: f64) -> SoftMcController {
+    let mut model = RowHammerModel::new(mfr, seed);
+    rh_dram::DisturbanceModel::set_temperature(&mut model, temp);
+    let module = DramModule::with_model(ModuleConfig::ddr4(mfr), Box::new(model));
+    SoftMcController::new(module)
+}
+
+/// Writes the victim neighborhood, hammers via the chosen path, and
+/// returns the victim row content.
+fn run_hammer(via_program: bool, mfr: Manufacturer, seed: u64, count: u64) -> Vec<u8> {
+    let mut c = bench_controller(mfr, seed, 75.0);
+    let bank = BankId(0);
+    let victim = RowAddr(5000);
+    let row_bytes = c.module().row_bytes();
+    for d in -2i64..=2 {
+        c.module_mut().write_row_direct(bank, victim.offset(d), &vec![0u8; row_bytes]).unwrap();
+    }
+    let t = c.module().config().timing;
+    let (left, right) = (victim.offset(-1), victim.offset(1));
+    if via_program {
+        let p = Program::double_sided_hammer(bank, left, right, count, t.t_ras, t.t_rp);
+        c.run(&p).unwrap();
+    } else {
+        c.hammer_double_sided(bank, left, right, count, t.t_ras, t.t_rp).unwrap();
+    }
+    c.module_mut().read_row_direct(bank, victim).unwrap()
+}
+
+#[test]
+fn bulk_path_matches_program_path() {
+    // The two paths must agree on which bits flip, up to per-trial
+    // threshold noise (±2 % around each cell's threshold). Use a count
+    // that flips a meaningful number of bits on Mfr. B.
+    for seed in [1u64, 2, 3] {
+        let a = run_hammer(true, Manufacturer::B, seed, 120_000);
+        let b = run_hammer(false, Manufacturer::B, seed, 120_000);
+        let flips = |v: &[u8]| -> usize { v.iter().map(|x| x.count_ones() as usize).sum() };
+        let (fa, fb) = (flips(&a), flips(&b));
+        let diff = fa.abs_diff(fb);
+        assert!(
+            diff <= 2 + fa.max(fb) / 5,
+            "paths diverge: program={fa} bulk={fb} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn hammer_program_duration_matches_closed_form() {
+    let mut c = bench_controller(Manufacturer::D, 9, 50.0);
+    let t = c.module().config().timing;
+    let p = Program::double_sided_hammer(BankId(0), RowAddr(10), RowAddr(12), 1000, t.t_ras, t.t_rp);
+    let r = c.run(&p).unwrap();
+    assert_eq!(r.duration, 1000 * 2 * (t.t_ras + t.t_rp));
+}
+
+#[test]
+fn paper_hammer_budget_fits_refresh_window() {
+    // 512K hammers (the HCfirst search cap) must run in under 64 ms at
+    // baseline timings — the paper sizes its tests this way (§4.2).
+    let mut c = bench_controller(Manufacturer::A, 1, 50.0);
+    let t = c.module().config().timing;
+    c.hammer_double_sided(BankId(0), RowAddr(1), RowAddr(3), 512 * 1024, t.t_ras, t.t_rp)
+        .unwrap();
+    assert!(c.module().now() <= 64_000_000_000, "512K hammers exceed 64 ms");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bench_temperature_always_within_tolerance(t in 50.0f64..90.0) {
+        let mut b = TestBench::new(Manufacturer::C, 5);
+        let reached = b.set_temperature(t).unwrap();
+        prop_assert!((reached - t).abs() <= 0.1);
+    }
+
+    #[test]
+    fn bulk_hammer_time_linear(count in 1u64..100_000, extra_on in 0u64..120_000) {
+        let mut c = bench_controller(Manufacturer::A, 2, 50.0);
+        let t = c.module().config().timing;
+        let t_on: Picos = t.t_ras + extra_on;
+        c.hammer_double_sided(BankId(0), RowAddr(100), RowAddr(102), count, t_on, t.t_rp).unwrap();
+        prop_assert_eq!(c.module().now(), count * 2 * (t_on + t.t_rp));
+    }
+
+    #[test]
+    fn more_hammers_never_fewer_flips(count in 10_000u64..60_000) {
+        // Monotonicity within one module/seed: doubling the count never
+        // reduces flips by more than trial noise.
+        let f1 = run_hammer(false, Manufacturer::B, 77, count)
+            .iter().map(|x| x.count_ones() as usize).sum::<usize>();
+        let f2 = run_hammer(false, Manufacturer::B, 77, count * 2)
+            .iter().map(|x| x.count_ones() as usize).sum::<usize>();
+        prop_assert!(f2 + 2 >= f1, "flips dropped: {f1} -> {f2}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the request-level memory controller.
+
+use proptest::prelude::*;
+use rh_dram::{BankId, DramModule, Manufacturer, ModuleConfig, RowAddr};
+use rh_softmc::{MemController, MemRequest, RowPolicy};
+
+fn any_policy() -> impl Strategy<Value = RowPolicy> {
+    prop::sample::select(vec![
+        RowPolicy::OpenPage,
+        RowPolicy::ClosedPage,
+        RowPolicy::CappedOpen { cap: 3 * 34_500 },
+    ])
+}
+
+/// (bank, row, gap-to-next-arrival) triples.
+fn request_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    prop::collection::vec((0u32..8, 0u32..512, 0u32..100_000), 1..400)
+}
+
+fn build(reqs: &[(u32, u32, u32)]) -> Vec<MemRequest> {
+    let mut arrival = 0u64;
+    reqs.iter()
+        .enumerate()
+        .map(|(i, &(bank, row, gap))| {
+            arrival += u64::from(gap);
+            MemRequest {
+                id: i as u64,
+                bank: BankId(bank),
+                row: RowAddr(1000 + row),
+                column: (i % 64) as u32,
+                is_write: i % 3 == 0,
+                arrival,
+            }
+        })
+        .collect()
+}
+
+fn run(policy: RowPolicy, reqs: &[MemRequest]) -> rh_softmc::MemStats {
+    let module = DramModule::new(ModuleConfig::ddr4(Manufacturer::D));
+    let mut mc = MemController::new(module, policy);
+    for r in reqs {
+        mc.submit(*r).expect("in-range bank");
+    }
+    mc.drain()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn accounting_is_conserved(policy in any_policy(), reqs in request_strategy()) {
+        let rs = build(&reqs);
+        let s = run(policy, &rs);
+        prop_assert_eq!(s.completed, rs.len() as u64);
+        prop_assert_eq!(s.row_hits + s.row_misses, s.completed);
+        prop_assert!(s.makespan >= rs.iter().map(|r| r.arrival).max().unwrap_or(0));
+    }
+
+    #[test]
+    fn closed_page_never_hits(reqs in request_strategy()) {
+        let rs = build(&reqs);
+        let s = run(RowPolicy::ClosedPage, &rs);
+        prop_assert_eq!(s.row_hits, 0);
+    }
+
+    #[test]
+    fn drain_is_deterministic(policy in any_policy(), reqs in request_strategy()) {
+        let rs = build(&reqs);
+        prop_assert_eq!(run(policy, &rs), run(policy, &rs));
+    }
+
+    #[test]
+    fn capped_open_never_hits_more_than_open_page(reqs in request_strategy()) {
+        let rs = build(&reqs);
+        let open = run(RowPolicy::OpenPage, &rs);
+        let capped = run(RowPolicy::CappedOpen { cap: 2 * 34_500 }, &rs);
+        prop_assert!(capped.row_hits <= open.row_hits);
+    }
+
+    #[test]
+    fn latency_at_least_service_floor(policy in any_policy(), reqs in request_strategy()) {
+        let rs = build(&reqs);
+        let s = run(policy, &rs);
+        // Every request pays at least CAS latency.
+        prop_assert!(s.total_latency >= s.completed * 13_750);
+    }
+}

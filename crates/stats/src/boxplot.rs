@@ -1,0 +1,117 @@
+//! Tukey box-plot statistics as used by the paper's Figs. 7 and 9
+//! (footnote 5: box spans Q1..Q3, whiskers extend 1.5×IQR beyond the
+//! quartiles, points beyond are outliers).
+
+use crate::quantile::percentile_sorted;
+use serde::{Deserialize, Serialize};
+
+/// The five-number box-plot summary plus outliers.
+///
+/// ```
+/// let b = rh_stats::BoxPlotStats::of(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+/// assert_eq!(b.median, 3.0);
+/// assert_eq!(b.outliers, vec![100.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlotStats {
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Lowest sample within `q1 - 1.5*IQR`.
+    pub whisker_lo: f64,
+    /// Highest sample within `q3 + 1.5*IQR`.
+    pub whisker_hi: f64,
+    /// Samples beyond the whiskers, ascending.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxPlotStats {
+    /// Computes box-plot statistics of `xs`.
+    ///
+    /// Returns an all-zero box for an empty input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self {
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                whisker_lo: 0.0,
+                whisker_hi: 0.0,
+                outliers: Vec::new(),
+            };
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in box plot input"));
+        let q1 = percentile_sorted(&sorted, 25.0);
+        let median = percentile_sorted(&sorted, 50.0);
+        let q3 = percentile_sorted(&sorted, 75.0);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = sorted.iter().copied().find(|&x| x >= lo_fence).unwrap_or(q1);
+        let whisker_hi = sorted.iter().rev().copied().find(|&x| x <= hi_fence).unwrap_or(q3);
+        let outliers =
+            sorted.iter().copied().filter(|&x| x < lo_fence || x > hi_fence).collect();
+        Self { q1, median, q3, whisker_lo, whisker_hi, outliers }
+    }
+
+    /// Interquartile range `q3 - q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_is_zero() {
+        let b = BoxPlotStats::of(&[]);
+        assert_eq!(b.median, 0.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn no_outliers_in_uniform_data() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = BoxPlotStats::of(&xs);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_lo, 0.0);
+        assert_eq!(b.whisker_hi, 99.0);
+    }
+
+    #[test]
+    fn detects_high_outlier() {
+        let b = BoxPlotStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0, 1000.0]);
+        assert_eq!(b.outliers, vec![1000.0]);
+        assert!(b.whisker_hi <= 5.0);
+    }
+
+    #[test]
+    fn detects_low_outlier() {
+        let b = BoxPlotStats::of(&[-1000.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.outliers, vec![-1000.0]);
+    }
+
+    #[test]
+    fn whiskers_are_real_samples() {
+        let xs = [1.0, 5.0, 6.0, 7.0, 11.0];
+        let b = BoxPlotStats::of(&xs);
+        assert!(xs.contains(&b.whisker_lo));
+        assert!(xs.contains(&b.whisker_hi));
+    }
+
+    #[test]
+    fn iqr_nonnegative() {
+        let b = BoxPlotStats::of(&[3.0, 3.0, 3.0]);
+        assert_eq!(b.iqr(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Confidence intervals for sample means (the 95 % error bars of
+//! Fig. 4).
+
+use crate::descriptive::{mean, std_dev};
+use serde::{Deserialize, Serialize};
+
+/// A symmetric confidence interval around a sample mean.
+///
+/// ```
+/// let ci = rh_stats::ConfidenceInterval::mean_ci_95(&[9.0, 10.0, 11.0]);
+/// assert_eq!(ci.center, 10.0);
+/// assert!(ci.lo < 10.0 && ci.hi > 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The sample mean.
+    pub center: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// 95 % confidence interval of the mean using the normal
+    /// approximation (`z = 1.96`), adequate for the large per-row sample
+    /// counts in the characterization sweeps. Degenerates to a width of
+    /// zero for fewer than two samples.
+    pub fn mean_ci_95(xs: &[f64]) -> Self {
+        Self::mean_ci(xs, 1.96)
+    }
+
+    /// Confidence interval of the mean at an arbitrary z-score.
+    pub fn mean_ci(xs: &[f64], z: f64) -> Self {
+        let m = mean(xs);
+        if xs.len() < 2 {
+            return Self { center: m, lo: m, hi: m };
+        }
+        let se = std_dev(xs) / (xs.len() as f64).sqrt();
+        Self { center: m, lo: m - z * se, hi: m + z * se }
+    }
+
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether `x` lies in the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_ci_is_degenerate() {
+        let ci = ConfidenceInterval::mean_ci_95(&[5.0]);
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+        assert_eq!(ci.half_width(), 0.0);
+    }
+
+    #[test]
+    fn wider_data_wider_interval() {
+        let tight = ConfidenceInterval::mean_ci_95(&[9.9, 10.0, 10.1, 10.0]);
+        let loose = ConfidenceInterval::mean_ci_95(&[5.0, 10.0, 15.0, 10.0]);
+        assert!(loose.half_width() > tight.half_width());
+    }
+
+    #[test]
+    fn more_samples_narrower_interval() {
+        let few: Vec<f64> = (0..10).map(|i| (i % 2) as f64).collect();
+        let many: Vec<f64> = (0..1000).map(|i| (i % 2) as f64).collect();
+        let ci_few = ConfidenceInterval::mean_ci_95(&few);
+        let ci_many = ConfidenceInterval::mean_ci_95(&many);
+        assert!(ci_many.half_width() < ci_few.half_width());
+    }
+
+    #[test]
+    fn contains_its_center() {
+        let ci = ConfidenceInterval::mean_ci_95(&[1.0, 2.0, 3.0]);
+        assert!(ci.contains(ci.center));
+        assert!(!ci.contains(ci.hi + 1.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Correlation coefficients and the two-sample Kolmogorov–Smirnov
+//! statistic — secondary measures for the spatial analyses (Fig. 14's
+//! min-vs-avg relation, Fig. 15's distribution similarity).
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` for mismatched lengths, fewer than two points, or a
+/// zero-variance input.
+///
+/// ```
+/// let r = rh_stats::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Ranks of a sample (average ranks for ties), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN sample in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson over ranks).
+///
+/// ```
+/// // Monotone but non-linear: Spearman sees a perfect relation.
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [1.0, 8.0, 27.0, 64.0];
+/// assert!((rh_stats::spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the maximum distance
+/// between the two empirical CDFs, in `[0, 1]`.
+///
+/// Returns `0.0` when either sample is empty.
+///
+/// ```
+/// let a = [1.0, 2.0, 3.0];
+/// assert_eq!(rh_stats::ks_statistic(&a, &a), 0.0);
+/// let b = [11.0, 12.0, 13.0];
+/// assert_eq!(rh_stats::ks_statistic(&a, &b), 1.0);
+/// ```
+pub fn ks_statistic(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.is_empty() || ys.is_empty() {
+        return 0.0;
+    }
+    let mut a: Vec<f64> = xs.to_vec();
+    let mut b: Vec<f64> = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).expect("NaN sample in KS input"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("NaN sample in KS input"));
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mut d: f64 = 0.0;
+    // Sweep the merged sample; the CDF gap can only attain its maximum
+    // at sample points, all of which this loop visits.
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&va), Some(&vb)) => {
+                if va <= vb {
+                    i += 1;
+                }
+                if vb <= va {
+                    j += 1;
+                }
+            }
+            (Some(_), None) => i += 1,
+            (None, Some(_)) => j += 1,
+            (None, None) => break,
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_sign_and_bounds() {
+        let up = pearson(&[1.0, 2.0, 3.0, 4.0], &[1.1, 1.9, 3.2, 3.8]).unwrap();
+        assert!(up > 0.98);
+        let down = pearson(&[1.0, 2.0, 3.0, 4.0], &[4.0, 3.0, 2.0, 1.0]).unwrap();
+        assert!((down + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate_inputs() {
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_robust_to_monotone_transform() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_is_zero_for_identical_and_one_for_disjoint() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+        assert_eq!(ks_statistic(&a, &[100.0, 200.0]), 1.0);
+    }
+
+    #[test]
+    fn ks_detects_shift() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| i as f64 + 50.0).collect();
+        let d = ks_statistic(&a, &b);
+        assert!((d - 0.5).abs() < 0.05, "shift KS {d}");
+    }
+
+    #[test]
+    fn ks_symmetric() {
+        let a = [1.0, 3.0, 5.0, 9.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Descriptive statistics: mean, variance, standard deviation,
+//! coefficient of variation, and a one-shot [`Summary`].
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of `xs`. Returns `0.0` for an empty slice.
+///
+/// ```
+/// assert_eq!(rh_stats::mean(&[1.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of `xs`. Returns `0.0` when fewer than two samples.
+///
+/// ```
+/// assert_eq!(rh_stats::variance(&[1.0, 3.0]), 1.0);
+/// ```
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of `xs`.
+///
+/// ```
+/// assert_eq!(rh_stats::std_dev(&[1.0, 3.0]), 1.0);
+/// ```
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation `CV = std / mean` (as used by the paper in
+/// Obsv. 9, 11, and 14 to compare dispersion across conditions).
+///
+/// Returns `0.0` if the mean is zero (so that "no signal" compares as
+/// "no variation" rather than NaN).
+///
+/// ```
+/// let cv = rh_stats::coefficient_of_variation(&[90.0, 110.0]);
+/// assert!((cv - 0.1).abs() < 1e-12);
+/// ```
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    std_dev(xs) / m
+}
+
+/// Geometric mean of strictly positive samples; non-positive samples are
+/// skipped. Returns `0.0` for an empty (or all non-positive) slice.
+///
+/// ```
+/// assert_eq!(rh_stats::geometric_mean(&[1.0, 4.0]), 2.0);
+/// ```
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().copied().filter(|x| *x > 0.0).map(f64::ln).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    mean(&logs).exp()
+}
+
+/// A one-shot descriptive summary of a sample.
+///
+/// ```
+/// let s = rh_stats::Summary::of(&[2.0, 4.0, 6.0]);
+/// assert_eq!(s.n, 3);
+/// assert_eq!(s.mean, 4.0);
+/// assert_eq!(s.min, 2.0);
+/// assert_eq!(s.max, 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum sample (0.0 when empty).
+    pub min: f64,
+    /// Maximum sample (0.0 when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `xs`.
+    pub fn of(xs: &[f64]) -> Self {
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            if x < min {
+                min = x;
+            }
+            if x > max {
+                max = x;
+            }
+        }
+        if xs.is_empty() {
+            min = 0.0;
+            max = 0.0;
+        }
+        Self { n: xs.len(), mean: mean(xs), std_dev: std_dev(xs), min, max }
+    }
+
+    /// Coefficient of variation of the summarized sample.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_of_constant() {
+        assert_eq!(mean(&[7.0; 10]), 7.0);
+    }
+
+    #[test]
+    fn variance_of_singleton_is_zero() {
+        assert_eq!(variance(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // xs = [2, 4, 4, 4, 5, 5, 7, 9]: classic example, population var = 4.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_zero_mean_is_zero() {
+        assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cv_scale_invariant() {
+        let a = [10.0, 20.0, 30.0];
+        let b = [100.0, 200.0, 300.0];
+        assert!((coefficient_of_variation(&a) - coefficient_of_variation(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_skips_nonpositive() {
+        assert_eq!(geometric_mean(&[-1.0, 0.0, 1.0, 4.0]), 2.0);
+        assert_eq!(geometric_mean(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn summary_min_max() {
+        let s = Summary::of(&[3.0, -2.0, 8.0]);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.n, 3);
+    }
+}

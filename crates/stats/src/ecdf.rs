@@ -1,0 +1,136 @@
+//! Empirical cumulative distribution functions, used to render the
+//! cumulative Bhattacharyya-distance curves of Fig. 15 and the sorted
+//! per-row HCfirst curves of Figs. 5 and 11.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a sample.
+///
+/// ```
+/// let e = rh_stats::Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(e.eval(2.0), 0.5);
+/// assert_eq!(e.eval(0.0), 0.0);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of `xs` (takes ownership, sorts once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in ECDF input"));
+        Self { sorted: xs }
+    }
+
+    /// Fraction of samples `<= x`. Returns 0.0 for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point: number of samples <= x.
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample `v` with `eval(v) >= q`, for
+    /// `q` in `(0, 1]`. Returns `None` on an empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `(0.0, 1.0]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile q={q} out of range");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize - 1).min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// The sorted sample underlying the ECDF.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates the ECDF on a uniform grid of `points` x-values across
+    /// the sample range, returning `(x, F(x))` pairs — the plottable
+    /// cumulative curve.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..points)
+            .map(|i| {
+                let x = if points == 1 {
+                    lo
+                } else {
+                    lo + (hi - lo) * i as f64 / (points - 1) as f64
+                };
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_evaluates_to_zero() {
+        let e = Ecdf::new(vec![]);
+        assert_eq!(e.eval(1.0), 0.0);
+        assert!(e.is_empty());
+        assert!(e.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn step_positions() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0]);
+        assert_eq!(e.eval(0.99), 0.0);
+        assert!((e.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.eval(2.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.25), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(20.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_zero_panics() {
+        Ecdf::new(vec![1.0]).quantile(0.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new(vec![3.0, 1.0, 4.0, 1.0, 5.0]);
+        let c = e.curve(50);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+}

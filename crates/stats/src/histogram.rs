@@ -1,0 +1,225 @@
+//! Uniform-bin one- and two-dimensional histograms, used for the
+//! vulnerable-temperature-range grid of Fig. 3, the column-vulnerability
+//! 2-D histogram of Fig. 13, and as the common support for the
+//! Bhattacharyya distance of Fig. 15.
+
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional histogram over `[lo, hi)` with uniform bins.
+/// Samples outside the range are clamped into the edge bins (the paper
+/// saturates its Fig. 13 x-axis at CV = 1.0 the same way).
+///
+/// ```
+/// let mut h = rh_stats::Histogram1d::new(0.0, 10.0, 5);
+/// h.add(1.0);
+/// h.add(9.5);
+/// h.add(100.0); // clamped into the last bin
+/// assert_eq!(h.counts(), &[1, 0, 0, 0, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram1d {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram1d {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Builds a histogram over the data's own min..max range.
+    pub fn of(xs: &[f64], bins: usize) -> Self {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if !lo.is_finite() || hi <= lo {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        let mut h = Self::new(lo, hi + (hi - lo) * 1e-9, bins);
+        for &x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Index of the bin that `x` falls into (clamped to the edges).
+    pub fn bin_of(&self, x: f64) -> usize {
+        let f = (x - self.lo) / (self.hi - self.lo);
+        let i = (f * self.counts.len() as f64).floor();
+        (i.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Per-bin probability masses (all zero if the histogram is empty).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let t = self.total();
+        if t == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / t as f64).collect()
+    }
+
+    /// Lower edge of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+/// A two-dimensional histogram with uniform bins in both axes; out of
+/// range samples are clamped into edge buckets.
+///
+/// ```
+/// let mut h = rh_stats::Histogram2d::new(0.0, 1.0, 2, 0.0, 1.0, 2);
+/// h.add(0.1, 0.9);
+/// assert_eq!(h.count(0, 1), 1);
+/// assert_eq!(h.total(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram2d {
+    x: Histogram1d,
+    y: Histogram1d,
+    counts: Vec<u64>,
+    xbins: usize,
+    ybins: usize,
+}
+
+impl Histogram2d {
+    /// Creates a 2-D histogram over `[xlo, xhi) × [ylo, yhi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bin count is zero or a range is empty.
+    pub fn new(xlo: f64, xhi: f64, xbins: usize, ylo: f64, yhi: f64, ybins: usize) -> Self {
+        Self {
+            x: Histogram1d::new(xlo, xhi, xbins),
+            y: Histogram1d::new(ylo, yhi, ybins),
+            counts: vec![0; xbins * ybins],
+            xbins,
+            ybins,
+        }
+    }
+
+    /// Adds one sample at `(x, y)`.
+    pub fn add(&mut self, x: f64, y: f64) {
+        let bx = self.x.bin_of(x);
+        let by = self.y.bin_of(y);
+        self.counts[by * self.xbins + bx] += 1;
+    }
+
+    /// Count in bucket `(bx, by)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket indices are out of range.
+    pub fn count(&self, bx: usize, by: usize) -> u64 {
+        assert!(bx < self.xbins && by < self.ybins, "bucket out of range");
+        self.counts[by * self.xbins + bx]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of the population in bucket `(bx, by)` (0 if empty).
+    pub fn fraction(&self, bx: usize, by: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.count(bx, by) as f64 / t as f64
+    }
+
+    /// Number of bins along x.
+    pub fn xbins(&self) -> usize {
+        self.xbins
+    }
+
+    /// Number of bins along y.
+    pub fn ybins(&self) -> usize {
+        self.ybins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram1d::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram1d::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn of_covers_all_samples() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let h = Histogram1d::of(&xs, 4);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let h = Histogram1d::of(&[1.0, 2.0, 2.5, 9.0], 3);
+        let p: f64 = h.probabilities().iter().sum();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_probabilities_are_zero() {
+        let h = Histogram1d::new(0.0, 1.0, 3);
+        assert_eq!(h.probabilities(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn hist2d_bucket_placement() {
+        let mut h = Histogram2d::new(0.0, 2.0, 2, 0.0, 2.0, 2);
+        h.add(0.5, 0.5);
+        h.add(1.5, 0.5);
+        h.add(1.5, 1.5);
+        assert_eq!(h.count(0, 0), 1);
+        assert_eq!(h.count(1, 0), 1);
+        assert_eq!(h.count(1, 1), 1);
+        assert_eq!(h.count(0, 1), 0);
+        assert!((h.fraction(1, 1) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

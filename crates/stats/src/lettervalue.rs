@@ -1,0 +1,143 @@
+//! Letter-value plot statistics (Hofmann, Wickham, Kafadar 2017), used
+//! by the paper's Figs. 8 and 10 (footnote 6): nested boxes at the
+//! quartiles, octiles, hexadeciles, … until the remaining tail would be
+//! dominated by outliers; the extreme 0.7 % of samples are fliers.
+
+use crate::quantile::percentile_sorted;
+use serde::{Deserialize, Serialize};
+
+/// One nested letter-value box: the pair of lower/upper letter values at
+/// depth `k` (k = 1 is the quartile box, k = 2 the octile box, …).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LetterBox {
+    /// Depth (1 = quartiles F, 2 = octiles E, 3 = D, …).
+    pub depth: u32,
+    /// Lower letter value (the `2^-(depth+1)` quantile).
+    pub lower: f64,
+    /// Upper letter value (the `1 - 2^-(depth+1)` quantile).
+    pub upper: f64,
+}
+
+/// Letter-value plot statistics for a sample.
+///
+/// ```
+/// let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+/// let lv = rh_stats::LetterValueStats::of(&xs);
+/// assert_eq!(lv.median, 499.5);
+/// assert!(lv.boxes.len() >= 2); // at least quartile + octile boxes
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LetterValueStats {
+    /// Median of the sample.
+    pub median: f64,
+    /// Boxes from the quartile box outward toward the tails.
+    pub boxes: Vec<LetterBox>,
+    /// Extreme samples plotted individually (most extreme 0.7 %).
+    pub fliers: Vec<f64>,
+}
+
+/// Fraction of samples treated as outliers/fliers (0.7 %, per the
+/// paper's plotting configuration).
+pub const FLIER_FRACTION: f64 = 0.007;
+
+impl LetterValueStats {
+    /// Computes letter-value statistics of `xs`.
+    ///
+    /// Boxes are emitted while each tail beyond the letter value still
+    /// holds at least ~5 samples, mirroring the usual "trustworthiness"
+    /// stopping rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self { median: 0.0, boxes: Vec::new(), fliers: Vec::new() };
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in letter-value input"));
+        let n = sorted.len() as f64;
+        let median = percentile_sorted(&sorted, 50.0);
+
+        let mut boxes = Vec::new();
+        let mut depth = 1u32;
+        loop {
+            let tail = 0.5f64.powi(depth as i32 + 1);
+            // Stop when fewer than ~5 samples remain beyond this letter value.
+            if n * tail < 5.0 && depth > 1 {
+                break;
+            }
+            boxes.push(LetterBox {
+                depth,
+                lower: percentile_sorted(&sorted, tail * 100.0),
+                upper: percentile_sorted(&sorted, (1.0 - tail) * 100.0),
+            });
+            if n * tail < 5.0 {
+                break;
+            }
+            depth += 1;
+            if depth > 16 {
+                break;
+            }
+        }
+
+        let k = ((n * FLIER_FRACTION / 2.0).floor() as usize).min(sorted.len() / 2);
+        let mut fliers: Vec<f64> = sorted[..k].to_vec();
+        fliers.extend_from_slice(&sorted[sorted.len() - k..]);
+        Self { median, boxes, fliers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_boxes() {
+        let lv = LetterValueStats::of(&[]);
+        assert!(lv.boxes.is_empty());
+        assert!(lv.fliers.is_empty());
+    }
+
+    #[test]
+    fn boxes_extend_toward_tails() {
+        let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sqrt()).collect();
+        let lv = LetterValueStats::of(&xs);
+        for w in lv.boxes.windows(2) {
+            assert!(w[1].lower <= w[0].lower, "deeper box reaches further into lower tail");
+            assert!(w[1].upper >= w[0].upper, "deeper box reaches further into upper tail");
+        }
+    }
+
+    #[test]
+    fn first_box_is_quartiles() {
+        let xs: Vec<f64> = (0..1001).map(|i| i as f64).collect();
+        let lv = LetterValueStats::of(&xs);
+        assert_eq!(lv.boxes[0].depth, 1);
+        assert_eq!(lv.boxes[0].lower, 250.0);
+        assert_eq!(lv.boxes[0].upper, 750.0);
+    }
+
+    #[test]
+    fn deeper_with_more_data() {
+        let small = LetterValueStats::of(&(0..40).map(|i| i as f64).collect::<Vec<_>>());
+        let large = LetterValueStats::of(&(0..40_000).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(large.boxes.len() > small.boxes.len());
+    }
+
+    #[test]
+    fn flier_count_tracks_fraction() {
+        let xs: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let lv = LetterValueStats::of(&xs);
+        // 0.7% of 10_000 = 70 total -> 35 on each side.
+        assert_eq!(lv.fliers.len(), 70);
+    }
+
+    #[test]
+    fn median_between_box_bounds() {
+        let xs = [5.0, 1.0, 9.0, 7.0, 3.0, 8.0, 2.0];
+        let lv = LetterValueStats::of(&xs);
+        let b = lv.boxes[0];
+        assert!(b.lower <= lv.median && lv.median <= b.upper);
+    }
+}

@@ -1,0 +1,46 @@
+//! Statistics toolkit for RowHammer characterization.
+//!
+//! This crate provides the statistical machinery used throughout the
+//! reproduction of *"A Deeper Look into RowHammer's Sensitivities"*
+//! (MICRO '21): descriptive statistics and the coefficient of variation
+//! (Obsv. 9/11/14), Tukey box-plot statistics (Figs. 7/9), letter-value
+//! plot statistics (Figs. 8/10), ordinary least squares regression with
+//! R² (Fig. 14), one- and two-dimensional histograms (Figs. 3/13),
+//! the Bhattacharyya distance between empirical distributions (Fig. 15),
+//! empirical CDFs (Fig. 15), and 95 % confidence intervals (Fig. 4).
+//!
+//! All functions operate on plain `&[f64]` slices so they compose with
+//! any data source.
+//!
+//! # Examples
+//!
+//! ```
+//! use rh_stats::{Summary, percentile};
+//!
+//! let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+//! let s = Summary::of(&xs);
+//! assert_eq!(s.mean, 3.0);
+//! assert_eq!(percentile(&xs, 50.0), 3.0);
+//! ```
+
+pub mod boxplot;
+pub mod ci;
+pub mod correlation;
+pub mod descriptive;
+pub mod distance;
+pub mod ecdf;
+pub mod histogram;
+pub mod lettervalue;
+pub mod quantile;
+pub mod regression;
+
+pub use boxplot::BoxPlotStats;
+pub use ci::ConfidenceInterval;
+pub use correlation::{ks_statistic, pearson, spearman};
+pub use descriptive::{coefficient_of_variation, geometric_mean, mean, std_dev, variance, Summary};
+pub use distance::{bhattacharyya_distance, normalized_bhattacharyya};
+pub use ecdf::Ecdf;
+pub use histogram::{Histogram1d, Histogram2d};
+pub use lettervalue::LetterValueStats;
+pub use quantile::{median, percentile, percentiles, quartiles};
+pub use regression::LinearFit;

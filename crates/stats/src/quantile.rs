@@ -1,0 +1,142 @@
+//! Quantiles and percentiles with linear interpolation (type-7, the
+//! default of R/NumPy), as used for the percentile markers of Fig. 11
+//! and the quartiles of the box/letter-value plots.
+
+/// Returns the `p`-th percentile of `xs` (0 ≤ `p` ≤ 100) using linear
+/// interpolation between order statistics.
+///
+/// The input need not be sorted. Returns `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `0.0..=100.0` or any sample is NaN.
+///
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(rh_stats::percentile(&xs, 0.0), 1.0);
+/// assert_eq!(rh_stats::percentile(&xs, 100.0), 4.0);
+/// assert_eq!(rh_stats::percentile(&xs, 50.0), 2.5);
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile p={p} out of range");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile input"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Like [`percentile`] but assumes `sorted` is already ascending,
+/// avoiding the sort for repeated queries.
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(rh_stats::quantile::percentile_sorted(&xs, 25.0), 1.75);
+/// ```
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile p={p} out of range");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let h = (sorted.len() - 1) as f64 * p / 100.0;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Computes several percentiles in one pass (one sort).
+///
+/// ```
+/// let v = rh_stats::percentiles(&[1.0, 2.0, 3.0, 4.0, 5.0], &[0.0, 50.0, 100.0]);
+/// assert_eq!(v, vec![1.0, 3.0, 5.0]);
+/// ```
+pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentiles input"));
+    ps.iter().map(|&p| percentile_sorted(&sorted, p)).collect()
+}
+
+/// Median (50th percentile).
+///
+/// ```
+/// assert_eq!(rh_stats::median(&[3.0, 1.0, 2.0]), 2.0);
+/// ```
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Lower quartile, median, upper quartile.
+///
+/// ```
+/// let (q1, q2, q3) = rh_stats::quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!((q1, q2, q3), (2.0, 3.0, 4.0));
+/// ```
+pub fn quartiles(xs: &[f64]) -> (f64, f64, f64) {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in quartiles input"));
+    (
+        percentile_sorted(&sorted, 25.0),
+        percentile_sorted(&sorted, 50.0),
+        percentile_sorted(&sorted, 75.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn singleton_percentiles() {
+        for p in [0.0, 13.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[5.0], p), 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn interpolates_between_order_stats() {
+        let xs = [10.0, 20.0];
+        assert_eq!(percentile(&xs, 25.0), 12.5);
+        assert_eq!(percentile(&xs, 75.0), 17.5);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut prev = f64::NEG_INFINITY;
+        for p in 0..=100 {
+            let v = percentile(&xs, p as f64);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quartiles_of_even_sample() {
+        let (q1, q2, q3) = quartiles(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(q1, 1.75);
+        assert_eq!(q2, 2.5);
+        assert_eq!(q3, 3.25);
+    }
+}

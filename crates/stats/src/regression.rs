@@ -1,0 +1,108 @@
+//! Ordinary least squares linear regression with the R² score, as used
+//! for the subarray min-vs-average HCfirst models of Fig. 14.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = slope * x + intercept` with its R² score.
+///
+/// ```
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let fit = rh_stats::LinearFit::fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r2 - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination in `[..=1]` (1 = perfect fit).
+    pub r2: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fits a line to `(xs, ys)` by ordinary least squares.
+    ///
+    /// Returns `None` when fewer than two points are given, when the
+    /// lengths differ, or when all `x` are identical (vertical data).
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Option<Self> {
+        if xs.len() != ys.len() || xs.len() < 2 {
+            return None;
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        Some(Self { slope, intercept, r2, n: xs.len() })
+    }
+
+    /// Predicts `y` at `x` on the fitted line.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(LinearFit::fit(&[1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn rejects_single_point() {
+        assert!(LinearFit::fit(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn rejects_vertical_data() {
+        assert!(LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn flat_data_has_r2_one() {
+        let fit = LinearFit::fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn noisy_fit_has_r2_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!(fit.r2 < 1.0);
+        assert!(fit.r2 > 0.97, "r2 = {}", fit.r2);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn predict_on_line() {
+        let fit = LinearFit::fit(&[0.0, 2.0], &[1.0, 5.0]).unwrap();
+        assert!((fit.predict(1.0) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the statistics toolkit.
+
+use proptest::prelude::*;
+use rh_stats::{
+    bhattacharyya_distance, coefficient_of_variation, mean, normalized_bhattacharyya,
+    percentile, std_dev, BoxPlotStats, Ecdf, LetterValueStats, LinearFit, Summary,
+};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn mean_within_min_max(xs in finite_vec(200)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.mean >= s.min - 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn std_dev_nonnegative(xs in finite_vec(200)) {
+        prop_assert!(std_dev(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn mean_shift_equivariant(xs in finite_vec(100), c in -1e3f64..1e3) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!((mean(&shifted) - (mean(&xs) + c)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn std_dev_shift_invariant(xs in finite_vec(100), c in -1e3f64..1e3) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!((std_dev(&shifted) - std_dev(&xs)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cv_positive_scale_invariant(xs in prop::collection::vec(1.0f64..1e5, 2..100), k in 0.5f64..10.0) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let a = coefficient_of_variation(&xs);
+        let b = coefficient_of_variation(&scaled);
+        prop_assert!((a - b).abs() < 1e-9, "cv changed under scaling: {a} vs {b}");
+    }
+
+    #[test]
+    fn percentile_bounded_by_extremes(xs in finite_vec(200), p in 0.0f64..=100.0) {
+        let v = percentile(&xs, p);
+        let s = Summary::of(&xs);
+        prop_assert!(v >= s.min - 1e-9 && v <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn boxplot_ordering_invariants(xs in finite_vec(300)) {
+        let b = BoxPlotStats::of(&xs);
+        let s = Summary::of(&xs);
+        prop_assert!(b.q1 <= b.median && b.median <= b.q3);
+        prop_assert!(b.whisker_lo <= b.whisker_hi);
+        prop_assert!(b.whisker_lo >= s.min && b.whisker_hi <= s.max);
+        // Whiskers never pass the Tukey fences.
+        prop_assert!(b.whisker_lo >= b.q1 - 1.5 * b.iqr() - 1e-9);
+        prop_assert!(b.whisker_hi <= b.q3 + 1.5 * b.iqr() + 1e-9);
+    }
+
+    #[test]
+    fn boxplot_outliers_outside_whiskers(xs in finite_vec(300)) {
+        let b = BoxPlotStats::of(&xs);
+        for o in &b.outliers {
+            prop_assert!(*o < b.whisker_lo || *o > b.whisker_hi);
+        }
+    }
+
+    #[test]
+    fn letter_values_extend_toward_tails(xs in finite_vec(500)) {
+        let lv = LetterValueStats::of(&xs);
+        for w in lv.boxes.windows(2) {
+            prop_assert!(w[1].lower <= w[0].lower + 1e-9);
+            prop_assert!(w[1].upper >= w[0].upper - 1e-9);
+        }
+    }
+
+    #[test]
+    fn ecdf_monotone(xs in finite_vec(200), a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let e = Ecdf::new(xs);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(e.eval(lo) <= e.eval(hi));
+    }
+
+    #[test]
+    fn ecdf_range(xs in finite_vec(200), x in -1e7f64..1e7) {
+        let e = Ecdf::new(xs);
+        let v = e.eval(x);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn fit_recovers_exact_line(slope in -100.0f64..100.0, icpt in -100.0f64..100.0) {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + icpt).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6);
+        prop_assert!((fit.intercept - icpt).abs() < 1e-4);
+        prop_assert!(fit.r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn bd_self_distance_near_zero(xs in prop::collection::vec(0.0f64..100.0, 10..200)) {
+        let d = bhattacharyya_distance(&xs, &xs, 16);
+        prop_assert!(d.abs() < 1e-6, "self distance {d}");
+    }
+
+    #[test]
+    fn bd_symmetric(xs in finite_vec(100), ys in finite_vec(100)) {
+        let a = bhattacharyya_distance(&xs, &ys, 16);
+        let b = bhattacharyya_distance(&ys, &xs, 16);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_bd_self_is_one(xs in prop::collection::vec(0.0f64..100.0, 5..200)) {
+        let v = normalized_bhattacharyya(&xs, &xs, 16);
+        prop_assert!((v - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Full characterization of one module: the three studies of the paper
+//! (§5 temperature, §6 aggressor active time, §7 spatial variation) on
+//! one simulated DIMM, with the observation checks.
+//!
+//! ```sh
+//! cargo run --release --example characterize_module [mfr A|B|C|D] [seed]
+//! ```
+
+use rh_core::experiments::{rowactive, spatial, temperature};
+use rh_core::{observations as obs, report, Characterizer, Scale};
+use rowhammer_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let mfr = match args.next().as_deref() {
+        Some("A") | None => Manufacturer::A,
+        Some("B") => Manufacturer::B,
+        Some("C") => Manufacturer::C,
+        Some("D") => Manufacturer::D,
+        Some(other) => return Err(format!("unknown manufacturer '{other}'").into()),
+    };
+    let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(7);
+
+    println!("characterizing a {mfr} module (seed {seed})…");
+    let bench = TestBench::new(mfr, seed);
+    let mut ch = Characterizer::new(bench, Scale::Smoke)?;
+
+    // §5: temperature.
+    let ranges = temperature::cell_temp_ranges(&mut ch)?;
+    println!("{}", report::fig3(&mfr.to_string(), &ranges));
+    let ber_t = temperature::ber_vs_temperature(&mut ch)?;
+    println!("{}", report::fig4(&mfr.to_string(), &ber_t));
+
+    // §6: aggressor row active time.
+    let ra = rowactive::row_active_analysis(&mut ch)?;
+    println!("{}", report::fig_ber_sweep("Fig. 7", &mfr.to_string(), &ra, true));
+    println!("{}", report::fig_hc_sweep("Fig. 10", &mfr.to_string(), &ra, false));
+
+    // §7: spatial variation.
+    let rv = spatial::row_variation(&mut ch)?;
+    println!("{}", report::fig11(&mfr.to_string(), &rv));
+    let cm = spatial::column_map(&mut ch)?;
+    println!("{}", report::fig12(&mfr.to_string(), &cm));
+
+    // Observation checks this single module can support.
+    let checks = vec![
+        obs::obsv1(&ranges),
+        obs::obsv2(&ranges),
+        obs::obsv3(&ranges),
+        obs::obsv8(&ra),
+        obs::obsv10(&ra),
+        obs::obsv12(&rv),
+        obs::obsv13(&cm),
+    ];
+    println!("{}", report::observations(&checks));
+    Ok(())
+}

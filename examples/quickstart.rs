@@ -1,0 +1,40 @@
+//! Quickstart: bring up a simulated module, hammer a row, and measure
+//! the paper's two metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rowhammer_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A simulated DDR4 module from manufacturer B. The seed is the
+    // module's identity: same seed, same chip.
+    let bench = TestBench::new(Manufacturer::B, 42);
+
+    // Prepare the module the way the paper does (§4.2): reverse-
+    // engineer the in-DRAM row mapping by single-sided hammering and
+    // identify the worst-case data pattern.
+    let mut ch = Characterizer::new(bench, Scale::Smoke)?;
+    println!("row mapping recovered : {:?}", ch.mapping());
+    println!("worst-case pattern    : {:?}", ch.wcdp().kind);
+
+    // Set the chip temperature through the closed-loop controller.
+    let reached = ch.set_temperature(75.0)?;
+    println!("chip temperature      : {reached:.2} °C");
+
+    // BER: bit flips at 150 K double-sided hammers.
+    let victim = RowAddr(1000);
+    let ber = ch.measure_ber_default(victim)?;
+    println!(
+        "BER of row {victim}   : {} flips (single-sided victims: {} / {})",
+        ber.victim, ber.left2, ber.right2
+    );
+
+    // HCfirst: the paper's binary search (512-activation accuracy).
+    match ch.hc_first_default(victim)? {
+        Some(hc) => println!("HCfirst of row {victim}: {hc} hammers"),
+        None => println!("row {victim} survives the 512 K hammer cap"),
+    }
+    Ok(())
+}

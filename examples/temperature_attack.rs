@@ -1,0 +1,52 @@
+//! The temperature-centric attack improvements of §8.1: profile rows at
+//! the operating temperature for an informed victim choice
+//! (Improvement 1), then calibrate a narrow-band temperature trigger
+//! (Improvement 2).
+//!
+//! ```sh
+//! cargo run --release --example temperature_attack
+//! ```
+
+use rh_attack::{temperature_aware_study, trigger};
+use rh_core::{Characterizer, Scale};
+use rowhammer_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = TestBench::new(Manufacturer::B, 2024);
+    let mut ch = Characterizer::new(bench, Scale::Smoke)?;
+
+    // Improvement 1: informed victim choice at the attack temperature.
+    let candidates: Vec<u32> = (0..16).map(|i| 700 + 6 * i).collect();
+    for temp in [55.0, 85.0] {
+        let s = temperature_aware_study(&mut ch, &candidates, temp)?;
+        println!(
+            "at {temp:>4.0} °C: uninformed HCfirst {:>7}, informed {:>7} (row {}) → {:.0}% fewer hammers",
+            s.uninformed_hc,
+            s.informed_hc,
+            s.informed_row,
+            s.reduction * 100.0
+        );
+    }
+
+    // Improvement 2: temperature trigger from a narrow-range cell.
+    let study = trigger::build_trigger(&mut ch, &candidates, 10.0)?;
+    println!(
+        "\nprofiled {} vulnerable cells; {:.1}% have ranges ≤ 10 °C",
+        study.cells_profiled,
+        study.narrow_fraction * 100.0
+    );
+    if let Some(t) = study.trigger {
+        println!(
+            "trigger: row {} byte {} bit {} fires only within {:.0}–{:.0} °C",
+            t.row, t.byte, t.bit, t.t_lo, t.t_hi
+        );
+        for probe_at in [t.t_lo, 90.0_f64.min(t.t_hi + 20.0).max(t.t_lo + 20.0)] {
+            ch.set_temperature(probe_at)?;
+            let fired = trigger::probe(&mut ch, &t)?;
+            println!("  probe at {probe_at:>4.0} °C → trigger {}", if fired { "FIRED" } else { "silent" });
+        }
+    } else {
+        println!("no narrow-band cell in this sample — try another seed");
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # rowhammer-repro
+//!
+//! A from-scratch Rust reproduction of *"A Deeper Look into RowHammer's
+//! Sensitivities: Experimental Analysis of Real DRAM Chips and
+//! Implications on Future Attacks and Defenses"* (Orosa, Yağlıkçı, et
+//! al., MICRO 2021).
+//!
+//! The paper characterizes 248 DDR4 + 24 DDR3 real DRAM chips on an
+//! FPGA (SoftMC) testing infrastructure. This workspace rebuilds the
+//! entire system with the hardware replaced by a calibrated simulation
+//! substrate (see `DESIGN.md` for the substitution argument):
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`stats`](rh_stats) | statistics toolkit (box/letter-value plots, OLS, Bhattacharyya, …) |
+//! | [`dram`](rh_dram) | DRAM device model: geometry, timing, commands, banks, mapping, data patterns |
+//! | [`faultmodel`](rh_faultmodel) | per-cell RowHammer vulnerability model calibrated to the paper |
+//! | [`softmc`](rh_softmc) | SoftMC-like memory controller + PID temperature controller |
+//! | [`core`](rh_core) | ★ the paper's contribution: the characterization methodology (§4–§7) |
+//! | [`attack`](rh_attack) | the three §8.1 attack improvements |
+//! | [`defense`](rh_defense) | PARA/Graphene/BlockHammer/TRR/RFM and the six §8.2 improvements |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rowhammer_repro::prelude::*;
+//!
+//! // A simulated Mfr. B DDR4 module on the test bench.
+//! let bench = TestBench::new(Manufacturer::B, 42);
+//! // Reverse-engineer its row mapping and find the worst-case pattern.
+//! let mut ch = Characterizer::new(bench, Scale::Smoke)?;
+//! ch.set_temperature(75.0)?;
+//! // Measure the two §4.2 metrics on a victim row.
+//! let ber = ch.measure_ber_default(RowAddr(1000))?;
+//! let hc = ch.hc_first_default(RowAddr(1000))?;
+//! println!("BER {} flips; HCfirst {:?}", ber.victim, hc);
+//! # Ok::<(), rh_core::CharError>(())
+//! ```
+//!
+//! Regenerate any table/figure of the paper with the `repro` binary:
+//! `cargo run --release -p rh-bench --bin repro -- fig7`.
+
+pub use rh_attack as attack;
+pub use rh_core as core;
+pub use rh_defense as defense;
+pub use rh_dram as dram;
+pub use rh_faultmodel as faultmodel;
+pub use rh_softmc as softmc;
+pub use rh_stats as stats;
+
+/// The most common imports for working with the library.
+pub mod prelude {
+    pub use rh_core::{Characterizer, Scale};
+    pub use rh_dram::{BankId, DataPattern, Manufacturer, ModuleConfig, PatternKind, RowAddr};
+    pub use rh_faultmodel::RowHammerModel;
+    pub use rh_softmc::TestBench;
+}

@@ -1,0 +1,43 @@
+//! Reproducibility: a module seed fully determines every measurement.
+
+use rowhammer_repro::prelude::*;
+use rh_core::experiments::rowactive;
+
+fn measure(seed: u64) -> (Vec<u64>, Vec<f64>) {
+    let bench = TestBench::new(Manufacturer::B, seed);
+    let mut ch = Characterizer::new(bench, Scale::Smoke).unwrap();
+    ch.set_temperature(70.0).unwrap();
+    let p = ch.wcdp();
+    let mut bers = Vec::new();
+    let mut hcs = Vec::new();
+    for i in 0..6u32 {
+        let v = RowAddr(900 + 6 * i);
+        bers.push(ch.measure_ber(v, p, 150_000, None, None).unwrap().victim);
+        if let Some(hc) = ch.hc_first(v, p, None, None).unwrap() {
+            hcs.push(hc as f64);
+        }
+    }
+    (bers, hcs)
+}
+
+#[test]
+fn identical_seeds_identical_measurements() {
+    assert_eq!(measure(42), measure(42));
+}
+
+#[test]
+fn different_seeds_are_different_modules() {
+    assert_ne!(measure(42), measure(43));
+}
+
+#[test]
+fn experiment_results_are_reproducible() {
+    let run = || {
+        let bench = TestBench::new(Manufacturer::A, 77);
+        let mut ch = Characterizer::new(bench, Scale::Smoke).unwrap();
+        rowactive::row_active_analysis(&mut ch).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,67 @@
+//! Cross-crate integration: the full §4.2 methodology pipeline against
+//! every manufacturer profile.
+
+use rowhammer_repro::prelude::*;
+use rh_core::CharError;
+use rh_dram::RowMapping;
+
+#[test]
+fn pipeline_works_for_every_manufacturer() {
+    for mfr in Manufacturer::ALL {
+        let bench = TestBench::new(mfr, 1234);
+        let mut ch = Characterizer::new(bench, Scale::Smoke)
+            .unwrap_or_else(|e| panic!("{mfr}: init failed: {e}"));
+        // Mapping reverse engineering recovered the ground truth.
+        assert_eq!(ch.mapping(), RowMapping::for_manufacturer(mfr), "{mfr}");
+        ch.set_temperature(75.0).unwrap();
+        // The metrics respond to hammering.
+        let victim = RowAddr(2000);
+        let weak = ch.measure_ber(victim, ch.wcdp(), 5_000, None, None).unwrap();
+        let strong = ch.measure_ber(victim, ch.wcdp(), 512_000, None, None).unwrap();
+        assert!(strong.victim >= weak.victim, "{mfr}: BER not monotone");
+        assert!(strong.victim > 0, "{mfr}: 512K hammers flipped nothing");
+    }
+}
+
+#[test]
+fn hc_first_bounds_and_consistency() {
+    let bench = TestBench::new(Manufacturer::C, 88);
+    let mut ch = Characterizer::new(bench, Scale::Smoke).unwrap();
+    ch.set_temperature(75.0).unwrap();
+    let p = ch.wcdp();
+    let mut found = 0;
+    for i in 0..8u32 {
+        let v = RowAddr(3000 + 6 * i);
+        if let Some(hc) = ch.hc_first(v, p, None, None).unwrap() {
+            found += 1;
+            assert!(hc >= 512, "HCfirst below search accuracy");
+            assert!(hc <= 512 * 1024, "HCfirst above cap");
+            // Below ~half of HCfirst the row must not flip (trial noise
+            // is ±2 %, so half is far outside it).
+            let below = ch.measure_ber(v, p, hc / 2, None, None).unwrap();
+            assert_eq!(below.victim, 0, "row {v} flips at HCfirst/2");
+        }
+    }
+    assert!(found >= 2, "too few vulnerable rows in sample");
+}
+
+#[test]
+fn edge_victims_are_rejected_not_wrapped() {
+    let bench = TestBench::new(Manufacturer::A, 5);
+    let mut ch = Characterizer::new(bench, Scale::Smoke).unwrap();
+    let p = ch.wcdp();
+    for v in [0u32, 1] {
+        let e = ch.measure_ber(RowAddr(v), p, 1000, None, None).unwrap_err();
+        assert!(matches!(e, CharError::VictimOutOfRange { .. }));
+    }
+}
+
+#[test]
+fn temperature_controller_gates_the_fault_model() {
+    let bench = TestBench::new(Manufacturer::D, 9);
+    let mut ch = Characterizer::new(bench, Scale::Smoke).unwrap();
+    // The model sees the *settled* temperature, not the request.
+    let reached = ch.set_temperature(62.5).unwrap();
+    assert!((reached - 62.5).abs() <= 0.1);
+    assert_eq!(ch.bench().module().model().temperature(), reached);
+}

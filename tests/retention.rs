@@ -1,0 +1,93 @@
+//! End-to-end retention behaviour: the methodology's "no retention
+//! errors within a test" guarantee (§4.2), and what happens when
+//! refresh is withheld far longer.
+
+use rowhammer_repro::prelude::*;
+use rh_dram::{Command, TimedCommand};
+
+fn bench_at(temp: f64) -> TestBench {
+    let mut b = TestBench::new(Manufacturer::A, 7);
+    b.set_temperature(temp).unwrap();
+    b
+}
+
+/// Advances module time without touching any row.
+fn idle(bench: &mut TestBench, ps: u64) {
+    let at = bench.module().now() + ps;
+    bench.module_mut().issue(&TimedCommand { at, cmd: Command::Nop }).unwrap();
+}
+
+#[test]
+fn no_retention_errors_within_a_refresh_window() {
+    let mut b = bench_at(90.0);
+    let bank = BankId(0);
+    let row_bytes = b.module().row_bytes();
+    for r in 100..150u32 {
+        b.module_mut().write_row_direct(bank, RowAddr(r), &vec![0xA5; row_bytes]).unwrap();
+    }
+    idle(&mut b, 64_000_000_000); // one full refresh window, idle
+    for r in 100..150u32 {
+        let data = b.module_mut().read_row_direct(bank, RowAddr(r)).unwrap();
+        assert!(
+            data.iter().all(|&x| x == 0xA5),
+            "row {r} corrupted within one refresh window"
+        );
+    }
+}
+
+#[test]
+fn long_unrefreshed_idle_leaks_at_high_temperature() {
+    let mut b = bench_at(90.0);
+    let bank = BankId(0);
+    let row_bytes = b.module().row_bytes();
+    for r in 100..200u32 {
+        b.module_mut().write_row_direct(bank, RowAddr(r), &vec![0xA5; row_bytes]).unwrap();
+    }
+    idle(&mut b, 60_000_000_000_000); // 60 s without refresh
+    let mut corrupted_rows = 0;
+    for r in 100..200u32 {
+        let data = b.module_mut().read_row_direct(bank, RowAddr(r)).unwrap();
+        if data.iter().any(|&x| x != 0xA5) {
+            corrupted_rows += 1;
+        }
+    }
+    assert!(corrupted_rows > 0, "60 s unrefreshed at 90 °C must leak");
+}
+
+#[test]
+fn refresh_resets_the_retention_clock() {
+    let mut b = bench_at(90.0);
+    let bank = BankId(0);
+    let row_bytes = b.module().row_bytes();
+    b.module_mut().write_row_direct(bank, RowAddr(500), &vec![0x5A; row_bytes]).unwrap();
+    // Refresh every ~50 ms for 60 s of simulated time: no corruption.
+    for _ in 0..1200 {
+        idle(&mut b, 50_000_000_000);
+        b.module_mut().refresh_row_physical(bank, RowAddr(500)).unwrap();
+    }
+    let data = b.module_mut().read_row_direct(bank, RowAddr(500)).unwrap();
+    assert!(data.iter().all(|&x| x == 0x5A), "refreshed row must not leak");
+}
+
+#[test]
+fn cold_chips_retain_far_longer() {
+    let leak_rows = |temp: f64| -> usize {
+        let mut b = bench_at(temp);
+        let bank = BankId(0);
+        let row_bytes = b.module().row_bytes();
+        for r in 100..200u32 {
+            b.module_mut().write_row_direct(bank, RowAddr(r), &vec![0xFF; row_bytes]).unwrap();
+        }
+        idle(&mut b, 30_000_000_000_000); // 30 s
+        (100..200u32)
+            .filter(|&r| {
+                b.module_mut()
+                    .read_row_direct(bank, RowAddr(r))
+                    .unwrap()
+                    .iter()
+                    .any(|&x| x != 0xFF)
+            })
+            .count()
+    };
+    assert!(leak_rows(90.0) >= leak_rows(50.0));
+}
