@@ -16,6 +16,7 @@
 //! These are *simulated security studies* against the calibrated fault
 //! model — the library exists to quantify the paper's claims, not to
 //! attack real systems.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod long_open;
 pub mod patterns;

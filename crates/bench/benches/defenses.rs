@@ -9,7 +9,7 @@ use rh_dram::{BankId, RowAddr};
 use std::time::Duration;
 
 fn cfg() -> RunConfig {
-    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2 }
+    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2, ..RunConfig::default() }
 }
 
 fn bench_improvements(c: &mut Criterion) {

@@ -10,7 +10,7 @@ use rh_softmc::TestBench;
 use std::time::Duration;
 
 fn cfg() -> RunConfig {
-    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2 }
+    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2, ..RunConfig::default() }
 }
 
 fn bench_rowactive(c: &mut Criterion) {

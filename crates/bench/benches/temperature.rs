@@ -7,7 +7,7 @@ use rh_core::Scale;
 use std::time::Duration;
 
 fn cfg() -> RunConfig {
-    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2 }
+    RunConfig { scale: Scale::Smoke, seed: 1, modules_per_mfr: 2, ..RunConfig::default() }
 }
 
 fn bench_temperature(c: &mut Criterion) {

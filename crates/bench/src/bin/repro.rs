@@ -1,26 +1,50 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR] <target>...
+//! repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR]
+//!       [--fault-scenario NAME|FILE.json] [--fault-seed N] [--max-attempts N]
+//!       [--checkpoint PREFIX] [--resume] <target>...
 //! repro all       # everything, in paper order
 //! repro --list    # available targets
 //! ```
 //!
 //! `--out DIR` additionally writes `<target>.txt` and `<target>.json`
 //! into DIR for downstream plotting.
+//!
+//! `--fault-scenario` arms deterministic fault injection on every
+//! module of campaign-backed targets: a preset name (`none`,
+//! `flaky-host`, `thermal`, `dead-module`, `chaos`) or a path to a
+//! serialized `FaultPlan` JSON. `--checkpoint PREFIX` persists
+//! per-target campaign state to `PREFIX-<target>.json`; rerunning with
+//! `--resume` skips already-completed modules, while without it any
+//! stale checkpoint files are removed first.
 
 use rh_bench::{run_target, targets, RunConfig};
 use rh_core::Scale;
+use rh_softmc::FaultPlan;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR] <target>...\n\
+        "usage: repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR]\n\
+         \x20            [--fault-scenario NAME|FILE.json] [--fault-seed N] [--max-attempts N]\n\
+         \x20            [--checkpoint PREFIX] [--resume] <target>...\n\
+         fault scenarios: none | flaky-host | thermal | dead-module | chaos | <plan.json>\n\
          targets: {} | defense-matrix | all",
         targets().join(" | ")
     );
     std::process::exit(2);
+}
+
+/// Resolves `--fault-scenario` (preset name or JSON file path).
+fn load_fault_plan(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+    if let Some(plan) = FaultPlan::preset(spec, seed) {
+        return Ok(plan);
+    }
+    let raw = std::fs::read_to_string(spec)
+        .map_err(|e| format!("fault scenario '{spec}': not a preset and unreadable: {e}"))?;
+    serde_json::from_str(&raw).map_err(|e| format!("fault scenario '{spec}': bad JSON: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -28,6 +52,9 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
+    let mut scenario: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -52,6 +79,23 @@ fn main() -> ExitCode {
                 Some(d) => out_dir = Some(PathBuf::from(d)),
                 None => usage(),
             },
+            "--fault-scenario" => match args.next() {
+                Some(s) => scenario = Some(s),
+                None => usage(),
+            },
+            "--fault-seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => fault_seed = Some(s),
+                None => usage(),
+            },
+            "--max-attempts" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.retry.max_attempts = n,
+                _ => usage(),
+            },
+            "--checkpoint" => match args.next() {
+                Some(p) => cfg.checkpoint = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--resume" => resume = true,
             "--list" => {
                 for t in targets() {
                     println!("{t}");
@@ -69,6 +113,29 @@ fn main() -> ExitCode {
     if wanted.iter().any(|w| w == "all") {
         wanted = targets().iter().map(|s| s.to_string()).collect();
         wanted.push("defense-matrix".to_string());
+    }
+    if let Some(spec) = &scenario {
+        match load_fault_plan(spec, fault_seed.unwrap_or(cfg.seed)) {
+            Ok(plan) => cfg.faults = Some(plan),
+            Err(e) => {
+                eprintln!("repro: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(prefix) = &cfg.checkpoint {
+        if !resume {
+            // A fresh (non-resumed) run must not inherit stale state.
+            for t in &wanted {
+                let path = PathBuf::from(format!("{}-{t}.json", prefix.display()));
+                if path.exists() {
+                    if let Err(e) = std::fs::remove_file(&path) {
+                        eprintln!("repro: cannot clear checkpoint {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
     }
     for t in &wanted {
         match run_target(t, &cfg) {

@@ -4,6 +4,7 @@
 //! Every runner returns the rendered text (the same rows/series the
 //! paper reports). `repro --json` additionally dumps the raw result
 //! structures.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod runners;
 

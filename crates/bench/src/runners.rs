@@ -1,18 +1,23 @@
 //! Experiment runners, one per reproduced table/figure/improvement.
 
 use rh_attack::{long_open_study, temperature_aware_study, trigger};
-use rh_core::experiments::{dose, parallel_modules, rowactive, spatial, temperature};
-use rh_core::{observations as obs, report, CharError, Characterizer, Scale};
+use rh_core::experiments::{dose, rowactive, spatial, temperature};
+use rh_core::{
+    module_id, observations as obs, report, CampaignReport, CampaignRunner, CharError,
+    Characterizer, ModuleTask, RetryPolicy, Scale,
+};
 use rh_defense::{
     blockhammer_area_pct, cooling, cost, ecc, graphene_area_pct, profiling, retire, scheduler,
     sim::DefenseSim, BlockHammer, Graphene, Para, TargetRowRefresh, ThresholdConfig, Twice,
 };
 use rh_dram::{ddr4_modules_of, BankId, Manufacturer, RowAddr};
-use rh_softmc::{Program, TestBench};
+use rh_softmc::{FaultPlan, Program, TestBench};
+use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
+use std::path::PathBuf;
 
 /// Configuration of a reproduction run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Experiment scale.
     pub scale: Scale,
@@ -21,11 +26,27 @@ pub struct RunConfig {
     pub seed: u64,
     /// Modules per manufacturer for multi-module figures (11/14/15).
     pub modules_per_mfr: usize,
+    /// Infrastructure fault plan armed on every campaign-managed bench
+    /// (`None` = fault-free run). Single-module targets are unmanaged
+    /// and ignore it.
+    pub faults: Option<FaultPlan>,
+    /// Retry/quarantine policy of campaign-managed targets.
+    pub retry: RetryPolicy,
+    /// Checkpoint path prefix: each campaign target persists partial
+    /// results to `<prefix>-<target>.json` and resumes from it.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { scale: Scale::Default, seed: 0, modules_per_mfr: 2 }
+        Self {
+            scale: Scale::Default,
+            seed: 0,
+            modules_per_mfr: 2,
+            faults: None,
+            retry: RetryPolicy::default(),
+            checkpoint: None,
+        }
     }
 }
 
@@ -53,6 +74,11 @@ pub fn targets() -> Vec<&'static str> {
     ]
 }
 
+fn module_identity(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> u64 {
+    let modules = ddr4_modules_of(mfr);
+    modules[index % modules.len()].seed() ^ cfg.seed.rotate_left(17)
+}
+
 fn characterizer(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> Result<Characterizer, CharError> {
     let modules = ddr4_modules_of(mfr);
     let module = &modules[index % modules.len()];
@@ -64,16 +90,95 @@ fn characterizer(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> Result<Cha
     Characterizer::new(bench, cfg.scale)
 }
 
-fn per_mfr<T: Send>(
+/// Builds a fresh, fault-armed characterizer for one campaign attempt.
+/// Each retry re-derives the fault stream from the attempt number, so a
+/// transient fault does not replay identically on every rebuild.
+fn characterizer_armed(
+    mfr: Manufacturer,
     cfg: &RunConfig,
+    index: usize,
+    attempt: u32,
+) -> Result<Characterizer, CharError> {
+    let modules = ddr4_modules_of(mfr);
+    let module = &modules[index % modules.len()];
+    let mut bench = TestBench::with_config(
+        module.module_config(),
+        mfr,
+        module.seed() ^ cfg.seed.rotate_left(17),
+    );
+    if let Some(plan) = &cfg.faults {
+        bench.install_faults(&plan.for_attempt(attempt));
+    }
+    Characterizer::new(bench, cfg.scale)
+}
+
+/// The checkpoint-stable identifier of a campaign module.
+fn campaign_module_id(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> String {
+    format!("{}#{}", module_id(mfr, module_identity(mfr, cfg, index)), index)
+}
+
+fn campaign_runner(cfg: &RunConfig, target: &str) -> CampaignRunner {
+    let mut runner = CampaignRunner::new().with_policy(cfg.retry.clone());
+    if let Some(prefix) = &cfg.checkpoint {
+        runner = runner
+            .with_checkpoint(PathBuf::from(format!("{}-{target}.json", prefix.display())));
+    }
+    runner
+}
+
+/// Renders the resilience footer appended to campaign-backed targets.
+fn campaign_text(report: &CampaignReport) -> String {
+    let mut s = format!("campaign: {}\n", report.summary_line());
+    for q in report.quarantined_modules() {
+        if let rh_core::ModuleStatus::Quarantined { attempts, error } = &q.status {
+            s.push_str(&format!("  quarantined {} after {attempts} attempt(s): {error}\n", q.id));
+        }
+    }
+    s
+}
+
+/// Wraps a target's results together with its campaign report.
+fn campaign_data(results: Value, report: &CampaignReport) -> Value {
+    json!({
+        "results": results,
+        "campaign": serde_json::to_value(report).unwrap_or(Value::Null),
+    })
+}
+
+fn per_mfr<T>(
+    cfg: &RunConfig,
+    target: &str,
     f: impl Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
-) -> Result<Vec<(Manufacturer, T)>, CharError> {
-    let modules: Vec<Characterizer> = Manufacturer::ALL
+) -> Result<(Vec<(Manufacturer, T)>, CampaignReport), CharError>
+where
+    T: Send + Serialize + Deserialize,
+{
+    let ids: Vec<(String, Manufacturer)> = Manufacturer::ALL
         .into_iter()
-        .map(|m| characterizer(m, cfg, 0))
-        .collect::<Result<_, _>>()?;
-    let out = parallel_modules(modules, f)?;
-    Ok(Manufacturer::ALL.into_iter().zip(out.into_iter().map(|(_, t)| t)).collect())
+        .map(|m| (campaign_module_id(m, cfg, 0), m))
+        .collect();
+    let tasks: Vec<ModuleTask<'_>> = Manufacturer::ALL
+        .into_iter()
+        .map(|m| {
+            ModuleTask::new(campaign_module_id(m, cfg, 0), move |attempt| {
+                characterizer_armed(m, cfg, 0, attempt)
+            })
+        })
+        .collect();
+    let out = campaign_runner(cfg, target).run(tasks, f)?;
+    let results = out
+        .results
+        .into_iter()
+        .map(|(id, t)| {
+            ids.iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, m)| (*m, t))
+                .ok_or_else(|| CharError::Checkpoint {
+                    detail: format!("campaign returned unknown module id '{id}'"),
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((results, out.report))
 }
 
 fn run_table1() -> RunOutput {
@@ -86,7 +191,7 @@ fn run_table2() -> RunOutput {
 }
 
 fn run_temp_ranges(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
-    let results = per_mfr(cfg, temperature::cell_temp_ranges)?;
+    let (results, campaign) = per_mfr(cfg, target, temperature::cell_temp_ranges)?;
     let mut text = String::new();
     if target == "table3" {
         let rows: Vec<(&str, &temperature::TempRangeAnalysis)> = results
@@ -102,15 +207,16 @@ fn run_temp_ranges(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, C
         }
         text.push_str("paper all-temps corner: 14.2% / 17.4% / 9.6% / 29.8%\n");
     }
+    text.push_str(&campaign_text(&campaign));
     let data = serde_json::to_value(
         results.iter().map(|(m, a)| (m.to_string(), a)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target, text, data })
+    Ok(RunOutput { target, text, data: campaign_data(data, &campaign) })
 }
 
 fn run_fig4(cfg: &RunConfig) -> Result<RunOutput, CharError> {
-    let results = per_mfr(cfg, temperature::ber_vs_temperature)?;
+    let (results, campaign) = per_mfr(cfg, "fig4", temperature::ber_vs_temperature)?;
     let mut text = String::new();
     for (m, f) in &results {
         text.push_str(&report::fig4(&m.to_string(), f));
@@ -119,29 +225,31 @@ fn run_fig4(cfg: &RunConfig) -> Result<RunOutput, CharError> {
     text.push_str(
         "paper trend 50->90C (victim): A up ~+100%, B down ~-20%, C up ~+40%, D up ~+200%\n",
     );
+    text.push_str(&campaign_text(&campaign));
     let data = serde_json::to_value(
         results.iter().map(|(m, f)| (m.to_string(), f)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target: "fig4", text, data })
+    Ok(RunOutput { target: "fig4", text, data: campaign_data(data, &campaign) })
 }
 
 fn run_fig5(cfg: &RunConfig) -> Result<RunOutput, CharError> {
-    let results = per_mfr(cfg, temperature::hcfirst_vs_temperature)?;
+    let (results, campaign) = per_mfr(cfg, "fig5", temperature::hcfirst_vs_temperature)?;
     let mut text = String::new();
     for (m, f) in &results {
         text.push_str(&report::fig5(&m.to_string(), f));
         text.push('\n');
     }
     text.push_str("paper crossings at 50->90C: A P45, B P67, C P71, D P40; magnitude ratio ~4x\n");
+    text.push_str(&campaign_text(&campaign));
     let data = serde_json::to_value(
         results.iter().map(|(m, f)| (m.to_string(), f)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target: "fig5", text, data })
+    Ok(RunOutput { target: "fig5", text, data: campaign_data(data, &campaign) })
 }
 
-fn run_fig6() -> RunOutput {
+fn run_fig6() -> Result<RunOutput, CharError> {
     // The command-timing diagram: record the three §6 test sequences.
     let mut bench = TestBench::new(Manufacturer::D, 1);
     let timing = bench.module().config().timing;
@@ -153,16 +261,16 @@ fn run_fig6() -> RunOutput {
     ] {
         bench.controller_mut().set_record_trace(true);
         let p = Program::double_sided_hammer(BankId(0), RowAddr(10), RowAddr(12), 1, t_on, t_off);
-        bench.run(&p).expect("trace run");
+        bench.run(&p)?;
         text.push_str(&format!("--- {name} ---\n"));
         text.push_str(&rh_dram::command::render_trace(bench.controller().trace()));
         bench.controller_mut().set_record_trace(false);
     }
-    RunOutput { target: "fig6", text, data: json!({}) }
+    Ok(RunOutput { target: "fig6", text, data: json!({}) })
 }
 
 fn run_rowactive(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
-    let results = per_mfr(cfg, rowactive::row_active_analysis)?;
+    let (results, campaign) = per_mfr(cfg, target, rowactive::row_active_analysis)?;
     let mut text = String::new();
     for (m, a) in &results {
         let label = m.to_string();
@@ -180,42 +288,78 @@ fn run_rowactive(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, Cha
         "fig9" => text.push_str("paper BER drop at 40.5ns: 6.3x / 2.9x / 4.9x / 5.0x\n"),
         _ => text.push_str("paper HCfirst increase: 33.8% / 24.7% / 50.1% / 33.7%\n"),
     }
+    text.push_str(&campaign_text(&campaign));
     let data = serde_json::to_value(
         results.iter().map(|(m, a)| (m.to_string(), a)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target, text, data })
+    Ok(RunOutput { target, text, data: campaign_data(data, &campaign) })
 }
 
-fn spatial_modules(
+/// Runs one experiment over `modules_per_mfr` modules of every
+/// manufacturer as a single campaign, returning `(mfr, index, result)`
+/// triples in module order plus the resilience report.
+#[allow(clippy::type_complexity)]
+fn spatial_campaign<T>(
     cfg: &RunConfig,
-    mfr: Manufacturer,
-) -> Result<Vec<Characterizer>, CharError> {
-    (0..cfg.modules_per_mfr).map(|i| characterizer(mfr, cfg, i)).collect()
+    target: &str,
+    f: impl Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
+) -> Result<(Vec<(Manufacturer, usize, T)>, CampaignReport), CharError>
+where
+    T: Send + Serialize + Deserialize,
+{
+    let mut meta: Vec<(String, Manufacturer, usize)> = Vec::new();
+    let mut tasks: Vec<ModuleTask<'_>> = Vec::new();
+    for mfr in Manufacturer::ALL {
+        for i in 0..cfg.modules_per_mfr {
+            let id = campaign_module_id(mfr, cfg, i);
+            meta.push((id.clone(), mfr, i));
+            tasks.push(ModuleTask::new(id, move |attempt| {
+                characterizer_armed(mfr, cfg, i, attempt)
+            }));
+        }
+    }
+    let out = campaign_runner(cfg, target).run(tasks, f)?;
+    let results = out
+        .results
+        .into_iter()
+        .map(|(id, t)| {
+            meta.iter()
+                .find(|(mid, _, _)| *mid == id)
+                .map(|(_, mfr, i)| (*mfr, *i, t))
+                .ok_or_else(|| CharError::Checkpoint {
+                    detail: format!("campaign returned unknown module id '{id}'"),
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((results, out.report))
 }
 
 fn run_fig11(cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let (results, campaign) = spatial_campaign(cfg, "fig11", spatial::row_variation)?;
     let mut text = String::new();
     let mut data = Vec::new();
-    for mfr in Manufacturer::ALL {
-        let modules = spatial_modules(cfg, mfr)?;
-        let results = parallel_modules(modules, spatial::row_variation)?;
-        for (i, (_, rv)) in results.iter().enumerate() {
-            text.push_str(&report::fig11(&format!("{mfr} module {i}"), rv));
-            data.push((mfr.to_string(), i, rv.clone()));
+    let mut last_mfr = None;
+    for (mfr, i, rv) in &results {
+        if last_mfr.is_some() && last_mfr != Some(*mfr) {
+            text.push('\n');
         }
-        text.push('\n');
+        last_mfr = Some(*mfr);
+        text.push_str(&report::fig11(&format!("{mfr} module {i}"), rv));
+        data.push((mfr.to_string(), *i, rv.clone()));
     }
+    text.push('\n');
     text.push_str("paper: P99 >= 1.6x, P95 >= 2.0x, P90 >= 2.2x the most vulnerable row\n");
+    text.push_str(&campaign_text(&campaign));
     Ok(RunOutput {
         target: "fig11",
         text,
-        data: serde_json::to_value(data).unwrap_or(Value::Null),
+        data: campaign_data(serde_json::to_value(data).unwrap_or(Value::Null), &campaign),
     })
 }
 
 fn run_fig12_13(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
-    let results = per_mfr(cfg, spatial::column_map)?;
+    let (results, campaign) = per_mfr(cfg, target, spatial::column_map)?;
     let mut text = String::new();
     let mut data = Vec::new();
     for (m, cm) in &results {
@@ -230,6 +374,7 @@ fn run_fig12_13(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, Char
     }
     if target == "fig12" {
         text.push_str("paper zero-flip columns: 27.8% / 0% / 31.1% / 9.96%\n");
+        text.push_str(&campaign_text(&campaign));
         let d = results
             .iter()
             .map(|(m, cm)| (m.to_string(), cm.zero_fraction(), cm.max_count()))
@@ -237,11 +382,16 @@ fn run_fig12_13(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, Char
         return Ok(RunOutput {
             target,
             text,
-            data: serde_json::to_value(d).unwrap_or(Value::Null),
+            data: campaign_data(serde_json::to_value(d).unwrap_or(Value::Null), &campaign),
         });
     }
     text.push_str("paper CV=0 share: Mfr. B 50.9%, Mfr. C 16.6%; CV=1 share: A 59.8%, C 30.6%, D 29.1%\n");
-    Ok(RunOutput { target, text, data: serde_json::to_value(data).unwrap_or(Value::Null) })
+    text.push_str(&campaign_text(&campaign));
+    Ok(RunOutput {
+        target,
+        text,
+        data: campaign_data(serde_json::to_value(data).unwrap_or(Value::Null), &campaign),
+    })
 }
 
 fn run_fig14_15(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
@@ -249,12 +399,19 @@ fn run_fig14_15(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, Char
     let mut data = Vec::new();
     // The subarray regression and similarity studies need several
     // modules per manufacturer for a stable picture.
-    let cfg = &RunConfig { modules_per_mfr: cfg.modules_per_mfr.max(3), ..*cfg };
+    let cfg = &RunConfig { modules_per_mfr: cfg.modules_per_mfr.max(3), ..cfg.clone() };
+    let (results, campaign) = spatial_campaign(cfg, target, spatial::subarray_hcfirst)?;
     for mfr in Manufacturer::ALL {
-        let modules = spatial_modules(cfg, mfr)?;
-        let results = parallel_modules(modules, spatial::subarray_hcfirst)?;
-        let per_module: Vec<Vec<spatial::SubarrayPoint>> =
-            results.into_iter().map(|(_, p)| p).collect();
+        let per_module: Vec<Vec<spatial::SubarrayPoint>> = results
+            .iter()
+            .filter(|(m, _, _)| *m == mfr)
+            .map(|(_, _, p)| p.clone())
+            .collect();
+        if per_module.is_empty() {
+            text.push_str(&format!("{mfr}: every module quarantined, no data\n"));
+            text.push('\n');
+            continue;
+        }
         if target == "fig14" {
             let all: Vec<spatial::SubarrayPoint> =
                 per_module.iter().flatten().cloned().collect();
@@ -273,7 +430,12 @@ fn run_fig14_15(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, Char
     } else {
         text.push_str("paper: same-module P5 ~0.975 (Mfr. C); cross-module P5 down to 0.66\n");
     }
-    Ok(RunOutput { target, text, data: serde_json::to_value(data).unwrap_or(Value::Null) })
+    text.push_str(&campaign_text(&campaign));
+    Ok(RunOutput {
+        target,
+        text,
+        data: campaign_data(serde_json::to_value(data).unwrap_or(Value::Null), &campaign),
+    })
 }
 
 fn run_observations(cfg: &RunConfig) -> Result<RunOutput, CharError> {
@@ -334,7 +496,7 @@ fn run_attack(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharEr
                 s.informed_row,
                 s.reduction * 100.0
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
         }
         "attack2" => {
             let candidates: Vec<u32> = (0..16).map(|i| 1200 + 6 * i).collect();
@@ -353,7 +515,7 @@ fn run_attack(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharEr
             } else {
                 text.push_str("no suitable narrow-range cell in this sample\n");
             }
-            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
         }
         _ => {
             ch.set_temperature(50.0)?;
@@ -375,7 +537,7 @@ fn run_attack(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharEr
                 s.hc_reduction() * 100.0,
                 s.defeats_baseline_threshold()
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
         }
     }
 }
@@ -453,7 +615,7 @@ fn run_defense(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharE
                  reduction from cooling: {:.0}% (paper: ~25% for Mfr. A; our Mfr. A trend is stronger)\n",
                 s.hot, s.ber_hot, s.cold, s.ber_cold, s.reduction() * 100.0
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
         }
         "defense5" => {
             let mut ch = characterizer(Manufacturer::B, cfg, 0)?;
@@ -468,7 +630,7 @@ fn run_defense(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharE
                 s.ber_capped,
                 s.mitigation_factor()
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(&s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
         }
         _ => {
             // defense6: ECC interleaving on measured flip positions.
@@ -667,7 +829,7 @@ fn run_ablation(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
 /// Memory-controller study: row-buffer policies (including the
 /// Improvement-5 open-time cap) and MC-side defense hooks on a benign
 /// request stream.
-fn run_memctl() -> RunOutput {
+fn run_memctl() -> Result<RunOutput, CharError> {
     use rh_softmc::{MemController, MemRequest, RowPolicy};
     let stream = |n: u64| -> Vec<MemRequest> {
         // 70%-locality stream over 8 banks, xorshift-deterministic.
@@ -698,16 +860,16 @@ fn run_memctl() -> RunOutput {
     };
     let run = |policy: RowPolicy,
                hook: Option<rh_softmc::ActivationHook>|
-     -> rh_softmc::MemStats {
+     -> Result<rh_softmc::MemStats, CharError> {
         let module = rh_dram::DramModule::new(rh_dram::ModuleConfig::ddr4(Manufacturer::D));
         let mut mc = MemController::new(module, policy);
         if let Some(h) = hook {
             mc.set_hook(h);
         }
         for r in stream(200_000) {
-            mc.submit(r).expect("in-range bank");
+            mc.submit(r)?;
         }
-        mc.drain()
+        Ok(mc.drain())
     };
     let mut text = String::from(
         "Memory-controller study: 200K requests, 70% locality, 8 banks\n",
@@ -723,38 +885,38 @@ fn run_memctl() -> RunOutput {
         ));
         data.push((name.to_string(), s));
     };
-    row("open page", run(RowPolicy::OpenPage, None));
-    row("closed page", run(RowPolicy::ClosedPage, None));
+    row("open page", run(RowPolicy::OpenPage, None)?);
+    row("closed page", run(RowPolicy::ClosedPage, None)?);
     row(
         "capped open (3x tRAS)",
-        run(RowPolicy::CappedOpen { cap: 3 * 34_500 }, None),
+        run(RowPolicy::CappedOpen { cap: 3 * 34_500 }, None)?,
     );
     row(
         "open + PARA hook",
-        run(RowPolicy::OpenPage, Some(rh_defense::traits::as_hook(Para::new(0.002, 7)))),
+        run(RowPolicy::OpenPage, Some(rh_defense::traits::as_hook(Para::new(0.002, 7))))?,
     );
     row(
         "open + Graphene hook",
         run(
             RowPolicy::OpenPage,
             Some(rh_defense::traits::as_hook(Graphene::new(32_000, 1_300_000))),
-        ),
+        )?,
     );
     text.push_str(
         "the Improvement-5 cap costs little on benign traffic while denying\n\
          attackers extended aggressor-open time\n",
     );
-    RunOutput {
+    Ok(RunOutput {
         target: "memctl",
         text,
         data: serde_json::to_value(&data).unwrap_or(Value::Null),
-    }
+    })
 }
 
 /// BER-vs-hammer-count dose response (the basis of the paper's 150 K
 /// choice, §4.2 footnote 3).
 fn run_hcsweep(cfg: &RunConfig) -> Result<RunOutput, CharError> {
-    let results = per_mfr(cfg, dose::dose_response)?;
+    let (results, campaign) = per_mfr(cfg, "hcsweep", dose::dose_response)?;
     let mut text = String::from("BER vs hammer count (75C, WCDP)\n");
     for (m, d) in &results {
         text.push_str(&format!("{m}:\n"));
@@ -768,11 +930,12 @@ fn run_hcsweep(cfg: &RunConfig) -> Result<RunOutput, CharError> {
         }
     }
     text.push_str("paper: 150K chosen as attack-realistic and sufficient on every module\n");
+    text.push_str(&campaign_text(&campaign));
     let data = serde_json::to_value(
         results.iter().map(|(m, d)| (m.to_string(), d)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target: "hcsweep", text, data })
+    Ok(RunOutput { target: "hcsweep", text, data: campaign_data(data, &campaign) })
 }
 
 /// Benign-workload overhead of the defense roster (the performance
@@ -826,7 +989,11 @@ fn run_patterns(cfg: &RunConfig) -> Result<RunOutput, CharError> {
             BankId(0),
             cfg.scale,
         )?;
-        let best = scores.iter().max_by_key(|s| s.flips).expect("scores");
+        let best = scores.iter().max_by_key(|s| s.flips).ok_or_else(|| {
+            CharError::Infra(rh_softmc::SoftMcError::InvalidProgram {
+                reason: "pattern scoring produced no candidates".into(),
+            })
+        })?;
         text.push_str(&format!("{mfr}: WCDP = {}\n", best.kind.name()));
         for s in &scores {
             text.push_str(&format!("   {:<12} {:>6}\n", s.kind.name(), s.flips));
@@ -848,10 +1015,10 @@ pub fn run_defense_matrix(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
     let mut rows = Vec::new();
     // Fixed module identity: the baseline row must flip undefended for
     // the comparison to be meaningful.
-    let mk_bench = || {
+    let mk_bench = || -> Result<TestBench, CharError> {
         let mut b = TestBench::new(Manufacturer::B, 99);
-        b.set_temperature(75.0).expect("settle");
-        b
+        b.set_temperature(75.0)?;
+        Ok(b)
     };
     let defenses: Vec<Box<dyn rh_defense::Defense>> = vec![
         Box::new(rh_defense::traits::NoDefense),
@@ -862,7 +1029,7 @@ pub fn run_defense_matrix(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
         Box::new(Twice::new(8_000, 64_000_000_000)),
     ];
     for mut d in defenses {
-        let mut sim = DefenseSim::new(mk_bench());
+        let mut sim = DefenseSim::new(mk_bench()?);
         let o = sim
             .run_double_sided(d.as_mut(), RowAddr(5000), hammers, None)
             .map_err(CharError::from)?;
@@ -896,7 +1063,7 @@ pub fn run_target(target: &str, cfg: &RunConfig) -> Result<RunOutput, CharError>
         "fig3" => run_temp_ranges(cfg, "fig3"),
         "fig4" => run_fig4(cfg),
         "fig5" => run_fig5(cfg),
-        "fig6" => Ok(run_fig6()),
+        "fig6" => run_fig6(),
         "fig7" => run_rowactive(cfg, "fig7"),
         "fig8" => run_rowactive(cfg, "fig8"),
         "fig9" => run_rowactive(cfg, "fig9"),
@@ -907,16 +1074,19 @@ pub fn run_target(target: &str, cfg: &RunConfig) -> Result<RunOutput, CharError>
         "fig14" => run_fig14_15(cfg, "fig14"),
         "fig15" => run_fig14_15(cfg, "fig15"),
         "observations" => run_observations(cfg),
-        "attack1" | "attack2" | "attack3" => {
-            run_attack(cfg, targets().iter().find(|t| **t == target).expect("known"))
-        }
-        "defense1" | "defense2" | "defense3" | "defense4" | "defense5" | "defense6" => {
-            run_defense(cfg, targets().iter().find(|t| **t == target).expect("known"))
-        }
+        "attack1" => run_attack(cfg, "attack1"),
+        "attack2" => run_attack(cfg, "attack2"),
+        "attack3" => run_attack(cfg, "attack3"),
+        "defense1" => run_defense(cfg, "defense1"),
+        "defense2" => run_defense(cfg, "defense2"),
+        "defense3" => run_defense(cfg, "defense3"),
+        "defense4" => run_defense(cfg, "defense4"),
+        "defense5" => run_defense(cfg, "defense5"),
+        "defense6" => run_defense(cfg, "defense6"),
         "ddr3" => run_ddr3(cfg),
         "overhead" => Ok(run_overhead()),
         "hcsweep" => run_hcsweep(cfg),
-        "memctl" => Ok(run_memctl()),
+        "memctl" => run_memctl(),
         "patterns" => run_patterns(cfg),
         "trrespass" => run_trrespass(cfg),
         "chipkill" => run_chipkill(cfg),
@@ -933,7 +1103,7 @@ mod tests {
     use super::*;
 
     fn smoke() -> RunConfig {
-        RunConfig { scale: Scale::Smoke, seed: 5, modules_per_mfr: 2 }
+        RunConfig { scale: Scale::Smoke, seed: 5, modules_per_mfr: 2, ..RunConfig::default() }
     }
 
     #[test]
@@ -960,5 +1130,86 @@ mod tests {
         let out = run_target("defense1", &smoke()).unwrap();
         assert!(out.text.contains("80"));
         assert!(out.text.contains("33"));
+    }
+
+    /// A plan tuned (seed 11, 1% link loss) so the four fig4 modules
+    /// split into succeeded / recovered / quarantined on cfg seed 0.
+    fn mixed_plan() -> FaultPlan {
+        FaultPlan { host_link_fail_prob: 0.01, host_link_burst: 1, ..FaultPlan::none(11) }
+    }
+
+    fn faulty_cfg() -> RunConfig {
+        RunConfig {
+            scale: Scale::Smoke,
+            modules_per_mfr: 1,
+            faults: Some(mixed_plan()),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_campaign_completes_with_partial_results() {
+        let out = run_target("fig4", &faulty_cfg()).unwrap();
+        let campaign = out.data.field("campaign");
+        let quarantined = campaign.field("quarantined").as_u64().unwrap();
+        let succeeded = campaign.field("succeeded").as_u64().unwrap();
+        let recovered = campaign.field("recovered").as_u64().unwrap();
+        assert!(quarantined >= 1, "plan should quarantine at least one module");
+        assert!(succeeded + recovered >= 2, "plan should leave healthy modules");
+        assert_eq!(succeeded + recovered + quarantined, 4);
+        assert!(out.text.contains("quarantined"), "report footer lists quarantined modules");
+    }
+
+    #[test]
+    fn healthy_modules_match_fault_free_run_bit_for_bit() {
+        let clean_cfg =
+            RunConfig { scale: Scale::Smoke, modules_per_mfr: 1, ..RunConfig::default() };
+        let clean = run_target("fig4", &clean_cfg).unwrap();
+        let faulty = run_target("fig4", &faulty_cfg()).unwrap();
+        let faulty_results = match faulty.data.field("results") {
+            Value::Array(items) => items.clone(),
+            other => panic!("results not an array: {other:?}"),
+        };
+        assert!(!faulty_results.is_empty(), "partial results survived");
+        for entry in &faulty_results {
+            let mfr = entry.index(0).as_str().unwrap();
+            let clean_entry = match clean.data.field("results") {
+                Value::Array(items) => items
+                    .iter()
+                    .find(|e| e.index(0).as_str() == Some(mfr))
+                    .unwrap_or_else(|| panic!("{mfr} missing from clean run")),
+                other => panic!("results not an array: {other:?}"),
+            };
+            assert_eq!(entry, clean_entry, "{mfr}: fault injection perturbed a healthy module");
+        }
+    }
+
+    #[test]
+    fn fault_campaign_is_deterministic() {
+        let a = run_target("fig4", &faulty_cfg()).unwrap();
+        let b = run_target("fig4", &faulty_cfg()).unwrap();
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_run() {
+        let prefix = std::env::temp_dir()
+            .join(format!("rh-bench-ckpt-{}-resume", std::process::id()));
+        let ckpt_file = PathBuf::from(format!("{}-fig4.json", prefix.display()));
+        let _ = std::fs::remove_file(&ckpt_file);
+        let cfg = RunConfig { checkpoint: Some(prefix.clone()), ..faulty_cfg() };
+        let first = run_target("fig4", &cfg).unwrap();
+        assert!(ckpt_file.exists(), "campaign wrote its checkpoint");
+        // Resume with a plan that kills every module instantly: only
+        // checkpointed results can explain an identical report.
+        let poisoned = RunConfig {
+            faults: Some(FaultPlan::dead_module(11, 0)),
+            ..cfg
+        };
+        let second = run_target("fig4", &poisoned).unwrap();
+        assert_eq!(first.text, second.text);
+        assert_eq!(first.data, second.data);
+        let _ = std::fs::remove_file(&ckpt_file);
     }
 }

@@ -1,0 +1,638 @@
+//! Resilient characterization campaigns.
+//!
+//! A multi-module characterization run (the paper tests 248 modules
+//! over months, §4.3) must survive individual benches misbehaving: a
+//! flaky host link, a temperature rig that refuses to settle, a module
+//! that dies mid-campaign. The [`CampaignRunner`] replaces
+//! first-error-abort semantics with per-module outcomes: every module
+//! either **succeeds** (first try), **recovers** (succeeds after
+//! bounded retries with deterministic exponential backoff), or is
+//! **quarantined** (attempt budget exhausted, or a non-transient error
+//! such as an unresponsive module). Healthy modules are never affected
+//! by a sick neighbor, and each retry rebuilds the bench from scratch,
+//! so a recovered module's results are bit-for-bit identical to a
+//! fault-free run.
+//!
+//! Campaigns can persist a JSON checkpoint after each module completes;
+//! resuming from it skips finished modules and reproduces the same
+//! final report.
+
+use crate::error::CharError;
+use crate::experiments::panic_detail;
+use crate::Characterizer;
+use serde::{Deserialize, Serialize, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Bounded-retry policy with deterministic exponential backoff.
+///
+/// The backoff before retry *n* (1-based) is
+/// `min(base · 2^(n−1), max)` scaled by a jitter factor in
+/// `[1 − jitter_frac, 1 + jitter_frac]` drawn from a stream seeded by
+/// `(seed, module id, n)` — the same campaign always produces the same
+/// schedule, regardless of thread interleaving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempt budget per module (≥ 1; the first attempt counts).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Fractional jitter applied to each backoff (0.25 = ±25 %).
+    pub jitter_frac: f64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            max_backoff_ms: 5_000,
+            jitter_frac: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The scheduled backoff (ms) before retry `retry` (1-based) of the
+    /// module identified by `module_id`.
+    pub fn backoff_ms(&self, module_id: &str, retry: u32) -> u64 {
+        let shift = (retry - 1).min(20);
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ms);
+        let jitter_frac = self.jitter_frac.clamp(0.0, 1.0);
+        let z = splitmix(self.seed ^ fnv1a(module_id) ^ u64::from(retry).rotate_left(40));
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 + jitter_frac * (2.0 * unit - 1.0);
+        (exp as f64 * factor).round() as u64
+    }
+}
+
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// How one module's characterization ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModuleStatus {
+    /// Succeeded on the first attempt.
+    Succeeded,
+    /// Succeeded after retries.
+    Recovered {
+        /// Total attempts, including the successful one.
+        attempts: u32,
+    },
+    /// Every attempt failed (or the error was not worth retrying).
+    Quarantined {
+        /// Attempts consumed before giving up.
+        attempts: u32,
+        /// The final error, rendered.
+        error: String,
+    },
+}
+
+impl ModuleStatus {
+    /// Whether the module produced a result.
+    pub fn is_success(&self) -> bool {
+        !matches!(self, ModuleStatus::Quarantined { .. })
+    }
+}
+
+/// The per-module record in a [`CampaignReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleOutcome {
+    /// Stable module identifier (e.g. `"A-00000000000004d2"`).
+    pub id: String,
+    /// Terminal status.
+    pub status: ModuleStatus,
+    /// One rendered error per failed attempt, in attempt order.
+    pub errors: Vec<String>,
+    /// Scheduled backoff (ms) before each retry, in retry order. The
+    /// schedule is deterministic in `(policy seed, module id)`.
+    pub backoffs_ms: Vec<u64>,
+}
+
+/// Structured summary of a whole campaign — everything except the
+/// (caller-typed) successful results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Per-module outcomes, in campaign input order.
+    pub outcomes: Vec<ModuleOutcome>,
+    /// Modules that succeeded first try.
+    pub succeeded: usize,
+    /// Modules that succeeded after retries.
+    pub recovered: usize,
+    /// Modules that were quarantined.
+    pub quarantined: usize,
+}
+
+impl CampaignReport {
+    fn from_outcomes(outcomes: Vec<ModuleOutcome>) -> Self {
+        let succeeded = outcomes
+            .iter()
+            .filter(|o| matches!(o.status, ModuleStatus::Succeeded))
+            .count();
+        let recovered = outcomes
+            .iter()
+            .filter(|o| matches!(o.status, ModuleStatus::Recovered { .. }))
+            .count();
+        let quarantined = outcomes.len() - succeeded - recovered;
+        Self { outcomes, succeeded, recovered, quarantined }
+    }
+
+    /// `true` when no module was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined == 0
+    }
+
+    /// The quarantined outcomes, for reporting.
+    pub fn quarantined_modules(&self) -> impl Iterator<Item = &ModuleOutcome> {
+        self.outcomes.iter().filter(|o| !o.status.is_success())
+    }
+
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} module(s): {} succeeded, {} recovered after retry, {} quarantined",
+            self.outcomes.len(),
+            self.succeeded,
+            self.recovered,
+            self.quarantined
+        )
+    }
+}
+
+/// A campaign's results plus its resilience report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutput<T> {
+    /// `(module id, result)` for every non-quarantined module, in
+    /// campaign input order.
+    pub results: Vec<(String, T)>,
+    /// Per-module outcomes and counts.
+    pub report: CampaignReport,
+}
+
+/// One unit of campaign work: a stable identifier plus a builder that
+/// produces a *fresh* [`Characterizer`] for every attempt, so retries
+/// start from clean bench state and a recovered module's results match
+/// a fault-free run exactly. The builder receives the 1-based attempt
+/// number — fault-armed builders should re-derive their fault stream
+/// from it so a transient fault does not replay identically on retry.
+pub struct ModuleTask<'a> {
+    /// Stable identifier, also the checkpoint key.
+    pub id: String,
+    /// Builds the bench + characterizer for one attempt.
+    #[allow(clippy::type_complexity)]
+    pub build: Box<dyn Fn(u32) -> Result<Characterizer, CharError> + Send + Sync + 'a>,
+}
+
+impl<'a> ModuleTask<'a> {
+    /// Convenience constructor.
+    pub fn new<F>(id: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(u32) -> Result<Characterizer, CharError> + Send + Sync + 'a,
+    {
+        Self { id: id.into(), build: Box::new(build) }
+    }
+}
+
+/// A stable module id from the identity that defines a bench.
+pub fn module_id(mfr: rh_dram::Manufacturer, module_seed: u64) -> String {
+    format!("{mfr:?}-{module_seed:016x}")
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointEntry {
+    id: String,
+    outcome: ModuleOutcome,
+    /// The serialized result for successful modules.
+    result: Option<Value>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Checkpoint {
+    version: u32,
+    entries: Vec<CheckpointEntry>,
+}
+
+/// Runs module tasks in parallel with bounded retry, quarantine, and
+/// optional checkpoint/resume. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct CampaignRunner {
+    policy: RetryPolicy,
+    checkpoint: Option<PathBuf>,
+    wait_backoff: bool,
+}
+
+impl CampaignRunner {
+    /// A runner with the default [`RetryPolicy`] and no checkpointing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Persists a checkpoint to `path` after each module completes and
+    /// resumes from it if it already exists.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Actually sleeps the scheduled backoff before each retry. Off by
+    /// default: the simulated bench has no physical transient to wait
+    /// out, and the schedule is still computed and reported either way.
+    pub fn with_real_backoff(mut self, wait: bool) -> Self {
+        self.wait_backoff = wait;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Runs `f` once per module (retrying per policy) across parallel
+    /// OS threads and collects every outcome. A quarantined module
+    /// consumes its slot in the report but not in `results`.
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint I/O or decode problems abort a campaign
+    /// ([`CharError::Checkpoint`]); module failures never do.
+    pub fn run<T, F>(
+        &self,
+        tasks: Vec<ModuleTask<'_>>,
+        f: F,
+    ) -> Result<CampaignOutput<T>, CharError>
+    where
+        T: Send + Serialize + Deserialize,
+        F: Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
+    {
+        let prior = match &self.checkpoint {
+            Some(path) => load_checkpoint(path)?,
+            None => Vec::new(),
+        };
+        let store = Mutex::new(prior);
+
+        let slots: Vec<(ModuleOutcome, Option<Value>)> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = tasks
+                    .iter()
+                    .map(|task| {
+                        let f = &f;
+                        let store = &store;
+                        let resumed = {
+                            let guard = store.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.iter().find(|e| e.id == task.id).cloned()
+                        };
+                        s.spawn(move || {
+                            if let Some(entry) = resumed {
+                                return (entry.outcome, entry.result);
+                            }
+                            let (outcome, value) = self.run_one(task, f);
+                            if self.checkpoint.is_some() {
+                                let mut guard =
+                                    store.lock().unwrap_or_else(|e| e.into_inner());
+                                guard.push(CheckpointEntry {
+                                    id: outcome.id.clone(),
+                                    outcome: outcome.clone(),
+                                    result: value.clone(),
+                                });
+                                if let Some(path) = &self.checkpoint {
+                                    // Persist eagerly; a failed write only
+                                    // degrades resumability, so don't kill
+                                    // the in-flight campaign over it.
+                                    let _ = save_checkpoint(path, &guard);
+                                }
+                            }
+                            (outcome, value)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(slot) => slot,
+                        Err(p) => panic!(
+                            "campaign worker infrastructure failure: {}",
+                            panic_detail(p)
+                        ),
+                    })
+                    .collect()
+            });
+
+        let mut outcomes = Vec::with_capacity(slots.len());
+        let mut results = Vec::new();
+        for (outcome, value) in slots {
+            if outcome.status.is_success() {
+                let v = value.ok_or_else(|| CharError::Checkpoint {
+                    detail: format!("checkpoint entry for {} has no result", outcome.id),
+                })?;
+                let t = T::from_json_value(&v).map_err(|e| CharError::Checkpoint {
+                    detail: format!("result for {} does not decode: {e}", outcome.id),
+                })?;
+                results.push((outcome.id.clone(), t));
+            }
+            outcomes.push(outcome);
+        }
+        Ok(CampaignOutput { results, report: CampaignReport::from_outcomes(outcomes) })
+    }
+
+    /// The bounded-retry loop for one module. Returns the outcome plus
+    /// the serialized result when successful.
+    fn run_one<T, F>(&self, task: &ModuleTask<'_>, f: &F) -> (ModuleOutcome, Option<Value>)
+    where
+        T: Serialize,
+        F: Fn(&mut Characterizer) -> Result<T, CharError>,
+    {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut errors = Vec::new();
+        let mut backoffs_ms = Vec::new();
+        for attempt in 1..=max_attempts {
+            let attempt_result = (task.build)(attempt).and_then(|mut ch| {
+                catch_unwind(AssertUnwindSafe(|| f(&mut ch))).unwrap_or_else(|p| {
+                    Err(CharError::WorkerPanicked { detail: panic_detail(p) })
+                })
+            });
+            let err = match attempt_result {
+                Ok(t) => {
+                    let status = if attempt == 1 {
+                        ModuleStatus::Succeeded
+                    } else {
+                        ModuleStatus::Recovered { attempts: attempt }
+                    };
+                    let outcome = ModuleOutcome {
+                        id: task.id.clone(),
+                        status,
+                        errors,
+                        backoffs_ms,
+                    };
+                    return (outcome, Some(t.to_json_value()));
+                }
+                Err(e) => e,
+            };
+            errors.push(err.to_string());
+            if attempt == max_attempts || !err.is_transient() {
+                let outcome = ModuleOutcome {
+                    id: task.id.clone(),
+                    status: ModuleStatus::Quarantined {
+                        attempts: attempt,
+                        error: err.to_string(),
+                    },
+                    errors,
+                    backoffs_ms,
+                };
+                return (outcome, None);
+            }
+            let backoff = self.policy.backoff_ms(&task.id, attempt);
+            backoffs_ms.push(backoff);
+            if self.wait_backoff {
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+        }
+        unreachable!("retry loop always returns from its final attempt")
+    }
+}
+
+fn load_checkpoint(path: &Path) -> Result<Vec<CheckpointEntry>, CharError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(CharError::Checkpoint { detail: format!("read {}: {e}", path.display()) })
+        }
+    };
+    let value = serde_json::from_str(&text).map_err(|e| CharError::Checkpoint {
+        detail: format!("parse {}: {e}", path.display()),
+    })?;
+    let cp = Checkpoint::from_json_value(&value).map_err(|e| CharError::Checkpoint {
+        detail: format!("decode {}: {e}", path.display()),
+    })?;
+    Ok(cp.entries)
+}
+
+fn save_checkpoint(path: &Path, entries: &[CheckpointEntry]) -> Result<(), CharError> {
+    let cp = Checkpoint { version: 1, entries: entries.to_vec() };
+    let bytes = serde_json::to_vec_pretty(&cp.to_json_value()).map_err(|e| {
+        CharError::Checkpoint { detail: format!("serialize checkpoint: {e}") }
+    })?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| CharError::Checkpoint {
+        detail: format!("write {}: {e}", tmp.display()),
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| CharError::Checkpoint {
+        detail: format!("rename {} -> {}: {e}", tmp.display(), path.display()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use rh_dram::Manufacturer;
+    use rh_softmc::TestBench;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn smoke_task(seed: u64) -> ModuleTask<'static> {
+        ModuleTask::new(module_id(Manufacturer::D, seed), move |_attempt| {
+            Characterizer::new(TestBench::new(Manufacturer::D, seed), Scale::Smoke)
+        })
+    }
+
+    fn transient() -> CharError {
+        CharError::Infra(rh_softmc::SoftMcError::HostLink { op: "test".into() })
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let policy = RetryPolicy { seed: 42, ..RetryPolicy::default() };
+        let again = RetryPolicy { seed: 42, ..RetryPolicy::default() };
+        for retry in 1..=8 {
+            let b = policy.backoff_ms("A-0001", retry);
+            assert_eq!(b, again.backoff_ms("A-0001", retry), "same seed, same schedule");
+            let nominal = (100u64 << (retry - 1).min(20)).min(5_000) as f64;
+            assert!((b as f64) >= nominal * 0.74 && (b as f64) <= nominal * 1.26);
+        }
+        let other_seed = RetryPolicy { seed: 43, ..RetryPolicy::default() };
+        let schedule = |p: &RetryPolicy| (1..=8).map(|r| p.backoff_ms("A-0001", r)).collect::<Vec<_>>();
+        assert_ne!(schedule(&policy), schedule(&other_seed));
+        assert_ne!(
+            (1..=8).map(|r| policy.backoff_ms("A-0001", r)).collect::<Vec<_>>(),
+            (1..=8).map(|r| policy.backoff_ms("B-0001", r)).collect::<Vec<_>>(),
+            "modules get independent jitter"
+        );
+    }
+
+    #[test]
+    fn transient_failures_recover_with_recorded_backoffs() {
+        let failures = AtomicU32::new(0);
+        let out: CampaignOutput<u64> = CampaignRunner::new()
+            .with_policy(RetryPolicy { max_attempts: 4, ..RetryPolicy::default() })
+            .run(vec![smoke_task(7)], |ch| {
+                if failures.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(transient())
+                } else {
+                    Ok(ch.bench().module_seed())
+                }
+            })
+            .unwrap();
+        assert_eq!(out.results, vec![(module_id(Manufacturer::D, 7), 7)]);
+        let o = &out.report.outcomes[0];
+        assert_eq!(o.status, ModuleStatus::Recovered { attempts: 3 });
+        assert_eq!(o.errors.len(), 2);
+        assert_eq!(o.backoffs_ms.len(), 2);
+        assert_eq!(out.report.recovered, 1);
+    }
+
+    #[test]
+    fn attempt_budget_exhaustion_quarantines() {
+        let out: CampaignOutput<u64> = CampaignRunner::new()
+            .with_policy(RetryPolicy { max_attempts: 3, ..RetryPolicy::default() })
+            .run(vec![smoke_task(8)], |_| Err::<u64, _>(transient()))
+            .unwrap();
+        assert!(out.results.is_empty());
+        match &out.report.outcomes[0].status {
+            ModuleStatus::Quarantined { attempts, error } => {
+                assert_eq!(*attempts, 3);
+                assert!(error.contains("host link"));
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(out.report.outcomes[0].errors.len(), 3);
+        assert!(!out.report.is_clean());
+    }
+
+    #[test]
+    fn non_transient_errors_quarantine_immediately() {
+        let calls = AtomicU32::new(0);
+        let out: CampaignOutput<u64> = CampaignRunner::new()
+            .with_policy(RetryPolicy { max_attempts: 5, ..RetryPolicy::default() })
+            .run(vec![smoke_task(9)], |_| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err::<u64, _>(CharError::Infra(rh_softmc::SoftMcError::Unresponsive {
+                    after_ops: 1,
+                }))
+            })
+            .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "no retry for a dead module");
+        match &out.report.outcomes[0].status {
+            ModuleStatus::Quarantined { attempts, .. } => assert_eq!(*attempts, 1),
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sick_module_does_not_disturb_healthy_ones() {
+        let tasks = vec![smoke_task(20), smoke_task(21), smoke_task(22)];
+        let out: CampaignOutput<u64> = CampaignRunner::new()
+            .run(tasks, |ch| {
+                let seed = ch.bench().module_seed();
+                if seed == 21 {
+                    panic!("module 21 exploded");
+                }
+                Ok(seed)
+            })
+            .unwrap();
+        let ids: Vec<&str> = out.results.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [module_id(Manufacturer::D, 20), module_id(Manufacturer::D, 22)]
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(out.report.quarantined, 1);
+        let q: Vec<_> = out.report.quarantined_modules().collect();
+        assert!(q[0].errors[0].contains("module 21 exploded"));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_resume_reproduces_report() {
+        let dir = std::env::temp_dir().join("rh-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("cp-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let run = |poison: bool| -> CampaignOutput<u64> {
+            CampaignRunner::new()
+                .with_checkpoint(&path)
+                .with_policy(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() })
+                .run(vec![smoke_task(30), smoke_task(31)], |ch| {
+                    let seed = ch.bench().module_seed();
+                    if poison && seed == 31 {
+                        return Err(transient());
+                    }
+                    if !poison && seed == 31 {
+                        panic!("resume should never re-run a finished module");
+                    }
+                    Ok(seed)
+                })
+                .unwrap()
+        };
+
+        let first = run(true);
+        assert_eq!(first.report.succeeded, 1);
+        assert_eq!(first.report.quarantined, 1);
+
+        // Second run resumes: module 30's result comes from the file and
+        // module 31's quarantine record is reused (the closure would
+        // panic if either actually re-ran).
+        let resumed = run(false);
+        assert_eq!(resumed.report, first.report);
+        assert_eq!(resumed.results, first.results);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_reported_not_ignored() {
+        let dir = std::env::temp_dir().join("rh-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("bad-{}.json", std::process::id()));
+        std::fs::write(&path, b"{ not json").unwrap();
+        let err = CampaignRunner::new()
+            .with_checkpoint(&path)
+            .run::<u64, _>(vec![smoke_task(40)], |ch| Ok(ch.bench().module_seed()))
+            .unwrap_err();
+        assert!(matches!(err, CharError::Checkpoint { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_serializes_round_trip() {
+        let report = CampaignReport::from_outcomes(vec![ModuleOutcome {
+            id: "D-0000000000000001".into(),
+            status: ModuleStatus::Recovered { attempts: 2 },
+            errors: vec!["host link dropped command batch during run".into()],
+            backoffs_ms: vec![104],
+        }]);
+        let v = serde_json::to_value(&report).unwrap();
+        let back = CampaignReport::from_json_value(&v).unwrap();
+        assert_eq!(report, back);
+        assert!(report.summary_line().contains("1 recovered"));
+    }
+}

@@ -23,6 +23,31 @@ pub enum CharError {
         /// The offending row.
         row: u32,
     },
+    /// A campaign worker thread panicked; the panic was contained and
+    /// converted into this per-module outcome.
+    WorkerPanicked {
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+    /// Reading or writing a campaign checkpoint failed.
+    Checkpoint {
+        /// What went wrong (I/O errors are not `Clone`, so the message
+        /// is captured instead).
+        detail: String,
+    },
+}
+
+impl CharError {
+    /// Whether a retry against a fresh bench could plausibly succeed.
+    /// The campaign runner quarantines a module early when its error is
+    /// not transient.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CharError::Infra(e) => e.is_transient(),
+            CharError::WorkerPanicked { .. } => false,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for CharError {
@@ -35,6 +60,12 @@ impl fmt::Display for CharError {
             ),
             CharError::VictimOutOfRange { row } => {
                 write!(f, "victim row {row} too close to the bank edge")
+            }
+            CharError::WorkerPanicked { detail } => {
+                write!(f, "campaign worker panicked: {detail}")
+            }
+            CharError::Checkpoint { detail } => {
+                write!(f, "campaign checkpoint error: {detail}")
             }
         }
     }
@@ -74,5 +105,24 @@ mod tests {
         assert!(Error::source(&e).is_none());
         let e2 = CharError::from(SoftMcError::InvalidProgram { reason: "x".into() });
         assert!(Error::source(&e2).is_some());
+    }
+
+    #[test]
+    fn campaign_variants_display_and_classify() {
+        let p = CharError::WorkerPanicked { detail: "index out of bounds".into() };
+        assert_eq!(p.to_string(), "campaign worker panicked: index out of bounds");
+        assert!(Error::source(&p).is_none());
+        assert!(!p.is_transient());
+
+        let c = CharError::Checkpoint { detail: "bad JSON at byte 7".into() };
+        assert_eq!(c.to_string(), "campaign checkpoint error: bad JSON at byte 7");
+        assert!(Error::source(&c).is_none());
+        assert!(!c.is_transient());
+
+        // Transience tunnels through Infra to the SoftMcError taxonomy.
+        let t = CharError::from(SoftMcError::HostLink { op: "run".into() });
+        assert!(t.is_transient());
+        let d = CharError::from(SoftMcError::Unresponsive { after_ops: 1 });
+        assert!(!d.is_transient());
     }
 }

@@ -8,18 +8,72 @@ pub mod temperature;
 
 use crate::error::CharError;
 use crate::Characterizer;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Turns a caught panic payload into a readable detail string.
+pub(crate) fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Runs `f` over several characterizers in parallel OS threads and
-/// collects the results in input order.
+/// collects every per-module outcome in input order.
+///
+/// No result is ever dropped: a worker that fails (or panics — the
+/// panic is contained and surfaced as
+/// [`CharError::WorkerPanicked`]) yields an `Err` in its slot while
+/// every other module's result is still returned. Callers that want
+/// first-error semantics can use [`parallel_modules_strict`]; callers
+/// that want retries and quarantine should use
+/// [`CampaignRunner`](crate::campaign::CampaignRunner).
+pub fn parallel_modules<T, F>(
+    modules: Vec<Characterizer>,
+    f: F,
+) -> Vec<(Characterizer, Result<T, CharError>)>
+where
+    T: Send,
+    F: Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
+{
+    std::thread::scope(|s| {
+        let handles: Vec<_> = modules
+            .into_iter()
+            .map(|mut ch| {
+                let f = &f;
+                s.spawn(move || {
+                    let r = catch_unwind(AssertUnwindSafe(|| f(&mut ch)))
+                        .unwrap_or_else(|p| Err(CharError::WorkerPanicked {
+                            detail: panic_detail(p),
+                        }));
+                    (ch, r)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(pair) => pair,
+                // The worker already converts its own panics; reaching
+                // this arm means the thread died outside catch_unwind,
+                // which leaves no characterizer to hand back.
+                Err(p) => panic!("worker thread infrastructure failure: {}", panic_detail(p)),
+            })
+            .collect()
+    })
+}
+
+/// First-error variant of [`parallel_modules`]: every worker still runs
+/// to completion, but the first error (in input order) is returned and
+/// the successful results are dropped.
 ///
 /// # Errors
 ///
-/// The first error any worker produced.
-///
-/// # Panics
-///
-/// Propagates panics from worker threads.
-pub fn parallel_modules<T, F>(
+/// The first error any worker produced, including contained panics.
+pub fn parallel_modules_strict<T, F>(
     modules: Vec<Characterizer>,
     f: F,
 ) -> Result<Vec<(Characterizer, T)>, CharError>
@@ -27,25 +81,8 @@ where
     T: Send,
     F: Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
 {
-    let results = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = modules
-            .into_iter()
-            .map(|mut ch| {
-                let f = &f;
-                s.spawn(move |_| {
-                    let r = f(&mut ch);
-                    (ch, r)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("thread scope panicked");
-    let mut out = Vec::with_capacity(results.len());
-    for (ch, r) in results {
+    let mut out = Vec::new();
+    for (ch, r) in parallel_modules(modules, f) {
         out.push((ch, r?));
     }
     Ok(out)
@@ -66,8 +103,50 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        let out = parallel_modules(modules, |ch| Ok(ch.bench().module_seed())).unwrap();
+        let out = parallel_modules_strict(modules, |ch| Ok(ch.bench().module_seed())).unwrap();
         let seeds: Vec<u64> = out.iter().map(|(_, s)| *s).collect();
         assert_eq!(seeds, vec![100, 101, 102]);
+    }
+
+    fn smoke_modules(n: u64) -> Vec<Characterizer> {
+        (0..n)
+            .map(|i| {
+                Characterizer::new(TestBench::new(Manufacturer::D, 100 + i), Scale::Smoke)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_failure_keeps_other_results() {
+        let out = parallel_modules(smoke_modules(3), |ch| {
+            let seed = ch.bench().module_seed();
+            if seed == 101 {
+                Err(CharError::VictimOutOfRange { row: 0 })
+            } else {
+                Ok(seed)
+            }
+        });
+        assert_eq!(out.len(), 3, "failed module still occupies its slot");
+        assert_eq!(*out[0].1.as_ref().unwrap(), 100);
+        assert!(out[1].1.is_err());
+        assert_eq!(*out[2].1.as_ref().unwrap(), 102);
+    }
+
+    #[test]
+    fn worker_panic_becomes_per_module_error() {
+        let out = parallel_modules(smoke_modules(2), |ch| {
+            if ch.bench().module_seed() == 100 {
+                panic!("injected worker panic");
+            }
+            Ok(())
+        });
+        match &out[0].1 {
+            Err(CharError::WorkerPanicked { detail }) => {
+                assert!(detail.contains("injected worker panic"));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(out[1].1.is_ok(), "sibling module unaffected by the panic");
     }
 }

@@ -59,7 +59,7 @@ pub fn row_variation(ch: &mut Characterizer) -> Result<RowVariation, CharError> 
         }
     }
     let mut sorted: Vec<f64> = rows.iter().map(|&(_, h)| h as f64).collect();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     Ok(RowVariation { rows, sorted_desc: sorted })
 }
 

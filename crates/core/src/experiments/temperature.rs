@@ -196,7 +196,7 @@ pub fn hcfirst_vs_temperature(ch: &mut Characterizer) -> Result<HcFirstVsTempera
                 hc[to].get(v).map(|&ht| (ht as f64 - h50 as f64) / h50 as f64 * 100.0)
             })
             .collect();
-        out.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        out.sort_by(|a, b| b.total_cmp(a));
         out
     };
     let c55 = changes(1);

@@ -25,6 +25,9 @@
 //! * [`observations`] — programmatic checks of the paper's Obsv. 1–16.
 //! * [`report`] — plain-text rendering of every regenerated table and
 //!   figure.
+//! * [`campaign`] — resilient multi-module campaigns: bounded retry
+//!   with deterministic backoff, quarantine of sick modules, partial
+//!   results, and JSON checkpoint/resume.
 //!
 //! # Examples
 //!
@@ -39,7 +42,9 @@
 //! println!("HCfirst of row 1000: {hc:?}");
 //! # Ok::<(), rh_core::CharError>(())
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod campaign;
 pub mod config;
 pub mod error;
 pub mod experiments;
@@ -49,6 +54,10 @@ pub mod observations;
 pub mod report;
 pub mod wcdp;
 
+pub use campaign::{
+    module_id, CampaignOutput, CampaignReport, CampaignRunner, ModuleOutcome, ModuleStatus,
+    ModuleTask, RetryPolicy,
+};
 pub use config::{Scale, TestPlan};
 pub use error::CharError;
 pub use metrics::{BerMeasurement, Characterizer};

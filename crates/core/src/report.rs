@@ -149,15 +149,15 @@ pub fn fig5(label: &str, f: &HcFirstVsTemperature) -> String {
     );
     let _ = writeln!(s, "cumulative |change| ratio (ΔT=40 / ΔT=5): {:.1}x", f.magnitude_ratio);
     for (name, c) in [("50->55", &f.change_50_to_55), ("50->90", &f.change_50_to_90)] {
-        if c.is_empty() {
+        let (Some(max), Some(min)) = (c.first(), c.last()) else {
             continue;
-        }
+        };
         let _ = writeln!(
             s,
             "{name}: max {:+.1}%  median {:+.1}%  min {:+.1}%",
-            c.first().unwrap(),
+            max,
             rh_stats::median(c),
-            c.last().unwrap()
+            min
         );
     }
     s

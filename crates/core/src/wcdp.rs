@@ -76,10 +76,11 @@ pub fn find_wcdp(
     scale: Scale,
 ) -> Result<DataPattern, CharError> {
     let scores = score_patterns(bench, mapping, bank, scale)?;
-    let best = scores
-        .iter()
-        .max_by_key(|s| s.flips)
-        .expect("seven patterns scored");
+    let best = scores.iter().max_by_key(|s| s.flips).ok_or_else(|| {
+        CharError::Infra(rh_softmc::SoftMcError::InvalidProgram {
+            reason: "pattern scoring produced no candidates".into(),
+        })
+    })?;
     Ok(DataPattern::new(best.kind, bench.module_seed()))
 }
 

@@ -34,6 +34,7 @@
 //! calibrated fault model, reporting bit flips, refresh energy proxy,
 //! and throttling delay; [`overhead`] measures the same defenses' cost
 //! on synthetic *benign* workloads (slowdown, spurious refreshes).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod blockhammer;
 pub mod cooling;

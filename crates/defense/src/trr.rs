@@ -41,7 +41,7 @@ impl TargetRowRefresh {
         if !self.enabled {
             return Vec::new();
         }
-        self.tracked.sort_by(|a, b| b.1.cmp(&a.1));
+        self.tracked.sort_by_key(|t| std::cmp::Reverse(t.1));
         let mut actions = Vec::new();
         for (row, count) in self.tracked.iter_mut().take(self.per_ref) {
             if *count > 0 {

@@ -185,11 +185,11 @@ mod tests {
         for kind in PatternKind::ALL {
             let p = DataPattern::new(kind, 9);
             let fill = p.row_fill(RowAddr(3), 1, 16);
-            for byte in 0..16 {
+            for (byte, fill_byte) in fill.iter().enumerate() {
                 for bit in 0..8 {
                     assert_eq!(
                         p.bit_at(RowAddr(3), 1, byte, bit),
-                        (fill[byte] >> bit) & 1 == 1,
+                        (fill_byte >> bit) & 1 == 1,
                         "{kind:?} byte {byte} bit {bit}"
                     );
                 }

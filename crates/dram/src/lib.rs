@@ -37,6 +37,7 @@
 //! let data = module.read_row_direct(bank, row).unwrap();
 //! assert!(data.iter().all(|&b| b == 0xAA));
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bank;
 pub mod command;

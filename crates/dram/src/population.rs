@@ -81,6 +81,7 @@ impl TestedModule {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ddr4(
     mfr: Manufacturer,
     idx: u32,

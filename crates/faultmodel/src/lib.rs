@@ -49,6 +49,7 @@
 //! println!("bit flips: {flips}");
 //! # Ok::<(), rh_dram::DramError>(())
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cell;
 pub mod disturb;

@@ -170,7 +170,7 @@ mod tests {
             for col in 0..256u32 {
                 let ws: Vec<f64> =
                     (0..8u8).map(|c| column_weight(pr, 55, c, col)).collect();
-                if ws.iter().any(|w| *w == 0.0) {
+                if ws.contains(&0.0) {
                     continue;
                 }
                 cvs.push(coefficient_of_variation(&ws));

@@ -22,6 +22,29 @@ pub enum SoftMcError {
         /// Temperature reached when giving up (°C).
         reached: f64,
     },
+    /// The host↔FPGA link dropped a command batch (transient: the same
+    /// operation may succeed when retried).
+    HostLink {
+        /// The bench operation that was in flight.
+        op: String,
+    },
+    /// The module stopped responding to commands entirely (persistent:
+    /// retries against the same bench will keep failing).
+    Unresponsive {
+        /// Bench operations completed before the module went dark.
+        after_ops: u64,
+    },
+}
+
+impl SoftMcError {
+    /// Whether retrying the same operation against a fresh bench could
+    /// plausibly succeed. Quarantine decisions key off this.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SoftMcError::HostLink { .. } | SoftMcError::TemperatureUnstable { .. }
+        )
+    }
 }
 
 impl fmt::Display for SoftMcError {
@@ -31,6 +54,12 @@ impl fmt::Display for SoftMcError {
             SoftMcError::InvalidProgram { reason } => write!(f, "invalid program: {reason}"),
             SoftMcError::TemperatureUnstable { target, reached } => {
                 write!(f, "temperature did not settle at {target} °C (reached {reached} °C)")
+            }
+            SoftMcError::HostLink { op } => {
+                write!(f, "host link dropped command batch during {op}")
+            }
+            SoftMcError::Unresponsive { after_ops } => {
+                write!(f, "module unresponsive after {after_ops} bench operations")
             }
         }
     }
@@ -68,5 +97,24 @@ mod tests {
         let e2 = SoftMcError::InvalidProgram { reason: "empty loop".into() };
         assert!(e2.to_string().contains("empty loop"));
         assert!(Error::source(&e2).is_none());
+    }
+
+    #[test]
+    fn fault_variants_display_and_classify() {
+        let link = SoftMcError::HostLink { op: "program run".into() };
+        assert_eq!(
+            link.to_string(),
+            "host link dropped command batch during program run"
+        );
+        assert!(Error::source(&link).is_none());
+        assert!(link.is_transient());
+
+        let dark = SoftMcError::Unresponsive { after_ops: 42 };
+        assert_eq!(dark.to_string(), "module unresponsive after 42 bench operations");
+        assert!(Error::source(&dark).is_none());
+        assert!(!dark.is_transient());
+
+        let unstable = SoftMcError::TemperatureUnstable { target: 85.0, reached: 60.0 };
+        assert!(unstable.is_transient());
     }
 }

@@ -1,0 +1,401 @@
+//! Deterministic fault injection for the test *infrastructure* (§4.1's
+//! host machine, FPGA link, and temperature rig) — not for the DRAM
+//! device itself, which has its own calibrated fault model.
+//!
+//! A [`FaultPlan`] is a seeded, serde-configurable description of which
+//! infrastructure faults may fire and how often. Installing a plan on a
+//! [`TestBench`](crate::TestBench) arms a [`FaultInjector`] whose random
+//! stream is completely separate from the device's physics RNG, so a
+//! module on which no fault fires produces bit-for-bit the same results
+//! as a fault-free run. Each module derives its own sub-seed from
+//! `(plan seed, module seed)`, making the fault schedule independent of
+//! thread interleaving in parallel campaigns.
+
+use crate::error::SoftMcError;
+use serde::{Deserialize, Serialize};
+
+/// A seeded description of infrastructure faults to inject.
+///
+/// All probabilities are per-operation in `[0, 1]`; `0.0` disables the
+/// corresponding fault. The default plan injects nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed; combined with each module's seed to derive that
+    /// module's private fault stream.
+    pub seed: u64,
+    /// Probability that a host operation (program run, bulk hammer,
+    /// row read/write) fails with a transient [`SoftMcError::HostLink`].
+    pub host_link_fail_prob: f64,
+    /// When a host-link fault fires, the link stays down for this many
+    /// operations total (1 = a single dropped batch).
+    pub host_link_burst: u32,
+    /// Probability that a temperature-settle attempt gives up with
+    /// [`SoftMcError::TemperatureUnstable`] before even trying.
+    pub settle_fail_prob: f64,
+    /// Systematic setpoint drift of a miscalibrated controller, °C:
+    /// the rig regulates to `target + drift` while reporting `target`.
+    pub setpoint_drift_c: f64,
+    /// Probability that a thermocouple reading repeats the previous
+    /// reading (stuck sensor).
+    pub thermo_stuck_prob: f64,
+    /// Probability that a thermocouple reading spikes by
+    /// [`thermo_spike_c`](Self::thermo_spike_c).
+    pub thermo_spike_prob: f64,
+    /// Magnitude of a thermocouple spike, °C (sign is drawn randomly).
+    pub thermo_spike_c: f64,
+    /// Probability that a direct row read/write through the bench fails
+    /// with a transient [`SoftMcError::HostLink`].
+    pub row_io_fail_prob: f64,
+    /// If set, the module stops responding with
+    /// [`SoftMcError::Unresponsive`] after this many host operations.
+    pub unresponsive_after: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none(0)
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            host_link_fail_prob: 0.0,
+            host_link_burst: 1,
+            settle_fail_prob: 0.0,
+            setpoint_drift_c: 0.0,
+            thermo_stuck_prob: 0.0,
+            thermo_spike_prob: 0.0,
+            thermo_spike_c: 0.0,
+            row_io_fail_prob: 0.0,
+            unresponsive_after: None,
+        }
+    }
+
+    /// An intermittently dropping host↔FPGA link.
+    pub fn flaky_host(seed: u64) -> Self {
+        Self { host_link_fail_prob: 0.01, host_link_burst: 2, ..Self::none(seed) }
+    }
+
+    /// A misbehaving temperature rig: occasional failed settles, a
+    /// slightly drifted setpoint, and a noisy thermocouple.
+    pub fn thermal(seed: u64) -> Self {
+        Self {
+            settle_fail_prob: 0.25,
+            setpoint_drift_c: 0.5,
+            thermo_stuck_prob: 0.01,
+            thermo_spike_prob: 0.005,
+            thermo_spike_c: 4.0,
+            ..Self::none(seed)
+        }
+    }
+
+    /// A module that goes dark after a handful of operations.
+    pub fn dead_module(seed: u64, after_ops: u64) -> Self {
+        Self { unresponsive_after: Some(after_ops), ..Self::none(seed) }
+    }
+
+    /// Everything at once, at moderate rates.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            host_link_fail_prob: 0.02,
+            host_link_burst: 2,
+            settle_fail_prob: 0.1,
+            setpoint_drift_c: 0.2,
+            thermo_stuck_prob: 0.005,
+            thermo_spike_prob: 0.002,
+            thermo_spike_c: 3.0,
+            row_io_fail_prob: 0.01,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Looks up a named preset (`none`, `flaky-host`, `thermal`,
+    /// `dead-module`, `chaos`) for CLI use.
+    pub fn preset(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "none" => Some(Self::none(seed)),
+            "flaky-host" => Some(Self::flaky_host(seed)),
+            "thermal" => Some(Self::thermal(seed)),
+            "dead-module" => Some(Self::dead_module(seed, 3)),
+            "chaos" => Some(Self::chaos(seed)),
+            _ => None,
+        }
+    }
+
+    /// The plan for retry attempt `attempt` (1-based): identical fault
+    /// rates but a fresh deterministic stream, so a transient fault
+    /// does not replay at exactly the same operation on every rebuild
+    /// of the bench. Attempt 1 is the plan itself.
+    pub fn for_attempt(&self, attempt: u32) -> FaultPlan {
+        if attempt <= 1 {
+            return self.clone();
+        }
+        Self { seed: mix(self.seed ^ u64::from(attempt).rotate_left(48)), ..self.clone() }
+    }
+
+    /// Whether any fault can fire under this plan.
+    pub fn is_inert(&self) -> bool {
+        self.host_link_fail_prob <= 0.0
+            && self.settle_fail_prob <= 0.0
+            && self.setpoint_drift_c == 0.0
+            && self.thermo_stuck_prob <= 0.0
+            && self.thermo_spike_prob <= 0.0
+            && self.row_io_fail_prob <= 0.0
+            && self.unresponsive_after.is_none()
+    }
+
+    /// Derives the fault stream for one module. The sub-seed depends
+    /// only on `(self.seed, module_seed)`, never on scheduling order.
+    pub fn injector_for(&self, module_seed: u64) -> FaultInjector {
+        FaultInjector {
+            plan: self.clone(),
+            state: mix(self.seed ^ module_seed.rotate_left(32)),
+            ops: 0,
+            burst_left: 0,
+        }
+    }
+
+    /// The thermocouple fault for one module, if the plan has one.
+    pub fn sensor_fault_for(&self, module_seed: u64) -> Option<SensorFault> {
+        if self.thermo_stuck_prob <= 0.0 && self.thermo_spike_prob <= 0.0 {
+            return None;
+        }
+        Some(SensorFault::new(
+            self.thermo_stuck_prob,
+            self.thermo_spike_prob,
+            self.thermo_spike_c,
+            self.seed.rotate_left(17) ^ module_seed,
+        ))
+    }
+}
+
+/// SplitMix64 finalizer: turns any seed (including 0) into a well-mixed
+/// non-zero xorshift state.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        z
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The armed, per-module fault stream derived from a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: u64,
+    ops: u64,
+    burst_left: u32,
+}
+
+impl FaultInjector {
+    /// The plan this injector was derived from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Host operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && unit_f64(&mut self.state) < p
+    }
+
+    /// Called before every host-side operation; returns the fault to
+    /// surface, if one fires.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftMcError::Unresponsive`] once the op budget of a dead
+    /// module is exhausted, [`SoftMcError::HostLink`] on a (possibly
+    /// bursty) transient link drop.
+    pub fn on_host_op(&mut self, op: &str) -> Result<(), SoftMcError> {
+        self.ops += 1;
+        if let Some(limit) = self.plan.unresponsive_after {
+            if self.ops > limit {
+                return Err(SoftMcError::Unresponsive { after_ops: limit });
+            }
+        }
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            return Err(SoftMcError::HostLink { op: op.to_string() });
+        }
+        if self.chance(self.plan.host_link_fail_prob) {
+            self.burst_left = self.plan.host_link_burst.saturating_sub(1);
+            return Err(SoftMcError::HostLink { op: op.to_string() });
+        }
+        Ok(())
+    }
+
+    /// Called before every direct row read/write through the bench.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`on_host_op`](Self::on_host_op) plus the
+    /// plan's dedicated row-I/O fault rate.
+    pub fn on_row_io(&mut self, op: &str) -> Result<(), SoftMcError> {
+        self.on_host_op(op)?;
+        if self.chance(self.plan.row_io_fail_prob) {
+            return Err(SoftMcError::HostLink { op: op.to_string() });
+        }
+        Ok(())
+    }
+
+    /// Whether this settle attempt should fail outright.
+    pub fn settle_fails(&mut self) -> bool {
+        let p = self.plan.settle_fail_prob;
+        self.chance(p)
+    }
+
+    /// The setpoint drift to apply, °C.
+    pub fn setpoint_drift_c(&self) -> f64 {
+        self.plan.setpoint_drift_c
+    }
+}
+
+/// A faulty thermocouple: readings may stick or spike. Lives inside the
+/// temperature controller so sensor faults couple with settling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorFault {
+    stuck_prob: f64,
+    spike_prob: f64,
+    spike_c: f64,
+    state: u64,
+    last: Option<f64>,
+}
+
+impl SensorFault {
+    /// Builds a faulty thermocouple with its own deterministic stream.
+    pub fn new(stuck_prob: f64, spike_prob: f64, spike_c: f64, seed: u64) -> Self {
+        Self { stuck_prob, spike_prob, spike_c, state: mix(seed), last: None }
+    }
+
+    /// Passes one raw reading through the faulty sensor.
+    pub fn filter(&mut self, raw: f64) -> f64 {
+        let stuck = unit_f64(&mut self.state) < self.stuck_prob;
+        if stuck {
+            if let Some(last) = self.last {
+                return last;
+            }
+        }
+        let mut reading = raw;
+        if unit_f64(&mut self.state) < self.spike_prob {
+            let sign = if xorshift(&mut self.state) & 1 == 0 { 1.0 } else { -1.0 };
+            reading += sign * self.spike_c;
+        }
+        self.last = Some(reading);
+        reading
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let plan = FaultPlan::chaos(42);
+        let run = |plan: &FaultPlan| {
+            let mut inj = plan.injector_for(7);
+            (0..200).map(|i| inj.on_host_op(&format!("op{i}")).is_err()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(&plan), run(&plan));
+        assert!(run(&plan).iter().any(|&fired| fired), "chaos plan should fire at 2%");
+    }
+
+    #[test]
+    fn different_modules_get_different_schedules() {
+        let plan = FaultPlan::flaky_host(1);
+        let schedule = |module: u64| {
+            let mut inj = plan.injector_for(module);
+            (0..500).map(|_| inj.on_host_op("hammer").is_err()).collect::<Vec<_>>()
+        };
+        assert_ne!(schedule(10), schedule(11));
+    }
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let mut inj = FaultPlan::none(99).injector_for(3);
+        for _ in 0..1000 {
+            assert!(inj.on_host_op("run").is_ok());
+            assert!(inj.on_row_io("row read").is_ok());
+            assert!(!inj.settle_fails());
+        }
+        assert!(FaultPlan::none(99).is_inert());
+        assert!(!FaultPlan::chaos(99).is_inert());
+    }
+
+    #[test]
+    fn dead_module_goes_dark_after_budget() {
+        let mut inj = FaultPlan::dead_module(5, 3).injector_for(8);
+        for _ in 0..3 {
+            assert!(inj.on_host_op("run").is_ok());
+        }
+        let e = inj.on_host_op("run").unwrap_err();
+        assert_eq!(e, SoftMcError::Unresponsive { after_ops: 3 });
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn host_link_bursts_persist() {
+        let mut plan = FaultPlan::none(2);
+        plan.host_link_fail_prob = 1.0;
+        plan.host_link_burst = 3;
+        let mut inj = plan.injector_for(1);
+        let e = inj.on_host_op("a").unwrap_err();
+        assert!(matches!(e, SoftMcError::HostLink { .. }));
+        assert!(e.is_transient());
+        assert!(inj.on_host_op("b").is_err());
+        assert!(inj.on_host_op("c").is_err());
+    }
+
+    #[test]
+    fn sensor_fault_sticks_and_spikes() {
+        let mut f = SensorFault::new(0.0, 1.0, 5.0, 3);
+        let r = f.filter(70.0);
+        assert!((r - 75.0).abs() < 1e-9 || (r - 65.0).abs() < 1e-9);
+
+        let mut f = SensorFault::new(1.0, 0.0, 0.0, 4);
+        let first = f.filter(70.0);
+        assert_eq!(first, 70.0, "nothing to stick to on the first reading");
+        assert_eq!(f.filter(80.0), 70.0, "stuck sensor repeats the last reading");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::thermal(1234);
+        let v = serde_json::to_value(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_value(v).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in ["none", "flaky-host", "thermal", "dead-module", "chaos"] {
+            assert!(FaultPlan::preset(name, 0).is_some(), "{name}");
+        }
+        assert!(FaultPlan::preset("bogus", 0).is_none());
+    }
+}

@@ -5,6 +5,7 @@
 
 use crate::controller::SoftMcController;
 use crate::error::SoftMcError;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::program::Program;
 use crate::temperature::TemperatureController;
 use rh_dram::{
@@ -24,6 +25,7 @@ pub struct TestBench {
     temperature: TemperatureController,
     manufacturer: Manufacturer,
     module_seed: u64,
+    faults: Option<FaultInjector>,
 }
 
 impl TestBench {
@@ -55,6 +57,46 @@ impl TestBench {
             temperature: TemperatureController::new(module_seed ^ 0x7E49),
             manufacturer,
             module_seed,
+            faults: None,
+        }
+    }
+
+    /// Arms infrastructure fault injection on this bench. The module's
+    /// fault stream is derived from `(plan seed, module seed)`, so the
+    /// schedule is deterministic regardless of campaign scheduling. An
+    /// inert plan leaves the bench untouched.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        self.install_faults(plan);
+        self
+    }
+
+    /// In-place form of [`with_faults`](Self::with_faults).
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        if plan.is_inert() {
+            self.faults = None;
+            self.temperature.set_sensor_fault(None);
+            return;
+        }
+        self.faults = Some(plan.injector_for(self.module_seed));
+        self.temperature.set_sensor_fault(plan.sensor_fault_for(self.module_seed));
+    }
+
+    /// The armed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    fn host_op(&mut self, op: &str) -> Result<(), SoftMcError> {
+        match &mut self.faults {
+            Some(f) => f.on_host_op(op),
+            None => Ok(()),
+        }
+    }
+
+    fn row_io(&mut self, op: &str) -> Result<(), SoftMcError> {
+        match &mut self.faults {
+            Some(f) => f.on_row_io(op),
+            None => Ok(()),
         }
     }
 
@@ -94,27 +136,71 @@ impl TestBench {
     }
 
     /// Sets the chip temperature through the closed-loop controller:
-    /// settles within ±0.1 °C and propagates the *true* chip
-    /// temperature to the fault model (the die tracks the package,
-    /// §4.1).
+    /// settles the thermocouple within ±0.1 °C of the setpoint and
+    /// returns the *measured* settled value. The fault model is fed the
+    /// true chip temperature (the die tracks the package, §4.1) —
+    /// physics follows the plant, reporting follows the sensor.
     ///
     /// # Errors
     ///
     /// [`SoftMcError::TemperatureUnstable`] if the plant cannot reach
-    /// `celsius` (e.g., below ambient).
+    /// `celsius` (e.g., below ambient), if the settle loop is starved
+    /// by a faulty sensor, or if an injected settle failure fires.
     pub fn set_temperature(&mut self, celsius: f64) -> Result<f64, SoftMcError> {
-        let reached = self.temperature.set_and_settle(celsius)?;
-        self.module_mut().set_temperature(reached);
-        Ok(reached)
+        let mut target = celsius;
+        if let Some(f) = &mut self.faults {
+            if f.settle_fails() {
+                let reached = self.temperature.measure();
+                return Err(SoftMcError::TemperatureUnstable { target: celsius, reached });
+            }
+            // A miscalibrated rig regulates to a drifted setpoint while
+            // believing it hit the requested one.
+            target += f.setpoint_drift_c();
+        }
+        let measured = self.temperature.set_and_settle(target).map_err(|e| match e {
+            SoftMcError::TemperatureUnstable { reached, .. } => {
+                SoftMcError::TemperatureUnstable { target: celsius, reached }
+            }
+            other => other,
+        })?;
+        let true_temp = self.temperature.true_temperature();
+        self.module_mut().set_temperature(true_temp);
+        Ok(measured)
     }
 
     /// Runs a SoftMC program.
     ///
     /// # Errors
     ///
-    /// Propagates controller/device errors.
+    /// Propagates controller/device errors and injected host-link
+    /// faults (the program is dropped before reaching the FPGA, so a
+    /// retried run starts from clean state).
     pub fn run(&mut self, program: &Program) -> Result<crate::ExecResult, SoftMcError> {
+        self.host_op("program run")?;
         self.controller.run(program)
+    }
+
+    /// Writes one row through the host data path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device address errors and injected row-I/O faults
+    /// (the write is dropped before reaching the device).
+    pub fn write_row(&mut self, bank: BankId, row: RowAddr, data: &[u8]) -> Result<(), SoftMcError> {
+        self.row_io("row write")?;
+        self.module_mut().write_row_direct(bank, row, data)?;
+        Ok(())
+    }
+
+    /// Reads one row through the host data path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device address errors and injected row-I/O faults.
+    pub fn read_row(&mut self, bank: BankId, row: RowAddr) -> Result<Vec<u8>, SoftMcError> {
+        self.row_io("row read")?;
+        let data = self.module_mut().read_row_direct(bank, row)?;
+        Ok(data)
     }
 
     /// Bulk double-sided hammer at the module's standard timings unless
@@ -132,6 +218,7 @@ impl TestBench {
         t_on: Option<Picos>,
         t_off: Option<Picos>,
     ) -> Result<(), SoftMcError> {
+        self.host_op("double-sided hammer")?;
         let timing = self.module().config().timing;
         self.controller.hammer_double_sided(
             bank,
@@ -156,6 +243,7 @@ impl TestBench {
         t_on: Option<Picos>,
         t_off: Option<Picos>,
     ) -> Result<(), SoftMcError> {
+        self.host_op("single-sided hammer")?;
         let timing = self.module().config().timing;
         self.controller.hammer_single_sided(
             bank,
@@ -176,7 +264,12 @@ mod tests {
         let mut b = TestBench::new(Manufacturer::A, 3);
         let reached = b.set_temperature(85.0).unwrap();
         assert!((reached - 85.0).abs() <= 0.1);
-        assert_eq!(b.module().model().temperature(), reached);
+        // Physics follows the true plant temperature, not the reading.
+        assert_eq!(
+            b.module().model().temperature(),
+            b.temperature_controller().true_temperature()
+        );
+        assert!((b.module().model().temperature() - 85.0).abs() <= 0.3);
     }
 
     #[test]
@@ -218,5 +311,49 @@ mod tests {
             b.module_mut().read_row_direct(bank, RowAddr(100)).unwrap()
         };
         assert_eq!(flips(9), flips(9));
+    }
+
+    #[test]
+    fn dead_module_fault_surfaces_through_bench_ops() {
+        let plan = crate::FaultPlan::dead_module(1, 2);
+        let mut b = TestBench::new(Manufacturer::A, 3).with_faults(&plan);
+        b.set_temperature(75.0).unwrap();
+        let bank = BankId(0);
+        let row_bytes = b.module().row_bytes();
+        b.write_row(bank, RowAddr(10), &vec![0u8; row_bytes]).unwrap();
+        b.read_row(bank, RowAddr(10)).unwrap();
+        let e = b.hammer_single_sided(bank, RowAddr(10), 1, None, None).unwrap_err();
+        assert_eq!(e, SoftMcError::Unresponsive { after_ops: 2 });
+    }
+
+    #[test]
+    fn inert_plan_changes_nothing() {
+        let run = |plan: Option<crate::FaultPlan>| {
+            let mut b = TestBench::new(Manufacturer::B, 17);
+            if let Some(p) = plan {
+                b.install_faults(&p);
+            }
+            b.set_temperature(75.0).unwrap();
+            let bank = BankId(0);
+            let row_bytes = b.module().row_bytes();
+            for r in 198..=202u32 {
+                b.write_row(bank, RowAddr(r), &vec![0u8; row_bytes]).unwrap();
+            }
+            b.hammer_double_sided(bank, RowAddr(199), RowAddr(201), 300_000, None, None)
+                .unwrap();
+            b.read_row(bank, RowAddr(200)).unwrap()
+        };
+        assert_eq!(run(None), run(Some(crate::FaultPlan::none(5))));
+    }
+
+    #[test]
+    fn forced_settle_failure_reports_requested_target() {
+        let mut plan = crate::FaultPlan::none(9);
+        plan.settle_fail_prob = 1.0;
+        let mut b = TestBench::new(Manufacturer::C, 21).with_faults(&plan);
+        match b.set_temperature(80.0).unwrap_err() {
+            SoftMcError::TemperatureUnstable { target, .. } => assert_eq!(target, 80.0),
+            other => panic!("unexpected error {other}"),
+        }
     }
 }

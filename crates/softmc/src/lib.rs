@@ -19,6 +19,10 @@
 //! * [`memctl`] — a request-level production memory controller
 //!   (FR-FCFS, row-buffer policies including §8.2 Improvement 5's
 //!   open-time cap, defense hooks, latency statistics).
+//! * [`fault`] — deterministic infrastructure fault injection: seeded
+//!   [`FaultPlan`]s that drop host-link batches, fail or drift
+//!   temperature settles, stick or spike the thermocouple, and kill
+//!   modules mid-campaign — for exercising campaign resilience.
 //!
 //! # Examples
 //!
@@ -38,9 +42,11 @@
 //! println!("{} flipped bits", victim.iter().map(|b| b.count_ones()).sum::<u32>());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod controller;
 pub mod error;
+pub mod fault;
 pub mod host;
 pub mod memctl;
 pub mod program;
@@ -48,6 +54,7 @@ pub mod temperature;
 
 pub use controller::{ExecResult, SoftMcController};
 pub use error::SoftMcError;
+pub use fault::{FaultInjector, FaultPlan, SensorFault};
 pub use host::TestBench;
 pub use memctl::{ActivationHook, HookAction, MemController, MemRequest, MemStats, RowPolicy};
 pub use program::{Instr, Program};

@@ -236,7 +236,9 @@ impl MemController {
         let timing: TimingParams = self.module.config().timing;
         for bank in 0..self.queues.len() {
             while let Some(pos) = self.pick(bank) {
-                let req = self.queues[bank].remove(pos).expect("picked index exists");
+                let Some(req) = self.queues[bank].remove(pos) else {
+                    break;
+                };
                 let state = self.banks[bank];
                 let mut t = state.ready_at.max(req.arrival);
 

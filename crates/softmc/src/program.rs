@@ -152,7 +152,8 @@ impl Program {
             Instr::Pre { bank },
             Instr::Wait { ps: t_off },
         ];
-        Self::new(vec![Instr::Loop { count, body }]).expect("hammer loop is valid")
+        Self::new(vec![Instr::Loop { count, body }])
+            .unwrap_or_else(|e| unreachable!("builder produced invalid hammer loop: {e}"))
     }
 
     /// A single-sided hammer loop: repeatedly activate one aggressor
@@ -175,7 +176,8 @@ impl Program {
             Instr::Pre { bank },
             Instr::Wait { ps: t_off },
         ];
-        Self::new(vec![Instr::Loop { count, body }]).expect("hammer loop is valid")
+        Self::new(vec![Instr::Loop { count, body }])
+            .unwrap_or_else(|e| unreachable!("builder produced invalid hammer loop: {e}"))
     }
 
     /// The Aggressor-On attack sequence of §8.1 Improvement 3: each
@@ -207,7 +209,8 @@ impl Program {
             body.push(Instr::Pre { bank });
             body.push(Instr::Wait { ps: timing.t_rp });
         }
-        Self::new(vec![Instr::Loop { count, body }]).expect("hammer loop is valid")
+        Self::new(vec![Instr::Loop { count, body }])
+            .unwrap_or_else(|e| unreachable!("builder produced invalid hammer loop: {e}"))
     }
 
     /// Effective per-activation on-time of [`Program::hammer_with_reads`].
@@ -228,7 +231,8 @@ impl Program {
         instrs.push(Instr::Wait { ps: timing.t_ras });
         instrs.push(Instr::Pre { bank });
         instrs.push(Instr::Wait { ps: timing.t_rp });
-        Self::new(instrs).expect("write program is valid")
+        Self::new(instrs)
+            .unwrap_or_else(|e| unreachable!("builder produced invalid write program: {e}"))
     }
 
     /// Reads a full row of `columns` columns: ACT, sequential RDs, PRE.
@@ -241,7 +245,8 @@ impl Program {
         instrs.push(Instr::Wait { ps: timing.t_ras });
         instrs.push(Instr::Pre { bank });
         instrs.push(Instr::Wait { ps: timing.t_rp });
-        Self::new(instrs).expect("read program is valid")
+        Self::new(instrs)
+            .unwrap_or_else(|e| unreachable!("builder produced invalid read program: {e}"))
     }
 }
 

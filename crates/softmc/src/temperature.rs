@@ -2,6 +2,7 @@
 //! to the module, a thermocouple on the chip, and a PID controller
 //! keeping the chip within ±0.1 °C of the setpoint.
 
+use crate::fault::SensorFault;
 use serde::{Deserialize, Serialize};
 
 /// Ambient (unheated) temperature of the test chamber, °C.
@@ -40,6 +41,8 @@ pub struct TemperatureController {
     k_heat: f64,
     /// Cooling rate toward ambient, fraction per step.
     k_cool: f64,
+    /// Injected thermocouple fault, if any (healthy sensor when `None`).
+    sensor_fault: Option<SensorFault>,
 }
 
 impl TemperatureController {
@@ -59,7 +62,16 @@ impl TemperatureController {
             kd: 0.05,
             k_heat: 2.0,
             k_cool: 0.02,
+            sensor_fault: None,
         }
+    }
+
+    /// Installs (or clears) an injected thermocouple fault. Faulty
+    /// readings feed both [`measure`](Self::measure) and the settle
+    /// loop, so a stuck or spiking sensor degrades settling the way it
+    /// would on the real rig.
+    pub fn set_sensor_fault(&mut self, fault: Option<SensorFault>) {
+        self.sensor_fault = fault;
     }
 
     /// The commanded setpoint (°C).
@@ -78,14 +90,19 @@ impl TemperatureController {
         self.power
     }
 
-    /// Reads the thermocouple: the chip temperature within ±0.1 °C.
+    /// Reads the thermocouple: the chip temperature within ±0.1 °C
+    /// (plus any injected sensor fault).
     pub fn measure(&mut self) -> f64 {
         self.steps = self.steps.wrapping_add(1);
         let mut z = self.noise_seed ^ self.steps.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z ^= z >> 27;
         let u = (z >> 11) as f64 / (1u64 << 53) as f64;
-        self.chip_temp + MEASUREMENT_ERROR_C * (2.0 * u - 1.0)
+        let raw = self.chip_temp + MEASUREMENT_ERROR_C * (2.0 * u - 1.0);
+        match &mut self.sensor_fault {
+            None => raw,
+            Some(fault) => fault.filter(raw),
+        }
     }
 
     /// Commands a new setpoint without waiting.
@@ -105,30 +122,48 @@ impl TemperatureController {
         self.chip_temp += self.k_heat * self.power - self.k_cool * (self.chip_temp - AMBIENT_C);
     }
 
-    /// Commands `celsius` and runs the loop until the chip stays within
-    /// ±0.1 °C for 50 consecutive periods. Returns the settled true
-    /// temperature.
+    /// Commands `celsius` and runs the loop until the *thermocouple*
+    /// reports the setpoint has been held: 50 consecutive readings
+    /// within twice the sensor accuracy whose mean lands within
+    /// ±0.1 °C of the target. Returns that window mean — a measured
+    /// value, like the real rig reports. The controller deliberately
+    /// has no oracle access to the true chip temperature here, so a
+    /// stuck or spiking thermocouple degrades settling realistically.
     ///
     /// # Errors
     ///
-    /// Returns the reached temperature in the error if the loop fails
-    /// to settle within 100 000 periods (e.g., a setpoint below what
-    /// the unpowered plant can reach).
+    /// Returns the last thermocouple reading in the error if the loop
+    /// fails to settle within 100 000 periods (e.g., a setpoint below
+    /// what the unpowered plant can reach, or a faulty sensor).
     pub fn set_and_settle(&mut self, celsius: f64) -> Result<f64, crate::SoftMcError> {
         self.set_setpoint(celsius);
+        const WINDOW: u32 = 50;
         let mut stable = 0u32;
+        let mut window_sum = 0.0;
+        let mut last_reading = self.measure();
         for _ in 0..100_000 {
             self.step();
-            if (self.chip_temp - celsius).abs() <= MEASUREMENT_ERROR_C {
+            let reading = self.measure();
+            last_reading = reading;
+            if (reading - celsius).abs() <= 2.0 * MEASUREMENT_ERROR_C {
                 stable += 1;
-                if stable >= 50 {
-                    return Ok(self.chip_temp);
+                window_sum += reading;
+                if stable >= WINDOW {
+                    let mean = window_sum / f64::from(WINDOW);
+                    if (mean - celsius).abs() <= MEASUREMENT_ERROR_C {
+                        return Ok(mean);
+                    }
+                    // In-band but biased (still converging, or a skewed
+                    // sensor): keep regulating on a fresh window.
+                    stable = 0;
+                    window_sum = 0.0;
                 }
             } else {
                 stable = 0;
+                window_sum = 0.0;
             }
         }
-        Err(crate::SoftMcError::TemperatureUnstable { target: celsius, reached: self.chip_temp })
+        Err(crate::SoftMcError::TemperatureUnstable { target: celsius, reached: last_reading })
     }
 }
 
@@ -184,5 +219,32 @@ mod tests {
         let mut a = TemperatureController::new(5);
         let mut b = TemperatureController::new(5);
         assert_eq!(a.set_and_settle(65.0).unwrap(), b.set_and_settle(65.0).unwrap());
+    }
+
+    #[test]
+    fn settled_value_is_a_measurement_not_the_oracle() {
+        let mut tc = TemperatureController::new(13);
+        let reached = tc.set_and_settle(80.0).unwrap();
+        assert!((reached - 80.0).abs() <= MEASUREMENT_ERROR_C);
+        // The reported value comes from thermocouple readings; it only
+        // coincides with the hidden chip temperature by accident.
+        assert_ne!(reached, tc.true_temperature());
+    }
+
+    #[test]
+    fn stuck_sensor_starves_the_settle_loop() {
+        // A sensor stuck at its first (ambient) reading never reports
+        // the setpoint, so settling fails even though the plant heats.
+        let mut tc = TemperatureController::new(11);
+        tc.set_sensor_fault(Some(crate::SensorFault::new(1.0, 0.0, 0.0, 21)));
+        let e = tc.set_and_settle(70.0).unwrap_err();
+        match e {
+            crate::SoftMcError::TemperatureUnstable { target, reached } => {
+                assert_eq!(target, 70.0);
+                assert!((reached - AMBIENT_C).abs() <= MEASUREMENT_ERROR_C);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(tc.true_temperature() > 60.0, "the plant itself did heat");
     }
 }

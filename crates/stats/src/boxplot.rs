@@ -31,11 +31,8 @@ pub struct BoxPlotStats {
 impl BoxPlotStats {
     /// Computes box-plot statistics of `xs`.
     ///
-    /// Returns an all-zero box for an empty input.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any sample is NaN.
+    /// Returns an all-zero box for an empty input. NaN samples sort
+    /// per IEEE total order instead of panicking.
     pub fn of(xs: &[f64]) -> Self {
         if xs.is_empty() {
             return Self {
@@ -48,7 +45,7 @@ impl BoxPlotStats {
             };
         }
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in box plot input"));
+        sorted.sort_by(f64::total_cmp);
         let q1 = percentile_sorted(&sorted, 25.0);
         let median = percentile_sorted(&sorted, 50.0);
         let q3 = percentile_sorted(&sorted, 75.0);

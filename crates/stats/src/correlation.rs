@@ -35,7 +35,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// Ranks of a sample (average ranks for ties), 1-based.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN sample in rank input"));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -84,8 +84,8 @@ pub fn ks_statistic(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mut a: Vec<f64> = xs.to_vec();
     let mut b: Vec<f64> = ys.to_vec();
-    a.sort_by(|p, q| p.partial_cmp(q).expect("NaN sample in KS input"));
-    b.sort_by(|p, q| p.partial_cmp(q).expect("NaN sample in KS input"));
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
     let (mut i, mut j) = (0usize, 0usize);
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let mut d: f64 = 0.0;

@@ -18,13 +18,10 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds the ECDF of `xs` (takes ownership, sorts once).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any sample is NaN.
+    /// Builds the ECDF of `xs` (takes ownership, sorts once). NaN
+    /// samples sort per IEEE total order instead of panicking.
     pub fn new(mut xs: Vec<f64>) -> Self {
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in ECDF input"));
+        xs.sort_by(f64::total_cmp);
         Self { sorted: xs }
     }
 
@@ -75,8 +72,9 @@ impl Ecdf {
         if self.sorted.is_empty() || points == 0 {
             return Vec::new();
         }
-        let lo = self.sorted[0];
-        let hi = *self.sorted.last().expect("non-empty");
+        let (Some(&lo), Some(&hi)) = (self.sorted.first(), self.sorted.last()) else {
+            return Vec::new();
+        };
         (0..points)
             .map(|i| {
                 let x = if points == 1 {

@@ -45,17 +45,14 @@ impl LetterValueStats {
     ///
     /// Boxes are emitted while each tail beyond the letter value still
     /// holds at least ~5 samples, mirroring the usual "trustworthiness"
-    /// stopping rule.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any sample is NaN.
+    /// stopping rule. NaN samples sort per IEEE total order instead of
+    /// panicking.
     pub fn of(xs: &[f64]) -> Self {
         if xs.is_empty() {
             return Self { median: 0.0, boxes: Vec::new(), fliers: Vec::new() };
         }
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in letter-value input"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len() as f64;
         let median = percentile_sorted(&sorted, 50.0);
 

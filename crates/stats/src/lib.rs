@@ -22,6 +22,7 @@
 //! assert_eq!(s.mean, 3.0);
 //! assert_eq!(percentile(&xs, 50.0), 3.0);
 //! ```
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod boxplot;
 pub mod ci;

@@ -23,7 +23,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, p)
 }
 
@@ -57,7 +57,7 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 /// ```
 pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentiles input"));
+    sorted.sort_by(f64::total_cmp);
     ps.iter().map(|&p| percentile_sorted(&sorted, p)).collect()
 }
 
@@ -78,7 +78,7 @@ pub fn median(xs: &[f64]) -> f64 {
 /// ```
 pub fn quartiles(xs: &[f64]) -> (f64, f64, f64) {
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in quartiles input"));
+    sorted.sort_by(f64::total_cmp);
     (
         percentile_sorted(&sorted, 25.0),
         percentile_sorted(&sorted, 50.0),

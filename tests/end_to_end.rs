@@ -60,8 +60,15 @@ fn edge_victims_are_rejected_not_wrapped() {
 fn temperature_controller_gates_the_fault_model() {
     let bench = TestBench::new(Manufacturer::D, 9);
     let mut ch = Characterizer::new(bench, Scale::Smoke).unwrap();
-    // The model sees the *settled* temperature, not the request.
+    // The reported value is a settled thermocouple measurement...
     let reached = ch.set_temperature(62.5).unwrap();
     assert!((reached - 62.5).abs() <= 0.1);
-    assert_eq!(ch.bench().module().model().temperature(), reached);
+    // ...while the model sees the true settled chip temperature (die
+    // tracks package), not the request and not the reading.
+    let model_temp = ch.bench().module().model().temperature();
+    assert_eq!(
+        model_temp,
+        ch.bench().temperature_controller().true_temperature()
+    );
+    assert!((model_temp - 62.5).abs() <= 0.3, "plant settled far from setpoint: {model_temp}");
 }

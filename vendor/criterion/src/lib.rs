@@ -1,0 +1,105 @@
+//! Vendored minimal criterion: enough API for the workspace's bench
+//! targets to compile and smoke-run (each benchmark body executes once
+//! and reports wall time; no statistics, warm-up, or HTML reports).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self }
+    }
+
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(&mut self, name: N, mut f: F) -> &mut Self {
+        run_once(name.as_ref(), &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(&mut self, name: N, mut f: F) -> &mut Self {
+        run_once(name.as_ref(), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher { elapsed: Duration::ZERO };
+    let start = Instant::now();
+    f(&mut b);
+    let total = start.elapsed();
+    println!("  {name}: {:?} (single pass)", if b.elapsed > Duration::ZERO { b.elapsed } else { total });
+}
+
+/// Passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the measured routine once (the stub does not iterate).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+    }
+
+    /// Runs `setup` untimed, then times one pass of `routine` over its
+    /// output (the stub does not iterate).
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

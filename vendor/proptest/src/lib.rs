@@ -1,0 +1,428 @@
+//! Vendored minimal proptest: deterministic random property testing
+//! with the same surface idiom as the real crate (`proptest!`,
+//! `prop_assert!`, range/tuple/vec/select strategies) but no shrinking
+//! and no persistence. Case generation is seeded from the test's name,
+//! so every run of a given test sees the same inputs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// How many cases a `proptest!` test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs.
+    Reject,
+}
+
+/// Deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test's name (FNV-1a), so each test gets its own
+    /// reproducible stream.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi - lo + 1) as u64;
+                if width == 0 {
+                    // Full-domain range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                (lo + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+impl_float_ranges!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain strategy for simple types, via [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — samples the whole domain of `T`.
+#[must_use]
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub trait ArbitrarySample {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitrarySample for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only: the property tests here assume no NaN.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// Bounds for collection sizes: plain `usize`, `a..b`, or `a..=b`.
+pub trait SizeBounds {
+    /// Inclusive `(min, max)`.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeBounds for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeBounds for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// The `prop::` namespace of the real crate.
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeBounds, Strategy, TestRng};
+
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// `prop::collection::vec(element, sizes)`.
+        pub fn vec<S: Strategy>(element: S, sizes: impl SizeBounds) -> VecStrategy<S> {
+            let (min, max) = sizes.bounds();
+            VecStrategy { element, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        /// `prop::sample::select(options)` — uniform choice.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select from empty set");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(#[test] fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property '{}' failed on case {}: {}", stringify!($name), case, msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a), stringify!($b), lhs, rhs
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}): {}",
+                stringify!($a), stringify!($b), lhs, rhs, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a), stringify!($b), lhs
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = (10u32..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (-1.0f64..1.0).sample(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let i = (5u8..=5).sample(&mut rng);
+            assert_eq!(i, 5);
+        }
+    }
+
+    #[test]
+    fn vec_and_select_strategies() {
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u32..4, 2..6).sample(&mut rng);
+            assert!(v.len() >= 2 && v.len() <= 5);
+            let s = prop::sample::select(vec!["a", "b"]).sample(&mut rng);
+            assert!(s == "a" || s == "b");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_and_asserts(x in 0u32..100, (a, b) in (0u8..10, 0u8..10)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(a as u16 + b as u16, b as u16 + a as u16);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

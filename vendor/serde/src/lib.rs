@@ -1,0 +1,588 @@
+//! Vendored minimal serde: the subset of the real crate's surface this
+//! workspace uses, backed by a single JSON-shaped [`Value`] data model
+//! instead of serde's visitor machinery.
+//!
+//! The build environment has no network access and no registry cache,
+//! so the real serde cannot be fetched; this stub keeps the public
+//! `Serialize`/`Deserialize` derive-and-trait idiom working. It is not
+//! a general-purpose serde replacement: formats other than JSON, field
+//! attributes, and zero-copy deserialization are out of scope.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value: the single in-memory data model all (de)serialization
+/// goes through.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Key/value pairs in insertion order (like serde_json with the
+    /// `preserve_order` feature).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    const NULL: Value = Value::Null;
+
+    /// Looks up `name` in an object; `Null` for missing keys or
+    /// non-objects (lenient lookup lets `Option` fields default).
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(&Self::NULL, |(_, v)| v),
+            _ => &Self::NULL,
+        }
+    }
+
+    /// Indexes into an array; `Null` when out of range or not an array.
+    /// (Inherent method by design: unlike `std::ops::Index` it is
+    /// lenient rather than panicking.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&Self::NULL),
+            _ => &Self::NULL,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            Value::F64(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            Value::F64(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+
+fn escape_json(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+/// Compact JSON, matching real serde_json's `Display` for `Value`.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(n) => write!(f, "{n}"),
+            Value::U64(n) => write!(f, "{n}"),
+            Value::F64(n) if n.is_finite() => {
+                let s = format!("{n}");
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+            Value::F64(_) => f.write_str("null"),
+            Value::Str(s) => escape_json(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_json(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Deserialization error: a message plus the reverse field path it
+/// surfaced through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+    path: Vec<String>,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into(), path: Vec::new() }
+    }
+
+    /// Records that the error happened inside field `name`.
+    #[must_use]
+    pub fn at(mut self, name: &str) -> Self {
+        self.path.push(name.to_string());
+        self
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            let path: Vec<&str> = self.path.iter().rev().map(String::as_str).collect();
+            write!(f, "at {}: {}", path.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// # Errors
+    /// When `v`'s shape does not match `Self`.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::new(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected string, got {v:?}")))
+    }
+}
+
+/// Supports `&'static str` fields in derived types. Real serde cannot
+/// do this from owned input either; the stub leaks the string, which
+/// is acceptable for the small, bounded configs this workspace loads.
+impl Deserialize for &'static str {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::new(format!("expected string, got {v:?}")))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::new("expected single-char string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected single-char string, got {s:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value { Value::U64(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::new(format!(
+                    concat!("expected ", stringify!($t), ", got {:?}"), v)))?;
+                <$t>::try_from(n).map_err(|_| DeError::new(format!(
+                    concat!("{} out of range for ", stringify!($t)), n)))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_json_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let n = v.as_u64().ok_or_else(|| DeError::new(format!("expected usize, got {v:?}")))?;
+        usize::try_from(n).map_err(|_| DeError::new(format!("{n} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value { Value::I64(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::new(format!(
+                    concat!("expected ", stringify!($t), ", got {:?}"), v)))?;
+                <$t>::try_from(n).map_err(|_| DeError::new(format!(
+                    concat!("{} out of range for ", stringify!($t)), n)))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_json_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let n = v.as_i64().ok_or_else(|| DeError::new(format!("expected isize, got {v:?}")))?;
+        isize::try_from(n).map_err(|_| DeError::new(format!("{n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // Non-finite floats round-trip through JSON as null.
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| DeError::new(format!("expected f64, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_json_value(v).map(|n| n as f32)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(DeError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_json_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                Ok(($($t::from_json_value(v.index($i))?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: fmt::Display + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    // Sort by key so serialization never depends on hash order.
+    let mut pairs: Vec<(String, Value)> =
+        entries.map(|(k, v)| (k.to_string(), v.to_json_value())).collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Object(pairs)
+}
+
+fn map_from_value<K, V, M>(v: &Value) -> Result<M, DeError>
+where
+    K: std::str::FromStr,
+    V: Deserialize,
+    M: FromIterator<(K, V)>,
+{
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .map(|(k, item)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| DeError::new(format!("unparseable map key {k:?}")))?;
+                Ok((key, V::from_json_value(item).map_err(|e| e.at(k))?))
+            })
+            .collect(),
+        other => Err(DeError::new(format!("expected object, got {other:?}"))),
+    }
+}
+
+impl<K: fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: std::str::FromStr + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        map_from_value(v)
+    }
+}
+
+impl<K: fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        map_from_value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::from_json_value(&42u64.to_json_value()).unwrap(), 42);
+        assert_eq!(i32::from_json_value(&(-7i32).to_json_value()).unwrap(), -7);
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()).unwrap(), 1.5);
+        assert_eq!(String::from_json_value(&"hi".to_json_value()).unwrap(), "hi");
+        assert!(bool::from_json_value(&true.to_json_value()).unwrap());
+    }
+
+    #[test]
+    fn u64_precision_preserved() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_json_value(&big.to_json_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_json_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json_value(&Value::U64(3)).unwrap(), Some(3));
+        assert_eq!(None::<u32>.to_json_value(), Value::Null);
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        let a: [u8; 3] = [1, 2, 3];
+        assert_eq!(<[u8; 3]>::from_json_value(&a.to_json_value()).unwrap(), a);
+        let t = (1u32, "x".to_string(), 2.5f64);
+        let rt = <(u32, String, f64)>::from_json_value(&t.to_json_value()).unwrap();
+        assert_eq!(rt, t);
+    }
+
+    #[test]
+    fn hashmap_sorted_and_round_trips() {
+        let mut m = HashMap::new();
+        m.insert(10u32, 1.0f64);
+        m.insert(2u32, 2.0f64);
+        let v = m.to_json_value();
+        if let Value::Object(pairs) = &v {
+            let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, vec!["10", "2"]); // lexicographic, stable
+        } else {
+            panic!("expected object");
+        }
+        let rt: HashMap<u32, f64> = HashMap::from_json_value(&v).unwrap();
+        assert_eq!(rt, m);
+    }
+
+    #[test]
+    fn missing_field_is_null_and_errors_carry_path() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert!(obj.field("b").is_null());
+        let err = u32::from_json_value(obj.field("b")).map_err(|e| e.at("b")).unwrap_err();
+        assert!(err.to_string().contains("b"));
+    }
+}

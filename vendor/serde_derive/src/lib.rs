@@ -1,0 +1,413 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde stub.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`: this
+//! workspace builds fully offline). Supports the shapes this
+//! repository actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and n-ary),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching real serde's JSON representation).
+//!
+//! Generics and serde field attributes are intentionally unsupported;
+//! hitting one is a compile error rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Ast {
+    Struct { name: String, body: Body },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+/// Splits a token list on top-level commas, treating `<`/`>` as
+/// nesting (groups are already opaque at the token-tree level).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parses `name: Type` field declarations from a brace-group stream,
+/// skipping attributes and visibility.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for decl in split_top_level_commas(tokens) {
+        let mut it = decl.iter().peekable();
+        // Skip `#[...]` attributes and `pub` / `pub(...)`.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next(); // the bracket group
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(name)) => fields.push(name.to_string()),
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+            None => {} // trailing comma produced an empty chunk
+        }
+    }
+    Ok(fields)
+}
+
+fn parse(input: TokenStream) -> Result<Ast, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut it = tokens.iter().peekable();
+    // Skip outer attributes (`#[non_exhaustive]`, doc comments, ...)
+    // and visibility.
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("generic type {name} is not supported by the vendored serde derive"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Body::Named(parse_named_fields(&inner)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Body::Tuple(split_top_level_commas(&inner).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Ast::Struct { name, body })
+        }
+        "enum" => {
+            let group = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut vi = inner.iter().peekable();
+            while vi.peek().is_some() {
+                // Skip attributes on the variant.
+                while let Some(TokenTree::Punct(p)) = vi.peek() {
+                    if p.as_char() == '#' {
+                        vi.next();
+                        vi.next();
+                    } else {
+                        break;
+                    }
+                }
+                let vname = match vi.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    None => break,
+                    other => return Err(format!("expected variant name, got {other:?}")),
+                };
+                let body = match vi.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                        vi.next();
+                        Body::Named(parse_named_fields(&fields)?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                        vi.next();
+                        Body::Tuple(split_top_level_commas(&fields).len())
+                    }
+                    _ => Body::Unit,
+                };
+                // Skip an optional `= discriminant` then the comma.
+                let mut angle = 0i32;
+                while let Some(t) = vi.peek() {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => {
+                                vi.next();
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    vi.next();
+                }
+                variants.push(Variant { name: vname, body });
+            }
+            Ok(Ast::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for {other}")),
+    }
+}
+
+fn gen_serialize(ast: &Ast) -> String {
+    let mut out = String::new();
+    match ast {
+        Ast::Struct { name, body } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_json_value(&self) -> ::serde::Value {{\n"
+            ));
+            match body {
+                Body::Named(fields) => {
+                    out.push_str(
+                        "        let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                    );
+                    for f in fields {
+                        out.push_str(&format!(
+                            "        fields.push((\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})));\n"
+                        ));
+                    }
+                    out.push_str("        ::serde::Value::Object(fields)\n");
+                }
+                Body::Tuple(1) => {
+                    out.push_str("        ::serde::Serialize::to_json_value(&self.0)\n");
+                }
+                Body::Tuple(n) => {
+                    out.push_str("        ::serde::Value::Array(vec![\n");
+                    for i in 0..*n {
+                        out.push_str(&format!(
+                            "            ::serde::Serialize::to_json_value(&self.{i}),\n"
+                        ));
+                    }
+                    out.push_str("        ])\n");
+                }
+                Body::Unit => out.push_str("        ::serde::Value::Null\n"),
+            }
+            out.push_str("    }\n}\n");
+        }
+        Ast::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_json_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => out.push_str(&format!(
+                        "            {name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Body::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_json_value(f0))]),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}))"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            fields.join(", "),
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(ast: &Ast) -> String {
+    let mut out = String::new();
+    match ast {
+        Ast::Struct { name, body } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            match body {
+                Body::Named(fields) => {
+                    out.push_str("        Ok(Self {\n");
+                    for f in fields {
+                        out.push_str(&format!(
+                            "            {f}: ::serde::Deserialize::from_json_value(v.field(\"{f}\")).map_err(|e| e.at(\"{f}\"))?,\n"
+                        ));
+                    }
+                    out.push_str("        })\n");
+                }
+                Body::Tuple(1) => {
+                    out.push_str(
+                        "        Ok(Self(::serde::Deserialize::from_json_value(v)?))\n",
+                    );
+                }
+                Body::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!("::serde::Deserialize::from_json_value(v.index({i}))?")
+                        })
+                        .collect();
+                    out.push_str(&format!("        Ok(Self({}))\n", elems.join(", ")));
+                }
+                Body::Unit => out.push_str("        Ok(Self)\n"),
+            }
+            out.push_str("    }\n}\n");
+        }
+        Ast::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        match v {{\n"
+            ));
+            // Unit variants arrive as plain strings.
+            out.push_str("            ::serde::Value::Str(s) => match s.as_str() {\n");
+            for v in variants {
+                if matches!(v.body, Body::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!("                \"{vn}\" => Ok({name}::{vn}),\n"));
+                }
+            }
+            out.push_str(&format!(
+                "                other => Err(::serde::DeError::new(format!(\"unknown {name} variant '{{other}}'\"))),\n            }},\n"
+            ));
+            // Data variants arrive as single-key objects.
+            out.push_str(
+                "            ::serde::Value::Object(pairs) if pairs.len() == 1 => {\n                let (tag, inner) = &pairs[0];\n                match tag.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => {}
+                    Body::Tuple(1) => out.push_str(&format!(
+                        "                    \"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_json_value(inner)?)),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_json_value(inner.index({i}))?"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "                    \"{vn}\" => Ok({name}::{vn}({})),\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json_value(inner.field(\"{f}\")).map_err(|e| e.at(\"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "                    \"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "                    other => Err(::serde::DeError::new(format!(\"unknown {name} variant '{{other}}'\"))),\n                }}\n            }}\n"
+            ));
+            out.push_str(&format!(
+                "            other => Err(::serde::DeError::new(format!(\"cannot deserialize {name} from {{other:?}}\"))),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(ast) => gen_serialize(&ast).parse().unwrap_or_else(|e| {
+            compile_error(&format!("vendored serde derive generated invalid code: {e}"))
+        }),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(ast) => gen_deserialize(&ast).parse().unwrap_or_else(|e| {
+            compile_error(&format!("vendored serde derive generated invalid code: {e}"))
+        }),
+        Err(e) => compile_error(&e),
+    }
+}

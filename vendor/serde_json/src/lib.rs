@@ -1,0 +1,506 @@
+//! Vendored minimal serde_json: JSON text in and out of the in-tree
+//! [`serde::Value`] data model. Mirrors the small slice of the real
+//! crate's API this workspace uses (`to_value`, `to_string[_pretty]`,
+//! `to_vec_pretty`, `from_str`, `from_value`, the `json!` macro).
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Error raised by JSON parsing or (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`].
+///
+/// # Errors
+///
+/// Infallible with the vendored data model; `Result` kept for API
+/// compatibility with real serde_json.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Converts a [`Value`] into a deserializable type.
+///
+/// # Errors
+///
+/// When the value's shape does not match `T`.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_json_value(&value)?)
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, n: f64) {
+    if n.is_finite() {
+        let s = format!("{n}");
+        out.push_str(&s);
+        // Keep floats recognizably floats so integral ones round-trip
+        // into the F64 arm rather than U64/I64.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // Like real serde_json with non-finite floats: null.
+        out.push_str("null");
+    }
+}
+
+fn render(value: &Value, out: &mut String, pretty: bool, indent: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => write_f64(out, *n),
+        Value::Str(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                render(item, out, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render(v, out, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders compact JSON.
+///
+/// # Errors
+///
+/// Infallible here; `Result` kept for API compatibility.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), &mut out, false, 0);
+    Ok(out)
+}
+
+/// Renders 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible here; `Result` kept for API compatibility.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), &mut out, true, 0);
+    Ok(out)
+}
+
+/// Renders 2-space-indented JSON as bytes.
+///
+/// # Errors
+///
+/// Infallible here; `Result` kept for API compatibility.
+pub fn to_vec_pretty<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our own
+                            // output (we never escape above U+001F).
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at this byte.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end of input"))? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            _ => self.parse_number(),
+        }
+    }
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// On malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(T::from_json_value(&v)?)
+}
+
+/// Builds a [`Value`] from a JSON-like literal. Supports nested
+/// object/array literals and arbitrary serializable expressions in
+/// value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($body:tt)+ }) => {{
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut pairs: Vec<(String, $crate::Value)> = Vec::new();
+            $crate::json_internal!(@object pairs () ($($body)+));
+            $crate::Value::Object(pairs)
+        }
+    }};
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($elem:expr),+ $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::json!($elem)),+])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).unwrap_or($crate::Value::Null)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // Done.
+    (@object $pairs:ident () ()) => {};
+    // Consume one `"key":` then dispatch on the value shape.
+    (@object $pairs:ident () ($key:literal : $($rest:tt)+)) => {
+        $crate::json_internal!(@value $pairs ($key) ($($rest)+));
+    };
+    // Value is a nested object literal, last entry.
+    (@value $pairs:ident ($key:literal) ({ $($inner:tt)* })) => {
+        $pairs.push(($key.to_string(), $crate::json!({ $($inner)* })));
+    };
+    // Value is a nested object literal, more entries follow.
+    (@value $pairs:ident ($key:literal) ({ $($inner:tt)* } , $($rest:tt)*)) => {
+        $pairs.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_internal!(@object $pairs () ($($rest)*));
+    };
+    // Value is a nested array literal, last entry.
+    (@value $pairs:ident ($key:literal) ([ $($inner:tt)* ])) => {
+        $pairs.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+    };
+    // Value is a nested array literal, more entries follow.
+    (@value $pairs:ident ($key:literal) ([ $($inner:tt)* ] , $($rest:tt)*)) => {
+        $pairs.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_internal!(@object $pairs () ($($rest)*));
+    };
+    // Value is an ordinary expression, last entry.
+    (@value $pairs:ident ($key:literal) ($val:expr)) => {
+        $pairs.push(($key.to_string(), $crate::json!($val)));
+    };
+    // Value is an ordinary expression, more entries follow.
+    (@value $pairs:ident ($key:literal) ($val:expr , $($rest:tt)*)) => {
+        $pairs.push(($key.to_string(), $crate::json!($val)));
+        $crate::json_internal!(@object $pairs () ($($rest)*));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_text() {
+        let v = json!({"a": 1u32, "b": [1.5f64, 2.0f64], "c": {"d": "x"}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!({}), Value::Object(Vec::new()));
+        let nested = json!({"outer": {"inner": 2u32}, "n": 1u32 + 2});
+        assert_eq!(nested.field("outer").field("inner"), &Value::U64(2));
+        assert_eq!(nested.field("n"), &Value::U64(3));
+    }
+
+    #[test]
+    fn big_u64_round_trips_exactly() {
+        let n = u64::MAX - 5;
+        let text = to_string(&n).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let text = to_string(&5.0f64).unwrap();
+        assert_eq!(text, "5.0");
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, 5.0);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v = json!({"k": [1u32, 2u32], "m": {"x": true}});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+}
