@@ -3,13 +3,20 @@
 //! ```text
 //! repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR]
 //!       [--fault-scenario NAME|FILE.json] [--fault-seed N] [--max-attempts N]
-//!       [--checkpoint PREFIX] [--resume] <target>...
+//!       [--checkpoint PREFIX] [--resume]
+//!       [--trace-out FILE.jsonl] [--metrics-out FILE.json] <target>...
 //! repro all       # everything, in paper order
 //! repro --list    # available targets
 //! ```
 //!
 //! `--out DIR` additionally writes `<target>.txt` and `<target>.json`
 //! into DIR for downstream plotting.
+//!
+//! `--trace-out` installs the observability recorder and writes every
+//! span/event as one JSONL line; `--metrics-out` writes the end-of-run
+//! metrics snapshot (counters, gauges, span statistics). Either flag
+//! alone enables recording; both files come from the same recorder, so
+//! one run can emit both. A failed run still exports its partial trace.
 //!
 //! `--fault-scenario` arms deterministic fault injection on every
 //! module of campaign-backed targets: a preset name (`none`,
@@ -19,7 +26,7 @@
 //! `--resume` skips already-completed modules, while without it any
 //! stale checkpoint files are removed first.
 
-use rh_bench::{run_target, targets, RunConfig};
+use rh_bench::{run_target, targets, ObsSetup, RunConfig};
 use rh_core::Scale;
 use rh_softmc::FaultPlan;
 use std::path::PathBuf;
@@ -29,7 +36,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR]\n\
          \x20            [--fault-scenario NAME|FILE.json] [--fault-seed N] [--max-attempts N]\n\
-         \x20            [--checkpoint PREFIX] [--resume] <target>...\n\
+         \x20            [--checkpoint PREFIX] [--resume]\n\
+         \x20            [--trace-out FILE.jsonl] [--metrics-out FILE.json] <target>...\n\
          fault scenarios: none | flaky-host | thermal | dead-module | chaos | <plan.json>\n\
          targets: {} | defense-matrix | all",
         targets().join(" | ")
@@ -55,6 +63,8 @@ fn main() -> ExitCode {
     let mut scenario: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
     let mut resume = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -96,6 +106,14 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             "--resume" => resume = true,
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--metrics-out" => match args.next() {
+                Some(p) => metrics_out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
             "--list" => {
                 for t in targets() {
                     println!("{t}");
@@ -137,6 +155,8 @@ fn main() -> ExitCode {
             }
         }
     }
+    let obs = ObsSetup::new(trace_out, metrics_out);
+    let mut code = ExitCode::SUCCESS;
     for t in &wanted {
         match run_target(t, &cfg) {
             Ok(out) => {
@@ -151,7 +171,8 @@ fn main() -> ExitCode {
                         })
                     {
                         eprintln!("repro {t}: failed to write output files: {e}");
-                        return ExitCode::FAILURE;
+                        code = ExitCode::FAILURE;
+                        break;
                     }
                 }
                 if json {
@@ -166,9 +187,16 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("repro {t}: {e}");
-                return ExitCode::FAILURE;
+                code = ExitCode::FAILURE;
+                break;
             }
         }
     }
-    ExitCode::SUCCESS
+    // Export even a failed run's partial trace — that's the run most
+    // worth diagnosing.
+    if let Err(e) = obs.finish() {
+        eprintln!("repro: failed to write trace/metrics: {e}");
+        code = ExitCode::FAILURE;
+    }
+    code
 }

@@ -8,4 +8,4 @@
 
 pub mod runners;
 
-pub use runners::{run_defense_matrix, run_target, targets, RunConfig, RunOutput};
+pub use runners::{run_defense_matrix, run_target, targets, ObsSetup, RunConfig, RunOutput};

@@ -61,6 +61,65 @@ pub struct RunOutput {
     pub data: Value,
 }
 
+/// Observability wiring of one reproduction invocation: when at least
+/// one output path is requested, installs a process-global
+/// [`rh_obs::Recorder`] so every instrumentation point in the stack
+/// (softmc commands, dram flips, campaign retry/quarantine events,
+/// defense mitigations) is captured, and exports the JSONL trace and
+/// the metrics snapshot on [`finish`](ObsSetup::finish).
+#[derive(Debug, Default)]
+pub struct ObsSetup {
+    recorder: Option<std::sync::Arc<rh_obs::Recorder>>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl ObsSetup {
+    /// Installs a recorder if `trace_out` or `metrics_out` is given;
+    /// otherwise observability stays disabled (zero overhead).
+    pub fn new(trace_out: Option<PathBuf>, metrics_out: Option<PathBuf>) -> Self {
+        let recorder = if trace_out.is_some() || metrics_out.is_some() {
+            let rec = std::sync::Arc::new(rh_obs::Recorder::new());
+            rh_obs::install(rec.clone());
+            Some(rec)
+        } else {
+            None
+        };
+        Self { recorder, trace_out, metrics_out }
+    }
+
+    /// Whether a recorder is installed.
+    pub fn active(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// The installed recorder, for in-process inspection.
+    pub fn recorder(&self) -> Option<&rh_obs::Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Uninstalls the sink and writes the requested trace/metrics
+    /// files. Call once, after the last target has run (even a failed
+    /// run's partial trace is worth exporting for diagnosis).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing either output file.
+    pub fn finish(self) -> std::io::Result<()> {
+        let Some(rec) = self.recorder else {
+            return Ok(());
+        };
+        rh_obs::uninstall();
+        if let Some(path) = &self.trace_out {
+            rec.save_jsonl(path)?;
+        }
+        if let Some(path) = &self.metrics_out {
+            rec.save_metrics(path)?;
+        }
+        Ok(())
+    }
+}
+
 /// All runnable target names, in paper order, followed by the
 /// extension studies (DDR3 cross-check, TRRespass-style dilution,
 /// chipkill, and the fault-model ablations).
@@ -806,7 +865,7 @@ fn run_ablation(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
             }
         }
         let min = hc.iter().copied().fold(f64::INFINITY, f64::min);
-        let p95 = if hc.is_empty() { 0.0 } else { rh_stats::percentile(&hc, 5.0) / min };
+        let p95 = rh_stats::percentile(&hc, 5.0).map_or(0.0, |p| p / min);
         Ok((a.ber_gain_on(), p95))
     };
     let (gain_base, p95_base) = study(base_profile)?;
@@ -1056,6 +1115,8 @@ pub fn run_defense_matrix(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
 ///
 /// Unknown targets are rejected; experiment errors propagate.
 pub fn run_target(target: &str, cfg: &RunConfig) -> Result<RunOutput, CharError> {
+    let mut span = rh_obs::span("bench.target");
+    span.set("target", target);
     match target {
         "table1" => Ok(run_table1()),
         "table2" => Ok(run_table2()),

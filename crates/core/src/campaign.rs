@@ -296,6 +296,9 @@ impl CampaignRunner {
             Some(path) => load_checkpoint(path)?,
             None => Vec::new(),
         };
+        if !prior.is_empty() {
+            rh_obs::event("campaign.checkpoint.loaded", &[("entries", prior.len().into())]);
+        }
         let store = Mutex::new(prior);
 
         let slots: Vec<(ModuleOutcome, Option<Value>)> =
@@ -311,6 +314,10 @@ impl CampaignRunner {
                         };
                         s.spawn(move || {
                             if let Some(entry) = resumed {
+                                rh_obs::event(
+                                    "campaign.resume_skip",
+                                    &[("module", entry.id.as_str().into())],
+                                );
                                 return (entry.outcome, entry.result);
                             }
                             let (outcome, value) = self.run_one(task, f);
@@ -326,7 +333,14 @@ impl CampaignRunner {
                                     // Persist eagerly; a failed write only
                                     // degrades resumability, so don't kill
                                     // the in-flight campaign over it.
-                                    let _ = save_checkpoint(path, &guard);
+                                    let saved = save_checkpoint(path, &guard).is_ok();
+                                    rh_obs::event(
+                                        "campaign.checkpoint.saved",
+                                        &[
+                                            ("entries", guard.len().into()),
+                                            ("ok", saved.into()),
+                                        ],
+                                    );
                                 }
                             }
                             (outcome, value)
@@ -370,6 +384,8 @@ impl CampaignRunner {
         F: Fn(&mut Characterizer) -> Result<T, CharError>,
     {
         let max_attempts = self.policy.max_attempts.max(1);
+        let mut span = rh_obs::span("campaign.module");
+        span.set("module", task.id.as_str());
         let mut errors = Vec::new();
         let mut backoffs_ms = Vec::new();
         for attempt in 1..=max_attempts {
@@ -381,10 +397,18 @@ impl CampaignRunner {
             let err = match attempt_result {
                 Ok(t) => {
                     let status = if attempt == 1 {
+                        rh_obs::counter("campaign.succeeded", 1);
                         ModuleStatus::Succeeded
                     } else {
+                        rh_obs::counter("campaign.recovered", 1);
+                        rh_obs::event(
+                            "campaign.recovered",
+                            &[("module", task.id.as_str().into()), ("attempts", attempt.into())],
+                        );
                         ModuleStatus::Recovered { attempts: attempt }
                     };
+                    span.set("attempts", attempt);
+                    span.set("status", "success");
                     let outcome = ModuleOutcome {
                         id: task.id.clone(),
                         status,
@@ -397,6 +421,18 @@ impl CampaignRunner {
             };
             errors.push(err.to_string());
             if attempt == max_attempts || !err.is_transient() {
+                rh_obs::counter("campaign.quarantined", 1);
+                rh_obs::event(
+                    "campaign.quarantine",
+                    &[
+                        ("module", task.id.as_str().into()),
+                        ("attempts", attempt.into()),
+                        ("transient", err.is_transient().into()),
+                        ("error", err.to_string().into()),
+                    ],
+                );
+                span.set("attempts", attempt);
+                span.set("status", "quarantined");
                 let outcome = ModuleOutcome {
                     id: task.id.clone(),
                     status: ModuleStatus::Quarantined {
@@ -409,6 +445,16 @@ impl CampaignRunner {
                 return (outcome, None);
             }
             let backoff = self.policy.backoff_ms(&task.id, attempt);
+            rh_obs::counter("campaign.retries", 1);
+            rh_obs::event(
+                "campaign.retry",
+                &[
+                    ("module", task.id.as_str().into()),
+                    ("attempt", attempt.into()),
+                    ("backoff_ms", backoff.into()),
+                    ("error", err.to_string().into()),
+                ],
+            );
             backoffs_ms.push(backoff);
             if self.wait_backoff {
                 std::thread::sleep(std::time::Duration::from_millis(backoff));

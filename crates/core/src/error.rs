@@ -23,6 +23,16 @@ pub enum CharError {
         /// The offending row.
         row: u32,
     },
+    /// The bank's geometry cannot hold the requested victim sample
+    /// together with the guard neighborhood around each victim.
+    SampleInfeasible {
+        /// Rows per bank of the module under test.
+        rows_per_bank: u32,
+        /// Victim rows the scale asks for.
+        victims: u32,
+        /// Neighborhood radius written around each victim.
+        radius: u32,
+    },
     /// A campaign worker thread panicked; the panic was contained and
     /// converted into this per-module outcome.
     WorkerPanicked {
@@ -61,6 +71,10 @@ impl fmt::Display for CharError {
             CharError::VictimOutOfRange { row } => {
                 write!(f, "victim row {row} too close to the bank edge")
             }
+            CharError::SampleInfeasible { rows_per_bank, victims, radius } => write!(
+                f,
+                "bank with {rows_per_bank} rows cannot hold {victims} victims with radius-{radius} neighborhoods"
+            ),
             CharError::WorkerPanicked { detail } => {
                 write!(f, "campaign worker panicked: {detail}")
             }

@@ -39,8 +39,9 @@ impl RowVariation {
         }
         // sorted_desc is descending; the row at "P99" of Fig. 11 leaves
         // 99 % of rows with larger HCfirst -> the 1st percentile of the
-        // ascending distribution.
-        percentile(&self.sorted_desc, 100.0 - p) / self.min_hc()
+        // ascending distribution. Non-empty is guaranteed by the guard
+        // above.
+        percentile(&self.sorted_desc, 100.0 - p).unwrap_or(0.0) / self.min_hc()
     }
 }
 
@@ -261,8 +262,9 @@ pub struct SimilarityCdf {
 }
 
 impl SimilarityCdf {
-    /// 5th percentile of a population (the paper annotates P5/P95).
-    pub fn p5(xs: &[f64]) -> f64 {
+    /// 5th percentile of a population (the paper annotates P5/P95), or
+    /// `None` when no pairs were collected.
+    pub fn p5(xs: &[f64]) -> Option<f64> {
         percentile(xs, 5.0)
     }
 }

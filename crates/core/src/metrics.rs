@@ -177,6 +177,7 @@ impl Characterizer {
         t_on: Option<Picos>,
         t_off: Option<Picos>,
     ) -> Result<BerMeasurement, CharError> {
+        rh_obs::counter("core.ber_measurements", 1);
         self.write_neighborhood(victim_phys, pattern)?;
         let left = self.mapping.physical_to_logical(RowAddr(victim_phys.0 - 1));
         let right = self.mapping.physical_to_logical(RowAddr(victim_phys.0 + 1));
@@ -258,7 +259,11 @@ impl Characterizer {
         t_on: Option<Picos>,
         t_off: Option<Picos>,
     ) -> Result<Option<u64>, CharError> {
+        let mut span = rh_obs::span!("core.hc_first", row = victim_phys.0);
+        let mut probes = 1u64;
         if !self.flips_at(victim_phys, pattern, HC_FIRST_CAP, t_on, t_off)? {
+            span.set("probes", probes);
+            span.set("found", false);
             return Ok(None);
         }
         let mut hc: i64 = 256 * 1024;
@@ -266,6 +271,7 @@ impl Characterizer {
         let mut best: i64 = HC_FIRST_CAP as i64;
         while delta >= HC_FIRST_ACCURACY as i64 {
             let probe = hc.clamp(HC_FIRST_ACCURACY as i64, HC_FIRST_CAP as i64);
+            probes += 1;
             if self.flips_at(victim_phys, pattern, probe as u64, t_on, t_off)? {
                 best = best.min(probe);
                 hc = probe - delta;
@@ -274,6 +280,9 @@ impl Characterizer {
             }
             delta /= 2;
         }
+        span.set("probes", probes);
+        span.set("found", true);
+        span.set("hc", best as u64);
         Ok(Some(best as u64))
     }
 
@@ -299,10 +308,44 @@ impl Characterizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rh_dram::Manufacturer;
+    use rh_dram::{Manufacturer, ModuleConfig};
+    use rh_faultmodel::{MfrProfile, RowHammerModel};
 
     fn characterizer(mfr: Manufacturer) -> Characterizer {
         Characterizer::new(TestBench::new(mfr, 42), Scale::Smoke).unwrap()
+    }
+
+    /// A characterizer over an explicitly ablated fault model. With
+    /// `rep_noise_sigma = 0` every probe of the same hammer count gives
+    /// the same answer, so search properties can be asserted exactly.
+    fn ablated_characterizer(profile: MfrProfile, module_seed: u64) -> Characterizer {
+        let cfg = ModuleConfig::ddr4(profile.manufacturer);
+        let model = RowHammerModel::with_profile(profile, module_seed);
+        let bench = TestBench::with_fault_model(cfg, model, module_seed);
+        Characterizer::new(bench, Scale::Smoke).unwrap()
+    }
+
+    fn noise_free(mfr: Manufacturer) -> MfrProfile {
+        MfrProfile { rep_noise_sigma: 0.0, ..MfrProfile::for_manufacturer(mfr) }
+    }
+
+    /// Brute-force reference for the binary search: linear scan of the
+    /// accuracy grid from below, first hammer count that flips the
+    /// victim.
+    fn brute_force_hc_first(
+        ch: &mut Characterizer,
+        row: RowAddr,
+        pattern: DataPattern,
+        limit: u64,
+    ) -> Option<u64> {
+        let mut n = HC_FIRST_ACCURACY;
+        while n <= limit {
+            if ch.measure_ber(row, pattern, n, None, None).unwrap().victim > 0 {
+                return Some(n);
+            }
+            n += HC_FIRST_ACCURACY;
+        }
+        None
     }
 
     #[test]
@@ -351,6 +394,99 @@ mod tests {
             assert!(hc >= HC_FIRST_ACCURACY);
             assert!(hc <= HC_FIRST_CAP);
         }
+    }
+
+    #[test]
+    fn hc_first_within_accuracy_of_brute_force() {
+        let mut ch = ablated_characterizer(noise_free(Manufacturer::B), 42);
+        ch.set_temperature(75.0).unwrap();
+        let p = ch.wcdp();
+        let mut compared = 0;
+        for row in [444u32, 600, 900] {
+            let row = RowAddr(row);
+            let Some(hc) = ch.hc_first(row, p, None, None).unwrap() else { continue };
+            // Scanning the grid from below must hit the first flipping
+            // count within one accuracy step of the search's answer.
+            let bf = brute_force_hc_first(&mut ch, row, p, hc + HC_FIRST_ACCURACY)
+                .expect("scan up to hc + accuracy must flip");
+            assert!(
+                hc.abs_diff(bf) <= HC_FIRST_ACCURACY,
+                "row {}: binary search {hc} vs brute force {bf}",
+                row.0
+            );
+            compared += 1;
+        }
+        assert!(compared > 0, "every sampled row survived the cap; pick weaker rows");
+    }
+
+    #[test]
+    fn hc_first_none_iff_row_survives_cap() {
+        // Median cell threshold pushed toward the cap so the sampled
+        // rows straddle it: some flip below 512 K, some survive.
+        let profile =
+            MfrProfile { hc_median: 800_000.0, ..noise_free(Manufacturer::D) };
+        let mut ch = ablated_characterizer(profile, 7);
+        ch.set_temperature(75.0).unwrap();
+        let p = ch.wcdp();
+        let (mut flipped, mut survived) = (0u32, 0u32);
+        for row in (500..3000).step_by(311) {
+            let row = RowAddr(row);
+            let hc = ch.hc_first(row, p, None, None).unwrap();
+            let survives =
+                ch.measure_ber(row, p, HC_FIRST_CAP, None, None).unwrap().victim == 0;
+            assert_eq!(hc.is_none(), survives, "row {}", row.0);
+            match hc {
+                Some(v) => {
+                    // The search only reports grid points inside its
+                    // clamp bounds.
+                    assert_eq!(v % HC_FIRST_ACCURACY, 0, "row {}: off-grid {v}", row.0);
+                    assert!((HC_FIRST_ACCURACY..=HC_FIRST_CAP).contains(&v));
+                    flipped += 1;
+                }
+                None => survived += 1,
+            }
+        }
+        assert!(
+            flipped > 0 && survived > 0,
+            "sample must cover both outcomes: {flipped} flipped, {survived} survived"
+        );
+    }
+
+    #[test]
+    fn hc_first_monotone_in_temperature() {
+        // Ablation under which monotonicity is exact: every window is
+        // rising-type and far wider than the tested range (once open, a
+        // window never closes below 90 °C) and the threshold parabola
+        // is flattened (kappa = 0). The vulnerable population can then
+        // only grow with temperature, so HCfirst never increases.
+        let profile = MfrProfile {
+            rep_noise_sigma: 0.0,
+            kappa: 0.0,
+            p_full_range: 0.0,
+            p_rising: 1.0,
+            width_mean: 500.0,
+            ..MfrProfile::for_manufacturer(Manufacturer::A)
+        };
+        let mut ch = ablated_characterizer(profile, 42);
+        let p = ch.wcdp();
+        let mut seen_flip = false;
+        for row in [600u32, 700, 1200] {
+            let row = RowAddr(row);
+            let mut last = u64::MAX; // None = survives the cap = +∞
+            for t in [55.0, 65.0, 75.0, 85.0] {
+                ch.set_temperature(t).unwrap();
+                let hc = ch.hc_first(row, p, None, None).unwrap();
+                let v = hc.unwrap_or(u64::MAX);
+                assert!(
+                    v <= last,
+                    "row {}: HCfirst rose from {last} to {v} at {t} °C",
+                    row.0
+                );
+                seen_flip |= hc.is_some();
+                last = v;
+            }
+        }
+        assert!(seen_flip, "no sampled row ever flipped; the sweep is vacuous");
     }
 
     #[test]

@@ -209,14 +209,30 @@ pub fn obsv15(points: &[SubarrayPoint]) -> ObservationCheck {
 /// Obsv. 16: subarray HCfirst distributions are more similar within a
 /// module than across modules.
 pub fn obsv16(sim: &SimilarityCdf) -> ObservationCheck {
-    let same = rh_stats::percentile(&sim.same_module, 5.0);
-    let cross = rh_stats::percentile(&sim.cross_module, 5.0);
-    check(
-        16,
-        "subarray HCfirst distributions are similar within a module, diverse across modules",
-        same >= cross,
-        format!("P5 BD_norm same-module {same:.3} vs cross-module {cross:.3}"),
-    )
+    let statement =
+        "subarray HCfirst distributions are similar within a module, diverse across modules";
+    match (
+        rh_stats::percentile(&sim.same_module, 5.0),
+        rh_stats::percentile(&sim.cross_module, 5.0),
+    ) {
+        (Some(same), Some(cross)) => check(
+            16,
+            statement,
+            same >= cross,
+            format!("P5 BD_norm same-module {same:.3} vs cross-module {cross:.3}"),
+        ),
+        (same, _) => check(
+            16,
+            statement,
+            false,
+            format!(
+                "insufficient pairs: same-module n={} cross-module n={} (P5 undefined for {})",
+                sim.same_module.len(),
+                sim.cross_module.len(),
+                if same.is_none() { "same-module" } else { "cross-module" },
+            ),
+        ),
+    }
 }
 
 #[cfg(test)]

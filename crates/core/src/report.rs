@@ -152,11 +152,13 @@ pub fn fig5(label: &str, f: &HcFirstVsTemperature) -> String {
         let (Some(max), Some(min)) = (c.first(), c.last()) else {
             continue;
         };
+        // Non-empty is guaranteed by the guard above; NaN would flag a
+        // broken invariant instead of printing a fake zero.
         let _ = writeln!(
             s,
             "{name}: max {:+.1}%  median {:+.1}%  min {:+.1}%",
             max,
-            rh_stats::median(c),
+            rh_stats::median(c).unwrap_or(f64::NAN),
             min
         );
     }
@@ -228,13 +230,17 @@ pub fn fig_hc_sweep(figure: &str, label: &str, a: &RowActiveAnalysis, on: bool) 
 pub fn fig11(label: &str, rv: &RowVariation) -> String {
     let mut s = format!("Fig. 11 ({label}): HCfirst across rows (sorted descending)\n");
     let _ = writeln!(s, "vulnerable rows: {}", rv.rows.len());
+    if rv.sorted_desc.is_empty() {
+        let _ = writeln!(s, "no vulnerable rows below the search cap; percentiles unavailable");
+        return s;
+    }
     let _ = writeln!(s, "min HCfirst: {:.0}", rv.min_hc());
     for p in [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
         let _ = writeln!(
             s,
             "P{:<3.0} {:>9.0}  ({:.2}x min)",
             p,
-            rh_stats::percentile(&rv.sorted_desc, 100.0 - p),
+            rh_stats::percentile(&rv.sorted_desc, 100.0 - p).unwrap_or(f64::NAN),
             rv.percentile_factor(p)
         );
     }
@@ -314,17 +320,17 @@ pub fn fig15(label: &str, sim: &SimilarityCdf) -> String {
             s,
             "{name}: n={:<4} P5 {:.3}  median {:.3}  P95 {:.3}",
             e.len(),
-            rh_stats::percentile(xs, 5.0),
-            rh_stats::median(xs),
-            rh_stats::percentile(xs, 95.0),
+            rh_stats::percentile(xs, 5.0).unwrap_or(f64::NAN),
+            rh_stats::median(xs).unwrap_or(f64::NAN),
+            rh_stats::percentile(xs, 95.0).unwrap_or(f64::NAN),
         );
     }
     if !sim.same_module_ks.is_empty() && !sim.cross_module_ks.is_empty() {
         let _ = writeln!(
             s,
             "KS distance (median): same module {:.3}, different modules {:.3}",
-            rh_stats::median(&sim.same_module_ks),
-            rh_stats::median(&sim.cross_module_ks),
+            rh_stats::median(&sim.same_module_ks).unwrap_or(f64::NAN),
+            rh_stats::median(&sim.cross_module_ks).unwrap_or(f64::NAN),
         );
     }
     s

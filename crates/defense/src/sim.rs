@@ -91,12 +91,16 @@ impl DefenseSim {
             match a {
                 DefenseAction::RefreshRow(phys) => {
                     self.bench.module_mut().refresh_row_physical(self.bank, phys)?;
+                    rh_obs::counter("defense.refresh", 1);
                     outcome.refreshes += 1;
                     if phys == victim {
+                        rh_obs::counter("defense.victim_refresh", 1);
                         outcome.victim_refreshes += 1;
                     }
                 }
                 DefenseAction::Throttle { delay } => {
+                    rh_obs::counter("defense.throttle", 1);
+                    rh_obs::counter("defense.throttle_ps", delay);
                     *now += delay;
                     outcome.throttle_delay += delay;
                 }

@@ -234,6 +234,15 @@ impl DramModule {
     /// addresses, and (when `enforce_timings`) timing violations. Reads
     /// of never-written rows yield [`DramError::UninitializedRow`].
     pub fn issue(&mut self, tc: &TimedCommand) -> Result<Option<[u8; 8]>, DramError> {
+        let res = self.issue_inner(tc);
+        if let Err(DramError::TimingViolation { parameter, .. }) = &res {
+            rh_obs::counter("dram.timing_violation", 1);
+            rh_obs::event("dram.timing_violation", &[("parameter", (*parameter).into())]);
+        }
+        res
+    }
+
+    fn issue_inner(&mut self, tc: &TimedCommand) -> Result<Option<[u8; 8]>, DramError> {
         debug_assert!(tc.at >= self.now, "command time went backwards");
         self.now = self.now.max(tc.at);
         match &tc.cmd {
@@ -306,12 +315,14 @@ impl DramModule {
         let t_rp = self.cfg.timing.t_rp;
         for i in 0..self.banks.len() {
             if let Some(ev) = self.banks[i].flush_pending(t_rp) {
+                rh_obs::counter("dram.hammer.flushed", 1);
                 self.deliver_hammer(BankId(i as u32), ev);
             }
         }
     }
 
     fn deliver_hammer(&mut self, bank: BankId, ev: HammerEvent) {
+        rh_obs::counter("dram.hammer.episodes", 1);
         self.model.on_hammer(bank, ev.row, 1, ev.t_on, ev.t_off);
     }
 
@@ -322,6 +333,9 @@ impl DramModule {
         let now = self.now;
         if let Some(data) = self.storage.get_mut(&(bank.0, phys.0)) {
             let flips = self.model.flips_on_activate(bank, phys, data, now);
+            if !flips.is_empty() {
+                rh_obs::counter("dram.flip", flips.len() as u64);
+            }
             for f in flips {
                 data[f.byte as usize] ^= 1 << f.bit;
             }
@@ -355,6 +369,8 @@ impl DramModule {
         }
         let phys = self.cfg.mapping.logical_to_physical(row);
         self.storage.insert((bank.0, phys.0), data.to_vec().into_boxed_slice());
+        rh_obs::counter("dram.row.write", 1);
+        rh_obs::gauge("dram.rows_stored", self.storage.len() as f64);
         let now = self.now;
         self.model.on_restore(bank, phys, now);
         Ok(())
@@ -375,6 +391,7 @@ impl DramModule {
         if !self.storage.contains_key(&(bank.0, phys.0)) {
             return Err(DramError::UninitializedRow { bank, row: phys });
         }
+        rh_obs::counter("dram.row.read", 1);
         self.sense_and_restore(bank, phys);
         Ok(self.storage[&(bank.0, phys.0)].to_vec())
     }
@@ -415,11 +432,60 @@ impl DramModule {
         self.check_bank(bank)?;
         self.check_row(row)?;
         let phys = self.cfg.mapping.logical_to_physical(row);
+        rh_obs::counter("dram.hammer.episodes", count);
         // An activation also senses-and-restores the aggressor row
         // itself, clearing any disturbance accumulated on it.
         self.sense_and_restore(bank, phys);
         self.model.on_hammer(bank, phys, count, t_on, t_off);
         self.now += count * (t_on + t_off);
+        Ok(())
+    }
+
+    /// Bulk fast path for a double-sided hammer pair: accounts `count`
+    /// *alternating* activation episodes of `left` and `right` (the
+    /// order `Program::double_sided_hammer` issues them). Unlike two
+    /// back-to-back [`hammer_direct`] calls, this keeps the episode
+    /// accounting of the interleaved program: each aggressor is
+    /// restored on every episode of the other, so the distance-2
+    /// disturbance the aggressors deposit on *each other* never
+    /// accumulates across the whole burst — only the rows between and
+    /// around the pair integrate the full dose.
+    ///
+    /// [`hammer_direct`]: DramModule::hammer_direct
+    ///
+    /// # Errors
+    ///
+    /// Range errors for bad addresses.
+    pub fn hammer_pair_direct(
+        &mut self,
+        bank: BankId,
+        left: RowAddr,
+        right: RowAddr,
+        count: u64,
+        t_on: Picos,
+        t_off: Picos,
+    ) -> Result<(), DramError> {
+        self.check_bank(bank)?;
+        self.check_row(left)?;
+        self.check_row(right)?;
+        let phys_l = self.cfg.mapping.logical_to_physical(left);
+        let phys_r = self.cfg.mapping.logical_to_physical(right);
+        rh_obs::counter("dram.hammer.episodes", count.saturating_mul(2));
+        // The first episode senses and restores both aggressors, just
+        // as the program path's opening ACTs do.
+        self.sense_and_restore(bank, phys_l);
+        self.sense_and_restore(bank, phys_r);
+        self.model.on_hammer(bank, phys_l, count, t_on, t_off);
+        self.model.on_hammer(bank, phys_r, count, t_on, t_off);
+        self.now += count * 2 * (t_on + t_off);
+        // The interleaved program restores each aggressor on every
+        // episode, so their mutual distance-2 disturbance never reaches
+        // the materialization threshold. Clear it *without* sensing: a
+        // sense here would materialize the whole burst's worth at once,
+        // which the alternating path never exhibits.
+        let now = self.now;
+        self.model.on_restore(bank, phys_l, now);
+        self.model.on_restore(bank, phys_r, now);
         Ok(())
     }
 

@@ -1,0 +1,324 @@
+//! The built-in [`Sink`]: an in-memory recorder with JSONL trace
+//! export and an end-of-run metrics snapshot.
+//!
+//! JSON is rendered by hand (this crate is dependency-free); the
+//! output is plain RFC 8259 JSON, one object per line for traces, so
+//! any consumer — including the vendored `serde_json` used by the
+//! bench tests — can parse it.
+
+use crate::{FieldValue, Sink};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Cap on stored trace records; beyond it events are counted but
+/// dropped so a runaway campaign cannot exhaust memory.
+const MAX_RECORDS: usize = 1 << 20;
+
+/// One timestamped trace record (event or completed span).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// `"event"` or `"span"`.
+    pub kind: &'static str,
+    /// Record name (e.g. `campaign.quarantine`).
+    pub name: String,
+    /// Span duration; `None` for events.
+    pub elapsed_us: Option<u64>,
+    /// Attached fields, in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// Aggregate timing for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall time, microseconds.
+    pub total_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    spans: BTreeMap<&'static str, SpanStat>,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+/// In-memory sink collecting counters, gauges, span aggregates, and a
+/// bounded trace of events/spans. Thread-safe; share it as an `Arc`
+/// between [`crate::install`] and the exporter.
+pub struct Recorder {
+    t0: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder; timestamps are relative to now.
+    pub fn new() -> Self {
+        Self { t0: Instant::now(), inner: Mutex::new(Inner::default()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn push_record(&self, inner: &mut Inner, record: TraceRecord) {
+        if inner.records.len() >= MAX_RECORDS {
+            inner.dropped += 1;
+        } else {
+            inner.records.push(record);
+        }
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.lock().counters.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// Last value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Aggregate span timings, keyed by span name.
+    pub fn span_stats(&self) -> BTreeMap<String, SpanStat> {
+        self.lock().spans.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// Number of recorded events/spans named `name`.
+    pub fn events_named(&self, name: &str) -> usize {
+        self.lock().records.iter().filter(|r| r.name == name).count()
+    }
+
+    /// Copy of the bounded trace.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.lock().records.clone()
+    }
+
+    /// Renders the trace as JSONL: one JSON object per line, in
+    /// arrival order. Events look like
+    /// `{"ts_us":12,"kind":"event","name":"campaign.retry","fields":{"attempt":2}}`
+    /// and spans carry an additional `"elapsed_us"`.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for r in &inner.records {
+            let _ = write!(out, "{{\"ts_us\":{},\"kind\":\"{}\",\"name\":", r.ts_us, r.kind);
+            push_json_string(&mut out, &r.name);
+            if let Some(e) = r.elapsed_us {
+                let _ = write!(out, ",\"elapsed_us\":{e}");
+            }
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in r.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, k);
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Renders the end-of-run metrics snapshot as a single pretty
+    /// JSON object with `counters`, `gauges`, `spans`, and trace
+    /// bookkeeping totals.
+    pub fn metrics_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in inner.counters.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            push_json_string(&mut out, k);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in inner.gauges.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            push_json_string(&mut out, k);
+            if v.is_finite() {
+                let _ = write!(out, ": {v}");
+            } else {
+                out.push_str(": null");
+            }
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        for (i, (k, s)) in inner.spans.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            push_json_string(&mut out, k);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"total_us\": {}, \"max_us\": {}}}",
+                s.count, s.total_us, s.max_us
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  }},\n  \"events_recorded\": {},\n  \"events_dropped\": {}\n}}\n",
+            inner.records.len(),
+            inner.dropped
+        );
+        out
+    }
+
+    /// Writes the JSONL trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from creating or writing the file.
+    pub fn save_jsonl(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Writes the metrics snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from creating or writing the file.
+    pub fn save_metrics(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.metrics_json())
+    }
+}
+
+impl Sink for Recorder {
+    fn counter(&self, name: &'static str, delta: u64) {
+        let mut inner = self.lock();
+        let slot = inner.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.lock().gauges.insert(name, value);
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        let ts_us = self.t0.elapsed().as_micros() as u64;
+        let record = TraceRecord {
+            ts_us,
+            kind: "event",
+            name: name.to_string(),
+            elapsed_us: None,
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        let mut inner = self.lock();
+        self.push_record(&mut inner, record);
+    }
+
+    fn span_end(&self, name: &'static str, elapsed: Duration, fields: &[(&'static str, FieldValue)]) {
+        let ts_us = self.t0.elapsed().as_micros() as u64;
+        let elapsed_us = elapsed.as_micros() as u64;
+        let record = TraceRecord {
+            ts_us,
+            kind: "span",
+            name: name.to_string(),
+            elapsed_us: Some(elapsed_us),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        let mut inner = self.lock();
+        let stat = inner.spans.entry(name).or_default();
+        stat.count += 1;
+        stat.total_us = stat.total_us.saturating_add(elapsed_us);
+        stat.max_us = stat.max_us.max(elapsed_us);
+        self.push_record(&mut inner, record);
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let rec = Recorder::new();
+        rec.event("a.b", &[("x", FieldValue::U64(1)), ("s", FieldValue::Str("q\"uote".into()))]);
+        rec.span_end("c.d", Duration::from_micros(42), &[("ok", FieldValue::Bool(true))]);
+        let jsonl = rec.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"event\""));
+        assert!(lines[0].contains("\"s\":\"q\\\"uote\""));
+        assert!(lines[1].contains("\"elapsed_us\":42"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_includes_all_kinds() {
+        let rec = Recorder::new();
+        rec.counter("n.c", 7);
+        rec.gauge("n.g", 1.5);
+        rec.span_end("n.s", Duration::from_micros(10), &[]);
+        rec.span_end("n.s", Duration::from_micros(30), &[]);
+        let m = rec.metrics_json();
+        assert!(m.contains("\"n.c\": 7"));
+        assert!(m.contains("\"n.g\": 1.5"));
+        assert!(m.contains("\"count\": 2"));
+        assert!(m.contains("\"max_us\": 30"));
+        assert!(m.contains("\"events_recorded\": 2"));
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let rec = Recorder::new();
+        rec.counter("c", u64::MAX);
+        rec.counter("c", 5);
+        assert_eq!(rec.counter_value("c"), u64::MAX);
+    }
+
+    #[test]
+    fn escaping_control_characters() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\u{1}b\tc");
+        assert_eq!(s, "\"a\\u0001b\\tc\"");
+    }
+}

@@ -127,6 +127,10 @@ impl SoftMcController {
         cmd: Command,
         result: &mut ExecResult,
     ) -> Result<Option<[u8; 8]>, SoftMcError> {
+        if rh_obs::enabled() {
+            rh_obs::counter("softmc.cmd", 1);
+            rh_obs::counter(command_counter(&cmd), 1);
+        }
         let tc = TimedCommand { at, cmd };
         if self.record_trace {
             self.trace.push(tc.clone());
@@ -152,8 +156,13 @@ impl SoftMcController {
         t_on: Picos,
         t_off: Picos,
     ) -> Result<(), SoftMcError> {
-        self.module.hammer_direct(bank, left, count, t_on, t_off)?;
-        self.module.hammer_direct(bank, right, count, t_on, t_off)?;
+        rh_obs::counter("softmc.hammer.bulk", 1);
+        // An earlier revision hammered `left` for the whole burst and
+        // then `right`, which let the aggressors' mutual distance-2
+        // disturbance accumulate unrestored — the alternating program
+        // clears it every episode. `hammer_pair_direct` keeps the
+        // interleaved accounting.
+        self.module.hammer_pair_direct(bank, left, right, count, t_on, t_off)?;
         Ok(())
     }
 
@@ -170,8 +179,22 @@ impl SoftMcController {
         t_on: Picos,
         t_off: Picos,
     ) -> Result<(), SoftMcError> {
+        rh_obs::counter("softmc.hammer.bulk", 1);
         self.module.hammer_direct(bank, aggressor, count, t_on, t_off)?;
         Ok(())
+    }
+}
+
+/// The per-kind counter name of one DRAM command.
+fn command_counter(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Act { .. } => "softmc.cmd.act",
+        Command::Pre { .. } => "softmc.cmd.pre",
+        Command::PreAll => "softmc.cmd.pre_all",
+        Command::Rd { .. } => "softmc.cmd.rd",
+        Command::Wr { .. } => "softmc.cmd.wr",
+        Command::Ref => "softmc.cmd.ref",
+        Command::Nop => "softmc.cmd.nop",
     }
 }
 

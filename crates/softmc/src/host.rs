@@ -88,14 +88,26 @@ impl TestBench {
 
     fn host_op(&mut self, op: &str) -> Result<(), SoftMcError> {
         match &mut self.faults {
-            Some(f) => f.on_host_op(op),
+            Some(f) => {
+                let r = f.on_host_op(op);
+                if let Err(e) = &r {
+                    note_injected_fault("host_op", op, e);
+                }
+                r
+            }
             None => Ok(()),
         }
     }
 
     fn row_io(&mut self, op: &str) -> Result<(), SoftMcError> {
         match &mut self.faults {
-            Some(f) => f.on_row_io(op),
+            Some(f) => {
+                let r = f.on_row_io(op);
+                if let Err(e) = &r {
+                    note_injected_fault("row_io", op, e);
+                }
+                r
+            }
             None => Ok(()),
         }
     }
@@ -151,7 +163,9 @@ impl TestBench {
         if let Some(f) = &mut self.faults {
             if f.settle_fails() {
                 let reached = self.temperature.measure();
-                return Err(SoftMcError::TemperatureUnstable { target: celsius, reached });
+                let err = SoftMcError::TemperatureUnstable { target: celsius, reached };
+                note_injected_fault("settle", "temperature settle", &err);
+                return Err(err);
             }
             // A miscalibrated rig regulates to a drifted setpoint while
             // believing it hit the requested one.
@@ -252,6 +266,18 @@ impl TestBench {
             t_on.unwrap_or(timing.t_ras),
             t_off.unwrap_or(timing.t_rp),
         )
+    }
+}
+
+/// Records one fired infrastructure fault: where it was intercepted,
+/// the operation it dropped, and the surfaced error.
+fn note_injected_fault(stage: &'static str, op: &str, err: &SoftMcError) {
+    rh_obs::counter("softmc.fault.injected", 1);
+    if rh_obs::enabled() {
+        rh_obs::event(
+            "softmc.fault",
+            &[("stage", stage.into()), ("op", op.into()), ("error", err.to_string().into())],
+        );
     }
 }
 

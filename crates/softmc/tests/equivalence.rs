@@ -14,9 +14,23 @@ fn bench_controller(mfr: Manufacturer, seed: u64, temp: f64) -> SoftMcController
     SoftMcController::new(module)
 }
 
-/// Writes the victim neighborhood, hammers via the chosen path, and
-/// returns the victim row content.
-fn run_hammer(via_program: bool, mfr: Manufacturer, seed: u64, count: u64) -> Vec<u8> {
+/// Victim and aggressor row contents after one double-sided burst.
+struct HammerOutcome {
+    victim: Vec<u8>,
+    left: Vec<u8>,
+    right: Vec<u8>,
+}
+
+/// Writes the victim neighborhood, hammers via the chosen path with
+/// explicit on/off times, and reads back victim and both aggressors.
+fn run_hammer_timed(
+    via_program: bool,
+    mfr: Manufacturer,
+    seed: u64,
+    count: u64,
+    t_on: Picos,
+    t_off: Picos,
+) -> HammerOutcome {
     let mut c = bench_controller(mfr, seed, 75.0);
     let bank = BankId(0);
     let victim = RowAddr(5000);
@@ -24,15 +38,55 @@ fn run_hammer(via_program: bool, mfr: Manufacturer, seed: u64, count: u64) -> Ve
     for d in -2i64..=2 {
         c.module_mut().write_row_direct(bank, victim.offset(d), &vec![0u8; row_bytes]).unwrap();
     }
-    let t = c.module().config().timing;
     let (left, right) = (victim.offset(-1), victim.offset(1));
     if via_program {
-        let p = Program::double_sided_hammer(bank, left, right, count, t.t_ras, t.t_rp);
+        let p = Program::double_sided_hammer(bank, left, right, count, t_on, t_off);
         c.run(&p).unwrap();
     } else {
-        c.hammer_double_sided(bank, left, right, count, t.t_ras, t.t_rp).unwrap();
+        c.hammer_double_sided(bank, left, right, count, t_on, t_off).unwrap();
     }
-    c.module_mut().read_row_direct(bank, victim).unwrap()
+    HammerOutcome {
+        victim: c.module_mut().read_row_direct(bank, victim).unwrap(),
+        left: c.module_mut().read_row_direct(bank, left).unwrap(),
+        right: c.module_mut().read_row_direct(bank, right).unwrap(),
+    }
+}
+
+fn run_hammer(via_program: bool, mfr: Manufacturer, seed: u64, count: u64) -> Vec<u8> {
+    let c = bench_controller(mfr, seed, 75.0);
+    let t = c.module().config().timing;
+    run_hammer_timed(via_program, mfr, seed, count, t.t_ras, t.t_rp).victim
+}
+
+fn popcount(v: &[u8]) -> usize {
+    v.iter().map(|x| x.count_ones() as usize).sum()
+}
+
+/// Asserts the two paths agree for one (mfr, seed, count, t_on, t_off)
+/// configuration: victim flips within trial noise, aggressor rows
+/// clean on both paths (the alternating program restores them every
+/// episode, so the bulk path must not let their mutual disturbance
+/// materialize).
+fn assert_paths_agree(mfr: Manufacturer, seed: u64, count: u64, t_on: Picos, t_off: Picos) {
+    let a = run_hammer_timed(true, mfr, seed, count, t_on, t_off);
+    let b = run_hammer_timed(false, mfr, seed, count, t_on, t_off);
+    let (fa, fb) = (popcount(&a.victim), popcount(&b.victim));
+    let diff = fa.abs_diff(fb);
+    assert!(
+        diff <= 2 + fa.max(fb) / 5,
+        "victim flips diverge on {mfr} seed {seed} t_on {t_on} t_off {t_off}: \
+         program={fa} bulk={fb}"
+    );
+    for (name, prog, bulk) in
+        [("left", &a.left, &b.left), ("right", &a.right, &b.right)]
+    {
+        let (fp, fb) = (popcount(prog), popcount(bulk));
+        assert!(
+            fp == 0 && fb == 0,
+            "{name} aggressor flipped on {mfr} seed {seed} t_on {t_on} t_off {t_off}: \
+             program={fp} bulk={fb} (episode accounting diverged)"
+        );
+    }
 }
 
 #[test]
@@ -43,13 +97,46 @@ fn bulk_path_matches_program_path() {
     for seed in [1u64, 2, 3] {
         let a = run_hammer(true, Manufacturer::B, seed, 120_000);
         let b = run_hammer(false, Manufacturer::B, seed, 120_000);
-        let flips = |v: &[u8]| -> usize { v.iter().map(|x| x.count_ones() as usize).sum() };
-        let (fa, fb) = (flips(&a), flips(&b));
+        let (fa, fb) = (popcount(&a), popcount(&b));
         let diff = fa.abs_diff(fb);
         assert!(
             diff <= 2 + fa.max(fb) / 5,
             "paths diverge: program={fa} bulk={fb} (seed {seed})"
         );
+    }
+}
+
+#[test]
+fn bulk_path_matches_program_path_across_manufacturers() {
+    // Every manufacturer profile (different geometries, mappings, and
+    // cell orientations), checking aggressor rows as well as the
+    // victim. Counts/timings are tuned per manufacturer so each case
+    // actually flips bits (a 0-vs-0 comparison would be vacuous):
+    // Mfr. A needs a longer aggressor-on time to flip at seed 1.
+    let t = bench_controller(Manufacturer::A, 1, 75.0).module().config().timing;
+    for (mfr, count, t_on) in [
+        (Manufacturer::A, 300_000u64, t.t_ras + 40_000),
+        (Manufacturer::B, 150_000, t.t_ras),
+        (Manufacturer::C, 300_000, t.t_ras),
+        (Manufacturer::D, 150_000, t.t_ras),
+    ] {
+        assert_paths_agree(mfr, 1, count, t_on, t.t_rp);
+    }
+}
+
+#[test]
+fn bulk_path_matches_program_path_nondefault_timings() {
+    // Non-default on/off times exercise the tAggOn/tAggOff damage
+    // factors of the fault model; the bulk path must keep the
+    // alternating program's episode accounting there too. Configs are
+    // chosen to produce tens of victim flips each.
+    let t = bench_controller(Manufacturer::B, 1, 75.0).module().config().timing;
+    for (mfr, count, t_on, t_off) in [
+        (Manufacturer::B, 150_000u64, t.t_ras + 40_000, t.t_rp),
+        (Manufacturer::D, 150_000, t.t_ras + 40_000, t.t_rp),
+        (Manufacturer::D, 300_000, t.t_ras, t.t_rp + 45_000),
+    ] {
+        assert_paths_agree(mfr, 1, count, t_on, t_off);
     }
 }
 

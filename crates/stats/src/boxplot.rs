@@ -46,9 +46,10 @@ impl BoxPlotStats {
         }
         let mut sorted: Vec<f64> = xs.to_vec();
         sorted.sort_by(f64::total_cmp);
-        let q1 = percentile_sorted(&sorted, 25.0);
-        let median = percentile_sorted(&sorted, 50.0);
-        let q3 = percentile_sorted(&sorted, 75.0);
+        // `sorted` is non-empty here, so the percentiles exist.
+        let q1 = percentile_sorted(&sorted, 25.0).unwrap_or(0.0);
+        let median = percentile_sorted(&sorted, 50.0).unwrap_or(0.0);
+        let q3 = percentile_sorted(&sorted, 75.0).unwrap_or(0.0);
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;

@@ -54,7 +54,8 @@ impl LetterValueStats {
         let mut sorted: Vec<f64> = xs.to_vec();
         sorted.sort_by(f64::total_cmp);
         let n = sorted.len() as f64;
-        let median = percentile_sorted(&sorted, 50.0);
+        // `sorted` is non-empty here, so the percentiles exist.
+        let median = percentile_sorted(&sorted, 50.0).unwrap_or(0.0);
 
         let mut boxes = Vec::new();
         let mut depth = 1u32;
@@ -66,8 +67,8 @@ impl LetterValueStats {
             }
             boxes.push(LetterBox {
                 depth,
-                lower: percentile_sorted(&sorted, tail * 100.0),
-                upper: percentile_sorted(&sorted, (1.0 - tail) * 100.0),
+                lower: percentile_sorted(&sorted, tail * 100.0).unwrap_or(0.0),
+                upper: percentile_sorted(&sorted, (1.0 - tail) * 100.0).unwrap_or(0.0),
             });
             if n * tail < 5.0 {
                 break;

@@ -20,7 +20,8 @@
 //! let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
 //! let s = Summary::of(&xs);
 //! assert_eq!(s.mean, 3.0);
-//! assert_eq!(percentile(&xs, 50.0), 3.0);
+//! assert_eq!(percentile(&xs, 50.0), Some(3.0));
+//! assert_eq!(percentile(&[], 50.0), None); // absence, not a fake zero
 //! ```
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 

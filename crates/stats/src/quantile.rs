@@ -1,11 +1,17 @@
 //! Quantiles and percentiles with linear interpolation (type-7, the
 //! default of R/NumPy), as used for the percentile markers of Fig. 11
 //! and the quartiles of the box/letter-value plots.
+//!
+//! Every function returns `None` for an empty sample. An earlier
+//! revision returned `0.0`, which fabricated "HCfirst = 0" artifacts —
+//! indistinguishable from a maximally vulnerable chip — whenever a
+//! filter step left no rows; callers must now decide what absence
+//! means for them.
 
 /// Returns the `p`-th percentile of `xs` (0 ≤ `p` ≤ 100) using linear
-/// interpolation between order statistics.
+/// interpolation between order statistics, or `None` if `xs` is empty.
 ///
-/// The input need not be sorted. Returns `0.0` for an empty slice.
+/// The input need not be sorted.
 ///
 /// # Panics
 ///
@@ -13,14 +19,15 @@
 ///
 /// ```
 /// let xs = [4.0, 1.0, 3.0, 2.0];
-/// assert_eq!(rh_stats::percentile(&xs, 0.0), 1.0);
-/// assert_eq!(rh_stats::percentile(&xs, 100.0), 4.0);
-/// assert_eq!(rh_stats::percentile(&xs, 50.0), 2.5);
+/// assert_eq!(rh_stats::percentile(&xs, 0.0), Some(1.0));
+/// assert_eq!(rh_stats::percentile(&xs, 100.0), Some(4.0));
+/// assert_eq!(rh_stats::percentile(&xs, 50.0), Some(2.5));
+/// assert_eq!(rh_stats::percentile(&[], 50.0), None);
 /// ```
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&p), "percentile p={p} out of range");
     if xs.is_empty() {
-        return 0.0;
+        return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
@@ -32,58 +39,73 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 ///
 /// ```
 /// let xs = [1.0, 2.0, 3.0, 4.0];
-/// assert_eq!(rh_stats::quantile::percentile_sorted(&xs, 25.0), 1.75);
+/// assert_eq!(rh_stats::quantile::percentile_sorted(&xs, 25.0), Some(1.75));
+/// assert_eq!(rh_stats::quantile::percentile_sorted(&[], 25.0), None);
 /// ```
-pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&p), "percentile p={p} out of range");
     if sorted.is_empty() {
-        return 0.0;
+        return None;
     }
     let h = (sorted.len() - 1) as f64 * p / 100.0;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         sorted[lo]
     } else {
         sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
-    }
+    })
 }
 
-/// Computes several percentiles in one pass (one sort).
+/// Computes several percentiles in one pass (one sort). Returns
+/// `None` if `xs` is empty; otherwise one value per requested `p`.
 ///
 /// ```
 /// let v = rh_stats::percentiles(&[1.0, 2.0, 3.0, 4.0, 5.0], &[0.0, 50.0, 100.0]);
-/// assert_eq!(v, vec![1.0, 3.0, 5.0]);
+/// assert_eq!(v, Some(vec![1.0, 3.0, 5.0]));
+/// assert_eq!(rh_stats::percentiles(&[], &[50.0]), None);
 /// ```
-pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+pub fn percentiles(xs: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
+    if xs.is_empty() {
+        return None;
+    }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
     ps.iter().map(|&p| percentile_sorted(&sorted, p)).collect()
 }
 
-/// Median (50th percentile).
+/// Median (50th percentile), or `None` for an empty sample.
 ///
 /// ```
-/// assert_eq!(rh_stats::median(&[3.0, 1.0, 2.0]), 2.0);
+/// assert_eq!(rh_stats::median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// assert_eq!(rh_stats::median(&[]), None);
 /// ```
-pub fn median(xs: &[f64]) -> f64 {
+pub fn median(xs: &[f64]) -> Option<f64> {
     percentile(xs, 50.0)
 }
 
-/// Lower quartile, median, upper quartile.
+/// Lower quartile, median, upper quartile, or `None` for an empty
+/// sample.
 ///
 /// ```
-/// let (q1, q2, q3) = rh_stats::quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// let (q1, q2, q3) = rh_stats::quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
 /// assert_eq!((q1, q2, q3), (2.0, 3.0, 4.0));
+/// assert_eq!(rh_stats::quartiles(&[]), None);
 /// ```
-pub fn quartiles(xs: &[f64]) -> (f64, f64, f64) {
+pub fn quartiles(xs: &[f64]) -> Option<(f64, f64, f64)> {
+    if xs.is_empty() {
+        return None;
+    }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
-    (
+    match (
         percentile_sorted(&sorted, 25.0),
         percentile_sorted(&sorted, 50.0),
         percentile_sorted(&sorted, 75.0),
-    )
+    ) {
+        (Some(q1), Some(q2), Some(q3)) => Some((q1, q2, q3)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -91,14 +113,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_percentile_is_zero() {
-        assert_eq!(percentile(&[], 50.0), 0.0);
+    fn empty_sample_reports_absence() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+        assert_eq!(percentiles(&[], &[0.0, 50.0]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(quartiles(&[]), None);
     }
 
     #[test]
     fn singleton_percentiles() {
         for p in [0.0, 13.0, 50.0, 99.0, 100.0] {
-            assert_eq!(percentile(&[5.0], p), 5.0);
+            assert_eq!(percentile(&[5.0], p), Some(5.0));
         }
     }
 
@@ -111,14 +137,14 @@ mod tests {
     #[test]
     fn interpolates_between_order_stats() {
         let xs = [10.0, 20.0];
-        assert_eq!(percentile(&xs, 25.0), 12.5);
-        assert_eq!(percentile(&xs, 75.0), 17.5);
+        assert_eq!(percentile(&xs, 25.0), Some(12.5));
+        assert_eq!(percentile(&xs, 75.0), Some(17.5));
     }
 
     #[test]
     fn unsorted_input_ok() {
         let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
-        assert_eq!(median(&xs), 5.0);
+        assert_eq!(median(&xs), Some(5.0));
     }
 
     #[test]
@@ -126,7 +152,7 @@ mod tests {
         let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         let mut prev = f64::NEG_INFINITY;
         for p in 0..=100 {
-            let v = percentile(&xs, p as f64);
+            let v = percentile(&xs, p as f64).expect("non-empty");
             assert!(v >= prev);
             prev = v;
         }
@@ -134,7 +160,7 @@ mod tests {
 
     #[test]
     fn quartiles_of_even_sample() {
-        let (q1, q2, q3) = quartiles(&[1.0, 2.0, 3.0, 4.0]);
+        let (q1, q2, q3) = quartiles(&[1.0, 2.0, 3.0, 4.0]).expect("non-empty");
         assert_eq!(q1, 1.75);
         assert_eq!(q2, 2.5);
         assert_eq!(q3, 3.25);

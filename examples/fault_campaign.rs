@@ -5,6 +5,10 @@
 //! exponential backoff; persistent ones quarantine the module, and the
 //! campaign still returns every healthy module's results.
 //!
+//! The run is observed through the `rh-obs` recorder: the campaign's
+//! retry/quarantine events and the stack's counters are printed at the
+//! end, the same telemetry `repro --trace-out` exports as JSONL.
+//!
 //! ```sh
 //! cargo run --release --example fault_campaign [none|flaky-host|thermal|dead-module|chaos] [seed]
 //! ```
@@ -12,6 +16,7 @@
 use rh_core::{module_id, CampaignRunner, Characterizer, ModuleTask, RetryPolicy, Scale};
 use rh_softmc::FaultPlan;
 use rowhammer_repro::prelude::*;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -20,6 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = FaultPlan::preset(&scenario, seed)
         .ok_or_else(|| format!("unknown fault scenario '{scenario}'"))?;
     println!("campaign under '{scenario}' faults (seed {seed})…\n");
+
+    // Observe the whole campaign; the recorder collects counters from
+    // every layer plus the retry/quarantine event stream.
+    let recorder = Arc::new(rh_obs::Recorder::new());
+    rh_obs::install(recorder.clone());
 
     // Eight modules: two per manufacturer. Each task rebuilds its bench
     // from scratch on retry, re-deriving the fault stream from the
@@ -64,5 +74,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("quarantined modules would be re-tested after a rig inspection;");
         println!("the healthy results above are bit-identical to a fault-free run.");
     }
+
+    rh_obs::uninstall();
+    println!("\nobservability (what `repro --trace-out` would export):");
+    for (name, value) in recorder.counters() {
+        println!("  {name:<28} {value}");
+    }
+    let retries = recorder.events_named("campaign.retry");
+    let quarantines = recorder.events_named("campaign.quarantine");
+    println!("  trace: {retries} retry event(s), {quarantines} quarantine event(s)");
     Ok(())
 }

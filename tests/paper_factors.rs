@@ -98,8 +98,8 @@ fn subarrays_more_similar_within_than_across_modules() {
         per_module.push(spatial::subarray_hcfirst(&mut ch).unwrap());
     }
     let sim = spatial::subarray_similarity(&per_module);
-    let same = rh_stats::median(&sim.same_module);
-    let cross = rh_stats::median(&sim.cross_module);
+    let same = rh_stats::median(&sim.same_module).expect("same-module pairs collected");
+    let cross = rh_stats::median(&sim.cross_module).expect("cross-module pairs collected");
     assert!(
         same >= cross - 0.05,
         "same-module median BD_norm {same:.3} below cross-module {cross:.3}"
