@@ -4,9 +4,11 @@
 //! repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR]
 //!       [--fault-scenario NAME|FILE.json] [--fault-seed N] [--max-attempts N]
 //!       [--checkpoint PREFIX] [--resume]
+//!       [--max-workers N] [--deadline-ms N] [--fail-fast]
 //!       [--trace-out FILE.jsonl] [--metrics-out FILE.json] <target>...
-//! repro all       # everything, in paper order
-//! repro --list    # available targets
+//! repro all           # everything, in paper order
+//! repro --list        # available targets
+//! repro --soak N      # chaos-soak: N randomized fault campaigns
 //! ```
 //!
 //! `--out DIR` additionally writes `<target>.txt` and `<target>.json`
@@ -20,25 +22,40 @@
 //!
 //! `--fault-scenario` arms deterministic fault injection on every
 //! module of campaign-backed targets: a preset name (`none`,
-//! `flaky-host`, `thermal`, `dead-module`, `chaos`) or a path to a
-//! serialized `FaultPlan` JSON. `--checkpoint PREFIX` persists
-//! per-target campaign state to `PREFIX-<target>.json`; rerunning with
-//! `--resume` skips already-completed modules, while without it any
-//! stale checkpoint files are removed first.
+//! `flaky-host`, `thermal`, `dead-module`, `hung-module`, `chaos`) or a
+//! path to a serialized `FaultPlan` JSON. `--checkpoint PREFIX`
+//! persists per-target campaign state to `PREFIX-<target>.json`;
+//! rerunning with `--resume` skips already-completed modules, while
+//! without it any stale checkpoint files are removed first.
+//!
+//! `--max-workers` bounds the campaign worker pool (default: one per
+//! core); `--deadline-ms` arms the watchdog that quarantines modules
+//! overrunning their wall-clock budget; `--fail-fast` cancels the rest
+//! of a campaign on its first quarantine or timeout.
+//!
+//! SIGINT/SIGTERM cancel the run cooperatively: in-flight modules
+//! unwind at their next command boundary, the checkpoint and any
+//! observability trace are flushed, and a rerun with `--resume`
+//! continues exactly the unfinished modules. The exit code is nonzero
+//! whenever any campaign reports quarantined, timed-out, or cancelled
+//! modules.
 
-use rh_bench::{run_target, targets, ObsSetup, RunConfig};
+use rh_bench::{run_soak, run_target, targets, ObsSetup, RunConfig};
 use rh_core::Scale;
 use rh_softmc::FaultPlan;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale smoke|default|paper] [--seed N] [--modules N] [--json] [--out DIR]\n\
          \x20            [--fault-scenario NAME|FILE.json] [--fault-seed N] [--max-attempts N]\n\
          \x20            [--checkpoint PREFIX] [--resume]\n\
-         \x20            [--trace-out FILE.jsonl] [--metrics-out FILE.json] <target>...\n\
-         fault scenarios: none | flaky-host | thermal | dead-module | chaos | <plan.json>\n\
+         \x20            [--max-workers N] [--deadline-ms N] [--fail-fast]\n\
+         \x20            [--trace-out FILE.jsonl] [--metrics-out FILE.json] <target>... | --soak N\n\
+         fault scenarios: none | flaky-host | thermal | dead-module | hung-module | chaos | <plan.json>\n\
          targets: {} | defense-matrix | all",
         targets().join(" | ")
     );
@@ -55,6 +72,36 @@ fn load_fault_plan(spec: &str, seed: u64) -> Result<FaultPlan, String> {
     serde_json::from_str(&raw).map_err(|e| format!("fault scenario '{spec}': bad JSON: {e}"))
 }
 
+/// Async-signal-safe interrupt latch: the handler only sets an atomic;
+/// a monitor thread translates it into a cooperative token
+/// cancellation, and the target loop stops dispatching new work.
+mod interrupt {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static FIRED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    extern "C" fn handle(_signum: i32) {
+        FIRED.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let h: extern "C" fn(i32) = handle;
+        // SIGINT = 2, SIGTERM = 15.
+        unsafe {
+            signal(2, h as usize);
+            signal(15, h as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
 fn main() -> ExitCode {
     let mut cfg = RunConfig::default();
     let mut json = false;
@@ -65,6 +112,7 @@ fn main() -> ExitCode {
     let mut resume = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut soak: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -106,6 +154,19 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             "--resume" => resume = true,
+            "--max-workers" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.max_workers = Some(n),
+                _ => usage(),
+            },
+            "--deadline-ms" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(ms) if ms >= 1 => cfg.deadline_ms = Some(ms),
+                _ => usage(),
+            },
+            "--fail-fast" => cfg.fail_fast = true,
+            "--soak" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => soak = Some(n),
+                _ => usage(),
+            },
             "--trace-out" => match args.next() {
                 Some(p) => trace_out = Some(PathBuf::from(p)),
                 None => usage(),
@@ -125,6 +186,32 @@ fn main() -> ExitCode {
             other => wanted.push(other.to_string()),
         }
     }
+    interrupt::install();
+
+    // Chaos-soak mode: N seed-randomized fault campaigns, each checked
+    // against the supervisor's invariants (see `rh_bench::soak`).
+    if let Some(n) = soak {
+        if !wanted.is_empty() {
+            usage();
+        }
+        let dir = out_dir.unwrap_or_else(std::env::temp_dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("repro --soak: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let obs = ObsSetup::new(trace_out, metrics_out);
+        let base = cfg.seed;
+        let report = run_soak(base..base + n, &dir, |line| println!("{line}"));
+        println!("{}", report.summary_line());
+        let mut code =
+            if report.all_passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        if let Err(e) = obs.finish() {
+            eprintln!("repro: failed to write trace/metrics: {e}");
+            code = ExitCode::FAILURE;
+        }
+        return code;
+    }
+
     if wanted.is_empty() {
         usage();
     }
@@ -155,11 +242,29 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Translate the signal latch into a cooperative cancellation of the
+    // operator token: in-flight campaign modules unwind at their next
+    // command boundary and checkpoint as cancelled-free state.
+    {
+        let token = cfg.cancel.clone();
+        std::thread::spawn(move || loop {
+            if interrupt::FIRED.load(Ordering::SeqCst) {
+                token.cancel();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+
     let obs = ObsSetup::new(trace_out, metrics_out);
     let mut code = ExitCode::SUCCESS;
     for t in &wanted {
-        match run_target(t, &cfg) {
-            Ok(out) => {
+        // Contain panics so an aborted target still flushes the trace,
+        // metrics, and any checkpoints written so far.
+        let ran = catch_unwind(AssertUnwindSafe(|| run_target(t, &cfg)));
+        match ran {
+            Ok(Ok(out)) => {
                 if let Some(dir) = &out_dir {
                     if let Err(e) = std::fs::create_dir_all(dir)
                         .and_then(|_| std::fs::write(dir.join(format!("{t}.txt")), &out.text))
@@ -184,12 +289,33 @@ fn main() -> ExitCode {
                     println!("==== {} ====", out.target);
                     println!("{}", out.text);
                 }
+                // Exit-code hygiene: a "successful" run with
+                // quarantined, timed-out, or cancelled modules is not a
+                // clean reproduction.
+                if let Some(report) = &out.report {
+                    if !report.is_clean() {
+                        eprintln!("repro {t}: campaign not clean ({})", report.summary_line());
+                        code = ExitCode::FAILURE;
+                    }
+                }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 eprintln!("repro {t}: {e}");
                 code = ExitCode::FAILURE;
                 break;
             }
+            Err(_panic) => {
+                eprintln!("repro {t}: panicked; flushing trace and exiting");
+                code = ExitCode::FAILURE;
+                break;
+            }
+        }
+        if interrupt::FIRED.load(Ordering::SeqCst) {
+            eprintln!(
+                "repro: interrupted — checkpoints flushed; rerun with --resume to continue"
+            );
+            code = ExitCode::FAILURE;
+            break;
         }
     }
     // Export even a failed run's partial trace — that's the run most

@@ -7,5 +7,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod runners;
+pub mod soak;
 
 pub use runners::{run_defense_matrix, run_target, targets, ObsSetup, RunConfig, RunOutput};
+pub use soak::{run_soak, soak_one, SoakReport, SoakScenario, SoakStats};

@@ -10,11 +10,13 @@ use rh_defense::{
     blockhammer_area_pct, cooling, cost, ecc, graphene_area_pct, profiling, retire, scheduler,
     sim::DefenseSim, BlockHammer, Graphene, Para, TargetRowRefresh, ThresholdConfig, Twice,
 };
+use rh_core::ExecutorConfig;
 use rh_dram::{ddr4_modules_of, BankId, Manufacturer, RowAddr};
-use rh_softmc::{FaultPlan, Program, TestBench};
+use rh_softmc::{CancelToken, FaultPlan, Program, TestBench};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Configuration of a reproduction run.
 #[derive(Debug, Clone)]
@@ -35,6 +37,19 @@ pub struct RunConfig {
     /// Checkpoint path prefix: each campaign target persists partial
     /// results to `<prefix>-<target>.json` and resumes from it.
     pub checkpoint: Option<PathBuf>,
+    /// Worker-pool width of campaign-backed targets (`None` = one
+    /// worker per available core).
+    pub max_workers: Option<usize>,
+    /// Per-module wall-clock deadline in milliseconds; overrunning
+    /// modules are marked `TimedOut` by the watchdog (`None` = no
+    /// deadline).
+    pub deadline_ms: Option<u64>,
+    /// Cancel the rest of a campaign on its first quarantine/timeout.
+    pub fail_fast: bool,
+    /// Operator cancellation token: cancelling it (e.g. from a SIGINT
+    /// handler) makes every campaign-backed target checkpoint and
+    /// unwind at the next command boundary.
+    pub cancel: CancelToken,
 }
 
 impl Default for RunConfig {
@@ -46,6 +61,10 @@ impl Default for RunConfig {
             faults: None,
             retry: RetryPolicy::default(),
             checkpoint: None,
+            max_workers: None,
+            deadline_ms: None,
+            fail_fast: false,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -59,6 +78,10 @@ pub struct RunOutput {
     pub text: String,
     /// Raw machine-readable results.
     pub data: Value,
+    /// The resilience report of campaign-backed targets (`None` for
+    /// static or single-module targets). `repro` keys its exit code on
+    /// this: quarantined, timed-out, or cancelled modules are failures.
+    pub report: Option<CampaignReport>,
 }
 
 /// Observability wiring of one reproduction invocation: when at least
@@ -151,12 +174,15 @@ fn characterizer(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> Result<Cha
 
 /// Builds a fresh, fault-armed characterizer for one campaign attempt.
 /// Each retry re-derives the fault stream from the attempt number, so a
-/// transient fault does not replay identically on every rebuild.
+/// transient fault does not replay identically on every rebuild. The
+/// per-task cancel token is installed *before* the (expensive) build so
+/// even module bring-up unwinds promptly on cancellation.
 fn characterizer_armed(
     mfr: Manufacturer,
     cfg: &RunConfig,
     index: usize,
     attempt: u32,
+    cancel: &CancelToken,
 ) -> Result<Characterizer, CharError> {
     let modules = ddr4_modules_of(mfr);
     let module = &modules[index % modules.len()];
@@ -165,6 +191,7 @@ fn characterizer_armed(
         mfr,
         module.seed() ^ cfg.seed.rotate_left(17),
     );
+    bench.set_cancel_token(cancel.clone());
     if let Some(plan) = &cfg.faults {
         bench.install_faults(&plan.for_attempt(attempt));
     }
@@ -177,7 +204,18 @@ fn campaign_module_id(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> Strin
 }
 
 fn campaign_runner(cfg: &RunConfig, target: &str) -> CampaignRunner {
-    let mut runner = CampaignRunner::new().with_policy(cfg.retry.clone());
+    let mut executor = match cfg.max_workers {
+        Some(n) => ExecutorConfig::with_workers(n),
+        None => ExecutorConfig::default(),
+    };
+    if let Some(ms) = cfg.deadline_ms {
+        executor = executor.with_deadline(Duration::from_millis(ms));
+    }
+    let mut runner = CampaignRunner::new()
+        .with_policy(cfg.retry.clone())
+        .with_executor(executor)
+        .with_cancel(cfg.cancel.clone())
+        .with_fail_fast(cfg.fail_fast);
     if let Some(prefix) = &cfg.checkpoint {
         runner = runner
             .with_checkpoint(PathBuf::from(format!("{}-{target}.json", prefix.display())));
@@ -187,10 +225,29 @@ fn campaign_runner(cfg: &RunConfig, target: &str) -> CampaignRunner {
 
 /// Renders the resilience footer appended to campaign-backed targets.
 fn campaign_text(report: &CampaignReport) -> String {
+    use rh_core::ModuleStatus;
     let mut s = format!("campaign: {}\n", report.summary_line());
     for q in report.quarantined_modules() {
-        if let rh_core::ModuleStatus::Quarantined { attempts, error } = &q.status {
-            s.push_str(&format!("  quarantined {} after {attempts} attempt(s): {error}\n", q.id));
+        match &q.status {
+            ModuleStatus::Quarantined { attempts, error } => {
+                s.push_str(&format!(
+                    "  quarantined {} after {attempts} attempt(s): {error}\n",
+                    q.id
+                ));
+            }
+            ModuleStatus::TimedOut { elapsed_ms, deadline_ms } => {
+                s.push_str(&format!(
+                    "  timed out {} after {elapsed_ms} ms (deadline {deadline_ms} ms)\n",
+                    q.id
+                ));
+            }
+            ModuleStatus::Cancelled { attempts } => {
+                s.push_str(&format!(
+                    "  cancelled {} ({attempts} attempt(s) started)\n",
+                    q.id
+                ));
+            }
+            ModuleStatus::Succeeded | ModuleStatus::Recovered { .. } => {}
         }
     }
     s
@@ -219,8 +276,8 @@ where
     let tasks: Vec<ModuleTask<'_>> = Manufacturer::ALL
         .into_iter()
         .map(|m| {
-            ModuleTask::new(campaign_module_id(m, cfg, 0), move |attempt| {
-                characterizer_armed(m, cfg, 0, attempt)
+            ModuleTask::new(campaign_module_id(m, cfg, 0), move |attempt, cancel| {
+                characterizer_armed(m, cfg, 0, attempt, cancel)
             })
         })
         .collect();
@@ -241,12 +298,12 @@ where
 }
 
 fn run_table1() -> RunOutput {
-    RunOutput { target: "table1", text: report::table1(), data: json!({}) }
+    RunOutput { target: "table1", text: report::table1(), data: json!({}), report: None }
 }
 
 fn run_table2() -> RunOutput {
     let data = serde_json::to_value(rh_dram::tested_modules()).unwrap_or(Value::Null);
-    RunOutput { target: "table2", text: report::table2(), data }
+    RunOutput { target: "table2", text: report::table2(), data, report: None }
 }
 
 fn run_temp_ranges(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
@@ -271,7 +328,7 @@ fn run_temp_ranges(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, C
         results.iter().map(|(m, a)| (m.to_string(), a)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target, text, data: campaign_data(data, &campaign) })
+    Ok(RunOutput { target, text, data: campaign_data(data, &campaign), report: Some(campaign) })
 }
 
 fn run_fig4(cfg: &RunConfig) -> Result<RunOutput, CharError> {
@@ -289,7 +346,7 @@ fn run_fig4(cfg: &RunConfig) -> Result<RunOutput, CharError> {
         results.iter().map(|(m, f)| (m.to_string(), f)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target: "fig4", text, data: campaign_data(data, &campaign) })
+    Ok(RunOutput { target: "fig4", text, data: campaign_data(data, &campaign), report: Some(campaign) })
 }
 
 fn run_fig5(cfg: &RunConfig) -> Result<RunOutput, CharError> {
@@ -305,7 +362,7 @@ fn run_fig5(cfg: &RunConfig) -> Result<RunOutput, CharError> {
         results.iter().map(|(m, f)| (m.to_string(), f)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target: "fig5", text, data: campaign_data(data, &campaign) })
+    Ok(RunOutput { target: "fig5", text, data: campaign_data(data, &campaign), report: Some(campaign) })
 }
 
 fn run_fig6() -> Result<RunOutput, CharError> {
@@ -325,7 +382,7 @@ fn run_fig6() -> Result<RunOutput, CharError> {
         text.push_str(&rh_dram::command::render_trace(bench.controller().trace()));
         bench.controller_mut().set_record_trace(false);
     }
-    Ok(RunOutput { target: "fig6", text, data: json!({}) })
+    Ok(RunOutput { target: "fig6", text, data: json!({}), report: None })
 }
 
 fn run_rowactive(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
@@ -352,7 +409,7 @@ fn run_rowactive(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, Cha
         results.iter().map(|(m, a)| (m.to_string(), a)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target, text, data: campaign_data(data, &campaign) })
+    Ok(RunOutput { target, text, data: campaign_data(data, &campaign), report: Some(campaign) })
 }
 
 /// Runs one experiment over `modules_per_mfr` modules of every
@@ -373,8 +430,8 @@ where
         for i in 0..cfg.modules_per_mfr {
             let id = campaign_module_id(mfr, cfg, i);
             meta.push((id.clone(), mfr, i));
-            tasks.push(ModuleTask::new(id, move |attempt| {
-                characterizer_armed(mfr, cfg, i, attempt)
+            tasks.push(ModuleTask::new(id, move |attempt, cancel| {
+                characterizer_armed(mfr, cfg, i, attempt, cancel)
             }));
         }
     }
@@ -414,6 +471,7 @@ fn run_fig11(cfg: &RunConfig) -> Result<RunOutput, CharError> {
         target: "fig11",
         text,
         data: campaign_data(serde_json::to_value(data).unwrap_or(Value::Null), &campaign),
+        report: Some(campaign),
     })
 }
 
@@ -442,6 +500,7 @@ fn run_fig12_13(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, Char
             target,
             text,
             data: campaign_data(serde_json::to_value(d).unwrap_or(Value::Null), &campaign),
+            report: Some(campaign),
         });
     }
     text.push_str("paper CV=0 share: Mfr. B 50.9%, Mfr. C 16.6%; CV=1 share: A 59.8%, C 30.6%, D 29.1%\n");
@@ -450,6 +509,7 @@ fn run_fig12_13(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, Char
         target,
         text,
         data: campaign_data(serde_json::to_value(data).unwrap_or(Value::Null), &campaign),
+        report: Some(campaign),
     })
 }
 
@@ -494,6 +554,7 @@ fn run_fig14_15(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, Char
         target,
         text,
         data: campaign_data(serde_json::to_value(data).unwrap_or(Value::Null), &campaign),
+        report: Some(campaign),
     })
 }
 
@@ -536,7 +597,7 @@ fn run_observations(cfg: &RunConfig) -> Result<RunOutput, CharError> {
     ];
     let text = report::observations(&checks);
     let data = serde_json::to_value(&checks).unwrap_or(Value::Null);
-    Ok(RunOutput { target: "observations", text, data })
+    Ok(RunOutput { target: "observations", text, data, report: None })
 }
 
 fn run_attack(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharError> {
@@ -555,7 +616,7 @@ fn run_attack(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharEr
                 s.informed_row,
                 s.reduction * 100.0
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null), report: None })
         }
         "attack2" => {
             let candidates: Vec<u32> = (0..16).map(|i| 1200 + 6 * i).collect();
@@ -574,7 +635,7 @@ fn run_attack(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharEr
             } else {
                 text.push_str("no suitable narrow-range cell in this sample\n");
             }
-            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null), report: None })
         }
         _ => {
             ch.set_temperature(50.0)?;
@@ -596,7 +657,7 @@ fn run_attack(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharEr
                 s.hc_reduction() * 100.0,
                 s.defeats_baseline_threshold()
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null), report: None })
         }
     }
 }
@@ -625,7 +686,7 @@ fn run_defense(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharE
                 "graphene": {"uniform": graphene_area_pct(uni), "dual": graphene_area_pct(dual)},
                 "blockhammer": {"uniform": blockhammer_area_pct(uni), "dual": blockhammer_area_pct(dual)},
             });
-            Ok(RunOutput { target, text, data })
+            Ok(RunOutput { target, text, data, report: None })
         }
         "defense2" => {
             let mut ch = characterizer(Manufacturer::C, cfg, 0)?;
@@ -644,7 +705,7 @@ fn run_defense(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharE
                 fp.prediction_error() * 100.0,
                 fp.speedup()
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(&fp).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(&fp).unwrap_or(Value::Null), report: None })
         }
         "defense3" => {
             let mut ch = characterizer(Manufacturer::B, cfg, 0)?;
@@ -662,7 +723,7 @@ fn run_defense(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharE
                 plan.retired_fraction(70.0, 5.0) * 100.0,
                 residual
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(&plan).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(&plan).unwrap_or(Value::Null), report: None })
         }
         "defense4" => {
             let mut ch = characterizer(Manufacturer::A, cfg, 0)?;
@@ -674,7 +735,7 @@ fn run_defense(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharE
                  reduction from cooling: {:.0}% (paper: ~25% for Mfr. A; our Mfr. A trend is stronger)\n",
                 s.hot, s.ber_hot, s.cold, s.ber_cold, s.reduction() * 100.0
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null), report: None })
         }
         "defense5" => {
             let mut ch = characterizer(Manufacturer::B, cfg, 0)?;
@@ -689,7 +750,7 @@ fn run_defense(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharE
                 s.ber_capped,
                 s.mitigation_factor()
             );
-            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null) })
+            Ok(RunOutput { target, text, data: serde_json::to_value(s).unwrap_or(Value::Null), report: None })
         }
         _ => {
             // defense6: ECC interleaving on measured flip positions.
@@ -726,7 +787,7 @@ fn run_defense(cfg: &RunConfig, target: &'static str) -> Result<RunOutput, CharE
                 "sequential": {"corrected": seq_ok, "uncorrectable": seq_bad},
                 "spread": {"corrected": spr_ok, "uncorrectable": spr_bad},
             });
-            Ok(RunOutput { target, text, data })
+            Ok(RunOutput { target, text, data, report: None })
         }
     }
 }
@@ -767,6 +828,7 @@ fn run_ddr3(cfg: &RunConfig) -> Result<RunOutput, CharError> {
         target: "ddr3",
         text,
         data: serde_json::to_value(data).unwrap_or(Value::Null),
+        report: None,
     })
 }
 
@@ -799,6 +861,7 @@ fn run_trrespass(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
         target: "trrespass",
         text,
         data: serde_json::to_value(&rows).unwrap_or(Value::Null),
+        report: None,
     })
 }
 
@@ -838,7 +901,7 @@ fn run_chipkill(cfg: &RunConfig) -> Result<RunOutput, CharError> {
         "secded": {"corrected": sec_ok, "uncorrectable": sec_bad},
         "chipkill": {"corrected": ck.corrected, "uncorrectable": ck.uncorrectable},
     });
-    Ok(RunOutput { target: "chipkill", text, data })
+    Ok(RunOutput { target: "chipkill", text, data, report: None })
 }
 
 /// Fault-model ablations: disable one calibrated mechanism at a time
@@ -882,7 +945,7 @@ fn run_ablation(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
         "ber_gain_on": {"calibrated": gain_base, "no_on_slope": gain_no_on},
         "p95_factor": {"calibrated": p95_base, "no_weak_rows": p95_no_weak},
     });
-    Ok(RunOutput { target: "ablation", text, data })
+    Ok(RunOutput { target: "ablation", text, data, report: None })
 }
 
 /// Memory-controller study: row-buffer policies (including the
@@ -969,6 +1032,7 @@ fn run_memctl() -> Result<RunOutput, CharError> {
         target: "memctl",
         text,
         data: serde_json::to_value(&data).unwrap_or(Value::Null),
+        report: None,
     })
 }
 
@@ -994,7 +1058,7 @@ fn run_hcsweep(cfg: &RunConfig) -> Result<RunOutput, CharError> {
         results.iter().map(|(m, d)| (m.to_string(), d)).collect::<Vec<_>>(),
     )
     .unwrap_or(Value::Null);
-    Ok(RunOutput { target: "hcsweep", text, data: campaign_data(data, &campaign) })
+    Ok(RunOutput { target: "hcsweep", text, data: campaign_data(data, &campaign), report: Some(campaign) })
 }
 
 /// Benign-workload overhead of the defense roster (the performance
@@ -1030,6 +1094,7 @@ fn run_overhead() -> RunOutput {
         target: "overhead",
         text,
         data: serde_json::to_value(&data).unwrap_or(Value::Null),
+        report: None,
     }
 }
 
@@ -1063,6 +1128,7 @@ fn run_patterns(cfg: &RunConfig) -> Result<RunOutput, CharError> {
         target: "patterns",
         text,
         data: serde_json::to_value(&data).unwrap_or(Value::Null),
+        report: None,
     })
 }
 
@@ -1106,6 +1172,7 @@ pub fn run_defense_matrix(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
         target: "defense-matrix",
         text,
         data: serde_json::to_value(&rows).unwrap_or(Value::Null),
+        report: None,
     })
 }
 

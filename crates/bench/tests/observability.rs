@@ -32,6 +32,23 @@ fn smoke_run_emits_trace_and_metrics() {
     faulty.retry.max_attempts = 2;
     run_target("fig4", &faulty).expect("fig4 under faults still reports");
 
+    // A wedged module on every bench plus a watchdog deadline: the
+    // supervisor times every module out (the hang itself is unblocked
+    // by the slot-token cancellation).
+    let hung = RunConfig {
+        faults: Some(FaultPlan::hung_module(7, 3)),
+        deadline_ms: Some(8_000),
+        max_workers: Some(4),
+        ..cfg.clone()
+    };
+    run_target("fig4", &hung).expect("fig4 under hangs still reports");
+
+    // An operator token cancelled before the run starts: every module
+    // resolves as cancelled without running.
+    let cancelled_cfg = cfg.clone();
+    cancelled_cfg.cancel.cancel();
+    run_target("fig4", &cancelled_cfg).expect("cancelled fig4 still reports");
+
     rh_obs::uninstall();
 
     // Counters from every instrumented layer.
@@ -48,6 +65,9 @@ fn smoke_run_emits_trace_and_metrics() {
         "campaign.succeeded",
         "campaign.retries",
         "campaign.quarantined",
+        "campaign.timeout",
+        "campaign.cancelled",
+        "softmc.fault.hang",
     ] {
         assert!(rec.counter_value(name) > 0, "counter {name} never incremented");
     }
@@ -56,9 +76,14 @@ fn smoke_run_emits_trace_and_metrics() {
     assert!(rec.events_named("campaign.retry") > 0);
     assert!(rec.events_named("campaign.quarantine") > 0);
     assert!(rec.events_named("softmc.fault") > 0);
+    assert!(rec.events_named("campaign.timeout") > 0);
+    assert!(rec.events_named("campaign.cancelled") > 0);
     let spans = rec.span_stats();
     assert!(spans.get("campaign.module").map_or(0, |s| s.count) > 0);
-    assert!(spans.get("bench.target").map_or(0, |s| s.count) >= 3);
+    assert!(spans.get("bench.target").map_or(0, |s| s.count) >= 5);
+    assert!(spans.get("executor.watchdog").map_or(0, |s| s.count) > 0, "watchdog span recorded");
+    // The executor published its queue-depth gauge at least once.
+    assert!(rec.gauge_value("executor.queue_depth").is_some(), "queue-depth gauge set");
 
     // Every JSONL trace line parses as a JSON object with the
     // envelope keys, and spans carry their duration.
@@ -87,9 +112,29 @@ fn smoke_run_emits_trace_and_metrics() {
         .as_str()
         .is_some_and(|e| e.contains("host link")));
 
+    // A timeout event round-trips its deadline bookkeeping.
+    let timeout = jsonl
+        .lines()
+        .map(|l| serde_json::from_str::<Value>(l).expect("line parses"))
+        .find(|v| v.field("name").as_str() == Some("campaign.timeout"))
+        .expect("timeout event in trace");
+    assert_eq!(timeout.field("fields").field("deadline_ms").as_u64(), Some(8_000));
+    assert!(timeout.field("fields").field("module").as_str().is_some());
+
     // The metrics snapshot parses and reflects the same counters.
     let metrics: Value = serde_json::from_str(&rec.metrics_json()).expect("metrics parse");
     assert!(metrics.field("counters").field("dram.flip").as_u64().is_some_and(|v| v > 0));
+    assert!(metrics
+        .field("gauges")
+        .field("executor.queue_depth")
+        .as_f64()
+        .is_some());
+    assert!(metrics
+        .field("spans")
+        .field("executor.watchdog")
+        .field("count")
+        .as_u64()
+        .is_some_and(|v| v > 0));
     assert!(metrics
         .field("spans")
         .field("campaign.module")

@@ -18,12 +18,19 @@
 //! final report.
 
 use crate::error::CharError;
+use crate::executor::{self, ExecutorConfig};
 use crate::experiments::panic_detail;
 use crate::Characterizer;
+use rh_softmc::CancelToken;
 use serde::{Deserialize, Serialize, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+/// Current checkpoint schema version. Version 1 (PR 1) lacked the
+/// `TimedOut` status; its entries still decode, so we accept any
+/// version ≤ this and reject anything newer with a clear error.
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// Bounded-retry policy with deterministic exponential backoff.
 ///
@@ -108,12 +115,29 @@ pub enum ModuleStatus {
         /// The final error, rendered.
         error: String,
     },
+    /// The watchdog killed the module at its wall-clock deadline; the
+    /// module is quarantined and the outcome is checkpointed (a resumed
+    /// campaign does *not* re-run it — the rig needs inspection first).
+    TimedOut {
+        /// Wall time the module had been running, milliseconds.
+        elapsed_ms: u64,
+        /// The configured deadline, milliseconds.
+        deadline_ms: u64,
+    },
+    /// The campaign was cancelled (operator interrupt or fail-fast)
+    /// before this module finished. Never checkpointed: a resumed
+    /// campaign re-runs exactly these modules.
+    Cancelled {
+        /// Attempts started before the cancellation (0 if the module
+        /// never left the queue).
+        attempts: u32,
+    },
 }
 
 impl ModuleStatus {
     /// Whether the module produced a result.
     pub fn is_success(&self) -> bool {
-        !matches!(self, ModuleStatus::Quarantined { .. })
+        matches!(self, ModuleStatus::Succeeded | ModuleStatus::Recovered { .. })
     }
 }
 
@@ -141,43 +165,63 @@ pub struct CampaignReport {
     pub succeeded: usize,
     /// Modules that succeeded after retries.
     pub recovered: usize,
-    /// Modules that were quarantined.
+    /// Modules that were quarantined by errors or attempt exhaustion.
     pub quarantined: usize,
+    /// Modules the watchdog killed at their deadline.
+    pub timed_out: usize,
+    /// Modules still unfinished when the campaign was cancelled.
+    pub cancelled: usize,
 }
 
 impl CampaignReport {
     fn from_outcomes(outcomes: Vec<ModuleOutcome>) -> Self {
-        let succeeded = outcomes
-            .iter()
-            .filter(|o| matches!(o.status, ModuleStatus::Succeeded))
-            .count();
-        let recovered = outcomes
-            .iter()
-            .filter(|o| matches!(o.status, ModuleStatus::Recovered { .. }))
-            .count();
-        let quarantined = outcomes.len() - succeeded - recovered;
-        Self { outcomes, succeeded, recovered, quarantined }
+        let count = |pred: fn(&ModuleStatus) -> bool| {
+            outcomes.iter().filter(|o| pred(&o.status)).count()
+        };
+        let succeeded = count(|s| matches!(s, ModuleStatus::Succeeded));
+        let recovered = count(|s| matches!(s, ModuleStatus::Recovered { .. }));
+        let quarantined = count(|s| matches!(s, ModuleStatus::Quarantined { .. }));
+        let timed_out = count(|s| matches!(s, ModuleStatus::TimedOut { .. }));
+        let cancelled = count(|s| matches!(s, ModuleStatus::Cancelled { .. }));
+        Self { outcomes, succeeded, recovered, quarantined, timed_out, cancelled }
     }
 
-    /// `true` when no module was quarantined.
+    /// `true` when every module succeeded: nothing quarantined, timed
+    /// out, or cancelled.
     pub fn is_clean(&self) -> bool {
-        self.quarantined == 0
+        self.quarantined == 0 && self.timed_out == 0 && self.cancelled == 0
     }
 
-    /// The quarantined outcomes, for reporting.
+    /// `true` when some module failed for keeps (quarantined or timed
+    /// out). Cancelled modules are not failures — they are simply
+    /// unfinished — but `repro` still exits nonzero for them via
+    /// [`is_clean`](Self::is_clean).
+    pub fn has_failures(&self) -> bool {
+        self.quarantined > 0 || self.timed_out > 0
+    }
+
+    /// The non-success outcomes (quarantined, timed out, or
+    /// cancelled), for reporting.
     pub fn quarantined_modules(&self) -> impl Iterator<Item = &ModuleOutcome> {
         self.outcomes.iter().filter(|o| !o.status.is_success())
     }
 
     /// One-line human summary.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} module(s): {} succeeded, {} recovered after retry, {} quarantined",
             self.outcomes.len(),
             self.succeeded,
             self.recovered,
             self.quarantined
-        )
+        );
+        if self.timed_out > 0 {
+            line.push_str(&format!(", {} timed out", self.timed_out));
+        }
+        if self.cancelled > 0 {
+            line.push_str(&format!(", {} cancelled", self.cancelled));
+        }
+        line
     }
 }
 
@@ -196,20 +240,25 @@ pub struct CampaignOutput<T> {
 /// start from clean bench state and a recovered module's results match
 /// a fault-free run exactly. The builder receives the 1-based attempt
 /// number — fault-armed builders should re-derive their fault stream
-/// from it so a transient fault does not replay identically on retry.
+/// from it so a transient fault does not replay identically on retry —
+/// plus the task's [`CancelToken`], which it should install on the
+/// bench ([`TestBench::set_cancel_token`](rh_softmc::TestBench::set_cancel_token))
+/// *before* constructing the characterizer, so even setup work
+/// (temperature settle, mapping reverse engineering) is cancellable.
 pub struct ModuleTask<'a> {
     /// Stable identifier, also the checkpoint key.
     pub id: String,
     /// Builds the bench + characterizer for one attempt.
     #[allow(clippy::type_complexity)]
-    pub build: Box<dyn Fn(u32) -> Result<Characterizer, CharError> + Send + Sync + 'a>,
+    pub build:
+        Box<dyn Fn(u32, &CancelToken) -> Result<Characterizer, CharError> + Send + Sync + 'a>,
 }
 
 impl<'a> ModuleTask<'a> {
     /// Convenience constructor.
     pub fn new<F>(id: impl Into<String>, build: F) -> Self
     where
-        F: Fn(u32) -> Result<Characterizer, CharError> + Send + Sync + 'a,
+        F: Fn(u32, &CancelToken) -> Result<Characterizer, CharError> + Send + Sync + 'a,
     {
         Self { id: id.into(), build: Box::new(build) }
     }
@@ -234,13 +283,17 @@ struct Checkpoint {
     entries: Vec<CheckpointEntry>,
 }
 
-/// Runs module tasks in parallel with bounded retry, quarantine, and
-/// optional checkpoint/resume. See the [module docs](self).
+/// Runs module tasks on the supervised worker pool with bounded retry,
+/// quarantine, deadlines, cooperative cancellation, and optional
+/// checkpoint/resume. See the [module docs](self).
 #[derive(Debug, Default)]
 pub struct CampaignRunner {
     policy: RetryPolicy,
     checkpoint: Option<PathBuf>,
     wait_backoff: bool,
+    executor: ExecutorConfig,
+    cancel: CancelToken,
+    fail_fast: bool,
 }
 
 impl CampaignRunner {
@@ -270,14 +323,36 @@ impl CampaignRunner {
         self
     }
 
+    /// Replaces the worker-pool / deadline configuration.
+    pub fn with_executor(mut self, executor: ExecutorConfig) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Wires an external cancellation token (e.g. `repro`'s signal
+    /// handler) into the campaign. Internal cancellations (fail-fast,
+    /// watchdog) never trip the caller's token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Cancels all remaining work as soon as any module is quarantined
+    /// or timed out.
+    pub fn with_fail_fast(mut self, fail_fast: bool) -> Self {
+        self.fail_fast = fail_fast;
+        self
+    }
+
     /// The active retry policy.
     pub fn policy(&self) -> &RetryPolicy {
         &self.policy
     }
 
-    /// Runs `f` once per module (retrying per policy) across parallel
-    /// OS threads and collects every outcome. A quarantined module
-    /// consumes its slot in the report but not in `results`.
+    /// Runs `f` once per module (retrying per policy) on the bounded
+    /// worker pool and collects every outcome. A quarantined, timed-out
+    /// or cancelled module consumes its slot in the report but not in
+    /// `results`.
     ///
     /// # Errors
     ///
@@ -292,6 +367,9 @@ impl CampaignRunner {
         T: Send + Serialize + Deserialize,
         F: Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
     {
+        if let Some(path) = &self.checkpoint {
+            clean_stale_tmp(path);
+        }
         let prior = match &self.checkpoint {
             Some(path) => load_checkpoint(path)?,
             None => Vec::new(),
@@ -301,63 +379,107 @@ impl CampaignRunner {
         }
         let store = Mutex::new(prior);
 
-        let slots: Vec<(ModuleOutcome, Option<Value>)> =
-            std::thread::scope(|s| {
-                let handles: Vec<_> = tasks
-                    .iter()
-                    .map(|task| {
-                        let f = &f;
-                        let store = &store;
-                        let resumed = {
-                            let guard = store.lock().unwrap_or_else(|e| e.into_inner());
-                            guard.iter().find(|e| e.id == task.id).cloned()
-                        };
-                        s.spawn(move || {
-                            if let Some(entry) = resumed {
-                                rh_obs::event(
-                                    "campaign.resume_skip",
-                                    &[("module", entry.id.as_str().into())],
-                                );
-                                return (entry.outcome, entry.result);
-                            }
-                            let (outcome, value) = self.run_one(task, f);
-                            if self.checkpoint.is_some() {
-                                let mut guard =
-                                    store.lock().unwrap_or_else(|e| e.into_inner());
-                                guard.push(CheckpointEntry {
-                                    id: outcome.id.clone(),
-                                    outcome: outcome.clone(),
-                                    result: value.clone(),
-                                });
-                                if let Some(path) = &self.checkpoint {
-                                    // Persist eagerly; a failed write only
-                                    // degrades resumability, so don't kill
-                                    // the in-flight campaign over it.
-                                    let saved = save_checkpoint(path, &guard).is_ok();
-                                    rh_obs::event(
-                                        "campaign.checkpoint.saved",
-                                        &[
-                                            ("entries", guard.len().into()),
-                                            ("ok", saved.into()),
-                                        ],
-                                    );
-                                }
-                            }
-                            (outcome, value)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(slot) => slot,
-                        Err(p) => panic!(
-                            "campaign worker infrastructure failure: {}",
-                            panic_detail(p)
-                        ),
-                    })
-                    .collect()
-            });
+        // Internal campaign token: a child of the caller's, so
+        // fail-fast and watchdog cancellations never poison the token
+        // the operator handed in.
+        let campaign_token = self.cancel.child();
+        let deadline_ms =
+            self.executor.module_deadline.map_or(0, |d| d.as_millis() as u64);
+
+        let slots: Vec<(ModuleOutcome, Option<Value>)> = executor::supervise(
+            &self.executor,
+            &campaign_token,
+            tasks.len(),
+            // Normal path: resume from the checkpoint or run the
+            // bounded-retry loop under the task's own token.
+            |idx, token| {
+                let task = &tasks[idx];
+                let resumed = {
+                    let guard = store.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.iter().find(|e| e.id == task.id).cloned()
+                };
+                if let Some(entry) = resumed {
+                    rh_obs::event(
+                        "campaign.resume_skip",
+                        &[("module", entry.id.as_str().into())],
+                    );
+                    return (entry.outcome, entry.result);
+                }
+                self.run_one(task, &f, token)
+            },
+            // Watchdog path: the module overran its deadline.
+            |idx, elapsed| {
+                let task = &tasks[idx];
+                rh_obs::counter("campaign.timeout", 1);
+                rh_obs::event(
+                    "campaign.timeout",
+                    &[
+                        ("module", task.id.as_str().into()),
+                        ("elapsed_ms", (elapsed.as_millis() as u64).into()),
+                        ("deadline_ms", deadline_ms.into()),
+                    ],
+                );
+                let outcome = ModuleOutcome {
+                    id: task.id.clone(),
+                    status: ModuleStatus::TimedOut {
+                        elapsed_ms: elapsed.as_millis() as u64,
+                        deadline_ms,
+                    },
+                    errors: Vec::new(),
+                    backoffs_ms: Vec::new(),
+                };
+                (outcome, None)
+            },
+            // Cancelled while still queued: never ran at all.
+            |idx| {
+                let task = &tasks[idx];
+                rh_obs::counter("campaign.cancelled", 1);
+                rh_obs::event(
+                    "campaign.cancelled",
+                    &[("module", task.id.as_str().into()), ("ran", false.into())],
+                );
+                let outcome = ModuleOutcome {
+                    id: task.id.clone(),
+                    status: ModuleStatus::Cancelled { attempts: 0 },
+                    errors: Vec::new(),
+                    backoffs_ms: Vec::new(),
+                };
+                (outcome, None)
+            },
+            // Commit hook: runs exactly once per module on the deciding
+            // thread — persist the checkpoint and trip fail-fast.
+            |_idx, (outcome, value): &(ModuleOutcome, Option<Value>)| {
+                // Cancelled modules are deliberately *not* persisted:
+                // `--resume` must re-run exactly the unfinished work.
+                let persistable = !matches!(outcome.status, ModuleStatus::Cancelled { .. });
+                if persistable && self.checkpoint.is_some() {
+                    let mut guard = store.lock().unwrap_or_else(|e| e.into_inner());
+                    if !guard.iter().any(|e| e.id == outcome.id) {
+                        guard.push(CheckpointEntry {
+                            id: outcome.id.clone(),
+                            outcome: outcome.clone(),
+                            result: value.clone(),
+                        });
+                        if let Some(path) = &self.checkpoint {
+                            // Persist eagerly; a failed write only
+                            // degrades resumability, so don't kill
+                            // the in-flight campaign over it.
+                            let saved = save_checkpoint(path, &guard).is_ok();
+                            rh_obs::event(
+                                "campaign.checkpoint.saved",
+                                &[
+                                    ("entries", guard.len().into()),
+                                    ("ok", saved.into()),
+                                ],
+                            );
+                        }
+                    }
+                }
+                if self.fail_fast && !outcome.status.is_success() {
+                    campaign_token.cancel();
+                }
+            },
+        );
 
         let mut outcomes = Vec::with_capacity(slots.len());
         let mut results = Vec::new();
@@ -378,7 +500,12 @@ impl CampaignRunner {
 
     /// The bounded-retry loop for one module. Returns the outcome plus
     /// the serialized result when successful.
-    fn run_one<T, F>(&self, task: &ModuleTask<'_>, f: &F) -> (ModuleOutcome, Option<Value>)
+    fn run_one<T, F>(
+        &self,
+        task: &ModuleTask<'_>,
+        f: &F,
+        token: &CancelToken,
+    ) -> (ModuleOutcome, Option<Value>)
     where
         T: Serialize,
         F: Fn(&mut Characterizer) -> Result<T, CharError>,
@@ -389,11 +516,49 @@ impl CampaignRunner {
         let mut errors = Vec::new();
         let mut backoffs_ms = Vec::new();
         for attempt in 1..=max_attempts {
-            let attempt_result = (task.build)(attempt).and_then(|mut ch| {
+            if token.is_cancelled() {
+                rh_obs::counter("campaign.cancelled", 1);
+                rh_obs::event(
+                    "campaign.cancelled",
+                    &[("module", task.id.as_str().into()), ("ran", true.into())],
+                );
+                span.set("attempts", attempt - 1);
+                span.set("status", "cancelled");
+                let outcome = ModuleOutcome {
+                    id: task.id.clone(),
+                    status: ModuleStatus::Cancelled { attempts: attempt - 1 },
+                    errors,
+                    backoffs_ms,
+                };
+                return (outcome, None);
+            }
+            let attempt_result = (task.build)(attempt, token).and_then(|mut ch| {
                 catch_unwind(AssertUnwindSafe(|| f(&mut ch))).unwrap_or_else(|p| {
                     Err(CharError::WorkerPanicked { detail: panic_detail(p) })
                 })
             });
+            if let Err(e) = &attempt_result {
+                if e.is_cancelled() {
+                    rh_obs::counter("campaign.cancelled", 1);
+                    rh_obs::event(
+                        "campaign.cancelled",
+                        &[
+                            ("module", task.id.as_str().into()),
+                            ("ran", true.into()),
+                            ("op", e.to_string().into()),
+                        ],
+                    );
+                    span.set("attempts", attempt);
+                    span.set("status", "cancelled");
+                    let outcome = ModuleOutcome {
+                        id: task.id.clone(),
+                        status: ModuleStatus::Cancelled { attempts: attempt },
+                        errors,
+                        backoffs_ms,
+                    };
+                    return (outcome, None);
+                }
+            }
             let err = match attempt_result {
                 Ok(t) => {
                     let status = if attempt == 1 {
@@ -464,6 +629,32 @@ impl CampaignRunner {
     }
 }
 
+/// Removes a stale `*.tmp` left behind by a crash between
+/// `save_checkpoint`'s write and rename. The rename is atomic, so the
+/// real checkpoint is either the previous complete save or the new
+/// one — the orphan is always safe to delete.
+fn clean_stale_tmp(path: &Path) {
+    let tmp = path.with_extension("tmp");
+    if tmp.exists() && std::fs::remove_file(&tmp).is_ok() {
+        rh_obs::event(
+            "campaign.checkpoint.stale_tmp_removed",
+            &[("path", tmp.display().to_string().into())],
+        );
+    }
+}
+
+/// Loads a checkpoint and returns its entry count — the "is this file
+/// still usable?" probe shutdown paths and the soak harness use.
+///
+/// # Errors
+///
+/// [`CharError::Checkpoint`] for unreadable, corrupt, or
+/// future-versioned files. A missing file is `Ok(0)` (a campaign that
+/// never saved is trivially resumable).
+pub fn verify_checkpoint(path: &Path) -> Result<usize, CharError> {
+    load_checkpoint(path).map(|entries| entries.len())
+}
+
 fn load_checkpoint(path: &Path) -> Result<Vec<CheckpointEntry>, CharError> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -472,9 +663,30 @@ fn load_checkpoint(path: &Path) -> Result<Vec<CheckpointEntry>, CharError> {
             return Err(CharError::Checkpoint { detail: format!("read {}: {e}", path.display()) })
         }
     };
-    let value = serde_json::from_str(&text).map_err(|e| CharError::Checkpoint {
+    let value: Value = serde_json::from_str(&text).map_err(|e| CharError::Checkpoint {
         detail: format!("parse {}: {e}", path.display()),
     })?;
+    // Check the version *before* decoding the whole structure, so a
+    // checkpoint from a newer schema fails with "written by version 3,
+    // this build reads ≤ 2" instead of an opaque serde error about
+    // whichever field changed.
+    match value.field("version").as_u64() {
+        Some(v) if v > u64::from(CHECKPOINT_VERSION) => {
+            return Err(CharError::Checkpoint {
+                detail: format!(
+                    "{} was written by checkpoint schema version {v}; this build reads \
+                     versions <= {CHECKPOINT_VERSION} — rerun without --resume or upgrade",
+                    path.display()
+                ),
+            });
+        }
+        Some(_) => {}
+        None => {
+            return Err(CharError::Checkpoint {
+                detail: format!("{} has no checkpoint version field", path.display()),
+            });
+        }
+    }
     let cp = Checkpoint::from_json_value(&value).map_err(|e| CharError::Checkpoint {
         detail: format!("decode {}: {e}", path.display()),
     })?;
@@ -482,7 +694,7 @@ fn load_checkpoint(path: &Path) -> Result<Vec<CheckpointEntry>, CharError> {
 }
 
 fn save_checkpoint(path: &Path, entries: &[CheckpointEntry]) -> Result<(), CharError> {
-    let cp = Checkpoint { version: 1, entries: entries.to_vec() };
+    let cp = Checkpoint { version: CHECKPOINT_VERSION, entries: entries.to_vec() };
     let bytes = serde_json::to_vec_pretty(&cp.to_json_value()).map_err(|e| {
         CharError::Checkpoint { detail: format!("serialize checkpoint: {e}") }
     })?;
@@ -504,8 +716,10 @@ mod tests {
     use std::sync::atomic::{AtomicU32, Ordering};
 
     fn smoke_task(seed: u64) -> ModuleTask<'static> {
-        ModuleTask::new(module_id(Manufacturer::D, seed), move |_attempt| {
-            Characterizer::new(TestBench::new(Manufacturer::D, seed), Scale::Smoke)
+        ModuleTask::new(module_id(Manufacturer::D, seed), move |_attempt, cancel| {
+            let mut bench = TestBench::new(Manufacturer::D, seed);
+            bench.set_cancel_token(cancel.clone());
+            Characterizer::new(bench, Scale::Smoke)
         })
     }
 
@@ -666,6 +880,194 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, CharError::Checkpoint { .. }), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_reported_not_ignored() {
+        let dir = std::env::temp_dir().join("rh-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trunc-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Produce a valid checkpoint, then simulate a torn write by
+        // cutting the file in half.
+        let _out: CampaignOutput<u64> = CampaignRunner::new()
+            .with_checkpoint(&path)
+            .run(vec![smoke_task(45)], |ch| Ok(ch.bench().module_seed()))
+            .unwrap();
+        let full = std::fs::read(&path).unwrap();
+        assert!(verify_checkpoint(&path).unwrap() == 1);
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        let err = CampaignRunner::new()
+            .with_checkpoint(&path)
+            .run::<u64, _>(vec![smoke_task(45)], |ch| Ok(ch.bench().module_seed()))
+            .unwrap_err();
+        assert!(matches!(err, CharError::Checkpoint { .. }), "{err}");
+        assert!(verify_checkpoint(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn future_checkpoint_version_is_rejected_with_clear_error() {
+        let dir = std::env::temp_dir().join("rh-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("future-{}.json", std::process::id()));
+        std::fs::write(&path, b"{\"version\": 99, \"entries\": []}").unwrap();
+        let err = CampaignRunner::new()
+            .with_checkpoint(&path)
+            .run::<u64, _>(vec![smoke_task(46)], |ch| Ok(ch.bench().module_seed()))
+            .unwrap_err();
+        match &err {
+            CharError::Checkpoint { detail } => {
+                assert!(detail.contains("version 99"), "{detail}");
+                assert!(detail.contains("--resume"), "{detail}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_tmp_from_crashed_save_is_cleaned_up() {
+        let dir = std::env::temp_dir().join("rh-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("stale-{}.json", std::process::id()));
+        let tmp = path.with_extension("tmp");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&tmp, b"{ torn mid-write").unwrap();
+
+        let out: CampaignOutput<u64> = CampaignRunner::new()
+            .with_checkpoint(&path)
+            .run(vec![smoke_task(47)], |ch| Ok(ch.bench().module_seed()))
+            .unwrap();
+        assert_eq!(out.report.succeeded, 1);
+        assert!(!tmp.exists(), "stale tmp file must be removed at campaign start");
+        assert_eq!(verify_checkpoint(&path).unwrap(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hung_module_times_out_and_campaign_completes() {
+        use std::time::{Duration, Instant};
+        let hang_seed = 50u64;
+        let tasks: Vec<ModuleTask<'static>> = (50..53u64)
+            .map(|seed| {
+                ModuleTask::new(module_id(Manufacturer::D, seed), move |_attempt, cancel| {
+                    let mut bench = TestBench::new(Manufacturer::D, seed);
+                    bench.set_cancel_token(cancel.clone());
+                    if seed == hang_seed {
+                        bench.install_faults(&rh_softmc::FaultPlan::hung_module(1, 2));
+                    }
+                    Characterizer::new(bench, Scale::Smoke)
+                })
+            })
+            .collect();
+        // The deadline must be generous enough for a *healthy* smoke
+        // characterization but far below the "forever" a wedge costs.
+        let start = Instant::now();
+        let out: CampaignOutput<u64> = CampaignRunner::new()
+            .with_executor(
+                ExecutorConfig::with_workers(2).with_deadline(Duration::from_secs(8)),
+            )
+            .run(tasks, |ch| Ok(ch.bench().module_seed()))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "campaign must complete despite the wedged module"
+        );
+        assert_eq!(out.report.timed_out, 1);
+        assert_eq!(out.report.succeeded, 2);
+        assert!(!out.report.is_clean());
+        assert!(out.report.has_failures());
+        let timed_out = out
+            .report
+            .outcomes
+            .iter()
+            .find(|o| o.id == module_id(Manufacturer::D, hang_seed))
+            .unwrap();
+        match &timed_out.status {
+            ModuleStatus::TimedOut { elapsed_ms, deadline_ms } => {
+                assert_eq!(*deadline_ms, 8_000);
+                assert!(*elapsed_ms >= 8_000);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(out.report.summary_line().contains("1 timed out"));
+    }
+
+    #[test]
+    fn timed_out_module_is_checkpointed_but_cancelled_is_not() {
+        use std::time::Duration;
+        let dir = std::env::temp_dir().join("rh-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("resume-mix-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Serial pool with fail-fast: module 60 hangs (→ TimedOut via
+        // watchdog), and the timeout trips fail-fast, so module 61
+        // (still queued) resolves as Cancelled without running.
+        let tasks: Vec<ModuleTask<'static>> = (60..62u64)
+            .map(|seed| {
+                ModuleTask::new(module_id(Manufacturer::D, seed), move |_attempt, token| {
+                    let mut bench = TestBench::new(Manufacturer::D, seed);
+                    bench.set_cancel_token(token.clone());
+                    if seed == 60 {
+                        bench.install_faults(&rh_softmc::FaultPlan::hung_module(1, 2));
+                    }
+                    Characterizer::new(bench, Scale::Smoke)
+                })
+            })
+            .collect();
+        let out: CampaignOutput<u64> = CampaignRunner::new()
+            .with_executor(
+                ExecutorConfig::with_workers(1).with_deadline(Duration::from_millis(150)),
+            )
+            .with_fail_fast(true)
+            .with_checkpoint(&path)
+            .run(tasks, |ch| Ok(ch.bench().module_seed()))
+            .unwrap();
+        assert_eq!(out.report.timed_out, 1);
+        assert_eq!(out.report.cancelled, 1);
+
+        // Only the timed-out module was persisted; the cancelled one
+        // must re-run on resume.
+        assert_eq!(verify_checkpoint(&path).unwrap(), 1);
+        let resumed: CampaignOutput<u64> = CampaignRunner::new()
+            .with_checkpoint(&path)
+            .run(
+                (60..62u64).map(smoke_task).collect(),
+                |ch| Ok(ch.bench().module_seed()),
+            )
+            .unwrap();
+        assert_eq!(resumed.report.timed_out, 1, "timed-out outcome reused from checkpoint");
+        assert_eq!(resumed.report.succeeded, 1, "cancelled module re-ran and succeeded");
+        assert_eq!(resumed.report.cancelled, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fail_fast_cancels_remaining_modules_on_first_quarantine() {
+        // Serial pool, first module dies with a non-transient error;
+        // fail-fast must resolve the remaining queued modules as
+        // Cancelled without running them.
+        let tasks: Vec<ModuleTask<'static>> = (70..74u64).map(smoke_task).collect();
+        let out: CampaignOutput<u64> = CampaignRunner::new()
+            .with_executor(ExecutorConfig::with_workers(1))
+            .with_fail_fast(true)
+            .run(tasks, |ch| {
+                let seed = ch.bench().module_seed();
+                if seed == 70 {
+                    return Err(CharError::Infra(rh_softmc::SoftMcError::Unresponsive {
+                        after_ops: 1,
+                    }));
+                }
+                Ok(seed)
+            })
+            .unwrap();
+        assert_eq!(out.report.quarantined, 1);
+        assert_eq!(out.report.cancelled, 3, "{:?}", out.report);
+        assert!(out.results.is_empty());
     }
 
     #[test]

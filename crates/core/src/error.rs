@@ -45,6 +45,13 @@ pub enum CharError {
         /// is captured instead).
         detail: String,
     },
+    /// The worker was cancelled (campaign shutdown or a watchdog
+    /// deadline) and unwound at a command boundary. Never retried and
+    /// never checkpointed: a resumed campaign re-runs the module.
+    Cancelled {
+        /// The operation that observed the cancellation.
+        op: String,
+    },
 }
 
 impl CharError {
@@ -57,6 +64,14 @@ impl CharError {
             CharError::WorkerPanicked { .. } => false,
             _ => false,
         }
+    }
+
+    /// Whether this error is a cooperative cancellation rather than a
+    /// fault. The campaign runner records such modules as
+    /// [`Cancelled`](crate::ModuleStatus::Cancelled) instead of
+    /// quarantining them.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, CharError::Cancelled { .. })
     }
 }
 
@@ -81,6 +96,9 @@ impl fmt::Display for CharError {
             CharError::Checkpoint { detail } => {
                 write!(f, "campaign checkpoint error: {detail}")
             }
+            CharError::Cancelled { op } => {
+                write!(f, "cancelled during {op}")
+            }
         }
     }
 }
@@ -97,7 +115,13 @@ impl Error for CharError {
 #[doc(hidden)]
 impl From<SoftMcError> for CharError {
     fn from(e: SoftMcError) -> Self {
-        CharError::Infra(e)
+        match e {
+            // Cancellation is a scheduling decision, not an
+            // infrastructure fault — keep its identity so the campaign
+            // can tell the two apart.
+            SoftMcError::Cancelled { op } => CharError::Cancelled { op },
+            other => CharError::Infra(other),
+        }
     }
 }
 
@@ -138,5 +162,12 @@ mod tests {
         assert!(t.is_transient());
         let d = CharError::from(SoftMcError::Unresponsive { after_ops: 1 });
         assert!(!d.is_transient());
+
+        // Cancellation keeps its identity through the conversion.
+        let c = CharError::from(SoftMcError::Cancelled { op: "program loop".into() });
+        assert!(matches!(c, CharError::Cancelled { .. }), "{c:?}");
+        assert!(c.is_cancelled());
+        assert!(!c.is_transient());
+        assert_eq!(c.to_string(), "cancelled during program loop");
     }
 }

@@ -7,6 +7,7 @@ pub mod spatial;
 pub mod temperature;
 
 use crate::error::CharError;
+use crate::executor::{run_bounded, ExecutorConfig};
 use crate::Characterizer;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -21,8 +22,10 @@ pub(crate) fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs `f` over several characterizers in parallel OS threads and
-/// collects every per-module outcome in input order.
+/// Runs `f` over several characterizers on a bounded worker pool
+/// (default [`ExecutorConfig`]: one worker per available core) and
+/// collects every per-module outcome in input order. A 248-module
+/// sweep no longer spawns 248 OS threads.
 ///
 /// No result is ever dropped: a worker that fails (or panics — the
 /// panic is contained and surfaced as
@@ -39,30 +42,24 @@ where
     T: Send,
     F: Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
 {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = modules
-            .into_iter()
-            .map(|mut ch| {
-                let f = &f;
-                s.spawn(move || {
-                    let r = catch_unwind(AssertUnwindSafe(|| f(&mut ch)))
-                        .unwrap_or_else(|p| Err(CharError::WorkerPanicked {
-                            detail: panic_detail(p),
-                        }));
-                    (ch, r)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(pair) => pair,
-                // The worker already converts its own panics; reaching
-                // this arm means the thread died outside catch_unwind,
-                // which leaves no characterizer to hand back.
-                Err(p) => panic!("worker thread infrastructure failure: {}", panic_detail(p)),
-            })
-            .collect()
+    parallel_modules_with(&ExecutorConfig::default(), modules, f)
+}
+
+/// [`parallel_modules`] with an explicit pool configuration (the
+/// deadline, if any, is ignored — unsupervised maps have no watchdog).
+pub fn parallel_modules_with<T, F>(
+    cfg: &ExecutorConfig,
+    modules: Vec<Characterizer>,
+    f: F,
+) -> Vec<(Characterizer, Result<T, CharError>)>
+where
+    T: Send,
+    F: Fn(&mut Characterizer) -> Result<T, CharError> + Sync,
+{
+    run_bounded(cfg, modules, |_idx, mut ch| {
+        let r = catch_unwind(AssertUnwindSafe(|| f(&mut ch)))
+            .unwrap_or_else(|p| Err(CharError::WorkerPanicked { detail: panic_detail(p) }));
+        (ch, r)
     })
 }
 
@@ -131,6 +128,27 @@ mod tests {
         assert_eq!(*out[0].1.as_ref().unwrap(), 100);
         assert!(out[1].1.is_err());
         assert_eq!(*out[2].1.as_ref().unwrap(), 102);
+    }
+
+    #[test]
+    fn concurrency_is_bounded_by_the_pool() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let cfg = ExecutorConfig::with_workers(2);
+        let out = parallel_modules_with(&cfg, smoke_modules(8), |ch| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+            Ok(ch.bench().module_seed())
+        });
+        assert_eq!(out.len(), 8);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "max_workers=2 but {} modules ran concurrently",
+            peak.load(Ordering::SeqCst)
+        );
     }
 
     #[test]

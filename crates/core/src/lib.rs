@@ -28,6 +28,9 @@
 //! * [`campaign`] — resilient multi-module campaigns: bounded retry
 //!   with deterministic backoff, quarantine of sick modules, partial
 //!   results, and JSON checkpoint/resume.
+//! * [`executor`] — the supervised execution layer campaigns run on: a
+//!   bounded work-stealing worker pool with per-module wall-clock
+//!   deadlines (watchdog) and cooperative cancellation.
 //!
 //! # Examples
 //!
@@ -47,6 +50,7 @@
 pub mod campaign;
 pub mod config;
 pub mod error;
+pub mod executor;
 pub mod experiments;
 pub mod mapping_re;
 pub mod metrics;
@@ -55,9 +59,10 @@ pub mod report;
 pub mod wcdp;
 
 pub use campaign::{
-    module_id, CampaignOutput, CampaignReport, CampaignRunner, ModuleOutcome, ModuleStatus,
-    ModuleTask, RetryPolicy,
+    module_id, verify_checkpoint, CampaignOutput, CampaignReport, CampaignRunner,
+    ModuleOutcome, ModuleStatus, ModuleTask, RetryPolicy,
 };
 pub use config::{Scale, TestPlan};
 pub use error::CharError;
+pub use executor::ExecutorConfig;
 pub use metrics::{BerMeasurement, Characterizer};

@@ -270,6 +270,11 @@ impl Characterizer {
         let mut delta: i64 = 128 * 1024;
         let mut best: i64 = HC_FIRST_CAP as i64;
         while delta >= HC_FIRST_ACCURACY as i64 {
+            // A cancelled campaign abandons the search between probes —
+            // the binary search is the longest measurement loop in the
+            // stack, so waiting for its natural end would make
+            // shutdown latency a multiple of the probe time.
+            self.bench.check_cancelled("hc_first search")?;
             let probe = hc.clamp(HC_FIRST_ACCURACY as i64, HC_FIRST_CAP as i64);
             probes += 1;
             if self.flips_at(victim_phys, pattern, probe as u64, t_on, t_off)? {
@@ -297,6 +302,7 @@ impl Characterizer {
         let p = self.wcdp;
         let mut best: Option<u64> = None;
         for _ in 0..self.scale.repetitions() {
+            self.bench.check_cancelled("hc_first repetitions")?;
             if let Some(hc) = self.hc_first(victim_phys, p, None, None)? {
                 best = Some(best.map_or(hc, |b: u64| b.min(hc)));
             }

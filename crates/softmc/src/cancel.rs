@@ -1,0 +1,98 @@
+//! Cooperative cancellation for long-running bench work.
+//!
+//! A [`CancelToken`] is a shared atomic flag checked at command
+//! boundaries: the start of every host operation, every instruction of
+//! a SoftMC program, every temperature settle, and every probe of the
+//! `hc_first` binary search. Cancellation is *cooperative* — nothing is
+//! torn down asynchronously; the worker unwinds with
+//! [`SoftMcError::Cancelled`](crate::SoftMcError::Cancelled) at the
+//! next check, leaving the bench in a consistent state.
+//!
+//! Tokens form a tree: [`CancelToken::child`] derives a token that
+//! trips when either it *or any ancestor* is cancelled. A campaign
+//! holds the root (wired to SIGINT/SIGTERM in `repro`); the executor
+//! hands each module task a child so a watchdog can cancel one
+//! overrunning module without touching its siblings.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, cloneable cancellation flag. Cloning shares the flag;
+/// [`child`](Self::child) derives a new flag linked to this one.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    own: Arc<AtomicBool>,
+    /// Ancestor flags, root first. Checking them is a handful of
+    /// relaxed loads — cheap enough for per-command boundaries.
+    ancestors: Vec<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled root token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Derives a token that is cancelled when either it or any of this
+    /// token's line of ancestors is cancelled. Cancelling the child
+    /// never affects the parent.
+    pub fn child(&self) -> Self {
+        let mut ancestors = self.ancestors.clone();
+        ancestors.push(Arc::clone(&self.own));
+        Self { own: Arc::new(AtomicBool::new(false)), ancestors }
+    }
+
+    /// Requests cancellation of this token and all its descendants.
+    pub fn cancel(&self) {
+        self.own.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether this token or any ancestor has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.own.load(Ordering::Relaxed)
+            || self.ancestors.iter().any(|a| a.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn parent_cancel_trips_children_but_not_vice_versa() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = root.child();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled(), "sibling unaffected");
+        assert!(!root.is_cancelled(), "child cancel never propagates up");
+        root.cancel();
+        assert!(b.is_cancelled(), "root cancel reaches every child");
+    }
+
+    #[test]
+    fn grandchildren_observe_the_root() {
+        let root = CancelToken::new();
+        let grandchild = root.child().child();
+        assert!(!grandchild.is_cancelled());
+        root.cancel();
+        assert!(grandchild.is_cancelled());
+    }
+}

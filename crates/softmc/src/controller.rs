@@ -2,6 +2,7 @@
 //! DRAM module with precise time accounting, and provides a bulk
 //! double-sided-hammer fast path for large sweeps.
 
+use crate::cancel::CancelToken;
 use crate::error::SoftMcError;
 use crate::program::{Instr, Program};
 use rh_dram::{
@@ -67,10 +68,36 @@ impl SoftMcController {
     /// Propagates device errors ([`SoftMcError::Dram`]) such as timing
     /// violations and reads of uninitialized rows.
     pub fn run(&mut self, program: &Program) -> Result<ExecResult, SoftMcError> {
+        self.run_inner(program, None)
+    }
+
+    /// Like [`run`](Self::run), but checks `cancel` at every loop
+    /// iteration and unwinds with [`SoftMcError::Cancelled`] once it
+    /// fires — the "next command boundary" a cancelled hammer loop
+    /// stops at. The device is left at a consistent command boundary;
+    /// only time already spent has been accounted.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftMcError::Cancelled`] on cancellation, plus everything
+    /// [`run`](Self::run) can return.
+    pub fn run_cancellable(
+        &mut self,
+        program: &Program,
+        cancel: &CancelToken,
+    ) -> Result<ExecResult, SoftMcError> {
+        self.run_inner(program, Some(cancel))
+    }
+
+    fn run_inner(
+        &mut self,
+        program: &Program,
+        cancel: Option<&CancelToken>,
+    ) -> Result<ExecResult, SoftMcError> {
         let start = self.module.now();
         let mut at = start;
         let mut result = ExecResult::default();
-        self.run_instrs(program.instrs(), &mut at, &mut result)?;
+        self.run_instrs(program.instrs(), &mut at, &mut result, cancel)?;
         // Advance the device clock past any trailing Wait so the next
         // program starts after this one's final delays.
         if at > self.module.now() {
@@ -87,13 +114,21 @@ impl SoftMcController {
         instrs: &[Instr],
         at: &mut Picos,
         result: &mut ExecResult,
+        cancel: Option<&CancelToken>,
     ) -> Result<(), SoftMcError> {
         for i in instrs {
             match i {
                 Instr::Wait { ps } => *at += ps,
                 Instr::Loop { count, body } => {
                     for _ in 0..*count {
-                        self.run_instrs(body, at, result)?;
+                        if let Some(token) = cancel {
+                            if token.is_cancelled() {
+                                return Err(SoftMcError::Cancelled {
+                                    op: "program loop".to_string(),
+                                });
+                            }
+                        }
+                        self.run_instrs(body, at, result, cancel)?;
                     }
                 }
                 Instr::Act { bank, row } => {
@@ -260,6 +295,31 @@ mod tests {
         assert!(rendered.contains("ACT(b0,r1)"));
         c.set_record_trace(false);
         assert!(c.trace().is_empty());
+    }
+
+    #[test]
+    fn cancelled_token_stops_program_at_loop_boundary() {
+        let mut c = controller();
+        let t = c.module().config().timing;
+        let p = Program::double_sided_hammer(
+            BankId(0),
+            RowAddr(20),
+            RowAddr(22),
+            1_000,
+            t.t_ras,
+            t.t_rp,
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let e = c.run_cancellable(&p, &token).unwrap_err();
+        assert!(matches!(e, SoftMcError::Cancelled { .. }), "{e}");
+
+        // An uncancelled token changes nothing relative to plain run.
+        let fresh = CancelToken::new();
+        let a = c.run_cancellable(&p, &fresh).unwrap();
+        let b = c.run(&p).unwrap();
+        assert_eq!(a.commands, b.commands);
+        assert_eq!(a.duration, b.duration);
     }
 
     #[test]

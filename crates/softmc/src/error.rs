@@ -34,6 +34,13 @@ pub enum SoftMcError {
         /// Bench operations completed before the module went dark.
         after_ops: u64,
     },
+    /// The operation was abandoned because the bench's
+    /// [`CancelToken`](crate::CancelToken) fired. Not a fault of the
+    /// module or the rig — the campaign asked the worker to unwind.
+    Cancelled {
+        /// The bench operation that observed the cancellation.
+        op: String,
+    },
 }
 
 impl SoftMcError {
@@ -60,6 +67,9 @@ impl fmt::Display for SoftMcError {
             }
             SoftMcError::Unresponsive { after_ops } => {
                 write!(f, "module unresponsive after {after_ops} bench operations")
+            }
+            SoftMcError::Cancelled { op } => {
+                write!(f, "cancelled during {op}")
             }
         }
     }
@@ -116,5 +126,9 @@ mod tests {
 
         let unstable = SoftMcError::TemperatureUnstable { target: 85.0, reached: 60.0 };
         assert!(unstable.is_transient());
+
+        let cancelled = SoftMcError::Cancelled { op: "program run".into() };
+        assert_eq!(cancelled.to_string(), "cancelled during program run");
+        assert!(!cancelled.is_transient(), "a cancelled task must not be retried");
     }
 }

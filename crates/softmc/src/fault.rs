@@ -49,6 +49,14 @@ pub struct FaultPlan {
     /// If set, the module stops responding with
     /// [`SoftMcError::Unresponsive`] after this many host operations.
     pub unresponsive_after: Option<u64>,
+    /// If set, the bench *wedges* after this many host operations:
+    /// instead of returning an error, every subsequent operation blocks
+    /// until the bench's [`CancelToken`](crate::CancelToken) fires (a
+    /// watchdog deadline or campaign shutdown), then unwinds with
+    /// [`SoftMcError::Cancelled`]. On a bench with no token installed
+    /// the hang degrades to an immediate [`SoftMcError::Unresponsive`]
+    /// so unsupervised tests cannot deadlock.
+    pub hang_after: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -71,6 +79,7 @@ impl FaultPlan {
             thermo_spike_c: 0.0,
             row_io_fail_prob: 0.0,
             unresponsive_after: None,
+            hang_after: None,
         }
     }
 
@@ -97,6 +106,13 @@ impl FaultPlan {
         Self { unresponsive_after: Some(after_ops), ..Self::none(seed) }
     }
 
+    /// A module whose bench wedges (blocks instead of erroring) after a
+    /// handful of operations — the scenario that requires a watchdog
+    /// deadline to survive.
+    pub fn hung_module(seed: u64, after_ops: u64) -> Self {
+        Self { hang_after: Some(after_ops), ..Self::none(seed) }
+    }
+
     /// Everything at once, at moderate rates.
     pub fn chaos(seed: u64) -> Self {
         Self {
@@ -113,13 +129,14 @@ impl FaultPlan {
     }
 
     /// Looks up a named preset (`none`, `flaky-host`, `thermal`,
-    /// `dead-module`, `chaos`) for CLI use.
+    /// `dead-module`, `hung-module`, `chaos`) for CLI use.
     pub fn preset(name: &str, seed: u64) -> Option<Self> {
         match name {
             "none" => Some(Self::none(seed)),
             "flaky-host" => Some(Self::flaky_host(seed)),
             "thermal" => Some(Self::thermal(seed)),
             "dead-module" => Some(Self::dead_module(seed, 3)),
+            "hung-module" => Some(Self::hung_module(seed, 3)),
             "chaos" => Some(Self::chaos(seed)),
             _ => None,
         }
@@ -145,6 +162,7 @@ impl FaultPlan {
             && self.thermo_spike_prob <= 0.0
             && self.row_io_fail_prob <= 0.0
             && self.unresponsive_after.is_none()
+            && self.hang_after.is_none()
     }
 
     /// Derives the fault stream for one module. The sub-seed depends
@@ -221,6 +239,14 @@ impl FaultInjector {
 
     fn chance(&mut self, p: f64) -> bool {
         p > 0.0 && unit_f64(&mut self.state) < p
+    }
+
+    /// Whether the bench is wedged: the plan's hang budget is exhausted
+    /// and every further operation should block on the cancel token
+    /// instead of completing. Checked *before* the op is counted, so a
+    /// plan with `hang_after: Some(n)` completes exactly `n` ops.
+    pub fn hang_fires(&self) -> bool {
+        self.plan.hang_after.is_some_and(|limit| self.ops >= limit)
     }
 
     /// Called before every host-side operation; returns the fault to
@@ -359,6 +385,18 @@ mod tests {
     }
 
     #[test]
+    fn hung_module_wedges_after_budget() {
+        let plan = FaultPlan::hung_module(5, 2);
+        assert!(!plan.is_inert());
+        let mut inj = plan.injector_for(8);
+        assert!(!inj.hang_fires());
+        for _ in 0..2 {
+            assert!(inj.on_host_op("run").is_ok());
+        }
+        assert!(inj.hang_fires(), "budget exhausted, every further op wedges");
+    }
+
+    #[test]
     fn host_link_bursts_persist() {
         let mut plan = FaultPlan::none(2);
         plan.host_link_fail_prob = 1.0;
@@ -393,7 +431,7 @@ mod tests {
 
     #[test]
     fn presets_resolve_by_name() {
-        for name in ["none", "flaky-host", "thermal", "dead-module", "chaos"] {
+        for name in ["none", "flaky-host", "thermal", "dead-module", "hung-module", "chaos"] {
             assert!(FaultPlan::preset(name, 0).is_some(), "{name}");
         }
         assert!(FaultPlan::preset("bogus", 0).is_none());

@@ -3,6 +3,7 @@
 //! temperature controller, wired together the way the paper's host
 //! machine drives them.
 
+use crate::cancel::CancelToken;
 use crate::controller::SoftMcController;
 use crate::error::SoftMcError;
 use crate::fault::{FaultInjector, FaultPlan};
@@ -26,6 +27,9 @@ pub struct TestBench {
     manufacturer: Manufacturer,
     module_seed: u64,
     faults: Option<FaultInjector>,
+    /// Installed by supervised campaigns; `None` on an unsupervised
+    /// bench (the common case for unit tests and examples).
+    cancel: Option<CancelToken>,
 }
 
 impl TestBench {
@@ -58,6 +62,7 @@ impl TestBench {
             manufacturer,
             module_seed,
             faults: None,
+            cancel: None,
         }
     }
 
@@ -86,7 +91,63 @@ impl TestBench {
         self.faults.as_ref()
     }
 
+    /// Installs a cooperative cancellation token. Every subsequent
+    /// bench operation checks it at its command boundary and unwinds
+    /// with [`SoftMcError::Cancelled`] once it fires. Supervised
+    /// campaigns install a per-task token *before* building the
+    /// characterizer so even setup work is cancellable.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Errors with [`SoftMcError::Cancelled`] if the installed token
+    /// has fired; a no-op on an unsupervised bench. Long measurement
+    /// loops outside this crate (e.g. the `hc_first` binary search)
+    /// call this between probes.
+    pub fn check_cancelled(&self, op: &str) -> Result<(), SoftMcError> {
+        match &self.cancel {
+            Some(t) if t.is_cancelled() => {
+                rh_obs::counter("softmc.cancelled", 1);
+                Err(SoftMcError::Cancelled { op: op.to_string() })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The wedged-bench path: with a token installed, block until it
+    /// fires (the watchdog deadline or a campaign shutdown) and unwind
+    /// as `Cancelled`; without one, degrade to an immediate
+    /// `Unresponsive` so unsupervised callers cannot deadlock.
+    fn hang(&self, op: &str) -> SoftMcError {
+        let after_ops = self.faults.as_ref().map_or(0, |f| f.ops());
+        rh_obs::counter("softmc.fault.hang", 1);
+        if rh_obs::enabled() {
+            rh_obs::event(
+                "softmc.hang",
+                &[("op", op.into()), ("after_ops", after_ops.into())],
+            );
+        }
+        match &self.cancel {
+            Some(token) => {
+                while !token.is_cancelled() {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                SoftMcError::Cancelled { op: op.to_string() }
+            }
+            None => SoftMcError::Unresponsive { after_ops },
+        }
+    }
+
     fn host_op(&mut self, op: &str) -> Result<(), SoftMcError> {
+        self.check_cancelled(op)?;
+        if self.faults.as_ref().is_some_and(FaultInjector::hang_fires) {
+            return Err(self.hang(op));
+        }
         match &mut self.faults {
             Some(f) => {
                 let r = f.on_host_op(op);
@@ -100,6 +161,10 @@ impl TestBench {
     }
 
     fn row_io(&mut self, op: &str) -> Result<(), SoftMcError> {
+        self.check_cancelled(op)?;
+        if self.faults.as_ref().is_some_and(FaultInjector::hang_fires) {
+            return Err(self.hang(op));
+        }
         match &mut self.faults {
             Some(f) => {
                 let r = f.on_row_io(op);
@@ -159,6 +224,7 @@ impl TestBench {
     /// `celsius` (e.g., below ambient), if the settle loop is starved
     /// by a faulty sensor, or if an injected settle failure fires.
     pub fn set_temperature(&mut self, celsius: f64) -> Result<f64, SoftMcError> {
+        self.check_cancelled("temperature settle")?;
         let mut target = celsius;
         if let Some(f) = &mut self.faults {
             if f.settle_fails() {
@@ -191,7 +257,13 @@ impl TestBench {
     /// retried run starts from clean state).
     pub fn run(&mut self, program: &Program) -> Result<crate::ExecResult, SoftMcError> {
         self.host_op("program run")?;
-        self.controller.run(program)
+        match &self.cancel {
+            Some(token) => {
+                let token = token.clone();
+                self.controller.run_cancellable(program, &token)
+            }
+            None => self.controller.run(program),
+        }
     }
 
     /// Writes one row through the host data path.
@@ -370,6 +442,52 @@ mod tests {
             b.read_row(bank, RowAddr(200)).unwrap()
         };
         assert_eq!(run(None), run(Some(crate::FaultPlan::none(5))));
+    }
+
+    #[test]
+    fn cancelled_token_unwinds_bench_ops() {
+        let token = crate::CancelToken::new();
+        let mut b = TestBench::new(Manufacturer::A, 3);
+        b.set_cancel_token(token.clone());
+        b.set_temperature(75.0).unwrap();
+        token.cancel();
+        let e = b.set_temperature(80.0).unwrap_err();
+        assert!(matches!(e, SoftMcError::Cancelled { .. }), "{e}");
+        let e = b
+            .hammer_single_sided(BankId(0), RowAddr(10), 1, None, None)
+            .unwrap_err();
+        assert!(matches!(e, SoftMcError::Cancelled { .. }), "{e}");
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn hang_without_token_degrades_to_unresponsive() {
+        let plan = crate::FaultPlan::hung_module(1, 1);
+        let mut b = TestBench::new(Manufacturer::A, 3).with_faults(&plan);
+        let row_bytes = b.module().row_bytes();
+        b.write_row(BankId(0), RowAddr(10), &vec![0u8; row_bytes]).unwrap();
+        let e = b.read_row(BankId(0), RowAddr(10)).unwrap_err();
+        assert!(matches!(e, SoftMcError::Unresponsive { .. }), "{e}");
+    }
+
+    #[test]
+    fn hang_with_token_blocks_until_cancelled() {
+        let plan = crate::FaultPlan::hung_module(1, 0);
+        let token = crate::CancelToken::new();
+        let mut b = TestBench::new(Manufacturer::A, 3).with_faults(&plan);
+        b.set_cancel_token(token.clone());
+        let canceller = std::thread::spawn({
+            let token = token.clone();
+            move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                token.cancel();
+            }
+        });
+        let start = std::time::Instant::now();
+        let e = b.hammer_single_sided(BankId(0), RowAddr(10), 1, None, None).unwrap_err();
+        assert!(matches!(e, SoftMcError::Cancelled { .. }), "{e}");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(15), "actually wedged");
+        canceller.join().unwrap();
     }
 
     #[test]

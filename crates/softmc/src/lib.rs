@@ -23,6 +23,9 @@
 //!   [`FaultPlan`]s that drop host-link batches, fail or drift
 //!   temperature settles, stick or spike the thermocouple, and kill
 //!   modules mid-campaign — for exercising campaign resilience.
+//! * [`cancel`] — cooperative [`CancelToken`]s checked at command
+//!   boundaries, so supervised campaigns can unwind hammer and
+//!   measurement loops without tearing down a bench mid-operation.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@
 //! ```
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cancel;
 pub mod controller;
 pub mod error;
 pub mod fault;
@@ -52,6 +56,7 @@ pub mod memctl;
 pub mod program;
 pub mod temperature;
 
+pub use cancel::CancelToken;
 pub use controller::{ExecResult, SoftMcController};
 pub use error::SoftMcError;
 pub use fault::{FaultInjector, FaultPlan, SensorFault};

@@ -39,8 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for i in 0..2u64 {
             let module_seed = 1000 + 97 * i + mfr.index() as u64;
             let plan = plan.clone();
-            tasks.push(ModuleTask::new(module_id(mfr, module_seed), move |attempt| {
+            tasks.push(ModuleTask::new(module_id(mfr, module_seed), move |attempt, cancel| {
                 let mut bench = TestBench::new(mfr, module_seed);
+                bench.set_cancel_token(cancel.clone());
                 bench.install_faults(&plan.for_attempt(attempt));
                 Characterizer::new(bench, Scale::Smoke)
             }));
