@@ -6,8 +6,13 @@
 //! structures.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod perf;
 pub mod runners;
 pub mod soak;
 
+pub use perf::{
+    compare_reports, from_json, run_bench, to_json, workload_names, BenchConfig, BenchReport,
+    HistSummary, Regression, WorkloadResult,
+};
 pub use runners::{run_defense_matrix, run_target, targets, ObsSetup, RunConfig, RunOutput};
 pub use soak::{run_soak, soak_one, SoakReport, SoakScenario, SoakStats};

@@ -1,0 +1,626 @@
+//! Performance-trajectory bench harness and regression gate.
+//!
+//! `repro bench` runs a fixed set of canonical workloads (double- and
+//! single-sided hammer sweeps, `hc_first` search, a temperature sweep,
+//! one chaos-soak scenario, and a disabled-observability micro-bench),
+//! each with warmup + repetition + median-of-N timing, and writes a
+//! stable-schema `BENCH_<name>.json`. `--compare <baseline.json>`
+//! checks the new medians against a baseline and exits nonzero when a
+//! workload regresses beyond a noise-calibrated threshold, so the
+//! perf trajectory of the repo is gated the same way correctness is.
+//!
+//! Timed repetitions run with observability *uninstalled* so the gate
+//! measures the product configuration. One extra instrumented rep per
+//! workload (excluded from the wall-clock stats) collects counter
+//! totals and latency-histogram summaries for the report.
+
+use crate::soak::soak_one;
+use rh_core::{Characterizer, Scale, TestPlan};
+use rh_dram::{ddr4_modules_of, Manufacturer, RowAddr};
+use rh_softmc::TestBench;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version stamp of the `BENCH_*.json` schema. Bump when a field
+/// changes meaning; `compare_reports` refuses mismatched schemas.
+pub const BENCH_SCHEMA: u32 = 1;
+
+/// Hammer count used by the hammer-sweep workloads. Smaller than the
+/// paper's 150 K so a rep stays well under a second at `Smoke` scale.
+const BENCH_HAMMERS: u64 = 50_000;
+
+/// Records issued by the `obs_disabled_record` micro-benchmark.
+const DISABLED_RECORDS: u64 = 1_000_000;
+
+/// How to run one canonical workload.
+struct WorkloadSpec {
+    name: &'static str,
+    /// What one unit of work is, for the `units_per_sec` rate.
+    units: &'static str,
+    runner: fn(u64, Scale) -> Result<u64, String>,
+    /// Whether to run the extra instrumented rep. The disabled-overhead
+    /// micro-bench skips it: installing a sink would defeat its point.
+    instrument: bool,
+}
+
+/// Bench configuration, filled from `repro bench` flags.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    pub scale: Scale,
+    pub seed: u64,
+    /// Timed repetitions per workload (median-of-N).
+    pub reps: u32,
+    /// Untimed warmup repetitions per workload.
+    pub warmup: u32,
+    /// Substring filter on workload names; `None` runs everything.
+    pub filter: Option<String>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self { scale: Scale::Smoke, seed: 0, reps: 5, warmup: 1, filter: None }
+    }
+}
+
+/// Summary of one latency histogram from the instrumented rep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistSummary {
+    pub name: String,
+    pub count: u64,
+    pub mean_ns: f64,
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+/// One workload's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    pub name: String,
+    pub units: String,
+    pub warmup_reps: u32,
+    pub timed_reps: u32,
+    /// Wall-clock of every timed rep, in order.
+    pub wall_ms: Vec<f64>,
+    pub median_ms: f64,
+    pub min_ms: f64,
+    pub max_ms: f64,
+    /// (max - min) / median, as a percentage; the noise estimate the
+    /// comparison gate calibrates its threshold against.
+    pub spread_pct: f64,
+    pub units_per_rep: u64,
+    pub units_per_sec: f64,
+    /// Counter totals from the instrumented rep (empty if skipped).
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries from the instrumented rep.
+    pub histograms: Vec<HistSummary>,
+}
+
+/// The whole `BENCH_*.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    pub schema: u32,
+    pub scale: String,
+    pub seed: u64,
+    pub reps: u32,
+    pub warmup: u32,
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// One gate violation found by [`compare_reports`].
+#[derive(Debug, Clone)]
+pub struct Regression {
+    pub workload: String,
+    pub base_median_ms: f64,
+    pub new_median_ms: f64,
+    /// Percent change of the median (positive = slower).
+    pub change_pct: f64,
+    /// The threshold that was exceeded, after noise calibration.
+    pub threshold_pct: f64,
+    pub detail: String,
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Default => "default",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Builds a characterizer on a manufacturer-B DDR4 module, the same
+/// construction the campaign runners use.
+fn bench_characterizer(mfr: Manufacturer, seed: u64, scale: Scale) -> Result<Characterizer, String> {
+    let modules = ddr4_modules_of(mfr);
+    let module = &modules[0];
+    let bench = TestBench::with_config(module.module_config(), mfr, module.seed() ^ seed.rotate_left(17));
+    Characterizer::new(bench, scale).map_err(|e| format!("characterizer: {e}"))
+}
+
+/// Picks up to `n` evenly spaced victims from the scale's test plan.
+fn pick_victims(c: &mut Characterizer, scale: Scale, n: usize) -> Vec<RowAddr> {
+    let rows = c.bench_mut().module().geometry().rows_per_bank;
+    let plan = TestPlan::for_bank(rows, scale);
+    if plan.victims.is_empty() {
+        return Vec::new();
+    }
+    let step = (plan.victims.len() / n).max(1);
+    plan.victims.iter().step_by(step).take(n).map(|&v| RowAddr(v)).collect()
+}
+
+fn run_hammer_double(seed: u64, scale: Scale) -> Result<u64, String> {
+    let mut c = bench_characterizer(Manufacturer::B, seed, scale)?;
+    let victims = pick_victims(&mut c, scale, 6);
+    let pattern = c.wcdp();
+    let mut units = 0u64;
+    for &v in &victims {
+        c.measure_ber(v, pattern, BENCH_HAMMERS, None, None).map_err(|e| format!("{e}"))?;
+        units += 2 * BENCH_HAMMERS;
+    }
+    Ok(units)
+}
+
+fn run_hammer_single(seed: u64, scale: Scale) -> Result<u64, String> {
+    let mut c = bench_characterizer(Manufacturer::B, seed, scale)?;
+    let victims = pick_victims(&mut c, scale, 6);
+    let pattern = c.wcdp();
+    let bank = c.bank();
+    let mut units = 0u64;
+    for &v in &victims {
+        c.write_neighborhood(v, pattern).map_err(|e| format!("{e}"))?;
+        let aggressor = c.logical_of(RowAddr(v.0 + 1));
+        c.bench_mut()
+            .hammer_single_sided(bank, aggressor, BENCH_HAMMERS, None, None)
+            .map_err(|e| format!("{e}"))?;
+        units += BENCH_HAMMERS;
+    }
+    Ok(units)
+}
+
+fn run_hc_first_search(seed: u64, scale: Scale) -> Result<u64, String> {
+    let mut c = bench_characterizer(Manufacturer::B, seed, scale)?;
+    let victims = pick_victims(&mut c, scale, 2);
+    let mut searches = 0u64;
+    for &v in &victims {
+        c.hc_first_default(v).map_err(|e| format!("{e}"))?;
+        searches += 1;
+    }
+    Ok(searches)
+}
+
+fn run_temp_sweep(seed: u64, scale: Scale) -> Result<u64, String> {
+    let mut c = bench_characterizer(Manufacturer::B, seed, scale)?;
+    let victims = pick_victims(&mut c, scale, 1);
+    let v = *victims.first().ok_or("no victims in plan")?;
+    let pattern = c.wcdp();
+    let mut points = 0u64;
+    for celsius in [50.0, 60.0, 70.0, 80.0, 90.0] {
+        c.set_temperature(celsius).map_err(|e| format!("{e}"))?;
+        c.measure_ber(v, pattern, BENCH_HAMMERS / 2, None, None).map_err(|e| format!("{e}"))?;
+        points += 1;
+    }
+    Ok(points)
+}
+
+fn run_soak_workload(seed: u64, _scale: Scale) -> Result<u64, String> {
+    let dir = std::env::temp_dir().join(format!("rh-bench-soak-{}-{seed}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("soak dir: {e}"))?;
+    let stats = soak_one(seed, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    let stats = stats?;
+    Ok((stats.ok + stats.quarantined + stats.timed_out + stats.cancelled) as u64)
+}
+
+/// The disabled-overhead contract: with no sink installed, one
+/// `histogram!` record must cost a single relaxed atomic load. This
+/// workload issues a million of them; CI asserts the per-record cost.
+fn run_obs_disabled_record(_seed: u64, _scale: Scale) -> Result<u64, String> {
+    if rh_obs::enabled() {
+        return Err("observability must be disabled for the overhead micro-bench".into());
+    }
+    for i in 0..DISABLED_RECORDS {
+        rh_obs::histogram!("bench.disabled.overhead_ns", std::hint::black_box(i));
+    }
+    Ok(DISABLED_RECORDS)
+}
+
+const WORKLOADS: &[WorkloadSpec] = &[
+    WorkloadSpec { name: "hammer_double", units: "hammers", runner: run_hammer_double, instrument: true },
+    WorkloadSpec { name: "hammer_single", units: "hammers", runner: run_hammer_single, instrument: true },
+    WorkloadSpec { name: "hc_first_search", units: "searches", runner: run_hc_first_search, instrument: true },
+    WorkloadSpec { name: "temp_sweep", units: "temp_points", runner: run_temp_sweep, instrument: true },
+    WorkloadSpec { name: "soak", units: "modules", runner: run_soak_workload, instrument: true },
+    WorkloadSpec {
+        name: "obs_disabled_record",
+        units: "records",
+        runner: run_obs_disabled_record,
+        instrument: false,
+    },
+];
+
+/// Names of every canonical workload, in run order.
+#[must_use]
+pub fn workload_names() -> Vec<&'static str> {
+    WORKLOADS.iter().map(|w| w.name).collect()
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) { (sorted[mid - 1] + sorted[mid]) / 2.0 } else { sorted[mid] }
+}
+
+/// Runs one workload: warmup, timed reps with observability disabled,
+/// then (optionally) one instrumented rep for counters and histograms.
+fn run_workload(spec: &WorkloadSpec, cfg: &BenchConfig) -> Result<WorkloadResult, String> {
+    // Timed reps measure the product configuration: no sink installed.
+    rh_obs::uninstall();
+
+    for _ in 0..cfg.warmup {
+        (spec.runner)(cfg.seed, cfg.scale)?;
+    }
+
+    let mut wall_ms = Vec::with_capacity(cfg.reps as usize);
+    let mut units_per_rep = 0u64;
+    for _ in 0..cfg.reps {
+        let start = Instant::now();
+        units_per_rep = (spec.runner)(cfg.seed, cfg.scale)?;
+        wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let mut counters = BTreeMap::new();
+    let mut histograms = Vec::new();
+    if spec.instrument {
+        let rec = Arc::new(rh_obs::Recorder::new());
+        rh_obs::install(rec.clone());
+        let result = (spec.runner)(cfg.seed, cfg.scale);
+        rh_obs::uninstall();
+        result?;
+        counters = rec.counters();
+        for snap in rh_obs::hist::snapshot_all() {
+            if snap.count == 0 {
+                continue;
+            }
+            histograms.push(HistSummary {
+                name: snap.name.to_string(),
+                count: snap.count,
+                mean_ns: snap.mean(),
+                p50_ns: snap.p50().unwrap_or(0),
+                p90_ns: snap.p90().unwrap_or(0),
+                p99_ns: snap.p99().unwrap_or(0),
+                max_ns: snap.max,
+            });
+        }
+    }
+
+    let mut sorted = wall_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median_ms = median(&sorted);
+    let min_ms = sorted.first().copied().unwrap_or(0.0);
+    let max_ms = sorted.last().copied().unwrap_or(0.0);
+    let spread_pct = if median_ms > 0.0 { (max_ms - min_ms) / median_ms * 100.0 } else { 0.0 };
+    #[allow(clippy::cast_precision_loss)]
+    let units_per_sec =
+        if median_ms > 0.0 { units_per_rep as f64 / (median_ms / 1e3) } else { 0.0 };
+
+    Ok(WorkloadResult {
+        name: spec.name.to_string(),
+        units: spec.units.to_string(),
+        warmup_reps: cfg.warmup,
+        timed_reps: cfg.reps,
+        wall_ms,
+        median_ms,
+        min_ms,
+        max_ms,
+        spread_pct,
+        units_per_rep,
+        units_per_sec,
+        counters,
+        histograms,
+    })
+}
+
+/// Runs every workload matching the filter. `progress` is called with
+/// a status line before each workload starts.
+///
+/// # Errors
+///
+/// Fails if any workload's runner fails, or if the filter matches
+/// nothing.
+pub fn run_bench(
+    cfg: &BenchConfig,
+    mut progress: impl FnMut(&str),
+) -> Result<BenchReport, String> {
+    let selected: Vec<&WorkloadSpec> = WORKLOADS
+        .iter()
+        .filter(|w| cfg.filter.as_deref().is_none_or(|f| w.name.contains(f)))
+        .collect();
+    if selected.is_empty() {
+        return Err(format!(
+            "no workload matches filter {:?}; known: {}",
+            cfg.filter.as_deref().unwrap_or(""),
+            workload_names().join(", ")
+        ));
+    }
+    let mut workloads = Vec::with_capacity(selected.len());
+    for (i, spec) in selected.iter().enumerate() {
+        progress(&format!(
+            "[{}/{}] {} ({} warmup + {} timed reps)...",
+            i + 1,
+            selected.len(),
+            spec.name,
+            cfg.warmup,
+            cfg.reps
+        ));
+        workloads.push(run_workload(spec, cfg)?);
+    }
+    Ok(BenchReport {
+        schema: BENCH_SCHEMA,
+        scale: scale_name(cfg.scale).to_string(),
+        seed: cfg.seed,
+        reps: cfg.reps,
+        warmup: cfg.warmup,
+        workloads,
+    })
+}
+
+/// Serializes a report to the stable `BENCH_*.json` format.
+///
+/// # Errors
+///
+/// Serialization failure (should not happen for well-formed reports).
+pub fn to_json(report: &BenchReport) -> Result<String, String> {
+    serde_json::to_string_pretty(report).map_err(|e| format!("serialize: {e}"))
+}
+
+/// Parses a `BENCH_*.json` document.
+///
+/// # Errors
+///
+/// Malformed JSON or schema mismatch.
+pub fn from_json(text: &str) -> Result<BenchReport, String> {
+    let report: BenchReport = serde_json::from_str(text).map_err(|e| format!("parse: {e}"))?;
+    if report.schema != BENCH_SCHEMA {
+        return Err(format!(
+            "bench schema mismatch: file has {}, this binary speaks {BENCH_SCHEMA}",
+            report.schema
+        ));
+    }
+    Ok(report)
+}
+
+/// Compares a new report against a baseline and returns every gate
+/// violation. A workload regresses when its new median exceeds the
+/// baseline median by more than the noise-calibrated threshold:
+/// `max(base_threshold_pct, 3 x the larger of the two spreads)`. A
+/// workload present in the baseline but missing from the new report is
+/// also a violation (the gate must not pass by silently dropping
+/// work). Extra workloads in the new report are fine.
+#[must_use]
+pub fn compare_reports(
+    base: &BenchReport,
+    new: &BenchReport,
+    base_threshold_pct: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for b in &base.workloads {
+        let Some(n) = new.workloads.iter().find(|w| w.name == b.name) else {
+            regressions.push(Regression {
+                workload: b.name.clone(),
+                base_median_ms: b.median_ms,
+                new_median_ms: 0.0,
+                change_pct: 0.0,
+                threshold_pct: base_threshold_pct,
+                detail: "workload present in baseline but missing from new report".to_string(),
+            });
+            continue;
+        };
+        if b.median_ms <= 0.0 {
+            continue;
+        }
+        let threshold_pct = base_threshold_pct.max(3.0 * b.spread_pct.max(n.spread_pct));
+        let change_pct = (n.median_ms - b.median_ms) / b.median_ms * 100.0;
+        if change_pct > threshold_pct {
+            regressions.push(Regression {
+                workload: b.name.clone(),
+                base_median_ms: b.median_ms,
+                new_median_ms: n.median_ms,
+                change_pct,
+                threshold_pct,
+                detail: format!(
+                    "median {:.3} ms -> {:.3} ms (+{:.1}%, threshold {:.1}%)",
+                    b.median_ms, n.median_ms, change_pct, threshold_pct
+                ),
+            });
+        }
+    }
+    regressions
+}
+
+/// Human-readable table of one report.
+#[must_use]
+pub fn render_report(report: &BenchReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench: scale={} seed={} reps={} warmup={}",
+        report.scale, report.seed, report.reps, report.warmup
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>12} {:>9} {:>16}",
+        "workload", "median_ms", "min_ms", "spread%", "rate"
+    );
+    for w in &report.workloads {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12.3} {:>12.3} {:>8.1}% {:>10.0} {}/s",
+            w.name, w.median_ms, w.min_ms, w.spread_pct, w.units_per_sec, w.units
+        );
+    }
+    out
+}
+
+/// Human-readable verdict of a comparison.
+#[must_use]
+pub fn render_comparison(
+    base: &BenchReport,
+    new: &BenchReport,
+    regressions: &[Regression],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "compare: baseline scale={} seed={} vs new scale={} seed={}",
+        base.scale, base.seed, new.scale, new.seed
+    );
+    for b in &base.workloads {
+        if let Some(n) = new.workloads.iter().find(|w| w.name == b.name) {
+            if b.median_ms > 0.0 {
+                let change = (n.median_ms - b.median_ms) / b.median_ms * 100.0;
+                let _ = writeln!(
+                    out,
+                    "  {:<22} {:>10.3} -> {:>10.3} ms ({:+.1}%)",
+                    b.name, b.median_ms, n.median_ms, change
+                );
+            }
+        }
+    }
+    if regressions.is_empty() {
+        let _ = writeln!(out, "gate: PASS ({} workloads within threshold)", base.workloads.len());
+    } else {
+        for r in regressions {
+            let _ = writeln!(out, "gate: REGRESSION {}: {}", r.workload, r.detail);
+        }
+        let _ = writeln!(out, "gate: FAIL ({} regression(s))", regressions.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_obs::names;
+
+    fn workload(name: &str, median_ms: f64, spread_pct: f64) -> WorkloadResult {
+        WorkloadResult {
+            name: name.to_string(),
+            units: "units".to_string(),
+            warmup_reps: 1,
+            timed_reps: 3,
+            wall_ms: vec![median_ms; 3],
+            median_ms,
+            min_ms: median_ms,
+            max_ms: median_ms,
+            spread_pct,
+            units_per_rep: 100,
+            units_per_sec: if median_ms > 0.0 { 100.0 / (median_ms / 1e3) } else { 0.0 },
+            counters: BTreeMap::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    fn report(workloads: Vec<WorkloadResult>) -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA,
+            scale: "smoke".to_string(),
+            seed: 0,
+            reps: 3,
+            warmup: 1,
+            workloads,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let base = report(vec![workload("a", 10.0, 2.0), workload("b", 5.0, 1.0)]);
+        assert!(compare_reports(&base, &base, 10.0).is_empty());
+    }
+
+    #[test]
+    fn injected_slowdown_is_flagged() {
+        let base = report(vec![workload("a", 10.0, 2.0)]);
+        let new = report(vec![workload("a", 25.0, 2.0)]);
+        let regs = compare_reports(&base, &new, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].workload, "a");
+        assert!(regs[0].change_pct > 100.0);
+    }
+
+    #[test]
+    fn noisy_workloads_widen_the_threshold() {
+        // 40% spread -> threshold 120%; a 2x slowdown must NOT gate.
+        let base = report(vec![workload("noisy", 10.0, 40.0)]);
+        let new = report(vec![workload("noisy", 20.0, 40.0)]);
+        assert!(compare_reports(&base, &new, 10.0).is_empty());
+        // But a 3x slowdown still does.
+        let worse = report(vec![workload("noisy", 31.0, 40.0)]);
+        assert_eq!(compare_reports(&base, &worse, 10.0).len(), 1);
+    }
+
+    #[test]
+    fn missing_workload_is_a_regression() {
+        let base = report(vec![workload("a", 10.0, 2.0)]);
+        let new = report(vec![]);
+        let regs = compare_reports(&base, &new, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].detail.contains("missing"));
+    }
+
+    #[test]
+    fn speedups_and_extra_workloads_pass() {
+        let base = report(vec![workload("a", 10.0, 2.0)]);
+        let new = report(vec![workload("a", 4.0, 2.0), workload("b", 100.0, 2.0)]);
+        assert!(compare_reports(&base, &new, 10.0).is_empty());
+    }
+
+    #[test]
+    fn zero_median_baselines_are_skipped() {
+        let base = report(vec![workload("a", 0.0, 0.0)]);
+        let new = report(vec![workload("a", 50.0, 2.0)]);
+        assert!(compare_reports(&base, &new, 10.0).is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_and_rejects_schema_drift() {
+        let mut w = workload("a", 10.0, 2.0);
+        w.counters.insert(names::SOFTMC_CMD.to_string(), 42);
+        w.histograms.push(HistSummary {
+            name: names::DRAM_HAMMER_NS.to_string(),
+            count: 7,
+            mean_ns: 120.5,
+            p50_ns: 127,
+            p90_ns: 255,
+            p99_ns: 255,
+            max_ns: 200,
+        });
+        let base = report(vec![w]);
+        let text = to_json(&base).unwrap();
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.workloads[0].counters[names::SOFTMC_CMD], 42);
+        assert_eq!(back.workloads[0].histograms[0].p90_ns, 255);
+
+        let drifted = text.replace("\"schema\": 1", "\"schema\": 99");
+        assert!(from_json(&drifted).unwrap_err().contains("schema mismatch"));
+    }
+
+    #[test]
+    fn median_of_even_and_odd_lengths() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn workload_names_are_unique() {
+        let names = workload_names();
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(names.len(), set.len());
+    }
+}

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 use std::path::PathBuf;
 use std::time::Duration;
+use rh_obs::names;
 
 /// Configuration of a reproduction run.
 #[derive(Debug, Clone)]
@@ -99,10 +100,20 @@ pub struct ObsSetup {
 
 impl ObsSetup {
     /// Installs a recorder if `trace_out` or `metrics_out` is given;
-    /// otherwise observability stays disabled (zero overhead).
+    /// otherwise observability stays disabled (zero overhead). With a
+    /// trace path the recorder *streams* records to the file through a
+    /// `BufWriter` as they arrive, so soak-length traces are bounded
+    /// neither by memory nor lost wholesale on a crash (flushed on
+    /// every snapshot and on drop). If the trace file cannot be
+    /// created the recorder falls back to in-memory recording and the
+    /// export happens at [`finish`](ObsSetup::finish).
     pub fn new(trace_out: Option<PathBuf>, metrics_out: Option<PathBuf>) -> Self {
         let recorder = if trace_out.is_some() || metrics_out.is_some() {
-            let rec = std::sync::Arc::new(rh_obs::Recorder::new());
+            let rec = trace_out
+                .as_deref()
+                .and_then(|p| rh_obs::Recorder::with_trace_file(p).ok())
+                .unwrap_or_default();
+            let rec = std::sync::Arc::new(rec);
             rh_obs::install(rec.clone());
             Some(rec)
         } else {
@@ -1182,7 +1193,7 @@ pub fn run_defense_matrix(_cfg: &RunConfig) -> Result<RunOutput, CharError> {
 ///
 /// Unknown targets are rejected; experiment errors propagate.
 pub fn run_target(target: &str, cfg: &RunConfig) -> Result<RunOutput, CharError> {
-    let mut span = rh_obs::span("bench.target");
+    let mut span = rh_obs::span(names::BENCH_TARGET);
     span.set("target", target);
     match target {
         "table1" => Ok(run_table1()),

@@ -1,0 +1,166 @@
+//! End-to-end tests of the `repro bench` regression gate and the
+//! `repro analyze` trace reporter, driving the real binary via
+//! `CARGO_BIN_EXE_repro`.
+
+use rh_bench::perf;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rh-perf-gate-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tempdir");
+    dir
+}
+
+/// Runs the cheapest workload and writes its report to `out`.
+fn run_bench_to(out: &Path, extra: &[&str]) -> std::process::Output {
+    let mut cmd = repro();
+    cmd.args([
+        "bench",
+        "--filter",
+        "obs_disabled",
+        "--reps",
+        "2",
+        "--warmup",
+        "0",
+        "--out",
+    ])
+    .arg(out)
+    .args(extra);
+    cmd.output().expect("run repro bench")
+}
+
+#[test]
+fn bench_writes_a_valid_report_and_gates_an_injected_slowdown() {
+    let dir = tmpdir("gate");
+    let new_path = dir.join("BENCH_new.json");
+
+    // 1. A plain bench run succeeds and writes a schema-1 report.
+    let out = run_bench_to(&new_path, &[]);
+    assert!(out.status.success(), "bench failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&new_path).expect("read report");
+    let report = perf::from_json(&text).expect("parse report");
+    let w = report
+        .workloads
+        .iter()
+        .find(|w| w.name == "obs_disabled_record")
+        .expect("obs_disabled_record workload in report");
+    assert!(w.median_ms > 0.0, "median must be measured");
+    assert_eq!(w.timed_reps, 2);
+
+    // 2. Inject a slowdown: a baseline 1000x faster than reality must
+    //    make the gate exit nonzero.
+    let mut fast = report.clone();
+    for w in &mut fast.workloads {
+        w.median_ms /= 1000.0;
+        w.min_ms /= 1000.0;
+        w.max_ms /= 1000.0;
+        w.spread_pct = 0.0;
+    }
+    let base_path = dir.join("BENCH_fast.json");
+    std::fs::write(&base_path, perf::to_json(&fast).expect("serialize")).expect("write baseline");
+    let out = run_bench_to(&dir.join("BENCH_new2.json"), &[
+        "--compare",
+        base_path.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        !out.status.success(),
+        "gate must fail against a 1000x faster baseline; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "verdict must name the regression: {stdout}");
+
+    // 3. Against a far slower baseline (with a generous threshold) the
+    //    same bench passes.
+    let mut slow = report.clone();
+    for w in &mut slow.workloads {
+        w.median_ms *= 1000.0;
+        w.min_ms *= 1000.0;
+        w.max_ms *= 1000.0;
+        w.spread_pct = 0.0;
+    }
+    let slow_path = dir.join("BENCH_slow.json");
+    std::fs::write(&slow_path, perf::to_json(&slow).expect("serialize")).expect("write baseline");
+    let out = run_bench_to(&dir.join("BENCH_new3.json"), &[
+        "--compare",
+        slow_path.to_str().expect("utf8 path"),
+        "--threshold",
+        "400",
+    ]);
+    assert!(
+        out.status.success(),
+        "gate must pass against a much slower baseline: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("gate: PASS"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_rejects_unknown_filters() {
+    let out = repro()
+        .args(["bench", "--filter", "no-such-workload", "--reps", "1"])
+        .output()
+        .expect("run repro bench");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no workload matches"));
+}
+
+#[test]
+fn analyze_reconstructs_a_trace_and_emits_folded_stacks() {
+    let dir = tmpdir("analyze");
+    let trace = dir.join("trace.jsonl");
+    // Two nested spans plus an event, in the recorder's line format.
+    // The child ends before (and inside) the parent.
+    std::fs::write(
+        &trace,
+        concat!(
+            "{\"ts_us\":1500,\"kind\":\"event\",\"name\":\"softmc.fault\",\"tid\":0,\"fields\":{}}\n",
+            "{\"ts_us\":1800,\"kind\":\"span\",\"name\":\"campaign.attempt\",\"elapsed_us\":700,\"tid\":0,\"fields\":{}}\n",
+            "{\"ts_us\":2000,\"kind\":\"span\",\"name\":\"campaign.module\",\"elapsed_us\":1000,\"tid\":0,\"fields\":{}}\n",
+        ),
+    )
+    .expect("write trace");
+
+    let folded = dir.join("trace.folded");
+    let out = repro()
+        .args(["analyze"])
+        .arg(&trace)
+        .args(["--folded"])
+        .arg(&folded)
+        .output()
+        .expect("run repro analyze");
+    assert!(out.status.success(), "analyze failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 spans"), "span count in report: {stdout}");
+    assert!(stdout.contains("campaign.module"), "root span named: {stdout}");
+
+    let folded_text = std::fs::read_to_string(&folded).expect("read folded stacks");
+    assert!(
+        folded_text.contains("campaign.module;campaign.attempt 700"),
+        "nested span folded under its parent: {folded_text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_fails_on_spanless_input() {
+    let dir = tmpdir("spanless");
+    let trace = dir.join("events-only.jsonl");
+    std::fs::write(
+        &trace,
+        "{\"ts_us\":10,\"kind\":\"event\",\"name\":\"dram.flip\",\"tid\":0,\"fields\":{}}\n",
+    )
+    .expect("write trace");
+    let out = repro().arg("analyze").arg(&trace).output().expect("run repro analyze");
+    assert!(!out.status.success(), "analyze must exit nonzero on a spanless trace");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no spans"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

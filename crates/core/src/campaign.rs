@@ -26,6 +26,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use rh_obs::names;
 
 /// Current checkpoint schema version. Version 1 (PR 1) lacked the
 /// `TimedOut` status; its entries still decode, so we accept any
@@ -375,7 +376,7 @@ impl CampaignRunner {
             None => Vec::new(),
         };
         if !prior.is_empty() {
-            rh_obs::event("campaign.checkpoint.loaded", &[("entries", prior.len().into())]);
+            rh_obs::event(names::CAMPAIGN_CHECKPOINT_LOADED, &[("entries", prior.len().into())]);
         }
         let store = Mutex::new(prior);
 
@@ -400,7 +401,7 @@ impl CampaignRunner {
                 };
                 if let Some(entry) = resumed {
                     rh_obs::event(
-                        "campaign.resume_skip",
+                        names::CAMPAIGN_RESUME_SKIP,
                         &[("module", entry.id.as_str().into())],
                     );
                     return (entry.outcome, entry.result);
@@ -410,9 +411,9 @@ impl CampaignRunner {
             // Watchdog path: the module overran its deadline.
             |idx, elapsed| {
                 let task = &tasks[idx];
-                rh_obs::counter("campaign.timeout", 1);
+                rh_obs::counter(names::CAMPAIGN_TIMEOUT, 1);
                 rh_obs::event(
-                    "campaign.timeout",
+                    names::CAMPAIGN_TIMEOUT,
                     &[
                         ("module", task.id.as_str().into()),
                         ("elapsed_ms", (elapsed.as_millis() as u64).into()),
@@ -433,9 +434,9 @@ impl CampaignRunner {
             // Cancelled while still queued: never ran at all.
             |idx| {
                 let task = &tasks[idx];
-                rh_obs::counter("campaign.cancelled", 1);
+                rh_obs::counter(names::CAMPAIGN_CANCELLED, 1);
                 rh_obs::event(
-                    "campaign.cancelled",
+                    names::CAMPAIGN_CANCELLED,
                     &[("module", task.id.as_str().into()), ("ran", false.into())],
                 );
                 let outcome = ModuleOutcome {
@@ -466,7 +467,7 @@ impl CampaignRunner {
                             // the in-flight campaign over it.
                             let saved = save_checkpoint(path, &guard).is_ok();
                             rh_obs::event(
-                                "campaign.checkpoint.saved",
+                                names::CAMPAIGN_CHECKPOINT_SAVED,
                                 &[
                                     ("entries", guard.len().into()),
                                     ("ok", saved.into()),
@@ -511,15 +512,16 @@ impl CampaignRunner {
         F: Fn(&mut Characterizer) -> Result<T, CharError>,
     {
         let max_attempts = self.policy.max_attempts.max(1);
-        let mut span = rh_obs::span("campaign.module");
+        let mut span = rh_obs::span(names::CAMPAIGN_MODULE);
+        let _module_timer = rh_obs::timer!(names::CAMPAIGN_MODULE_NS);
         span.set("module", task.id.as_str());
         let mut errors = Vec::new();
         let mut backoffs_ms = Vec::new();
         for attempt in 1..=max_attempts {
             if token.is_cancelled() {
-                rh_obs::counter("campaign.cancelled", 1);
+                rh_obs::counter(names::CAMPAIGN_CANCELLED, 1);
                 rh_obs::event(
-                    "campaign.cancelled",
+                    names::CAMPAIGN_CANCELLED,
                     &[("module", task.id.as_str().into()), ("ran", true.into())],
                 );
                 span.set("attempts", attempt - 1);
@@ -532,16 +534,21 @@ impl CampaignRunner {
                 };
                 return (outcome, None);
             }
-            let attempt_result = (task.build)(attempt, token).and_then(|mut ch| {
-                catch_unwind(AssertUnwindSafe(|| f(&mut ch))).unwrap_or_else(|p| {
-                    Err(CharError::WorkerPanicked { detail: panic_detail(p) })
+            let attempt_result = {
+                let mut attempt_span = rh_obs::span(names::CAMPAIGN_ATTEMPT);
+                attempt_span.set("module", task.id.as_str());
+                attempt_span.set("attempt", attempt);
+                (task.build)(attempt, token).and_then(|mut ch| {
+                    catch_unwind(AssertUnwindSafe(|| f(&mut ch))).unwrap_or_else(|p| {
+                        Err(CharError::WorkerPanicked { detail: panic_detail(p) })
+                    })
                 })
-            });
+            };
             if let Err(e) = &attempt_result {
                 if e.is_cancelled() {
-                    rh_obs::counter("campaign.cancelled", 1);
+                    rh_obs::counter(names::CAMPAIGN_CANCELLED, 1);
                     rh_obs::event(
-                        "campaign.cancelled",
+                        names::CAMPAIGN_CANCELLED,
                         &[
                             ("module", task.id.as_str().into()),
                             ("ran", true.into()),
@@ -562,12 +569,12 @@ impl CampaignRunner {
             let err = match attempt_result {
                 Ok(t) => {
                     let status = if attempt == 1 {
-                        rh_obs::counter("campaign.succeeded", 1);
+                        rh_obs::counter(names::CAMPAIGN_SUCCEEDED, 1);
                         ModuleStatus::Succeeded
                     } else {
-                        rh_obs::counter("campaign.recovered", 1);
+                        rh_obs::counter(names::CAMPAIGN_RECOVERED, 1);
                         rh_obs::event(
-                            "campaign.recovered",
+                            names::CAMPAIGN_RECOVERED,
                             &[("module", task.id.as_str().into()), ("attempts", attempt.into())],
                         );
                         ModuleStatus::Recovered { attempts: attempt }
@@ -586,9 +593,9 @@ impl CampaignRunner {
             };
             errors.push(err.to_string());
             if attempt == max_attempts || !err.is_transient() {
-                rh_obs::counter("campaign.quarantined", 1);
+                rh_obs::counter(names::CAMPAIGN_QUARANTINED, 1);
                 rh_obs::event(
-                    "campaign.quarantine",
+                    names::CAMPAIGN_QUARANTINE_EVENT,
                     &[
                         ("module", task.id.as_str().into()),
                         ("attempts", attempt.into()),
@@ -610,9 +617,9 @@ impl CampaignRunner {
                 return (outcome, None);
             }
             let backoff = self.policy.backoff_ms(&task.id, attempt);
-            rh_obs::counter("campaign.retries", 1);
+            rh_obs::counter(names::CAMPAIGN_RETRIES, 1);
             rh_obs::event(
-                "campaign.retry",
+                names::CAMPAIGN_RETRY_EVENT,
                 &[
                     ("module", task.id.as_str().into()),
                     ("attempt", attempt.into()),
@@ -637,7 +644,7 @@ fn clean_stale_tmp(path: &Path) {
     let tmp = path.with_extension("tmp");
     if tmp.exists() && std::fs::remove_file(&tmp).is_ok() {
         rh_obs::event(
-            "campaign.checkpoint.stale_tmp_removed",
+            names::CAMPAIGN_CHECKPOINT_STALE_TMP,
             &[("path", tmp.display().to_string().into())],
         );
     }

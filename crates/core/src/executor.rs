@@ -31,6 +31,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+use rh_obs::names;
 
 /// Concurrency and deadline policy for a supervised run.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +152,9 @@ where
     let queued = AtomicUsize::new(n);
     let decided = Mutex::new(0usize);
     let all_done = Condvar::new();
+    // Every task is enqueued before the pool starts, so queue wait is
+    // simply pop time minus pool start.
+    let pool_start = Instant::now();
 
     // Decides slot `idx` with `r` if nobody has yet; the winner commits
     // and bumps the rendezvous count.
@@ -180,8 +184,13 @@ where
             let on_cancelled = &on_cancelled;
             let decide = &decide;
             s.spawn(move || while let Some(idx) = pop_task(queues, w) {
+                if rh_obs::enabled() {
+                    let wait_ns =
+                        u64::try_from(pool_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    rh_obs::histogram!(names::EXECUTOR_QUEUE_WAIT_NS, wait_ns);
+                }
                 rh_obs::gauge(
-                    "executor.queue_depth",
+                    names::EXECUTOR_QUEUE_DEPTH,
                     queued.fetch_sub(1, Ordering::Relaxed).saturating_sub(1) as f64,
                 );
                 if cancel.is_cancelled() {
@@ -215,7 +224,7 @@ where
             let decide = &decide;
             let interval = cfg.watchdog_interval.max(Duration::from_millis(1));
             s.spawn(move || {
-                let mut span = rh_obs::span("executor.watchdog");
+                let mut span = rh_obs::span(names::EXECUTOR_WATCHDOG);
                 let mut ticks = 0u64;
                 let mut timeouts = 0u64;
                 while *lock(decided) < n {

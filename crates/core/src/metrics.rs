@@ -10,6 +10,7 @@ use crate::wcdp;
 use rh_dram::{BankId, DataPattern, Picos, RowAddr, RowMapping};
 use rh_softmc::TestBench;
 use serde::{Deserialize, Serialize};
+use rh_obs::names;
 
 /// Hammer count of all BER experiments (150 K hammers = 300 K
 /// activations, §4.2).
@@ -177,7 +178,7 @@ impl Characterizer {
         t_on: Option<Picos>,
         t_off: Option<Picos>,
     ) -> Result<BerMeasurement, CharError> {
-        rh_obs::counter("core.ber_measurements", 1);
+        rh_obs::counter(names::CORE_BER_MEASUREMENTS, 1);
         self.write_neighborhood(victim_phys, pattern)?;
         let left = self.mapping.physical_to_logical(RowAddr(victim_phys.0 - 1));
         let right = self.mapping.physical_to_logical(RowAddr(victim_phys.0 + 1));
@@ -259,9 +260,12 @@ impl Characterizer {
         t_on: Option<Picos>,
         t_off: Option<Picos>,
     ) -> Result<Option<u64>, CharError> {
-        let mut span = rh_obs::span!("core.hc_first", row = victim_phys.0);
+        let mut span = rh_obs::span!(names::CORE_HC_FIRST, row = victim_phys.0);
         let mut probes = 1u64;
-        if !self.flips_at(victim_phys, pattern, HC_FIRST_CAP, t_on, t_off)? {
+        let first_probe = rh_obs::timer!(names::CORE_HC_FIRST_PROBE_NS);
+        let survives = !self.flips_at(victim_phys, pattern, HC_FIRST_CAP, t_on, t_off)?;
+        drop(first_probe);
+        if survives {
             span.set("probes", probes);
             span.set("found", false);
             return Ok(None);
@@ -277,6 +281,7 @@ impl Characterizer {
             self.bench.check_cancelled("hc_first search")?;
             let probe = hc.clamp(HC_FIRST_ACCURACY as i64, HC_FIRST_CAP as i64);
             probes += 1;
+            let _probe_timer = rh_obs::timer!(names::CORE_HC_FIRST_PROBE_NS);
             if self.flips_at(victim_phys, pattern, probe as u64, t_on, t_off)? {
                 best = best.min(probe);
                 hc = probe - delta;

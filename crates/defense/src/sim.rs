@@ -10,6 +10,7 @@ use crate::traits::{Defense, DefenseAction};
 use rh_dram::{BankId, Picos, RowAddr, RowMapping};
 use rh_softmc::{SoftMcError, TestBench};
 use serde::{Deserialize, Serialize};
+use rh_obs::names;
 
 /// The outcome of one attack-vs-defense run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,16 +92,16 @@ impl DefenseSim {
             match a {
                 DefenseAction::RefreshRow(phys) => {
                     self.bench.module_mut().refresh_row_physical(self.bank, phys)?;
-                    rh_obs::counter("defense.refresh", 1);
+                    rh_obs::counter(names::DEFENSE_REFRESH, 1);
                     outcome.refreshes += 1;
                     if phys == victim {
-                        rh_obs::counter("defense.victim_refresh", 1);
+                        rh_obs::counter(names::DEFENSE_VICTIM_REFRESH, 1);
                         outcome.victim_refreshes += 1;
                     }
                 }
                 DefenseAction::Throttle { delay } => {
-                    rh_obs::counter("defense.throttle", 1);
-                    rh_obs::counter("defense.throttle_ps", delay);
+                    rh_obs::counter(names::DEFENSE_THROTTLE, 1);
+                    rh_obs::counter(names::DEFENSE_THROTTLE_PS, delay);
                     *now += delay;
                     outcome.throttle_delay += delay;
                 }

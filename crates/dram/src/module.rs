@@ -11,6 +11,7 @@ use crate::mapping::RowMapping;
 use crate::timing::{Picos, TimingParams};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use rh_obs::names;
 
 /// One bit flip within a row, as reported by a disturbance model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -236,8 +237,8 @@ impl DramModule {
     pub fn issue(&mut self, tc: &TimedCommand) -> Result<Option<[u8; 8]>, DramError> {
         let res = self.issue_inner(tc);
         if let Err(DramError::TimingViolation { parameter, .. }) = &res {
-            rh_obs::counter("dram.timing_violation", 1);
-            rh_obs::event("dram.timing_violation", &[("parameter", (*parameter).into())]);
+            rh_obs::counter(names::DRAM_TIMING_VIOLATION, 1);
+            rh_obs::event(names::DRAM_TIMING_VIOLATION, &[("parameter", (*parameter).into())]);
         }
         res
     }
@@ -315,14 +316,14 @@ impl DramModule {
         let t_rp = self.cfg.timing.t_rp;
         for i in 0..self.banks.len() {
             if let Some(ev) = self.banks[i].flush_pending(t_rp) {
-                rh_obs::counter("dram.hammer.flushed", 1);
+                rh_obs::counter(names::DRAM_HAMMER_FLUSHED, 1);
                 self.deliver_hammer(BankId(i as u32), ev);
             }
         }
     }
 
     fn deliver_hammer(&mut self, bank: BankId, ev: HammerEvent) {
-        rh_obs::counter("dram.hammer.episodes", 1);
+        rh_obs::counter(names::DRAM_HAMMER_EPISODES, 1);
         self.model.on_hammer(bank, ev.row, 1, ev.t_on, ev.t_off);
     }
 
@@ -334,7 +335,7 @@ impl DramModule {
         if let Some(data) = self.storage.get_mut(&(bank.0, phys.0)) {
             let flips = self.model.flips_on_activate(bank, phys, data, now);
             if !flips.is_empty() {
-                rh_obs::counter("dram.flip", flips.len() as u64);
+                rh_obs::counter(names::DRAM_FLIP, flips.len() as u64);
             }
             for f in flips {
                 data[f.byte as usize] ^= 1 << f.bit;
@@ -362,6 +363,7 @@ impl DramModule {
         row: RowAddr,
         data: &[u8],
     ) -> Result<(), DramError> {
+        let _t = rh_obs::timer!(names::DRAM_ROW_WRITE_NS);
         self.check_bank(bank)?;
         self.check_row(row)?;
         if data.len() != self.row_bytes() {
@@ -369,8 +371,8 @@ impl DramModule {
         }
         let phys = self.cfg.mapping.logical_to_physical(row);
         self.storage.insert((bank.0, phys.0), data.to_vec().into_boxed_slice());
-        rh_obs::counter("dram.row.write", 1);
-        rh_obs::gauge("dram.rows_stored", self.storage.len() as f64);
+        rh_obs::counter(names::DRAM_ROW_WRITE, 1);
+        rh_obs::gauge(names::DRAM_ROWS_STORED, self.storage.len() as f64);
         let now = self.now;
         self.model.on_restore(bank, phys, now);
         Ok(())
@@ -385,13 +387,14 @@ impl DramModule {
     /// [`DramError::UninitializedRow`] if the row was never written, or
     /// range errors for bad addresses.
     pub fn read_row_direct(&mut self, bank: BankId, row: RowAddr) -> Result<Vec<u8>, DramError> {
+        let _t = rh_obs::timer!(names::DRAM_ROW_READ_NS);
         self.check_bank(bank)?;
         self.check_row(row)?;
         let phys = self.cfg.mapping.logical_to_physical(row);
         if !self.storage.contains_key(&(bank.0, phys.0)) {
             return Err(DramError::UninitializedRow { bank, row: phys });
         }
-        rh_obs::counter("dram.row.read", 1);
+        rh_obs::counter(names::DRAM_ROW_READ, 1);
         self.sense_and_restore(bank, phys);
         Ok(self.storage[&(bank.0, phys.0)].to_vec())
     }
@@ -429,10 +432,11 @@ impl DramModule {
         t_on: Picos,
         t_off: Picos,
     ) -> Result<(), DramError> {
+        let _t = rh_obs::timer!(names::DRAM_HAMMER_NS);
         self.check_bank(bank)?;
         self.check_row(row)?;
         let phys = self.cfg.mapping.logical_to_physical(row);
-        rh_obs::counter("dram.hammer.episodes", count);
+        rh_obs::counter(names::DRAM_HAMMER_EPISODES, count);
         // An activation also senses-and-restores the aggressor row
         // itself, clearing any disturbance accumulated on it.
         self.sense_and_restore(bank, phys);
@@ -465,12 +469,13 @@ impl DramModule {
         t_on: Picos,
         t_off: Picos,
     ) -> Result<(), DramError> {
+        let _t = rh_obs::timer!(names::DRAM_HAMMER_NS);
         self.check_bank(bank)?;
         self.check_row(left)?;
         self.check_row(right)?;
         let phys_l = self.cfg.mapping.logical_to_physical(left);
         let phys_r = self.cfg.mapping.logical_to_physical(right);
-        rh_obs::counter("dram.hammer.episodes", count.saturating_mul(2));
+        rh_obs::counter(names::DRAM_HAMMER_EPISODES, count.saturating_mul(2));
         // The first episode senses and restores both aggressors, just
         // as the program path's opening ACTs do.
         self.sense_and_restore(bank, phys_l);

@@ -1,0 +1,830 @@
+//! Offline trace analysis: span-tree reconstruction and reporting
+//! over the JSONL traces the [`crate::Recorder`] exports.
+//!
+//! The recorder emits spans **at drop**, so a trace is ordered by span
+//! *end* time and carries no parent pointers. Reconstruction exploits
+//! the nesting discipline of scoped guards: within one thread, a span
+//! that starts no earlier and ends no later than a later-emitted span
+//! is its descendant. Records are replayed in file order keeping a
+//! per-thread stack of completed subtrees; each new span adopts the
+//! trailing subtrees its interval covers. Traces written before the
+//! recorder stamped thread ids (`tid`) collapse onto thread 0, which
+//! is exact for single-threaded phases and merely conservative for
+//! parallel ones.
+//!
+//! Timestamps are truncated to microseconds, so a child's computed
+//! start can precede its parent's by 1 µs; containment checks carry a
+//! ±1 µs tolerance. Spans the tolerance cannot attach become roots
+//! rather than being dropped.
+//!
+//! The analyzer is pure string-in/report-out (the JSON parser is
+//! hand-rolled; `rh-stats` supplies the duration-distribution
+//! rendering), so it works on a trace from any source that follows
+//! the schema in DESIGN.md §7.
+
+use rh_stats::Histogram1d;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (just enough for trace and metrics files).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (f64 is exact for the u64 ranges traces contain).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 if it is a non-negative integral number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document from `src` (trailing whitespace allowed).
+///
+/// # Errors
+///
+/// A human-readable message with a byte offset on malformed input.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = Parser { b: src.as_bytes(), i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| format!("non-utf8 number at byte {start}"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.b.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .map_err(|_| "non-utf8 \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.i += 4;
+                            // Surrogates and other invalid scalars degrade to
+                            // U+FFFD; trace strings never contain them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i - 1)),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary: take the full UTF-8 sequence.
+                    let len = utf8_len(c);
+                    let end = (self.i - 1 + len).min(self.b.len());
+                    let chunk = std::str::from_utf8(&self.b[self.i - 1..end])
+                        .map_err(|_| format!("non-utf8 string at byte {}", self.i - 1))?;
+                    out.push_str(chunk);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree reconstruction
+// ---------------------------------------------------------------------------
+
+/// One reconstructed span with its adopted descendants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Emitting thread (0 for pre-`tid` traces).
+    pub tid: u64,
+    /// Computed start: end timestamp minus elapsed, microseconds.
+    pub start_us: u64,
+    /// End timestamp, microseconds since recorder creation.
+    pub end_us: u64,
+    /// Child spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall time of this span.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Wall time not covered by children (clock truncation can make
+    /// children sum past the parent; self time saturates at 0).
+    #[must_use]
+    pub fn self_us(&self) -> u64 {
+        let child_total: u64 = self.children.iter().map(SpanNode::elapsed_us).sum();
+        self.elapsed_us().saturating_sub(child_total)
+    }
+}
+
+/// Aggregate over every span (or every root) sharing a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameAgg {
+    /// Span name.
+    pub name: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Summed wall time, microseconds.
+    pub total_us: u64,
+    /// Summed self time, microseconds.
+    pub self_us: u64,
+    /// Longest single occurrence, microseconds.
+    pub max_us: u64,
+}
+
+/// Everything extracted from one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Reconstructed span forest, in start order.
+    pub roots: Vec<SpanNode>,
+    /// Total spans in the trace.
+    pub span_count: u64,
+    /// Total events in the trace.
+    pub event_count: u64,
+    /// Event occurrences by name.
+    pub event_counts: BTreeMap<String, u64>,
+    /// Trace extent: latest end minus earliest start, microseconds.
+    pub wall_us: u64,
+    /// Lines that failed to parse and were skipped.
+    pub skipped_lines: u64,
+}
+
+/// Parses a JSONL trace and reconstructs its span forest. Malformed
+/// lines are skipped (and counted), so a trace truncated by a crash
+/// still analyzes.
+///
+/// # Errors
+///
+/// When the input contains no parseable trace records at all.
+pub fn analyze_trace(jsonl: &str) -> Result<Analysis, String> {
+    let mut stacks: BTreeMap<u64, Vec<SpanNode>> = BTreeMap::new();
+    let mut analysis = Analysis {
+        roots: Vec::new(),
+        span_count: 0,
+        event_count: 0,
+        event_counts: BTreeMap::new(),
+        wall_us: 0,
+        skipped_lines: 0,
+    };
+    let mut first_start = u64::MAX;
+    let mut last_end = 0u64;
+    let mut parsed_any = false;
+
+    for line in jsonl.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(rec) = parse_json(line) else {
+            analysis.skipped_lines += 1;
+            continue;
+        };
+        let (Some(ts_us), Some(kind), Some(name)) = (
+            rec.get("ts_us").and_then(Json::as_u64),
+            rec.get("kind").and_then(Json::as_str),
+            rec.get("name").and_then(Json::as_str),
+        ) else {
+            analysis.skipped_lines += 1;
+            continue;
+        };
+        parsed_any = true;
+        let tid = rec.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        match kind {
+            "span" => {
+                let elapsed = rec.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+                let start = ts_us.saturating_sub(elapsed);
+                first_start = first_start.min(start);
+                last_end = last_end.max(ts_us);
+                analysis.span_count += 1;
+                let stack = stacks.entry(tid).or_default();
+                let mut children = Vec::new();
+                while stack.last().is_some_and(|prev| {
+                    prev.start_us + 1 >= start && prev.end_us <= ts_us + 1
+                }) {
+                    if let Some(prev) = stack.pop() {
+                        children.push(prev);
+                    }
+                }
+                children.reverse();
+                stack.push(SpanNode { name: name.to_string(), tid, start_us: start, end_us: ts_us, children });
+            }
+            _ => {
+                first_start = first_start.min(ts_us);
+                last_end = last_end.max(ts_us);
+                analysis.event_count += 1;
+                *analysis.event_counts.entry(name.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    if !parsed_any {
+        return Err("no parseable trace records".to_string());
+    }
+    analysis.roots = stacks.into_values().flatten().collect();
+    analysis.roots.sort_by_key(|r| (r.start_us, r.tid));
+    analysis.wall_us = last_end.saturating_sub(if first_start == u64::MAX { 0 } else { first_start });
+    Ok(analysis)
+}
+
+impl Analysis {
+    /// Per-name aggregates over every span in the forest, sorted by
+    /// self time descending (the "hot spans" ranking).
+    #[must_use]
+    pub fn aggregates(&self) -> Vec<NameAgg> {
+        let mut by_name: BTreeMap<&str, NameAgg> = BTreeMap::new();
+        fn walk<'a>(node: &'a SpanNode, by_name: &mut BTreeMap<&'a str, NameAgg>) {
+            let agg = by_name.entry(&node.name).or_insert_with(|| NameAgg {
+                name: node.name.clone(),
+                count: 0,
+                total_us: 0,
+                self_us: 0,
+                max_us: 0,
+            });
+            agg.count += 1;
+            agg.total_us += node.elapsed_us();
+            agg.self_us += node.self_us();
+            agg.max_us = agg.max_us.max(node.elapsed_us());
+            for c in &node.children {
+                walk(c, by_name);
+            }
+        }
+        for r in &self.roots {
+            walk(r, &mut by_name);
+        }
+        let mut aggs: Vec<NameAgg> = by_name.into_values().collect();
+        aggs.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+        aggs
+    }
+
+    /// Per-name aggregates over the roots only — the campaign's
+    /// top-level phases — sorted by total time descending.
+    #[must_use]
+    pub fn phases(&self) -> Vec<NameAgg> {
+        let mut by_name: BTreeMap<&str, NameAgg> = BTreeMap::new();
+        for r in &self.roots {
+            let agg = by_name.entry(&r.name).or_insert_with(|| NameAgg {
+                name: r.name.clone(),
+                count: 0,
+                total_us: 0,
+                self_us: 0,
+                max_us: 0,
+            });
+            agg.count += 1;
+            agg.total_us += r.elapsed_us();
+            agg.self_us += r.self_us();
+            agg.max_us = agg.max_us.max(r.elapsed_us());
+        }
+        let mut aggs: Vec<NameAgg> = by_name.into_values().collect();
+        aggs.sort_by(|a, b| b.total_us.cmp(&a.total_us).then_with(|| a.name.cmp(&b.name)));
+        aggs
+    }
+
+    /// Folded-stack output (`parent;child;grandchild self_us`), the
+    /// input format of Brendan Gregg's `flamegraph.pl` and of most
+    /// flamegraph viewers. Identical paths are merged.
+    #[must_use]
+    pub fn folded_stacks(&self) -> String {
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        fn walk(node: &SpanNode, prefix: &str, merged: &mut BTreeMap<String, u64>) {
+            let path = if prefix.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{prefix};{}", node.name)
+            };
+            *merged.entry(path.clone()).or_insert(0) += node.self_us();
+            for c in &node.children {
+                walk(c, &path, merged);
+            }
+        }
+        for r in &self.roots {
+            walk(r, "", &mut merged);
+        }
+        let mut out = String::new();
+        for (path, us) in &merged {
+            let _ = writeln!(out, "{path} {us}");
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics sidecar + report rendering
+// ---------------------------------------------------------------------------
+
+/// Extracts the `counters` map from a metrics snapshot JSON (the file
+/// `--metrics-out` writes).
+///
+/// # Errors
+///
+/// On malformed JSON or a missing/ill-typed `counters` member.
+pub fn parse_metrics_counters(json: &str) -> Result<BTreeMap<String, u64>, String> {
+    let doc = parse_json(json)?;
+    let Some(Json::Obj(members)) = doc.get("counters") else {
+        return Err("metrics file has no 'counters' object".to_string());
+    };
+    let mut out = BTreeMap::new();
+    for (k, v) in members {
+        if let Some(n) = v.as_u64() {
+            out.insert(k.clone(), n);
+        }
+    }
+    Ok(out)
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// Renders the human-readable analysis report: phase breakdown, top-k
+/// hot spans (self vs total time), span-duration distribution, event
+/// counts, and — when a metrics snapshot is supplied — counter rates
+/// (hammers/sec, commands/sec, flips/sec, …) over the trace extent.
+#[must_use]
+pub fn render_report(
+    analysis: &Analysis,
+    counters: Option<&BTreeMap<String, u64>>,
+    top: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} spans, {} events, {} roots, wall {}{}",
+        analysis.span_count,
+        analysis.event_count,
+        analysis.roots.len(),
+        fmt_us(analysis.wall_us),
+        if analysis.skipped_lines > 0 {
+            format!(" ({} malformed lines skipped)", analysis.skipped_lines)
+        } else {
+            String::new()
+        }
+    );
+
+    let phases = analysis.phases();
+    if !phases.is_empty() {
+        let _ = writeln!(out, "\nphases (top-level spans):");
+        let _ = writeln!(out, "  {:<28} {:>8} {:>12} {:>12} {:>7}", "name", "count", "total", "max", "%wall");
+        for p in &phases {
+            let pct = if analysis.wall_us > 0 {
+                100.0 * p.total_us as f64 / analysis.wall_us as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12} {:>12} {:>6.1}%",
+                p.name,
+                p.count,
+                fmt_us(p.total_us),
+                fmt_us(p.max_us),
+                pct
+            );
+        }
+    }
+
+    let aggs = analysis.aggregates();
+    if !aggs.is_empty() {
+        let _ = writeln!(out, "\nhot spans (by self time, top {top}):");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+            "name", "count", "self", "total", "max"
+        );
+        for a in aggs.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+                a.name,
+                a.count,
+                fmt_us(a.self_us),
+                fmt_us(a.total_us),
+                fmt_us(a.max_us)
+            );
+        }
+    }
+
+    // Span-duration distribution on a log10 axis; rh-stats owns the
+    // binning so the analyzer and the figure pipeline share one
+    // histogram implementation.
+    let mut durations: Vec<f64> = Vec::new();
+    fn collect(node: &SpanNode, out: &mut Vec<f64>) {
+        out.push((node.elapsed_us() as f64 + 1.0).log10());
+        for c in &node.children {
+            collect(c, out);
+        }
+    }
+    for r in &analysis.roots {
+        collect(r, &mut durations);
+    }
+    if !durations.is_empty() {
+        let bins = 10usize.min(durations.len().max(1));
+        let h = Histogram1d::of(&durations, bins);
+        let peak = h.counts().iter().copied().max().unwrap_or(1).max(1);
+        let _ = writeln!(out, "\nspan durations (log10 bins):");
+        let width = (h.hi() - h.lo()) / h.counts().len() as f64;
+        for (i, &c) in h.counts().iter().enumerate() {
+            let lo_us = 10f64.powf(h.lo() + width * i as f64) - 1.0;
+            let hi_us = 10f64.powf(h.lo() + width * (i + 1) as f64) - 1.0;
+            let bar = "#".repeat(((c as f64 / peak as f64) * 40.0).round() as usize);
+            let _ = writeln!(
+                out,
+                "  [{:>10} .. {:>10}) {:>8} {}",
+                fmt_us(lo_us.max(0.0) as u64),
+                fmt_us(hi_us.max(0.0) as u64),
+                c,
+                bar
+            );
+        }
+    }
+
+    if !analysis.event_counts.is_empty() {
+        let _ = writeln!(out, "\nevents:");
+        let mut events: Vec<(&String, &u64)> = analysis.event_counts.iter().collect();
+        events.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        for (name, count) in events.iter().take(top) {
+            let _ = writeln!(out, "  {name:<40} {count:>10}");
+        }
+    }
+
+    if let Some(counters) = counters {
+        let secs = analysis.wall_us as f64 / 1e6;
+        let _ = writeln!(out, "\ncounter rates over {:.2}s:", secs);
+        for (name, total) in counters {
+            let rate = if secs > 0.0 { *total as f64 / secs } else { 0.0 };
+            let _ = writeln!(out, "  {name:<40} {total:>12} {rate:>14.0}/s");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_roundtrips_trace_shapes() {
+        let v = parse_json(
+            r#"{"ts_us":12,"kind":"event","name":"a.b","tid":3,"fields":{"s":"q\"x","n":-2.5,"b":true,"z":null,"arr":[1,2]}}"#,
+        )
+        .unwrap_or_else(|e| panic!("parse failed: {e}"));
+        assert_eq!(v.get("ts_us").and_then(Json::as_u64), Some(12));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("event"));
+        let fields = v.get("fields").unwrap_or(&Json::Null);
+        assert_eq!(fields.get("s").and_then(Json::as_str), Some("q\"x"));
+        assert_eq!(fields.get("n"), Some(&Json::Num(-2.5)));
+        assert_eq!(fields.get("b"), Some(&Json::Bool(true)));
+        assert_eq!(fields.get("z"), Some(&Json::Null));
+        assert_eq!(fields.get("arr"), Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn reconstructs_nesting_from_end_ordered_records() {
+        // child: [60, 100); parent: [10, 110) — child emitted first.
+        let trace = concat!(
+            r#"{"ts_us":100,"kind":"span","name":"child","elapsed_us":40,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":110,"kind":"span","name":"parent","elapsed_us":100,"fields":{}}"#,
+            "\n",
+        );
+        let a = analyze_trace(trace).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a.roots.len(), 1);
+        assert_eq!(a.roots[0].name, "parent");
+        assert_eq!(a.roots[0].children.len(), 1);
+        assert_eq!(a.roots[0].children[0].name, "child");
+        assert_eq!(a.roots[0].self_us(), 60);
+        assert_eq!(a.roots[0].children[0].self_us(), 40);
+        assert_eq!(a.span_count, 2);
+        assert_eq!(a.wall_us, 100);
+    }
+
+    #[test]
+    fn sibling_spans_stay_siblings() {
+        // Two siblings [0,40) and [50,90) under parent [0,100).
+        let trace = concat!(
+            r#"{"ts_us":40,"kind":"span","name":"s1","elapsed_us":40,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":90,"kind":"span","name":"s2","elapsed_us":40,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":100,"kind":"span","name":"parent","elapsed_us":100,"fields":{}}"#,
+            "\n",
+        );
+        let a = analyze_trace(trace).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a.roots.len(), 1);
+        let kids: Vec<&str> = a.roots[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, vec!["s1", "s2"]);
+        assert_eq!(a.roots[0].self_us(), 20);
+    }
+
+    #[test]
+    fn threads_partition_the_forest_and_missing_tid_defaults_to_zero() {
+        // Identical intervals on two threads must NOT nest; the first
+        // record has no tid field at all (a pre-tid trace).
+        let trace = concat!(
+            r#"{"ts_us":50,"kind":"span","name":"a","elapsed_us":50,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":60,"kind":"span","name":"b","elapsed_us":60,"tid":7,"fields":{}}"#,
+            "\n",
+        );
+        let a = analyze_trace(trace).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a.roots.len(), 2);
+        assert_eq!(a.roots.iter().map(|r| r.tid).collect::<Vec<_>>(), vec![0, 7]);
+    }
+
+    #[test]
+    fn events_are_counted_and_malformed_lines_skipped() {
+        let trace = concat!(
+            r#"{"ts_us":5,"kind":"event","name":"campaign.retry","fields":{}}"#,
+            "\n",
+            "this is not json\n",
+            r#"{"ts_us":9,"kind":"event","name":"campaign.retry","fields":{}}"#,
+            "\n",
+            r#"{"ts_us":20,"kind":"span","name":"root","elapsed_us":18,"fields":{}}"#,
+            "\n",
+        );
+        let a = analyze_trace(trace).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a.event_count, 2);
+        assert_eq!(a.event_counts.get("campaign.retry"), Some(&2));
+        assert_eq!(a.skipped_lines, 1);
+        assert_eq!(a.span_count, 1);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(analyze_trace("").is_err());
+        assert!(analyze_trace("not json\n").is_err());
+    }
+
+    #[test]
+    fn folded_stacks_merge_identical_paths() {
+        let trace = concat!(
+            r#"{"ts_us":30,"kind":"span","name":"leaf","elapsed_us":10,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":50,"kind":"span","name":"leaf","elapsed_us":10,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":60,"kind":"span","name":"root","elapsed_us":60,"fields":{}}"#,
+            "\n",
+        );
+        let a = analyze_trace(trace).unwrap_or_else(|e| panic!("{e}"));
+        let folded = a.folded_stacks();
+        assert!(folded.contains("root;leaf 20"), "folded output:\n{folded}");
+        assert!(folded.contains("root 40"), "folded output:\n{folded}");
+    }
+
+    #[test]
+    fn aggregates_rank_by_self_time() {
+        let trace = concat!(
+            r#"{"ts_us":90,"kind":"span","name":"inner","elapsed_us":80,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":100,"kind":"span","name":"outer","elapsed_us":100,"fields":{}}"#,
+            "\n",
+        );
+        let a = analyze_trace(trace).unwrap_or_else(|e| panic!("{e}"));
+        let aggs = a.aggregates();
+        assert_eq!(aggs[0].name, "inner");
+        assert_eq!(aggs[0].self_us, 80);
+        assert_eq!(aggs[1].name, "outer");
+        assert_eq!(aggs[1].self_us, 20);
+        assert_eq!(aggs[1].total_us, 100);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let trace = concat!(
+            r#"{"ts_us":90,"kind":"span","name":"inner","elapsed_us":80,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":100,"kind":"span","name":"outer","elapsed_us":100,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":101,"kind":"event","name":"campaign.retry","fields":{}}"#,
+            "\n",
+        );
+        let a = analyze_trace(trace).unwrap_or_else(|e| panic!("{e}"));
+        let mut counters = BTreeMap::new();
+        counters.insert("softmc.cmd".to_string(), 123_456u64);
+        let report = render_report(&a, Some(&counters), 10);
+        for needle in
+            ["phases (top-level spans):", "hot spans", "span durations", "events:", "counter rates", "softmc.cmd"]
+        {
+            assert!(report.contains(needle), "missing '{needle}' in report:\n{report}");
+        }
+    }
+
+    #[test]
+    fn parse_metrics_counters_reads_the_snapshot_schema() {
+        let json = r#"{
+  "counters": {
+    "dram.flip": 42,
+    "softmc.cmd": 1000
+  },
+  "gauges": {},
+  "spans": {},
+  "events_recorded": 0,
+  "events_dropped": 0
+}"#;
+        let c = parse_metrics_counters(json).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(c.get("dram.flip"), Some(&42));
+        assert_eq!(c.get("softmc.cmd"), Some(&1000));
+        assert!(parse_metrics_counters("{}").is_err());
+    }
+}

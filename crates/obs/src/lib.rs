@@ -44,11 +44,15 @@
 //! assert!(jsonl.lines().count() >= 2);
 //! ```
 
+pub mod analyze;
+pub mod hist;
+pub mod names;
 mod recorder;
 
+pub use hist::{HistSnapshot, Histogram, TimerGuard};
 pub use recorder::{Recorder, SpanStat, TraceRecord};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
@@ -169,8 +173,10 @@ fn with_sink(f: impl FnOnce(&dyn Sink)) {
 }
 
 /// Installs `sink` as the process-global observability sink and
-/// enables instrumentation. Replaces any previous sink.
+/// enables instrumentation. Replaces any previous sink and zeroes all
+/// registered [`hist::Histogram`]s so the new session starts fresh.
 pub fn install(sink: Arc<dyn Sink>) {
+    hist::reset_all();
     let mut guard = match SINK.write() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -194,6 +200,19 @@ pub fn uninstall() -> Option<Arc<dyn Sink>> {
 /// use this to skip building expensive field values.
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense per-thread ordinal (0, 1, 2, …) assigned on first
+/// use; histogram shards index by it so short-lived worker pools map
+/// onto distinct shards. Falls back to 0 during thread teardown.
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.try_with(|o| *o).unwrap_or(0)
 }
 
 /// Increments counter `name` by `delta`. No-op when disabled.
@@ -260,20 +279,50 @@ macro_rules! span {
     }};
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::Mutex;
+/// Records `value` into a per-call-site static [`hist::Histogram`]:
+/// `histogram!(rh_obs::names::DRAM_HAMMER_NS, elapsed_ns)`. The name
+/// must be a constant expression. Disabled cost: one relaxed load.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {{
+        static __RH_OBS_HIST: $crate::hist::Histogram = $crate::hist::Histogram::new($name);
+        __RH_OBS_HIST.record($value);
+    }};
+}
 
-    /// The sink is process-global; serialize tests that install one.
+/// Starts a scoped timer recording elapsed nanoseconds into a
+/// per-call-site static [`hist::Histogram`] when the guard drops:
+/// `let _t = timer!(rh_obs::names::CAMPAIGN_MODULE_NS);`. Inert (no
+/// clock read) when observability is disabled at creation.
+#[macro_export]
+macro_rules! timer {
+    ($name:expr) => {{
+        static __RH_OBS_HIST: $crate::hist::Histogram = $crate::hist::Histogram::new($name);
+        __RH_OBS_HIST.timer()
+    }};
+}
+
+/// The sink and histogram registry are process-global; unit tests
+/// that install a sink (which resets histograms) or read the registry
+/// must serialize on this lock.
+#[cfg(test)]
+pub(crate) mod testlock {
+    use std::sync::{Mutex, MutexGuard};
+
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
-    fn locked() -> std::sync::MutexGuard<'static, ()> {
+    pub(crate) fn locked() -> MutexGuard<'static, ()> {
         match TEST_LOCK.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlock::locked;
 
     #[test]
     fn disabled_is_inert() {
@@ -330,6 +379,68 @@ mod tests {
         let got = uninstall().expect("sink was installed");
         drop(got);
         assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn histogram_macro_respects_enabled() {
+        let _l = locked();
+        uninstall();
+        // Disabled: record is dropped before touching the shards.
+        histogram!("test.lib.hist_macro", 9999);
+        let rec = Arc::new(Recorder::new());
+        install(rec);
+        histogram!("test.lib.hist_macro", 7);
+        histogram!("test.lib.hist_macro", 130);
+        uninstall();
+        let snaps = hist::snapshot_all();
+        let s = snaps
+            .iter()
+            .find(|s| s.name == "test.lib.hist_macro")
+            .unwrap_or_else(|| panic!("histogram not registered"));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 137);
+        assert_eq!(s.max, 130);
+    }
+
+    #[test]
+    fn timer_macro_records_nanoseconds() {
+        let _l = locked();
+        let rec = Arc::new(Recorder::new());
+        install(rec);
+        {
+            let _t = timer!("test.lib.timer_macro");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        uninstall();
+        let snaps = hist::snapshot_all();
+        let s = snaps
+            .iter()
+            .find(|s| s.name == "test.lib.timer_macro")
+            .unwrap_or_else(|| panic!("timer histogram not registered"));
+        assert_eq!(s.count, 1);
+        assert!(s.max >= 2_000_000, "timer recorded {} ns, expected >= 2 ms", s.max);
+    }
+
+    #[test]
+    fn timer_created_disabled_stays_inert() {
+        let _l = locked();
+        uninstall();
+        let t = timer!("test.lib.timer_inert");
+        let rec = Arc::new(Recorder::new());
+        install(rec);
+        drop(t);
+        uninstall();
+        assert!(!hist::snapshot_all().iter().any(|s| s.name == "test.lib.timer_inert"));
+    }
+
+    #[test]
+    fn thread_ordinals_are_distinct() {
+        let a = thread_ordinal();
+        let b = std::thread::spawn(thread_ordinal)
+            .join()
+            .unwrap_or_else(|_| panic!("ordinal thread panicked"));
+        assert_ne!(a, b);
+        assert_eq!(a, thread_ordinal());
     }
 
     #[test]

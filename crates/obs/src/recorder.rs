@@ -1,21 +1,39 @@
 //! The built-in [`Sink`]: an in-memory recorder with JSONL trace
-//! export and an end-of-run metrics snapshot.
+//! export, an optional streaming trace file, and an end-of-run
+//! metrics snapshot.
 //!
-//! JSON is rendered by hand (this crate is dependency-free); the
-//! output is plain RFC 8259 JSON, one object per line for traces, so
-//! any consumer — including the vendored `serde_json` used by the
-//! bench tests — can parse it.
+//! JSON is rendered by hand (this crate keeps third-party code out of
+//! the hot path); the output is plain RFC 8259 JSON, one object per
+//! line for traces, so any consumer — including the vendored
+//! `serde_json` used by the bench tests and the analyzer in
+//! [`crate::analyze`] — can parse it.
+//!
+//! # Streaming vs. in-memory traces
+//!
+//! [`Recorder::new`] keeps up to [`MAX_RECORDS`] trace records in
+//! memory and counts overflow as dropped. For soak-length runs use
+//! [`Recorder::with_trace_file`]: every record is rendered once and
+//! appended to a `BufWriter` as it arrives, so the trace on disk is
+//! unbounded while memory stays bounded; the buffer is flushed on
+//! every snapshot ([`Recorder::metrics_json`] and the `save_*`
+//! methods) and on drop, so a trace survives a panicking campaign up
+//! to the last flush. Failed writes are counted, never ignored:
+//! anything the trace lost shows up as the `obs.dropped_records`
+//! counter in the metrics snapshot.
 
 use crate::{FieldValue, Sink};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::io;
-use std::path::Path;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Cap on stored trace records; beyond it events are counted but
-/// dropped so a runaway campaign cannot exhaust memory.
+/// dropped (in-memory mode) so a runaway campaign cannot exhaust
+/// memory. In streaming mode the file keeps everything and only the
+/// in-memory query copy is bounded.
 const MAX_RECORDS: usize = 1 << 20;
 
 /// One timestamped trace record (event or completed span).
@@ -29,6 +47,8 @@ pub struct TraceRecord {
     pub name: String,
     /// Span duration; `None` for events.
     pub elapsed_us: Option<u64>,
+    /// Emitting thread's [`crate::thread_ordinal`].
+    pub tid: u64,
     /// Attached fields, in emission order.
     pub fields: Vec<(String, FieldValue)>,
 }
@@ -50,6 +70,8 @@ struct Inner {
     gauges: BTreeMap<&'static str, f64>,
     spans: BTreeMap<&'static str, SpanStat>,
     records: Vec<TraceRecord>,
+    writer: Option<BufWriter<File>>,
+    trace_path: Option<PathBuf>,
     dropped: u64,
 }
 
@@ -79,6 +101,24 @@ impl Recorder {
         Self { t0: Instant::now(), inner: Mutex::new(Inner::default()) }
     }
 
+    /// Creates a recorder that streams every trace record to `path`
+    /// through a `BufWriter` as it arrives (see the module docs for
+    /// the streaming contract).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from creating the trace file.
+    pub fn with_trace_file(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let rec = Self::new();
+        {
+            let mut inner = rec.lock();
+            inner.writer = Some(BufWriter::new(file));
+            inner.trace_path = Some(path.to_path_buf());
+        }
+        Ok(rec)
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         match self.inner.lock() {
             Ok(g) => g,
@@ -87,7 +127,18 @@ impl Recorder {
     }
 
     fn push_record(&self, inner: &mut Inner, record: TraceRecord) {
-        if inner.records.len() >= MAX_RECORDS {
+        if let Some(writer) = inner.writer.as_mut() {
+            let mut line = String::new();
+            render_record(&mut line, &record);
+            if writer.write_all(line.as_bytes()).is_err() {
+                inner.dropped += 1;
+            }
+            // Keep a bounded in-memory copy for programmatic queries;
+            // overflow here is not a drop — the file has the record.
+            if inner.records.len() < MAX_RECORDS {
+                inner.records.push(record);
+            }
+        } else if inner.records.len() >= MAX_RECORDS {
             inner.dropped += 1;
         } else {
             inner.records.push(record);
@@ -95,13 +146,25 @@ impl Recorder {
     }
 
     /// Current value of counter `name` (0 if never incremented).
+    /// `obs.dropped_records` reads the recorder's own drop tally.
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.lock().counters.get(name).copied().unwrap_or(0)
+        let inner = self.lock();
+        if name == crate::names::OBS_DROPPED_RECORDS {
+            return inner.dropped;
+        }
+        inner.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// All counters, sorted by name.
+    /// All counters, sorted by name. Includes `obs.dropped_records`
+    /// when any trace records were lost.
     pub fn counters(&self) -> BTreeMap<String, u64> {
-        self.lock().counters.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+        let inner = self.lock();
+        let mut out: BTreeMap<String, u64> =
+            inner.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        if inner.dropped > 0 {
+            out.insert(crate::names::OBS_DROPPED_RECORDS.to_string(), inner.dropped);
+        }
+        out
     }
 
     /// Last value of gauge `name`.
@@ -124,40 +187,52 @@ impl Recorder {
         self.lock().records.clone()
     }
 
+    /// Trace records lost to the memory cap or to write errors.
+    pub fn dropped_records(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Flushes the streaming trace writer, if any. A failed flush
+    /// counts one drop (the lost tail is at least one record).
+    pub fn flush(&self) {
+        let mut inner = self.lock();
+        flush_inner(&mut inner);
+    }
+
     /// Renders the trace as JSONL: one JSON object per line, in
     /// arrival order. Events look like
-    /// `{"ts_us":12,"kind":"event","name":"campaign.retry","fields":{"attempt":2}}`
+    /// `{"ts_us":12,"kind":"event","name":"campaign.retry","tid":0,"fields":{"attempt":2}}`
     /// and spans carry an additional `"elapsed_us"`.
     pub fn to_jsonl(&self) -> String {
         let inner = self.lock();
         let mut out = String::new();
         for r in &inner.records {
-            let _ = write!(out, "{{\"ts_us\":{},\"kind\":\"{}\",\"name\":", r.ts_us, r.kind);
-            push_json_string(&mut out, &r.name);
-            if let Some(e) = r.elapsed_us {
-                let _ = write!(out, ",\"elapsed_us\":{e}");
-            }
-            out.push_str(",\"fields\":{");
-            for (i, (k, v)) in r.fields.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                push_json_string(&mut out, k);
-                out.push(':');
-                v.write_json(&mut out);
-            }
-            out.push_str("}}\n");
+            render_record(&mut out, r);
         }
         out
     }
 
     /// Renders the end-of-run metrics snapshot as a single pretty
-    /// JSON object with `counters`, `gauges`, `spans`, and trace
-    /// bookkeeping totals.
+    /// JSON object with `counters`, `gauges`, `spans`, `histograms`
+    /// (from [`crate::hist::snapshot_all`]), and trace bookkeeping
+    /// totals. Flushes the streaming trace writer first, so taking a
+    /// snapshot also makes the on-disk trace current.
     pub fn metrics_json(&self) -> String {
-        let inner = self.lock();
+        let mut inner = self.lock();
+        flush_inner(&mut inner);
         let mut out = String::from("{\n  \"counters\": {");
-        for (i, (k, v)) in inner.counters.iter().enumerate() {
+        let dropped_entry = if inner.dropped > 0 {
+            Some((crate::names::OBS_DROPPED_RECORDS, inner.dropped))
+        } else {
+            None
+        };
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .chain(dropped_entry)
+            .collect::<BTreeMap<&str, u64>>();
+        for (i, (k, v)) in counters.iter().enumerate() {
             out.push_str(if i > 0 { ",\n    " } else { "\n    " });
             push_json_string(&mut out, k);
             let _ = write!(out, ": {v}");
@@ -182,6 +257,22 @@ impl Recorder {
                 s.count, s.total_us, s.max_us
             );
         }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in crate::hist::snapshot_all().iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            push_json_string(&mut out, h.name);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50().unwrap_or(0),
+                h.p90().unwrap_or(0),
+                h.p99().unwrap_or(0),
+                h.max
+            );
+        }
         let _ = write!(
             out,
             "\n  }},\n  \"events_recorded\": {},\n  \"events_dropped\": {}\n}}\n",
@@ -191,22 +282,53 @@ impl Recorder {
         out
     }
 
-    /// Writes the JSONL trace to `path`.
+    /// Writes the JSONL trace to `path`. When the recorder is already
+    /// streaming to a trace file this flushes the stream instead (the
+    /// file is the authoritative, unbounded trace; rewriting it from
+    /// the bounded in-memory copy could truncate it).
     ///
     /// # Errors
     ///
     /// I/O errors from creating or writing the file.
     pub fn save_jsonl(&self, path: &Path) -> io::Result<()> {
+        {
+            let mut inner = self.lock();
+            if inner.writer.is_some() {
+                flush_inner(&mut inner);
+                return Ok(());
+            }
+        }
         std::fs::write(path, self.to_jsonl())
     }
 
-    /// Writes the metrics snapshot to `path`.
+    /// Writes the metrics snapshot to `path` (flushing the streaming
+    /// trace writer as a side effect).
     ///
     /// # Errors
     ///
     /// I/O errors from creating or writing the file.
     pub fn save_metrics(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.metrics_json())
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        let inner = match self.inner.get_mut() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(writer) = inner.writer.as_mut() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+fn flush_inner(inner: &mut Inner) {
+    if let Some(writer) = inner.writer.as_mut() {
+        if writer.flush().is_err() {
+            inner.dropped += 1;
+        }
     }
 }
 
@@ -228,6 +350,7 @@ impl Sink for Recorder {
             kind: "event",
             name: name.to_string(),
             elapsed_us: None,
+            tid: crate::thread_ordinal(),
             fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
         };
         let mut inner = self.lock();
@@ -242,6 +365,7 @@ impl Sink for Recorder {
             kind: "span",
             name: name.to_string(),
             elapsed_us: Some(elapsed_us),
+            tid: crate::thread_ordinal(),
             fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
         };
         let mut inner = self.lock();
@@ -251,6 +375,26 @@ impl Sink for Recorder {
         stat.max_us = stat.max_us.max(elapsed_us);
         self.push_record(&mut inner, record);
     }
+}
+
+/// Renders one trace record as a JSON line (with trailing newline).
+fn render_record(out: &mut String, r: &TraceRecord) {
+    let _ = write!(out, "{{\"ts_us\":{},\"kind\":\"{}\",\"name\":", r.ts_us, r.kind);
+    push_json_string(out, &r.name);
+    if let Some(e) = r.elapsed_us {
+        let _ = write!(out, ",\"elapsed_us\":{e}");
+    }
+    let _ = write!(out, ",\"tid\":{}", r.tid);
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in r.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, k);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push_str("}}\n");
 }
 
 /// Appends `s` to `out` as a quoted, escaped JSON string.
@@ -286,6 +430,7 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"kind\":\"event\""));
         assert!(lines[0].contains("\"s\":\"q\\\"uote\""));
+        assert!(lines[0].contains("\"tid\":"));
         assert!(lines[1].contains("\"elapsed_us\":42"));
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
@@ -304,6 +449,7 @@ mod tests {
         assert!(m.contains("\"n.g\": 1.5"));
         assert!(m.contains("\"count\": 2"));
         assert!(m.contains("\"max_us\": 30"));
+        assert!(m.contains("\"histograms\""));
         assert!(m.contains("\"events_recorded\": 2"));
     }
 
@@ -313,6 +459,46 @@ mod tests {
         rec.counter("c", u64::MAX);
         rec.counter("c", 5);
         assert_eq!(rec.counter_value("c"), u64::MAX);
+    }
+
+    #[test]
+    fn streaming_recorder_writes_and_flushes() {
+        let dir = std::env::temp_dir().join(format!("rh-obs-stream-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("trace.jsonl");
+        {
+            let rec = Recorder::with_trace_file(&path).unwrap_or_else(|e| panic!("{e}"));
+            rec.event("s.one", &[]);
+            rec.span_end("s.two", Duration::from_micros(5), &[]);
+            // metrics_json must flush, making the file current even
+            // before the recorder drops.
+            let _ = rec.metrics_json();
+            let on_disk =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(on_disk.lines().count(), 2);
+            assert_eq!(rec.dropped_records(), 0);
+            // save_jsonl on a streaming recorder must not truncate
+            // the file it is streaming to.
+            rec.save_jsonl(&path).unwrap_or_else(|e| panic!("{e}"));
+            let still =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(still.lines().count(), 2);
+        }
+        let final_trace = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{e}"));
+        assert!(final_trace.contains("s.one") && final_trace.contains("s.two"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_records_surface_as_a_counter() {
+        let rec = Recorder::new();
+        {
+            let mut inner = rec.lock();
+            inner.dropped = 3;
+        }
+        assert_eq!(rec.counter_value(crate::names::OBS_DROPPED_RECORDS), 3);
+        assert_eq!(rec.counters().get(crate::names::OBS_DROPPED_RECORDS), Some(&3));
+        assert!(rec.metrics_json().contains("\"obs.dropped_records\": 3"));
     }
 
     #[test]

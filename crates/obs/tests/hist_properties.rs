@@ -1,0 +1,135 @@
+//! Property-based tests tying the log-bucketed observability
+//! histograms to the exact statistics in `rh-stats`: every quantile the
+//! cheap histogram reports must agree with the exact nearest-rank
+//! quantile to within one power-of-2 bucket's relative error, and
+//! snapshot merging must behave like a commutative monoid.
+
+use proptest::prelude::*;
+use rh_obs::hist::{bucket_hi, bucket_of};
+use rh_obs::HistSnapshot;
+use rh_stats::Ecdf;
+
+/// Builds a snapshot directly from samples, the same way `record` does
+/// (bucket + count + sum + max), without touching the global registry.
+fn snapshot_of(xs: &[u64]) -> HistSnapshot {
+    let mut s = HistSnapshot::empty("prop.test");
+    for &x in xs {
+        s.buckets[bucket_of(x)] += 1;
+        s.count += 1;
+        s.sum = s.sum.saturating_add(x);
+        s.max = s.max.max(x);
+    }
+    s
+}
+
+/// One magnitude-diverse sample: a uniformly chosen bit width in
+/// `0..=53`, then a uniform value of that width. Staying below 2^53
+/// keeps the f64 round-trip through `rh_stats::Ecdf` exact, and the
+/// log-uniform spread exercises every histogram bucket in range.
+struct Magnitudes;
+
+impl Strategy for Magnitudes {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        let width = rng.below(54);
+        if width == 0 {
+            0
+        } else {
+            let half = 1u64 << (width - 1);
+            half + rng.below(half)
+        }
+    }
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(Magnitudes, 1..200)
+}
+
+proptest! {
+    // The histogram quantile brackets the exact nearest-rank quantile
+    // from below by at most one bucket: `exact <= approx <= 2*exact`
+    // (and `approx == 0` exactly when `exact == 0`). `Ecdf::quantile`
+    // uses the same nearest-rank rule as `HistSnapshot::quantile`, so
+    // the only error is the bucketing itself.
+    #[test]
+    fn quantiles_agree_with_exact_within_one_bucket(xs in samples(), q in 0.01f64..=1.0) {
+        let snap = snapshot_of(&xs);
+        let approx = snap.quantile(q).expect("non-empty histogram");
+
+        let exact_f = Ecdf::new(xs.iter().map(|&x| x as f64).collect())
+            .quantile(q)
+            .expect("non-empty sample");
+        let exact = exact_f as u64;
+        prop_assert_eq!(exact as f64, exact_f, "u64 < 2^53 must round-trip");
+
+        if exact == 0 {
+            prop_assert_eq!(approx, 0);
+        } else {
+            // The exact value falls in bucket i covering [2^(i-1), 2^i);
+            // the histogram answers with that bucket's top (clamped by
+            // the observed max), so it never undershoots and at most
+            // doubles.
+            prop_assert!(approx >= exact, "approx {approx} < exact {exact}");
+            prop_assert!(approx <= exact.saturating_mul(2), "approx {approx} > 2*exact {exact}");
+        }
+    }
+
+    // The reported quantile is always bounded by the true extremes.
+    #[test]
+    fn quantiles_never_exceed_the_observed_max(xs in samples(), q in 0.01f64..=1.0) {
+        let snap = snapshot_of(&xs);
+        let approx = snap.quantile(q).expect("non-empty histogram");
+        let max = xs.iter().copied().max().unwrap_or(0);
+        prop_assert!(approx <= max);
+    }
+
+    // Merging snapshots is commutative and associative, with the empty
+    // snapshot as identity — so sharded and cross-thread merges give
+    // one well-defined answer regardless of order.
+    #[test]
+    fn merge_is_a_commutative_monoid(a in samples(), b in samples(), c in samples()) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // Commutativity: a+b == b+a.
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity: (a+b)+c == a+(b+c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Identity: a+0 == a.
+        let mut a0 = sa.clone();
+        a0.merge(&HistSnapshot::empty("prop.test"));
+        prop_assert_eq!(&a0, &sa);
+
+        // The merge is lossless for count/sum and order statistics of
+        // the union.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(ab_c.count, all.len() as u64);
+        prop_assert_eq!(ab_c.max, all.iter().copied().max().unwrap_or(0));
+    }
+
+    // Bucketing invariants the quantile bound relies on: every value
+    // lands in a bucket whose top is >= the value and < 2x the value.
+    #[test]
+    fn bucket_tops_bracket_their_values(v in any::<u64>()) {
+        let i = bucket_of(v);
+        prop_assert!(bucket_hi(i) >= v);
+        if v > 0 {
+            // In u128 so the bound holds for v near u64::MAX too.
+            prop_assert!(u128::from(bucket_hi(i)) < 2 * u128::from(v));
+            prop_assert!(i == 0 || bucket_hi(i - 1) < v);
+        }
+    }
+}

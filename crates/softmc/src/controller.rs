@@ -8,7 +8,21 @@ use crate::program::{Instr, Program};
 use rh_dram::{
     BankId, Command, DramModule, Picos, RowAddr, TimedCommand,
 };
+use rh_obs::names;
 use serde::{Deserialize, Serialize};
+
+/// Per-opcode issue-latency histograms, indexed by [`opcode_index`].
+/// A shared array (instead of a `timer!` per match arm) keeps the
+/// opcode dispatch in data rather than in seven copies of the code.
+static ISSUE_NS: [rh_obs::Histogram; 7] = [
+    rh_obs::Histogram::new(names::SOFTMC_ISSUE_ACT_NS),
+    rh_obs::Histogram::new(names::SOFTMC_ISSUE_PRE_NS),
+    rh_obs::Histogram::new(names::SOFTMC_ISSUE_PRE_ALL_NS),
+    rh_obs::Histogram::new(names::SOFTMC_ISSUE_RD_NS),
+    rh_obs::Histogram::new(names::SOFTMC_ISSUE_WR_NS),
+    rh_obs::Histogram::new(names::SOFTMC_ISSUE_REF_NS),
+    rh_obs::Histogram::new(names::SOFTMC_ISSUE_NOP_NS),
+];
 
 /// The result of executing one program.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -163,9 +177,12 @@ impl SoftMcController {
         result: &mut ExecResult,
     ) -> Result<Option<[u8; 8]>, SoftMcError> {
         if rh_obs::enabled() {
-            rh_obs::counter("softmc.cmd", 1);
+            rh_obs::counter(names::SOFTMC_CMD, 1);
             rh_obs::counter(command_counter(&cmd), 1);
         }
+        // Inert (no clock read) when observability is disabled; drops
+        // at the end of `issue`, so it times the full device hand-off.
+        let _issue_timer = ISSUE_NS[opcode_index(&cmd)].timer();
         let tc = TimedCommand { at, cmd };
         if self.record_trace {
             self.trace.push(tc.clone());
@@ -191,7 +208,7 @@ impl SoftMcController {
         t_on: Picos,
         t_off: Picos,
     ) -> Result<(), SoftMcError> {
-        rh_obs::counter("softmc.hammer.bulk", 1);
+        rh_obs::counter(names::SOFTMC_HAMMER_BULK, 1);
         // An earlier revision hammered `left` for the whole burst and
         // then `right`, which let the aggressors' mutual distance-2
         // disturbance accumulate unrestored — the alternating program
@@ -214,7 +231,7 @@ impl SoftMcController {
         t_on: Picos,
         t_off: Picos,
     ) -> Result<(), SoftMcError> {
-        rh_obs::counter("softmc.hammer.bulk", 1);
+        rh_obs::counter(names::SOFTMC_HAMMER_BULK, 1);
         self.module.hammer_direct(bank, aggressor, count, t_on, t_off)?;
         Ok(())
     }
@@ -223,13 +240,26 @@ impl SoftMcController {
 /// The per-kind counter name of one DRAM command.
 fn command_counter(cmd: &Command) -> &'static str {
     match cmd {
-        Command::Act { .. } => "softmc.cmd.act",
-        Command::Pre { .. } => "softmc.cmd.pre",
-        Command::PreAll => "softmc.cmd.pre_all",
-        Command::Rd { .. } => "softmc.cmd.rd",
-        Command::Wr { .. } => "softmc.cmd.wr",
-        Command::Ref => "softmc.cmd.ref",
-        Command::Nop => "softmc.cmd.nop",
+        Command::Act { .. } => names::SOFTMC_CMD_ACT,
+        Command::Pre { .. } => names::SOFTMC_CMD_PRE,
+        Command::PreAll => names::SOFTMC_CMD_PRE_ALL,
+        Command::Rd { .. } => names::SOFTMC_CMD_RD,
+        Command::Wr { .. } => names::SOFTMC_CMD_WR,
+        Command::Ref => names::SOFTMC_CMD_REF,
+        Command::Nop => names::SOFTMC_CMD_NOP,
+    }
+}
+
+/// Index of one DRAM command's slot in [`ISSUE_NS`].
+fn opcode_index(cmd: &Command) -> usize {
+    match cmd {
+        Command::Act { .. } => 0,
+        Command::Pre { .. } => 1,
+        Command::PreAll => 2,
+        Command::Rd { .. } => 3,
+        Command::Wr { .. } => 4,
+        Command::Ref => 5,
+        Command::Nop => 6,
     }
 }
 

@@ -13,6 +13,7 @@ use rh_dram::{
     BankId, DramModule, Manufacturer, ModuleConfig, Picos, RowAddr, TestedModule,
 };
 use rh_faultmodel::RowHammerModel;
+use rh_obs::names;
 
 /// A complete RowHammer test bench for one DRAM module.
 ///
@@ -112,7 +113,7 @@ impl TestBench {
     pub fn check_cancelled(&self, op: &str) -> Result<(), SoftMcError> {
         match &self.cancel {
             Some(t) if t.is_cancelled() => {
-                rh_obs::counter("softmc.cancelled", 1);
+                rh_obs::counter(names::SOFTMC_CANCELLED, 1);
                 Err(SoftMcError::Cancelled { op: op.to_string() })
             }
             _ => Ok(()),
@@ -125,10 +126,10 @@ impl TestBench {
     /// `Unresponsive` so unsupervised callers cannot deadlock.
     fn hang(&self, op: &str) -> SoftMcError {
         let after_ops = self.faults.as_ref().map_or(0, |f| f.ops());
-        rh_obs::counter("softmc.fault.hang", 1);
+        rh_obs::counter(names::SOFTMC_FAULT_HANG, 1);
         if rh_obs::enabled() {
             rh_obs::event(
-                "softmc.hang",
+                names::SOFTMC_HANG_EVENT,
                 &[("op", op.into()), ("after_ops", after_ops.into())],
             );
         }
@@ -344,10 +345,10 @@ impl TestBench {
 /// Records one fired infrastructure fault: where it was intercepted,
 /// the operation it dropped, and the surfaced error.
 fn note_injected_fault(stage: &'static str, op: &str, err: &SoftMcError) {
-    rh_obs::counter("softmc.fault.injected", 1);
+    rh_obs::counter(names::SOFTMC_FAULT_INJECTED, 1);
     if rh_obs::enabled() {
         rh_obs::event(
-            "softmc.fault",
+            names::SOFTMC_FAULT_EVENT,
             &[("stage", stage.into()), ("op", op.into()), ("error", err.to_string().into())],
         );
     }

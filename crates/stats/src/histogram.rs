@@ -36,15 +36,29 @@ impl Histogram1d {
     }
 
     /// Builds a histogram over the data's own min..max range.
+    ///
+    /// NaN samples are excluded from both the range and the counts.
+    /// If the finite samples are all equal (a zero-width range), the
+    /// range is centered on that value so the samples land mid-bin
+    /// instead of being clamped into an unrelated `0..1` range; with
+    /// no finite samples at all the range falls back to `0..1`.
     pub fn of(xs: &[f64], bins: usize) -> Self {
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &x in xs {
+            // f64::min/max ignore a NaN operand, so NaN never
+            // poisons the range.
             lo = lo.min(x);
             hi = hi.max(x);
         }
-        if !lo.is_finite() || hi <= lo {
+        if !lo.is_finite() {
             lo = 0.0;
             hi = 1.0;
+        } else if hi <= lo {
+            // All samples equal: give the range real width, scaled so
+            // it survives f64 rounding at any magnitude.
+            let half = (lo.abs() * 1e-9).max(0.5);
+            hi = lo + half;
+            lo -= half;
         }
         let mut h = Self::new(lo, hi + (hi - lo) * 1e-9, bins);
         for &x in xs {
@@ -54,14 +68,23 @@ impl Histogram1d {
     }
 
     /// Index of the bin that `x` falls into (clamped to the edges).
+    /// Values at or beyond `hi` clamp into the last bin; NaN maps to
+    /// bin 0 (but [`add`](Self::add) never stores NaN samples).
     pub fn bin_of(&self, x: f64) -> usize {
         let f = (x - self.lo) / (self.hi - self.lo);
         let i = (f * self.counts.len() as f64).floor();
+        if i.is_nan() {
+            return 0;
+        }
         (i.max(0.0) as usize).min(self.counts.len() - 1)
     }
 
-    /// Adds one sample.
+    /// Adds one sample. NaN is ignored (it has no meaningful bin;
+    /// counting it under bin 0 would silently skew the distribution).
     pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
         let b = self.bin_of(x);
         self.counts[b] += 1;
     }
@@ -208,6 +231,56 @@ mod tests {
     fn empty_probabilities_are_zero() {
         let h = Histogram1d::new(0.0, 1.0, 3);
         assert_eq!(h.probabilities(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn nan_samples_are_ignored_not_binned_at_zero() {
+        let mut h = Histogram1d::new(0.0, 1.0, 4);
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.counts(), &[0, 0, 0, 0]);
+        // bin_of(NaN) is defined (bin 0) but add never stores it.
+        assert_eq!(h.bin_of(f64::NAN), 0);
+    }
+
+    #[test]
+    fn of_excludes_nan_from_range_and_counts() {
+        let h = Histogram1d::of(&[1.0, f64::NAN, 3.0], 2);
+        assert_eq!(h.total(), 2);
+        assert!(h.lo() <= 1.0 && h.hi() > 3.0);
+    }
+
+    #[test]
+    fn of_zero_width_range_centers_on_the_value() {
+        let h = Histogram1d::of(&[5.0, 5.0, 5.0], 4);
+        assert_eq!(h.total(), 3);
+        assert!(h.lo() < 5.0 && 5.0 < h.hi(), "range {}..{} misses 5.0", h.lo(), h.hi());
+        // Mid-range, not clamped into an edge bin.
+        let b = h.bin_of(5.0);
+        assert!(b > 0 && b < 3, "5.0 landed in edge bin {b}");
+        // Also at magnitudes where ±0.5 would vanish in rounding.
+        let big = Histogram1d::of(&[1e300], 2);
+        assert_eq!(big.total(), 1);
+        assert!(big.lo() < 1e300 && 1e300 < big.hi());
+    }
+
+    #[test]
+    fn of_all_nan_falls_back_to_unit_range() {
+        let h = Histogram1d::of(&[f64::NAN, f64::NAN], 3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.lo(), 0.0);
+        assert!(h.hi() > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn value_exactly_at_hi_clamps_into_last_bin() {
+        let mut h = Histogram1d::new(0.0, 10.0, 5);
+        h.add(10.0);
+        assert_eq!(h.counts(), &[0, 0, 0, 0, 1]);
+        // of() keeps the data max in range via its epsilon inflation.
+        let h = Histogram1d::of(&[0.0, 10.0], 5);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.bin_of(10.0), 4);
     }
 
     #[test]
