@@ -5,13 +5,15 @@
 //!       [--fault-scenario NAME|FILE.json] [--fault-seed N] [--max-attempts N]
 //!       [--checkpoint PREFIX] [--resume]
 //!       [--max-workers N] [--deadline-ms N] [--fail-fast]
-//!       [--trace-out FILE.jsonl] [--metrics-out FILE.json] <target>...
+//!       [--trace-out FILE.jsonl] [--metrics-out FILE.json]
+//!       [--serve-metrics ADDR] [--metrics-interval SECS] <target>...
 //! repro all           # everything, in paper order
 //! repro --list        # available targets
 //! repro --soak N      # chaos-soak: N randomized fault campaigns
 //! repro bench [--scale S] [--seed N] [--reps N] [--warmup N] [--filter SUBSTR]
 //!             [--out BENCH.json] [--compare BASELINE.json] [--threshold PCT]
 //! repro analyze TRACE.jsonl [--metrics METRICS.json] [--folded OUT.folded] [--top N]
+//! repro top ADDR [--interval-ms N] [--once]
 //! ```
 //!
 //! `repro bench` runs the canonical perf workloads (median-of-N with
@@ -30,6 +32,17 @@
 //! metrics snapshot (counters, gauges, span statistics). Either flag
 //! alone enables recording; both files come from the same recorder, so
 //! one run can emit both. A failed run still exports its partial trace.
+//!
+//! `--serve-metrics ADDR` additionally starts the live telemetry HTTP
+//! server (Prometheus `/metrics`, JSON `/progress`, `/healthz`) on
+//! ADDR — `127.0.0.1:0` picks a free port, announced on stderr as
+//! `serving telemetry on http://...`. `--metrics-interval SECS` starts
+//! the periodic rollup publisher, appending one counters/gauges JSONL
+//! line per tick next to `--metrics-out` so even a crashed run leaves
+//! its metric time series on disk. `repro top ADDR` attaches a
+//! self-refreshing terminal monitor (modules done/total, worker and
+//! queue occupancy, flips/s, retry/quarantine counts, ETA) to any such
+//! endpoint.
 //!
 //! `--fault-scenario` arms deterministic fault injection on every
 //! module of campaign-backed targets: a preset name (`none`,
@@ -51,7 +64,9 @@
 //! whenever any campaign reports quarantined, timed-out, or cancelled
 //! modules.
 
-use rh_bench::{perf, run_soak, run_target, targets, ObsSetup, RunConfig};
+use rh_bench::{
+    perf, run_soak_tracked, run_target, targets, ObsSetup, RunConfig, TelemetryOptions,
+};
 use rh_core::Scale;
 use rh_obs::analyze;
 use rh_softmc::FaultPlan;
@@ -66,10 +81,12 @@ fn usage() -> ! {
          \x20            [--fault-scenario NAME|FILE.json] [--fault-seed N] [--max-attempts N]\n\
          \x20            [--checkpoint PREFIX] [--resume]\n\
          \x20            [--max-workers N] [--deadline-ms N] [--fail-fast]\n\
-         \x20            [--trace-out FILE.jsonl] [--metrics-out FILE.json] <target>... | --soak N\n\
+         \x20            [--trace-out FILE.jsonl] [--metrics-out FILE.json]\n\
+         \x20            [--serve-metrics ADDR] [--metrics-interval SECS] <target>... | --soak N\n\
          \x20      repro bench [--scale S] [--seed N] [--reps N] [--warmup N] [--filter SUBSTR]\n\
          \x20            [--out BENCH.json] [--compare BASELINE.json] [--threshold PCT]\n\
          \x20      repro analyze TRACE.jsonl [--metrics FILE.json] [--folded OUT] [--top N]\n\
+         \x20      repro top ADDR [--interval-ms N] [--once]\n\
          fault scenarios: none | flaky-host | thermal | dead-module | hung-module | chaos | <plan.json>\n\
          targets: {} | defense-matrix | all\n\
          bench workloads: {}",
@@ -289,6 +306,7 @@ fn main() -> ExitCode {
     let mut resume = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut telemetry = TelemetryOptions::default();
     let mut soak: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     // Subcommands dispatch on the first argument; everything else
@@ -296,6 +314,15 @@ fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("bench") => return bench_main(args.skip(1)),
         Some("analyze") => return analyze_main(args.skip(1)),
+        Some("top") => {
+            return match rh_bench::top::top_main(args.skip(1)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("repro top: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {}
     }
     while let Some(a) = args.next() {
@@ -359,6 +386,17 @@ fn main() -> ExitCode {
                 Some(p) => metrics_out = Some(PathBuf::from(p)),
                 None => usage(),
             },
+            "--serve-metrics" => match args.next() {
+                Some(addr) => telemetry.serve_addr = Some(addr),
+                None => usage(),
+            },
+            "--metrics-interval" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 => {
+                    telemetry.rollup_interval =
+                        Some(std::time::Duration::from_secs_f64(secs));
+                }
+                _ => usage(),
+            },
             "--list" => {
                 for t in targets() {
                     println!("{t}");
@@ -383,9 +421,11 @@ fn main() -> ExitCode {
             eprintln!("repro --soak: cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
-        let obs = ObsSetup::new(trace_out, metrics_out);
+        let obs = ObsSetup::with_telemetry(trace_out, metrics_out, &telemetry, &cfg.cancel);
+        let tracker = obs.progress();
         let base = cfg.seed;
-        let report = run_soak(base..base + n, &dir, |line| println!("{line}"));
+        let report =
+            run_soak_tracked(base..base + n, &dir, |line| println!("{line}"), tracker.as_ref());
         println!("{}", report.summary_line());
         let mut code =
             if report.all_passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
@@ -441,7 +481,8 @@ fn main() -> ExitCode {
         });
     }
 
-    let obs = ObsSetup::new(trace_out, metrics_out);
+    let obs = ObsSetup::with_telemetry(trace_out, metrics_out, &telemetry, &cfg.cancel);
+    cfg.progress = obs.progress();
     let mut code = ExitCode::SUCCESS;
     for t in &wanted {
         // Contain panics so an aborted target still flushes the trace,

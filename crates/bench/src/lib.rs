@@ -9,10 +9,15 @@
 pub mod perf;
 pub mod runners;
 pub mod soak;
+pub mod top;
 
 pub use perf::{
     compare_reports, from_json, run_bench, to_json, workload_names, BenchConfig, BenchReport,
     HistSummary, Regression, WorkloadResult,
 };
-pub use runners::{run_defense_matrix, run_target, targets, ObsSetup, RunConfig, RunOutput};
-pub use soak::{run_soak, soak_one, SoakReport, SoakScenario, SoakStats};
+pub use runners::{
+    run_defense_matrix, run_target, targets, ObsSetup, RunConfig, RunOutput, TelemetryOptions,
+};
+pub use soak::{
+    run_soak, run_soak_tracked, soak_one, soak_one_tracked, SoakReport, SoakScenario, SoakStats,
+};

@@ -228,6 +228,24 @@ fn run_obs_disabled_record(_seed: u64, _scale: Scale) -> Result<u64, String> {
     Ok(DISABLED_RECORDS)
 }
 
+/// The same contract for `event!`: with no sink, the macro must not
+/// even build its field list — the formatting of the string field
+/// below would dominate otherwise. CI asserts the per-event cost next
+/// to `obs_disabled_record`'s.
+fn run_obs_disabled_event(_seed: u64, _scale: Scale) -> Result<u64, String> {
+    if rh_obs::enabled() {
+        return Err("observability must be disabled for the overhead micro-bench".into());
+    }
+    for i in 0..DISABLED_RECORDS {
+        rh_obs::event!(
+            "bench.disabled.event",
+            index = std::hint::black_box(i),
+            detail = format!("module-{i} unhealthy"),
+        );
+    }
+    Ok(DISABLED_RECORDS)
+}
+
 const WORKLOADS: &[WorkloadSpec] = &[
     WorkloadSpec { name: "hammer_double", units: "hammers", runner: run_hammer_double, instrument: true },
     WorkloadSpec { name: "hammer_single", units: "hammers", runner: run_hammer_single, instrument: true },
@@ -238,6 +256,12 @@ const WORKLOADS: &[WorkloadSpec] = &[
         name: "obs_disabled_record",
         units: "records",
         runner: run_obs_disabled_record,
+        instrument: false,
+    },
+    WorkloadSpec {
+        name: "obs_disabled_event",
+        units: "events",
+        runner: run_obs_disabled_event,
         instrument: false,
     },
 ];

@@ -17,11 +17,12 @@
 
 use rh_core::{
     verify_checkpoint, CampaignOutput, CampaignRunner, Characterizer, ExecutorConfig,
-    ModuleTask, RetryPolicy, Scale,
+    ModuleTask, ProgressTracker, RetryPolicy, Scale,
 };
 use rh_dram::{Manufacturer, RowAddr};
 use rh_softmc::{CancelToken, FaultPlan, TestBench};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The fault flavor a scenario injects on its victim modules.
@@ -233,6 +234,7 @@ fn run_campaign(
     ckpt: &Path,
     cancel: &CancelToken,
     fail_fast: bool,
+    tracker: Option<&Arc<ProgressTracker>>,
 ) -> Result<CampaignOutput<u64>, String> {
     let tasks: Vec<ModuleTask<'_>> = (0..scenario.modules)
         .map(|i| {
@@ -258,12 +260,15 @@ fn run_campaign(
     if let Some(ms) = scenario.deadline_ms {
         executor = executor.with_deadline(Duration::from_millis(ms));
     }
-    let runner = CampaignRunner::new()
+    let mut runner = CampaignRunner::new()
         .with_policy(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() })
         .with_checkpoint(ckpt)
         .with_executor(executor)
         .with_cancel(cancel.clone())
         .with_fail_fast(fail_fast);
+    if let Some(t) = tracker {
+        runner = runner.with_progress(Arc::clone(t));
+    }
     runner
         .run(tasks, |ch: &mut Characterizer| {
             assert!(
@@ -285,6 +290,22 @@ fn run_campaign(
 ///
 /// A description of the first violated invariant.
 pub fn soak_one(seed: u64, dir: &Path) -> Result<SoakStats, String> {
+    soak_one_tracked(seed, dir, None)
+}
+
+/// [`soak_one`] with an optional live-progress tracker: both the first
+/// run and the resume pass admit their modules, so `repro --soak
+/// --serve-metrics` exposes the whole soak (2× modules per scenario)
+/// as one accumulating `/progress` series.
+///
+/// # Errors
+///
+/// A description of the first violated invariant.
+pub fn soak_one_tracked(
+    seed: u64,
+    dir: &Path,
+    tracker: Option<&Arc<ProgressTracker>>,
+) -> Result<SoakStats, String> {
     let scenario = SoakScenario::derive(seed);
     let ckpt: PathBuf = dir.join(format!("soak-{seed}.json"));
     let _ = std::fs::remove_file(&ckpt);
@@ -300,7 +321,7 @@ pub fn soak_one(seed: u64, dir: &Path) -> Result<SoakStats, String> {
             token.cancel();
         })
     });
-    let first = run_campaign(&scenario, &ckpt, &root, scenario.fail_fast)?;
+    let first = run_campaign(&scenario, &ckpt, &root, scenario.fail_fast, tracker)?;
     if let Some(handle) = canceller {
         let _ = handle.join();
     }
@@ -359,7 +380,7 @@ pub fn soak_one(seed: u64, dir: &Path) -> Result<SoakStats, String> {
     // 4. Resume completes the interrupted work (fresh token, no
     //    fail-fast: the operator inspecting a failed run resumes the
     //    remainder).
-    let resumed = run_campaign(&scenario, &ckpt, &CancelToken::new(), false)?;
+    let resumed = run_campaign(&scenario, &ckpt, &CancelToken::new(), false, tracker)?;
     let rr = &resumed.report;
     if rr.cancelled != 0 || rr.outcomes.len() != scenario.modules {
         return Err(fail(seed, "resume left work unfinished", rr.summary_line()));
@@ -399,11 +420,22 @@ pub fn soak_one(seed: u64, dir: &Path) -> Result<SoakStats, String> {
 pub fn run_soak(
     seeds: impl IntoIterator<Item = u64>,
     dir: &Path,
+    progress: impl FnMut(&str),
+) -> SoakReport {
+    run_soak_tracked(seeds, dir, progress, None)
+}
+
+/// [`run_soak`] with an optional live-progress tracker shared by every
+/// scenario's campaigns.
+pub fn run_soak_tracked(
+    seeds: impl IntoIterator<Item = u64>,
+    dir: &Path,
     mut progress: impl FnMut(&str),
+    tracker: Option<&Arc<ProgressTracker>>,
 ) -> SoakReport {
     let mut report = SoakReport::default();
     for seed in seeds {
-        match soak_one(seed, dir) {
+        match soak_one_tracked(seed, dir, tracker) {
             Ok(stats) => {
                 progress(&format!(
                     "{}  ->  {} ok / {} quarantined / {} timed out / {} cancelled",

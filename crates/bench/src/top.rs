@@ -1,0 +1,381 @@
+//! `repro top` — a self-refreshing terminal view of a running
+//! campaign, driven entirely by the live telemetry endpoints
+//! (`/progress` and `/metrics`) of a `repro run --serve-metrics`
+//! process. Being HTTP-only, it attaches to any run on the machine (or
+//! across machines) without sharing memory, and detaches cleanly: the
+//! monitored run never knows whether anyone is watching.
+//!
+//! The module is split monitor-style: a tiny blocking HTTP/1.0-ish
+//! client ([`http_get`]), pure parsers for the two payloads
+//! ([`parse_progress`], [`metric_value`]), and a pure frame renderer
+//! ([`render_frame`]) — all testable without sockets — plus the
+//! polling loop ([`top_main`]) that owns the terminal.
+
+use rh_obs::names;
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One blocking `GET` against `addr` (`host:port`), returning
+/// `(status, body)`. Headers are discarded; both connect and I/O are
+/// bounded by `timeout` so a wedged server cannot hang the monitor.
+///
+/// # Errors
+///
+/// Connection, I/O, and malformed-response errors, as text.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<(u16, String), String> {
+    let sock_addr: std::net::SocketAddr =
+        addr.parse().map_err(|e| format!("bad address '{addr}': {e}"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("send {addr}{path}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read {addr}{path}: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response from {addr}{path}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| format!("response from {addr}{path} has no body"))?;
+    Ok((status, body))
+}
+
+/// Parses the `/progress` JSON into a field map. Unknown fields are
+/// ignored so the monitor tolerates newer servers.
+///
+/// # Errors
+///
+/// Malformed JSON, as text.
+pub fn parse_progress(body: &str) -> Result<Value, String> {
+    serde_json::from_str(body).map_err(|e| format!("bad /progress JSON: {e}"))
+}
+
+/// Extracts one un-labeled sample from a Prometheus text exposition:
+/// the value of the first `name value` line (exact name match, labels
+/// absent). Returns `None` when the series is missing.
+#[must_use]
+pub fn metric_value(metrics: &str, name: &str) -> Option<f64> {
+    metrics.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+/// Counter rates between two polls, for the flips/s and cmd/s columns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rates {
+    /// `dram.flip` per second.
+    pub flips_per_s: f64,
+    /// `softmc.cmd` per second.
+    pub cmds_per_s: f64,
+}
+
+/// Derives per-second rates from two metric snapshots `dt` apart.
+/// Counter resets (a restarted run) clamp to zero instead of going
+/// negative.
+#[must_use]
+pub fn rates_between(prev: &str, curr: &str, dt: Duration) -> Rates {
+    let secs = dt.as_secs_f64();
+    if secs <= 0.0 {
+        return Rates::default();
+    }
+    let rate = |name: &str| -> f64 {
+        let a = metric_value(prev, &prom_name(name)).unwrap_or(0.0);
+        let b = metric_value(curr, &prom_name(name)).unwrap_or(0.0);
+        ((b - a) / secs).max(0.0)
+    };
+    Rates { flips_per_s: rate(names::DRAM_FLIP), cmds_per_s: rate(names::SOFTMC_CMD) }
+}
+
+/// The Prometheus-sanitized form of a registry name (`.` -> `_`).
+fn prom_name(name: &str) -> String {
+    rh_obs::export::sanitize_metric_name(name)
+}
+
+fn field_u64(progress: &Value, key: &str) -> u64 {
+    progress.field(key).as_u64().unwrap_or(0)
+}
+
+/// `eta_ms` is the one nullable field: `None` until the first module
+/// completes.
+fn field_eta(progress: &Value) -> Option<u64> {
+    progress.field("eta_ms").as_u64()
+}
+
+fn fmt_duration_ms(ms: u64) -> String {
+    let secs = ms / 1000;
+    if secs >= 3600 {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    } else if secs >= 60 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{}.{}s", secs, (ms % 1000) / 100)
+    }
+}
+
+/// Renders one monitor frame from a parsed `/progress` object, the raw
+/// `/metrics` text, and the rates derived from the previous poll. Pure
+/// — the loop owns the screen, tests own the string.
+#[must_use]
+pub fn render_frame(progress: &Value, metrics: &str, rates: Rates) -> String {
+    let total = field_u64(progress, "total");
+    let completed = field_u64(progress, "completed");
+    let running = field_u64(progress, "running");
+    let pending = field_u64(progress, "pending");
+    let elapsed = field_u64(progress, "elapsed_ms");
+    let done = progress.field("done").as_bool() == Some(true);
+
+    let mut out = String::new();
+    out.push_str("repro top — live campaign monitor\n\n");
+
+    // Progress bar over terminal-friendly 40 cells.
+    let frac = if total > 0 { completed as f64 / total as f64 } else { 0.0 };
+    let filled = (frac * 40.0).round() as usize;
+    out.push_str(&format!(
+        "  modules  [{}{}] {completed}/{total}{}\n",
+        "#".repeat(filled.min(40)),
+        "-".repeat(40usize.saturating_sub(filled)),
+        if done { "  DONE" } else { "" },
+    ));
+    out.push_str(&format!(
+        "  slots    {running} running / {pending} pending / {completed} done\n"
+    ));
+    out.push_str(&format!(
+        "  outcome  {} ok / {} recovered / {} quarantined / {} timed out / {} cancelled\n",
+        field_u64(progress, "succeeded"),
+        field_u64(progress, "recovered"),
+        field_u64(progress, "quarantined"),
+        field_u64(progress, "timed_out"),
+        field_u64(progress, "cancelled"),
+    ));
+    out.push_str(&format!(
+        "  elapsed  {}   eta {}\n",
+        fmt_duration_ms(elapsed),
+        field_eta(progress).map_or_else(|| "--".to_string(), fmt_duration_ms),
+    ));
+
+    let gauge = |name: &str| metric_value(metrics, &prom_name(name));
+    out.push_str(&format!(
+        "\n  throughput  {:>10.0} flips/s  {:>10.0} cmds/s\n",
+        rates.flips_per_s, rates.cmds_per_s
+    ));
+    if let Some(depth) = gauge(names::EXECUTOR_QUEUE_DEPTH) {
+        out.push_str(&format!("  queue depth {:>10.0}\n", depth));
+    }
+    let counter = |name: &str| gauge(name).unwrap_or(0.0);
+    out.push_str(&format!(
+        "  resilience  {:>10.0} retries  {:>5.0} quarantine events  {:>5.0} http reqs\n",
+        counter(names::CAMPAIGN_RETRIES),
+        counter(names::CAMPAIGN_QUARANTINE_EVENT),
+        counter(names::OBS_HTTP_REQUESTS),
+    ));
+    if counter(names::OBS_DROPPED_RECORDS) > 0.0 {
+        out.push_str(&format!(
+            "  WARNING     {:.0} trace records dropped (memory cap or write error)\n",
+            counter(names::OBS_DROPPED_RECORDS)
+        ));
+    }
+    out
+}
+
+/// `repro top`: poll `ADDR` until the campaign reports done (or the
+/// server goes away), redrawing the frame every `--interval-ms`.
+///
+/// ```text
+/// repro top ADDR [--interval-ms N] [--once]
+/// ```
+pub fn top_main(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--interval-ms" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(ms) if ms >= 50u64 => interval = Duration::from_millis(ms),
+                _ => return Err("--interval-ms needs an integer >= 50".into()),
+            },
+            "--once" => once = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown repro top flag '{other}'"));
+            }
+            other if addr.is_none() => addr = Some(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let addr = addr.ok_or("usage: repro top ADDR [--interval-ms N] [--once]")?;
+    let timeout = Duration::from_secs(2);
+
+    let mut prev_metrics: Option<String> = None;
+    let mut misses = 0u32;
+    loop {
+        let polled = http_get(&addr, "/progress", timeout)
+            .and_then(|(status, body)| match status {
+                200 => parse_progress(&body),
+                s => Err(format!("/progress returned {s}")),
+            })
+            .and_then(|progress| {
+                let (_, metrics) = http_get(&addr, "/metrics", timeout)?;
+                Ok((progress, metrics))
+            });
+        match polled {
+            Ok((progress, metrics)) => {
+                misses = 0;
+                let rates = prev_metrics
+                    .as_deref()
+                    .map_or_else(Rates::default, |prev| {
+                        rates_between(prev, &metrics, interval)
+                    });
+                let frame = render_frame(&progress, &metrics, rates);
+                if once {
+                    print!("{frame}");
+                    return Ok(());
+                }
+                // Home + clear-to-end keeps redraws flicker-free.
+                print!("\x1b[H\x1b[2J{frame}");
+                let _ = std::io::stdout().flush();
+                if progress.field("done").as_bool() == Some(true) {
+                    println!("\ncampaign done");
+                    return Ok(());
+                }
+                prev_metrics = Some(metrics);
+            }
+            Err(e) if once => return Err(e),
+            Err(e) => {
+                // The run exiting (connection refused) is the normal
+                // way a monitor session ends; tolerate one blip first.
+                misses += 1;
+                if misses >= 3 {
+                    return Err(format!("lost the telemetry endpoint: {e}"));
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::ProgressSnapshot;
+
+    /// Goes through the real wire format: what the server sends is
+    /// exactly what the monitor parses.
+    fn parse(snap: &ProgressSnapshot) -> Value {
+        parse_progress(&snap.to_json()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn sample_progress() -> Value {
+        parse(&ProgressSnapshot {
+            total: 8,
+            pending: 3,
+            running: 2,
+            succeeded: 2,
+            recovered: 1,
+            quarantined: 0,
+            timed_out: 0,
+            cancelled: 0,
+            elapsed_ms: 65_400,
+            eta_ms: Some(109_000),
+        })
+    }
+
+    #[test]
+    fn metric_value_matches_exact_unlabeled_samples() {
+        let text = "# HELP dram_flip x\n# TYPE dram_flip counter\n\
+                    dram_flip 42\ndram_flip_total 99\nsoftmc_cmd 7\n";
+        assert_eq!(metric_value(text, "dram_flip"), Some(42.0));
+        assert_eq!(metric_value(text, "softmc_cmd"), Some(7.0));
+        assert_eq!(metric_value(text, "dram"), None, "prefix must not match");
+        assert_eq!(metric_value(text, "missing"), None);
+    }
+
+    #[test]
+    fn rates_are_nonnegative_and_scaled() {
+        let prev = "dram_flip 100\nsoftmc_cmd 1000\n";
+        let curr = "dram_flip 300\nsoftmc_cmd 900\n";
+        let r = rates_between(prev, curr, Duration::from_secs(2));
+        assert!((r.flips_per_s - 100.0).abs() < 1e-9);
+        assert_eq!(r.cmds_per_s, 0.0, "counter reset clamps to zero");
+    }
+
+    #[test]
+    fn frame_renders_progress_eta_and_rates() {
+        let metrics = "executor_queue_depth 5\ncampaign_retries 4\n";
+        let frame = render_frame(
+            &sample_progress(),
+            metrics,
+            Rates { flips_per_s: 1234.0, cmds_per_s: 56789.0 },
+        );
+        assert!(frame.contains("3/8"), "completed/total: {frame}");
+        assert!(frame.contains("2 running / 3 pending"), "{frame}");
+        assert!(frame.contains("eta 1m49s"), "{frame}");
+        assert!(frame.contains("1234 flips/s"), "{frame}");
+        assert!(frame.contains("queue depth"), "{frame}");
+        assert!(!frame.contains("WARNING"), "no dropped records here: {frame}");
+    }
+
+    #[test]
+    fn frame_flags_dropped_records_and_done() {
+        let progress = parse(&ProgressSnapshot {
+            total: 2,
+            pending: 0,
+            running: 0,
+            succeeded: 2,
+            recovered: 0,
+            quarantined: 0,
+            timed_out: 0,
+            cancelled: 0,
+            elapsed_ms: 1_000,
+            eta_ms: Some(0),
+        });
+        let frame =
+            render_frame(&progress, "obs_dropped_records 17\n", Rates::default());
+        assert!(frame.contains("DONE"), "{frame}");
+        assert!(frame.contains("WARNING"), "{frame}");
+        assert!(frame.contains("17 trace records dropped"), "{frame}");
+    }
+
+    #[test]
+    fn eta_null_renders_as_dashes() {
+        let progress = parse(&ProgressSnapshot {
+            total: 4,
+            pending: 4,
+            running: 0,
+            succeeded: 0,
+            recovered: 0,
+            quarantined: 0,
+            timed_out: 0,
+            cancelled: 0,
+            elapsed_ms: 120,
+            eta_ms: None,
+        });
+        let frame = render_frame(&progress, "", Rates::default());
+        assert!(frame.contains("eta --"), "{frame}");
+    }
+
+    #[test]
+    fn duration_formatting_covers_all_magnitudes() {
+        assert_eq!(fmt_duration_ms(900), "0.9s");
+        assert_eq!(fmt_duration_ms(61_000), "1m01s");
+        assert_eq!(fmt_duration_ms(3_720_000), "1h02m");
+    }
+
+    #[test]
+    fn http_get_rejects_unresolvable_addresses() {
+        assert!(http_get("not-an-addr", "/metrics", Duration::from_millis(100)).is_err());
+    }
+}

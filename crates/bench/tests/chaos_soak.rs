@@ -3,12 +3,13 @@
 //! leave a loadable checkpoint and a parseable JSONL trace, and a
 //! `--resume` rerun must complete exactly the unfinished modules.
 
-use rh_bench::soak::{run_soak, SoakFault, SoakScenario};
+use rh_bench::soak::{run_soak_tracked, SoakFault, SoakScenario};
 use rh_bench::{run_target, ObsSetup, RunConfig};
-use rh_core::{verify_checkpoint, Scale};
+use rh_core::{verify_checkpoint, ProgressTracker, Scale};
 use rh_softmc::CancelToken;
 use serde::Value;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// A hand-picked seed set covering every fault flavor plus mid-run
 /// cancellation and fail-fast (see `SoakScenario::derive`); the CI
@@ -31,7 +32,10 @@ fn chaos_soak_upholds_supervisor_invariants() {
 
     let dir = std::env::temp_dir().join(format!("rh-chaos-soak-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("soak dir");
-    let report = run_soak(SOAK_SEEDS, &dir, |_| {});
+    // One shared live-progress tracker across every scenario — the same
+    // aggregate `repro --soak --serve-metrics` exposes over /progress.
+    let tracker = Arc::new(ProgressTracker::new());
+    let report = run_soak_tracked(SOAK_SEEDS, &dir, |_| {}, Some(&tracker));
     assert!(
         report.all_passed(),
         "soak invariant violations:\n{}",
@@ -42,6 +46,29 @@ fn chaos_soak_upholds_supervisor_invariants() {
     assert!(report.passed.iter().any(|s| s.timed_out > 0), "a hang was timed out");
     assert!(report.passed.iter().any(|s| s.cancelled > 0), "a cancellation landed");
     assert!(report.passed.iter().any(|s| s.quarantined > 0), "a permanent fault quarantined");
+
+    // The tracker's accounting agrees with the campaign reports. Each
+    // passing scenario runs its campaign twice (first run + resume
+    // pass), admitting `modules` tasks each time; every admitted module
+    // must have reached exactly one terminal status.
+    let snap = tracker.snapshot();
+    let modules: usize = report.passed.iter().map(|s| s.scenario.modules).sum();
+    assert_eq!(snap.total, 2 * modules, "tracker admissions: {snap:?}");
+    assert_eq!(snap.completed(), snap.total, "every admitted module resolved: {snap:?}");
+    assert!(snap.done(), "tracker must report done after the soak");
+    assert_eq!(snap.running, 0, "no running guard leaked: {snap:?}");
+    // Cancellations only happen in first runs (the resume pass uses a
+    // fresh token and no fail-fast), so the tallies match exactly;
+    // quarantines/timeouts replay from the checkpoint on resume, so the
+    // tracker sees at least the first-run counts.
+    let cancelled: usize = report.passed.iter().map(|s| s.cancelled).sum();
+    let quarantined: usize = report.passed.iter().map(|s| s.quarantined).sum();
+    let timed_out: usize = report.passed.iter().map(|s| s.timed_out).sum();
+    assert_eq!(snap.cancelled, cancelled, "cancelled tally: {snap:?}");
+    assert!(snap.quarantined >= quarantined, "quarantine tally: {snap:?}");
+    assert!(snap.timed_out >= timed_out, "timeout tally: {snap:?}");
+    // The final ETA of a finished run is zero remaining work.
+    assert!(snap.done() && snap.pending == 0, "{snap:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

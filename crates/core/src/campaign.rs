@@ -20,12 +20,13 @@
 use crate::error::CharError;
 use crate::executor::{self, ExecutorConfig};
 use crate::experiments::panic_detail;
+use crate::progress::ProgressTracker;
 use crate::Characterizer;
 use rh_softmc::CancelToken;
 use serde::{Deserialize, Serialize, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use rh_obs::names;
 
 /// Current checkpoint schema version. Version 1 (PR 1) lacked the
@@ -295,6 +296,7 @@ pub struct CampaignRunner {
     executor: ExecutorConfig,
     cancel: CancelToken,
     fail_fast: bool,
+    progress: Option<Arc<ProgressTracker>>,
 }
 
 impl CampaignRunner {
@@ -345,6 +347,18 @@ impl CampaignRunner {
         self
     }
 
+    /// Shares a live [`ProgressTracker`] with this campaign: [`run`]
+    /// admits the task count, marks modules running while a worker
+    /// holds them, and records each terminal status exactly once from
+    /// the executor's commit hook. The same tracker may be reused
+    /// across sequential campaigns (totals accumulate).
+    ///
+    /// [`run`]: CampaignRunner::run
+    pub fn with_progress(mut self, progress: Arc<ProgressTracker>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
     /// The active retry policy.
     pub fn policy(&self) -> &RetryPolicy {
         &self.policy
@@ -376,9 +390,13 @@ impl CampaignRunner {
             None => Vec::new(),
         };
         if !prior.is_empty() {
-            rh_obs::event(names::CAMPAIGN_CHECKPOINT_LOADED, &[("entries", prior.len().into())]);
+            rh_obs::event!(names::CAMPAIGN_CHECKPOINT_LOADED, entries = prior.len());
         }
         let store = Mutex::new(prior);
+
+        if let Some(progress) = &self.progress {
+            progress.add_modules(tasks.len());
+        }
 
         // Internal campaign token: a child of the caller's, so
         // fail-fast and watchdog cancellations never poison the token
@@ -395,15 +413,13 @@ impl CampaignRunner {
             // bounded-retry loop under the task's own token.
             |idx, token| {
                 let task = &tasks[idx];
+                let _running = self.progress.as_ref().map(ProgressTracker::running_guard);
                 let resumed = {
                     let guard = store.lock().unwrap_or_else(|e| e.into_inner());
                     guard.iter().find(|e| e.id == task.id).cloned()
                 };
                 if let Some(entry) = resumed {
-                    rh_obs::event(
-                        names::CAMPAIGN_RESUME_SKIP,
-                        &[("module", entry.id.as_str().into())],
-                    );
+                    rh_obs::event!(names::CAMPAIGN_RESUME_SKIP, module = entry.id.as_str());
                     return (entry.outcome, entry.result);
                 }
                 self.run_one(task, &f, token)
@@ -412,13 +428,11 @@ impl CampaignRunner {
             |idx, elapsed| {
                 let task = &tasks[idx];
                 rh_obs::counter(names::CAMPAIGN_TIMEOUT, 1);
-                rh_obs::event(
+                rh_obs::event!(
                     names::CAMPAIGN_TIMEOUT,
-                    &[
-                        ("module", task.id.as_str().into()),
-                        ("elapsed_ms", (elapsed.as_millis() as u64).into()),
-                        ("deadline_ms", deadline_ms.into()),
-                    ],
+                    module = task.id.as_str(),
+                    elapsed_ms = elapsed.as_millis() as u64,
+                    deadline_ms = deadline_ms,
                 );
                 let outcome = ModuleOutcome {
                     id: task.id.clone(),
@@ -435,9 +449,10 @@ impl CampaignRunner {
             |idx| {
                 let task = &tasks[idx];
                 rh_obs::counter(names::CAMPAIGN_CANCELLED, 1);
-                rh_obs::event(
+                rh_obs::event!(
                     names::CAMPAIGN_CANCELLED,
-                    &[("module", task.id.as_str().into()), ("ran", false.into())],
+                    module = task.id.as_str(),
+                    ran = false,
                 );
                 let outcome = ModuleOutcome {
                     id: task.id.clone(),
@@ -466,15 +481,16 @@ impl CampaignRunner {
                             // degrades resumability, so don't kill
                             // the in-flight campaign over it.
                             let saved = save_checkpoint(path, &guard).is_ok();
-                            rh_obs::event(
+                            rh_obs::event!(
                                 names::CAMPAIGN_CHECKPOINT_SAVED,
-                                &[
-                                    ("entries", guard.len().into()),
-                                    ("ok", saved.into()),
-                                ],
+                                entries = guard.len(),
+                                ok = saved,
                             );
                         }
                     }
+                }
+                if let Some(progress) = &self.progress {
+                    progress.record_status(&outcome.status);
                 }
                 if self.fail_fast && !outcome.status.is_success() {
                     campaign_token.cancel();
@@ -520,9 +536,10 @@ impl CampaignRunner {
         for attempt in 1..=max_attempts {
             if token.is_cancelled() {
                 rh_obs::counter(names::CAMPAIGN_CANCELLED, 1);
-                rh_obs::event(
+                rh_obs::event!(
                     names::CAMPAIGN_CANCELLED,
-                    &[("module", task.id.as_str().into()), ("ran", true.into())],
+                    module = task.id.as_str(),
+                    ran = true,
                 );
                 span.set("attempts", attempt - 1);
                 span.set("status", "cancelled");
@@ -547,13 +564,11 @@ impl CampaignRunner {
             if let Err(e) = &attempt_result {
                 if e.is_cancelled() {
                     rh_obs::counter(names::CAMPAIGN_CANCELLED, 1);
-                    rh_obs::event(
+                    rh_obs::event!(
                         names::CAMPAIGN_CANCELLED,
-                        &[
-                            ("module", task.id.as_str().into()),
-                            ("ran", true.into()),
-                            ("op", e.to_string().into()),
-                        ],
+                        module = task.id.as_str(),
+                        ran = true,
+                        op = e.to_string(),
                     );
                     span.set("attempts", attempt);
                     span.set("status", "cancelled");
@@ -573,9 +588,10 @@ impl CampaignRunner {
                         ModuleStatus::Succeeded
                     } else {
                         rh_obs::counter(names::CAMPAIGN_RECOVERED, 1);
-                        rh_obs::event(
+                        rh_obs::event!(
                             names::CAMPAIGN_RECOVERED,
-                            &[("module", task.id.as_str().into()), ("attempts", attempt.into())],
+                            module = task.id.as_str(),
+                            attempts = attempt,
                         );
                         ModuleStatus::Recovered { attempts: attempt }
                     };
@@ -594,14 +610,12 @@ impl CampaignRunner {
             errors.push(err.to_string());
             if attempt == max_attempts || !err.is_transient() {
                 rh_obs::counter(names::CAMPAIGN_QUARANTINED, 1);
-                rh_obs::event(
+                rh_obs::event!(
                     names::CAMPAIGN_QUARANTINE_EVENT,
-                    &[
-                        ("module", task.id.as_str().into()),
-                        ("attempts", attempt.into()),
-                        ("transient", err.is_transient().into()),
-                        ("error", err.to_string().into()),
-                    ],
+                    module = task.id.as_str(),
+                    attempts = attempt,
+                    transient = err.is_transient(),
+                    error = err.to_string(),
                 );
                 span.set("attempts", attempt);
                 span.set("status", "quarantined");
@@ -618,14 +632,12 @@ impl CampaignRunner {
             }
             let backoff = self.policy.backoff_ms(&task.id, attempt);
             rh_obs::counter(names::CAMPAIGN_RETRIES, 1);
-            rh_obs::event(
+            rh_obs::event!(
                 names::CAMPAIGN_RETRY_EVENT,
-                &[
-                    ("module", task.id.as_str().into()),
-                    ("attempt", attempt.into()),
-                    ("backoff_ms", backoff.into()),
-                    ("error", err.to_string().into()),
-                ],
+                module = task.id.as_str(),
+                attempt = attempt,
+                backoff_ms = backoff,
+                error = err.to_string(),
             );
             backoffs_ms.push(backoff);
             if self.wait_backoff {
@@ -643,10 +655,7 @@ impl CampaignRunner {
 fn clean_stale_tmp(path: &Path) {
     let tmp = path.with_extension("tmp");
     if tmp.exists() && std::fs::remove_file(&tmp).is_ok() {
-        rh_obs::event(
-            names::CAMPAIGN_CHECKPOINT_STALE_TMP,
-            &[("path", tmp.display().to_string().into())],
-        );
+        rh_obs::event!(names::CAMPAIGN_CHECKPOINT_STALE_TMP, path = tmp.display().to_string());
     }
 }
 

@@ -55,6 +55,7 @@ pub mod experiments;
 pub mod mapping_re;
 pub mod metrics;
 pub mod observations;
+pub mod progress;
 pub mod report;
 pub mod wcdp;
 
@@ -66,3 +67,4 @@ pub use config::{Scale, TestPlan};
 pub use error::CharError;
 pub use executor::ExecutorConfig;
 pub use metrics::{BerMeasurement, Characterizer};
+pub use progress::{ProgressSnapshot, ProgressTracker};

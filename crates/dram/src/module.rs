@@ -238,7 +238,7 @@ impl DramModule {
         let res = self.issue_inner(tc);
         if let Err(DramError::TimingViolation { parameter, .. }) = &res {
             rh_obs::counter(names::DRAM_TIMING_VIOLATION, 1);
-            rh_obs::event(names::DRAM_TIMING_VIOLATION, &[("parameter", (*parameter).into())]);
+            rh_obs::event!(names::DRAM_TIMING_VIOLATION, parameter = *parameter);
         }
         res
     }

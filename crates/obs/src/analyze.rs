@@ -553,6 +553,21 @@ pub fn render_report(
         }
     );
 
+    // A lossy trace silently skews every number below it — say so
+    // before anything else, not in the counter fine print.
+    if let Some(&dropped) =
+        counters.and_then(|c| c.get(crate::names::OBS_DROPPED_RECORDS))
+    {
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "\nWARNING: {dropped} trace record(s) were DROPPED by the recorder \
+                 (memory cap or trace-file write error);\n\
+                 \x20        span/event counts and rates below undercount the run"
+            );
+        }
+    }
+
     let phases = analysis.phases();
     if !phases.is_empty() {
         let _ = writeln!(out, "\nphases (top-level spans):");
@@ -808,6 +823,26 @@ mod tests {
         {
             assert!(report.contains(needle), "missing '{needle}' in report:\n{report}");
         }
+    }
+
+    #[test]
+    fn report_surfaces_dropped_records_prominently() {
+        let trace = concat!(
+            r#"{"ts_us":100,"kind":"span","name":"outer","elapsed_us":100,"fields":{}}"#,
+            "\n",
+        );
+        let a = analyze_trace(trace).unwrap_or_else(|e| panic!("{e}"));
+        let mut counters = BTreeMap::new();
+        counters.insert(crate::names::OBS_DROPPED_RECORDS.to_string(), 7u64);
+        let report = render_report(&a, Some(&counters), 10);
+        assert!(report.contains("WARNING: 7 trace record(s) were DROPPED"), "{report}");
+        let warn_at = report.find("WARNING").unwrap_or(usize::MAX);
+        let rates_at = report.find("counter rates").unwrap_or(0);
+        assert!(warn_at < rates_at, "warning must precede the fine print:\n{report}");
+        // No warning when nothing was dropped (or no metrics given).
+        counters.insert(crate::names::OBS_DROPPED_RECORDS.to_string(), 0);
+        assert!(!render_report(&a, Some(&counters), 10).contains("WARNING"));
+        assert!(!render_report(&a, None, 10).contains("WARNING"));
     }
 
     #[test]

@@ -45,12 +45,16 @@
 //! ```
 
 pub mod analyze;
+pub mod export;
 pub mod hist;
 pub mod names;
 mod recorder;
+pub mod serve;
 
+pub use export::RollupPublisher;
 pub use hist::{HistSnapshot, Histogram, TimerGuard};
 pub use recorder::{Recorder, SpanStat, TraceRecord};
+pub use serve::{serve, serve_with, ServeConfig, TelemetryServer, TelemetrySource};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -279,6 +283,27 @@ macro_rules! span {
     }};
 }
 
+/// Records event `$name`, building the field list — conversions,
+/// `to_string()` calls in field expressions, everything — only when a
+/// sink is installed:
+/// `event!(names::CAMPAIGN_RETRY_EVENT, module = id.as_str(), attempt = n)`.
+/// The disabled path is a single relaxed atomic load with zero
+/// formatting or allocation, so it is safe in hot paths where the
+/// bare [`event`] function would eagerly evaluate its arguments.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(,)?) => {
+        if $crate::enabled() {
+            $crate::event($name, &[]);
+        }
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::event($name, &[$((stringify!($key), $crate::FieldValue::from($value))),+]);
+        }
+    };
+}
+
 /// Records `value` into a per-call-site static [`hist::Histogram`]:
 /// `histogram!(rh_obs::names::DRAM_HAMMER_NS, elapsed_ns)`. The name
 /// must be a constant expression. Disabled cost: one relaxed load.
@@ -431,6 +456,34 @@ mod tests {
         drop(t);
         uninstall();
         assert!(!hist::snapshot_all().iter().any(|s| s.name == "test.lib.timer_inert"));
+    }
+
+    #[test]
+    fn event_macro_builds_fields_only_when_enabled() {
+        let _l = locked();
+        uninstall();
+        // Disabled: the field expressions must not even be evaluated.
+        let mut evaluated = false;
+        event!("test.lib.event_macro", probe = {
+            evaluated = true;
+            1u64
+        });
+        assert!(!evaluated, "disabled event! evaluated its fields");
+        let rec = Arc::new(Recorder::new());
+        install(rec.clone());
+        event!("test.lib.event_macro", module = "B-3", attempt = 2u64);
+        event!("test.lib.event_bare");
+        uninstall();
+        assert_eq!(rec.events_named("test.lib.event_macro"), 1);
+        assert_eq!(rec.events_named("test.lib.event_bare"), 1);
+        let records = rec.records();
+        let rec_fields = &records
+            .iter()
+            .find(|r| r.name == "test.lib.event_macro")
+            .unwrap_or_else(|| panic!("event missing"))
+            .fields;
+        assert_eq!(rec_fields[0], ("module".to_string(), FieldValue::Str("B-3".into())));
+        assert_eq!(rec_fields[1], ("attempt".to_string(), FieldValue::U64(2)));
     }
 
     #[test]

@@ -118,6 +118,18 @@ pub const CAMPAIGN_MODULE_NS: &str = "campaign.module.ns";
 /// under [`CAMPAIGN_MODULE`] in the reconstructed trace tree.
 pub const CAMPAIGN_ATTEMPT: &str = "campaign.attempt";
 
+/// Event: periodic campaign progress heartbeat (done, total, running,
+/// eta_ms).
+pub const CAMPAIGN_HEARTBEAT: &str = "campaign.heartbeat";
+/// Gauge: modules in this campaign (fixed once tasks are admitted).
+pub const CAMPAIGN_PROGRESS_TOTAL: &str = "campaign.progress.total";
+/// Gauge: modules with a terminal status (any outcome counts as done).
+pub const CAMPAIGN_PROGRESS_DONE: &str = "campaign.progress.done";
+/// Gauge: modules currently inside a worker.
+pub const CAMPAIGN_PROGRESS_RUNNING: &str = "campaign.progress.running";
+/// Gauge: throughput-based estimate of remaining campaign wall time.
+pub const CAMPAIGN_ETA_MS: &str = "campaign.eta_ms";
+
 /// Gauge: tasks still queued in the supervised pool.
 pub const EXECUTOR_QUEUE_DEPTH: &str = "executor.queue_depth";
 /// Span: the watchdog thread's whole patrol.
@@ -141,6 +153,10 @@ pub const BENCH_WORKLOAD: &str = "bench.workload";
 
 /// Trace records dropped by the recorder (memory cap or write error).
 pub const OBS_DROPPED_RECORDS: &str = "obs.dropped_records";
+/// Connections accepted by the telemetry HTTP server.
+pub const OBS_HTTP_REQUESTS: &str = "obs.http.requests";
+/// Connections the telemetry server refused with 503 (queue full).
+pub const OBS_HTTP_REJECTED: &str = "obs.http.rejected";
 
 /// Every name above, for the uniqueness and convention tests and for
 /// tooling that wants to validate a trace against the registry.
@@ -195,6 +211,11 @@ pub fn all() -> &'static [&'static str] {
         CAMPAIGN_MODULE,
         CAMPAIGN_MODULE_NS,
         CAMPAIGN_ATTEMPT,
+        CAMPAIGN_HEARTBEAT,
+        CAMPAIGN_PROGRESS_TOTAL,
+        CAMPAIGN_PROGRESS_DONE,
+        CAMPAIGN_PROGRESS_RUNNING,
+        CAMPAIGN_ETA_MS,
         EXECUTOR_QUEUE_DEPTH,
         EXECUTOR_WATCHDOG,
         EXECUTOR_QUEUE_WAIT_NS,
@@ -205,6 +226,8 @@ pub fn all() -> &'static [&'static str] {
         BENCH_TARGET,
         BENCH_WORKLOAD,
         OBS_DROPPED_RECORDS,
+        OBS_HTTP_REQUESTS,
+        OBS_HTTP_REJECTED,
     ]
 }
 

@@ -172,6 +172,17 @@ impl Recorder {
         self.lock().gauges.get(name).copied()
     }
 
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> BTreeMap<String, f64> {
+        self.lock().gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// Microseconds since the recorder was created — the same clock
+    /// that stamps trace records, so rollup lines and traces align.
+    pub fn elapsed_us(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
     /// Aggregate span timings, keyed by span name.
     pub fn span_stats(&self) -> BTreeMap<String, SpanStat> {
         self.lock().spans.iter().map(|(k, v)| (k.to_string(), *v)).collect()

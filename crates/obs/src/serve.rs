@@ -1,0 +1,428 @@
+//! A dependency-free HTTP/1.1 server for live telemetry, built on
+//! `std::net::TcpListener` only.
+//!
+//! Endpoints:
+//!
+//! - `GET /metrics` — Prometheus text exposition (see [`crate::export`]),
+//! - `GET /healthz` — liveness JSON; `503` when the source reports
+//!   unhealthy,
+//! - `GET /progress` — campaign progress JSON from the source.
+//!
+//! The design is deliberately minimal: a nonblocking accept loop that
+//! polls a shutdown flag (and an optional caller-supplied shutdown
+//! predicate, the bridge to a cancellation-token tree the caller
+//! owns), a small fixed worker pool fed through a *bounded* channel,
+//! and `Connection: close` on every response. When the queue is full
+//! the accept thread answers `503` immediately rather than letting
+//! connections pile up — a scrape endpoint must never become a memory
+//! leak. Every thread is joined on [`TelemetryServer::shutdown`] (and
+//! on drop), so a served campaign exits with no leaked threads.
+
+use crate::names;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the server serves. Implementations render on demand, per
+/// request, under the caller's locks — keep the renders cheap.
+pub trait TelemetrySource: Send + Sync {
+    /// Body for `GET /metrics` (Prometheus text format).
+    fn metrics_text(&self) -> String;
+    /// Body for `GET /progress` (a JSON object).
+    fn progress_json(&self) -> String;
+    /// Liveness for `GET /healthz`; `false` turns the response into a
+    /// `503` so an external prober sees a wedged campaign.
+    fn healthy(&self) -> bool {
+        true
+    }
+    /// Body for `GET /healthz`.
+    fn healthz_json(&self) -> String {
+        format!("{{\"ok\":{}}}\n", self.healthy())
+    }
+}
+
+/// Server sizing knobs. The defaults suit a scrape interval of
+/// seconds: two workers, a short bounded queue, and tight socket
+/// timeouts so one stuck client cannot wedge a worker for long.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling accepted connections.
+    pub workers: usize,
+    /// Bounded queue depth between the accept loop and the workers;
+    /// overflow is answered `503` by the accept thread.
+    pub queue_depth: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// How often the accept loop polls for shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 16,
+            io_timeout: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Handle to a running telemetry server. Dropping it shuts the server
+/// down and joins every thread.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+/// Starts a telemetry server on `addr` (e.g. `127.0.0.1:0` to let the
+/// OS pick a port; read the bound address back with
+/// [`TelemetryServer::local_addr`]) with default sizing and no
+/// external shutdown signal.
+///
+/// # Errors
+///
+/// Errors from binding the listener.
+pub fn serve(addr: &str, source: Arc<dyn TelemetrySource>) -> io::Result<TelemetryServer> {
+    serve_with(addr, source, &ServeConfig::default(), None)
+}
+
+/// [`serve`] with explicit sizing and an optional shutdown predicate.
+/// The accept loop polls `shutdown_when` every `poll_interval`; when
+/// it returns `true` the server drains and joins exactly as if
+/// [`TelemetryServer::shutdown`] had been called. This is how a
+/// cancellation-token tree the caller owns (rh-obs has no dependency
+/// on it) drives the server down.
+///
+/// # Errors
+///
+/// Errors from binding the listener.
+pub fn serve_with(
+    addr: &str,
+    source: Arc<dyn TelemetrySource>,
+    cfg: &ServeConfig,
+    shutdown_when: Option<Box<dyn Fn() -> bool + Send>>,
+) -> io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = sync_channel::<TcpStream>(cfg.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for i in 0..cfg.workers.max(1) {
+        let rx = rx.clone();
+        let source = source.clone();
+        let io_timeout = cfg.io_timeout;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("rh-obs-http-{i}"))
+                .spawn(move || worker_loop(&rx, source.as_ref(), io_timeout))?,
+        );
+    }
+
+    let stop_flag = stop.clone();
+    let poll = cfg.poll_interval.max(Duration::from_millis(1));
+    let io_timeout = cfg.io_timeout;
+    let accept = std::thread::Builder::new().name("rh-obs-http-accept".into()).spawn(move || {
+        // `tx` moves in here; dropping it on exit closes the channel
+        // and lets every worker drain and terminate.
+        loop {
+            if stop_flag.load(Ordering::Relaxed)
+                || shutdown_when.as_ref().is_some_and(|f| f())
+            {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    crate::counter(names::OBS_HTTP_REQUESTS, 1);
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            crate::counter(names::OBS_HTTP_REJECTED, 1);
+                            reject_overloaded(stream, io_timeout);
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(poll),
+                Err(_) => std::thread::sleep(poll),
+            }
+        }
+    })?;
+
+    Ok(TelemetryServer { addr: local, stop, accept: Some(accept), workers })
+}
+
+impl TelemetryServer {
+    /// The bound address (useful with a `:0` request port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued connections, and joins every
+    /// thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    source: &dyn TelemetrySource,
+    io_timeout: Duration,
+) {
+    loop {
+        let next = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => handle_connection(stream, source, io_timeout),
+            Err(_) => break, // accept loop gone: no more work, ever
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, source: &dyn TelemetrySource, io_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let (status, reason, content_type, body) = match read_request_target(&mut stream) {
+        None => (400, "Bad Request", "text/plain; charset=utf-8", "bad request\n".to_string()),
+        Some(target) => route(&target, source),
+    };
+    respond(&mut stream, status, reason, content_type, &body);
+}
+
+/// Dispatches one request path (query string already stripped).
+fn route(target: &str, source: &dyn TelemetrySource) -> (u16, &'static str, &'static str, String) {
+    match target {
+        "/metrics" => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            source.metrics_text(),
+        ),
+        "/progress" => (200, "OK", "application/json", source.progress_json()),
+        "/healthz" => {
+            let body = source.healthz_json();
+            if source.healthy() {
+                (200, "OK", "application/json", body)
+            } else {
+                (503, "Service Unavailable", "application/json", body)
+            }
+        }
+        _ => (404, "Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+    }
+}
+
+/// Reads the request head and returns the path of a `GET` request
+/// (query string stripped), or `None` for anything malformed or
+/// non-`GET`. Reads at most 8 KiB — telemetry requests have no body.
+fn read_request_target(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 8192];
+    let mut len = 0usize;
+    loop {
+        if len == buf.len() {
+            return None;
+        }
+        let n = match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => return None,
+        };
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        // A bare request line is enough; some probes skip headers.
+        if buf[..len].windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&buf[..len]).ok()?;
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some(path.to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, content_type: &str, body: &str) {
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Answers a connection the queue had no room for.
+fn reject_overloaded(mut stream: TcpStream, io_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    respond(&mut stream, 503, "Service Unavailable", "text/plain; charset=utf-8", "overloaded\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead as _, BufReader};
+
+    struct StubSource {
+        healthy: AtomicBool,
+    }
+
+    impl StubSource {
+        fn new() -> Self {
+            Self { healthy: AtomicBool::new(true) }
+        }
+    }
+
+    impl TelemetrySource for StubSource {
+        fn metrics_text(&self) -> String {
+            "# TYPE up gauge\nup 1\n".to_string()
+        }
+        fn progress_json(&self) -> String {
+            "{\"total\":4,\"completed\":2}\n".to_string()
+        }
+        fn healthy(&self) -> bool {
+            self.healthy.load(Ordering::Relaxed)
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap_or_else(|e| panic!("write: {e}"));
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap_or_else(|e| panic!("status: {e}"));
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut body = String::new();
+        let mut line = String::new();
+        // Skip headers, then read to EOF (Connection: close).
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line).unwrap_or(0);
+            if n == 0 || line == "\r\n" {
+                break;
+            }
+        }
+        let _ = std::io::Read::read_to_string(&mut reader, &mut body);
+        (status, body)
+    }
+
+    #[test]
+    fn serves_all_three_endpoints_and_404() {
+        let source = Arc::new(StubSource::new());
+        let mut server =
+            serve("127.0.0.1:0", source.clone()).unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("up 1"));
+
+        let (status, body) = get(addr, "/progress");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"total\":4"));
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\":true"));
+
+        source.healthy.store(false, Ordering::Relaxed);
+        let (status, body) = get(addr, "/healthz?probe=1");
+        assert_eq!(status, 503);
+        assert!(body.contains("\"ok\":false"));
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+        // Idempotent, and the port is closed afterwards.
+        server.shutdown();
+        assert!(TcpStream::connect(addr).is_err(), "server still accepting after shutdown");
+    }
+
+    #[test]
+    fn shutdown_predicate_stops_the_server() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let watched = flag.clone();
+        let mut server = serve_with(
+            "127.0.0.1:0",
+            Arc::new(StubSource::new()),
+            &ServeConfig::default(),
+            Some(Box::new(move || watched.load(Ordering::Relaxed))),
+        )
+        .unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr();
+        let (status, _) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+
+        flag.store(true, Ordering::SeqCst);
+        // The accept loop polls every 20 ms; give it a moment.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if TcpStream::connect(addr).is_err() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "server ignored shutdown predicate");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown(); // joins the already-exited threads
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let mut server = serve("127.0.0.1:0", Arc::new(StubSource::new()))
+            .unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap_or_else(|e| panic!("{e}"));
+        let mut response = String::new();
+        let _ = std::io::Read::read_to_string(&mut stream, &mut response);
+        assert!(response.starts_with("HTTP/1.1 400"), "got {response:?}");
+        server.shutdown();
+    }
+}

@@ -52,6 +52,26 @@ impl CancelToken {
         self.own.load(Ordering::Relaxed)
             || self.ancestors.iter().any(|a| a.load(Ordering::Relaxed))
     }
+
+    /// Blocks until the token is cancelled or `timeout` elapses,
+    /// polling every `poll` (floored at 1 ms). Returns whether the
+    /// token fired. This is the bridge for shutting down sidecar
+    /// services (e.g. the telemetry HTTP server, which cannot depend
+    /// on this crate) from the cancellation tree without busy-waiting.
+    pub fn wait_timeout(&self, timeout: std::time::Duration, poll: std::time::Duration) -> bool {
+        let poll = poll.max(std::time::Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.is_cancelled() {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            std::thread::sleep(poll.min(deadline - now));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +114,28 @@ mod tests {
         assert!(!grandchild.is_cancelled());
         root.cancel();
         assert!(grandchild.is_cancelled());
+    }
+
+    #[test]
+    fn wait_timeout_observes_cancellation_and_deadline() {
+        use std::time::Duration;
+        let t = CancelToken::new();
+        // Already-cancelled returns immediately.
+        t.cancel();
+        assert!(t.wait_timeout(Duration::from_secs(5), Duration::from_millis(1)));
+
+        let t = CancelToken::new();
+        let waiter = t.clone();
+        let handle = std::thread::spawn(move || {
+            waiter.wait_timeout(Duration::from_secs(10), Duration::from_millis(2))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        t.cancel();
+        assert!(handle.join().unwrap_or(false), "waiter missed the cancel");
+
+        let quiet = CancelToken::new();
+        let start = std::time::Instant::now();
+        assert!(!quiet.wait_timeout(Duration::from_millis(30), Duration::from_millis(5)));
+        assert!(start.elapsed() >= Duration::from_millis(30));
     }
 }

@@ -127,12 +127,7 @@ impl TestBench {
     fn hang(&self, op: &str) -> SoftMcError {
         let after_ops = self.faults.as_ref().map_or(0, |f| f.ops());
         rh_obs::counter(names::SOFTMC_FAULT_HANG, 1);
-        if rh_obs::enabled() {
-            rh_obs::event(
-                names::SOFTMC_HANG_EVENT,
-                &[("op", op.into()), ("after_ops", after_ops.into())],
-            );
-        }
+        rh_obs::event!(names::SOFTMC_HANG_EVENT, op = op, after_ops = after_ops);
         match &self.cancel {
             Some(token) => {
                 while !token.is_cancelled() {
@@ -346,12 +341,7 @@ impl TestBench {
 /// the operation it dropped, and the surfaced error.
 fn note_injected_fault(stage: &'static str, op: &str, err: &SoftMcError) {
     rh_obs::counter(names::SOFTMC_FAULT_INJECTED, 1);
-    if rh_obs::enabled() {
-        rh_obs::event(
-            names::SOFTMC_FAULT_EVENT,
-            &[("stage", stage.into()), ("op", op.into()), ("error", err.to_string().into())],
-        );
-    }
+    rh_obs::event!(names::SOFTMC_FAULT_EVENT, stage = stage, op = op, error = err.to_string());
 }
 
 #[cfg(test)]
