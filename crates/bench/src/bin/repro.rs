@@ -14,6 +14,11 @@
 //!             [--out BENCH.json] [--compare BASELINE.json] [--threshold PCT]
 //! repro analyze TRACE.jsonl [--metrics METRICS.json] [--folded OUT.folded] [--top N]
 //! repro top ADDR [--interval-ms N] [--once]
+//! repro serve [--addr ADDR] [--slots N] [--retry-after SECS]
+//! repro fleet [--worker ADDR]... [--spawn N] [--seed N] [--scale S] [--modules N]
+//!             [--workload NAME] [--lease-ms N] [--poll-ms N] [--max-attempts N]
+//!             [--checkpoint FILE] [--resume] [--json]
+//!             [--serve-metrics ADDR] [--metrics-interval SECS]
 //! ```
 //!
 //! `repro bench` runs the canonical perf workloads (median-of-N with
@@ -43,6 +48,19 @@
 //! self-refreshing terminal monitor (modules done/total, worker and
 //! queue occupancy, flips/s, retry/quarantine counts, ETA) to any such
 //! endpoint.
+//!
+//! `repro serve` starts a fleet worker: an HTTP job server that
+//! executes characterization jobs submitted by a `repro fleet`
+//! coordinator (POST `/job`, polled via GET `/job?lease=N`) next to
+//! the usual `/metrics`, `/progress`, and `/healthz` endpoints. The
+//! bound address is announced on stderr as `worker serving on
+//! http://...`. `repro fleet` runs the coordinator: it leases one job
+//! per module to the given (`--worker`) or spawned (`--spawn N`)
+//! workers, treats the poll as a heartbeat, re-dispatches expired
+//! leases with bounded backoff, commits exactly one result per module
+//! (late zombie replies are rejected), and with `--checkpoint` +
+//! `--resume` survives its own crash by re-running only in-flight
+//! leases. See DESIGN.md §11 for the lease state machine.
 //!
 //! `--fault-scenario` arms deterministic fault injection on every
 //! module of campaign-backed targets: a preset name (`none`,
@@ -87,11 +105,18 @@ fn usage() -> ! {
          \x20            [--out BENCH.json] [--compare BASELINE.json] [--threshold PCT]\n\
          \x20      repro analyze TRACE.jsonl [--metrics FILE.json] [--folded OUT] [--top N]\n\
          \x20      repro top ADDR [--interval-ms N] [--once]\n\
+         \x20      repro serve [--addr ADDR] [--slots N] [--retry-after SECS]\n\
+         \x20      repro fleet [--worker ADDR]... [--spawn N] [--seed N] [--scale S]\n\
+         \x20            [--modules N] [--workload NAME] [--lease-ms N] [--poll-ms N]\n\
+         \x20            [--max-attempts N] [--checkpoint FILE] [--resume] [--json]\n\
+         \x20            [--serve-metrics ADDR] [--metrics-interval SECS]\n\
          fault scenarios: none | flaky-host | thermal | dead-module | hung-module | chaos | <plan.json>\n\
          targets: {} | defense-matrix | all\n\
-         bench workloads: {}",
+         bench workloads: {}\n\
+         fleet workloads: {}",
         targets().join(" | "),
-        perf::workload_names().join(" | ")
+        perf::workload_names().join(" | "),
+        rh_bench::fleet_workloads().join(" | ")
     );
     std::process::exit(2);
 }
@@ -256,6 +281,174 @@ fn analyze_main(mut args: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro serve`: run a fleet worker until shut down (POST
+/// `/shutdown`, SIGINT, or SIGTERM).
+fn serve_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut cfg = rh_bench::WorkerConfig::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => cfg.addr = addr,
+                None => usage(),
+            },
+            "--slots" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.slots = n,
+                _ => usage(),
+            },
+            "--retry-after" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(secs) => cfg.retry_after_secs = secs,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    interrupt::install();
+    {
+        let token = cfg.cancel.clone();
+        std::thread::spawn(move || loop {
+            if interrupt::FIRED.load(Ordering::SeqCst) {
+                token.cancel();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+    match rh_bench::run_worker(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro fleet`: run the lease-based coordinator over a set of
+/// workers and print the fleet report.
+fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut cfg = rh_bench::FleetConfig::default();
+    let mut resume = false;
+    let mut json = false;
+    let mut telemetry = TelemetryOptions::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--worker" => match args.next() {
+                Some(addr) => cfg.workers.push(addr),
+                None => usage(),
+            },
+            "--spawn" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.spawn_workers = n,
+                _ => usage(),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => usage(),
+            },
+            "--scale" => {
+                cfg.scale = match args.next().as_deref() {
+                    Some("smoke") => Scale::Smoke,
+                    Some("default") => Scale::Default,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                }
+            }
+            "--modules" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(m) if m >= 1 => cfg.modules_per_mfr = m,
+                _ => usage(),
+            },
+            "--workload" => match args.next() {
+                Some(w) if rh_bench::fleet_workloads().contains(&w.as_str()) => {
+                    cfg.workload = w;
+                }
+                _ => usage(),
+            },
+            "--lease-ms" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(ms) if ms >= 1 => cfg.lease_ms = ms,
+                _ => usage(),
+            },
+            "--poll-ms" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(ms) if ms >= 1 => cfg.poll_ms = ms,
+                _ => usage(),
+            },
+            "--max-attempts" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.retry.max_attempts = n,
+                _ => usage(),
+            },
+            "--checkpoint" => match args.next() {
+                Some(p) => cfg.checkpoint = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--resume" => resume = true,
+            "--json" => json = true,
+            "--serve-metrics" => match args.next() {
+                Some(addr) => telemetry.serve_addr = Some(addr),
+                None => usage(),
+            },
+            "--metrics-interval" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 => {
+                    telemetry.rollup_interval =
+                        Some(std::time::Duration::from_secs_f64(secs));
+                }
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if let Some(path) = &cfg.checkpoint {
+        if !resume && path.exists() {
+            // Same hygiene as campaign checkpoints: a fresh run must
+            // not inherit stale state.
+            if let Err(e) = std::fs::remove_file(path) {
+                eprintln!("repro fleet: cannot clear checkpoint {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    interrupt::install();
+    {
+        let token = cfg.cancel.clone();
+        std::thread::spawn(move || loop {
+            if interrupt::FIRED.load(Ordering::SeqCst) {
+                token.cancel();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+    let obs = ObsSetup::with_telemetry(None, None, &telemetry, &cfg.cancel);
+    cfg.progress = obs.progress();
+    let outcome = rh_bench::run_fleet(&cfg);
+    let mut code = match &outcome {
+        Ok(report) => {
+            if json {
+                match serde_json::to_value(report) {
+                    Ok(v) => println!("{v}"),
+                    Err(e) => {
+                        eprintln!("repro fleet: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                print!("{}", rh_bench::fleet_text(report));
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("repro fleet: not clean ({})", report.summary_line());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("repro fleet: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    if let Err(e) = obs.finish() {
+        eprintln!("repro fleet: failed to flush telemetry: {e}");
+        code = ExitCode::FAILURE;
+    }
+    code
+}
+
 /// Resolves `--fault-scenario` (preset name or JSON file path).
 fn load_fault_plan(spec: &str, seed: u64) -> Result<FaultPlan, String> {
     if let Some(plan) = FaultPlan::preset(spec, seed) {
@@ -314,6 +507,8 @@ fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("bench") => return bench_main(args.skip(1)),
         Some("analyze") => return analyze_main(args.skip(1)),
+        Some("serve") => return serve_main(args.skip(1)),
+        Some("fleet") => return fleet_main(args.skip(1)),
         Some("top") => {
             return match rh_bench::top::top_main(args.skip(1)) {
                 Ok(()) => ExitCode::SUCCESS,

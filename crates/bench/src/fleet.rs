@@ -1,0 +1,538 @@
+//! The `repro fleet` coordinator: dispatches characterization jobs to
+//! `repro serve` workers under leases and survives both worker death
+//! (`kill -9` mid-job) and its own (checkpoint crash-resume).
+//!
+//! The pure lease/commit logic lives in [`rh_core::fleet`]; this
+//! module is the I/O shell around it: the HTTP dispatch/poll loop,
+//! worker-process spawning, `Retry-After`-honoring backoff, fleet-wide
+//! progress aggregation, and cancellation fan-out. See DESIGN.md §11.
+
+use crate::worker::{fleet_module_id, job_payload};
+use rh_core::fleet::{CommitOutcome, FailOutcome, FleetPolicy, FleetReport, JobTable};
+use rh_core::{CharError, ModuleStatus, ProgressTracker, RetryPolicy, Scale};
+use rh_dram::Manufacturer;
+use rh_obs::names;
+use rh_obs::{http_get, http_post, ClientResponse};
+use rh_softmc::CancelToken;
+use serde::{Serialize as _, Value};
+use std::collections::HashMap;
+use std::io::BufRead as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Addresses of already-running workers (`host:port`).
+    pub workers: Vec<String>,
+    /// Additionally spawn this many local `repro serve` child
+    /// processes (torn down at the end of the run).
+    pub spawn_workers: usize,
+    /// Base seed, exactly as `repro --seed`.
+    pub seed: u64,
+    /// Experiment scale of every job.
+    pub scale: Scale,
+    /// Modules per manufacturer.
+    pub modules_per_mfr: usize,
+    /// Workload every module runs (see
+    /// [`crate::worker::fleet_workloads`]).
+    pub workload: String,
+    /// Lease duration (ms): a worker must finish or be polled alive
+    /// within this, or its job is re-dispatched.
+    pub lease_ms: u64,
+    /// Poll/heartbeat interval (ms).
+    pub poll_ms: u64,
+    /// Consecutive failed polls before a lease is marked suspect.
+    pub suspect_after_misses: u32,
+    /// Bounded retry/backoff for re-dispatch and quarantine.
+    pub retry: RetryPolicy,
+    /// Coordinator checkpoint path; resumed from when it exists.
+    pub checkpoint: Option<PathBuf>,
+    /// Operator cancellation: fans out to every worker.
+    pub cancel: CancelToken,
+    /// Fleet-wide progress aggregation (drives `campaign.progress.*`
+    /// so `repro top` can watch the whole fleet).
+    pub progress: Option<Arc<ProgressTracker>>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            workers: Vec::new(),
+            spawn_workers: 0,
+            seed: 0,
+            scale: Scale::Smoke,
+            modules_per_mfr: 1,
+            workload: "row_variation".to_string(),
+            lease_ms: 10_000,
+            poll_ms: 100,
+            suspect_after_misses: 2,
+            retry: RetryPolicy::default(),
+            checkpoint: None,
+            cancel: CancelToken::new(),
+            progress: None,
+        }
+    }
+}
+
+/// Milliseconds since an arbitrary-but-fixed origin; the coordinator
+/// clock the [`JobTable`] runs on.
+fn now_ms(origin: Instant) -> u64 {
+    origin.elapsed().as_millis() as u64
+}
+
+/// Per-worker dispatch health: round-robin skips workers that are
+/// backing off (their own `Retry-After` advice, or connect failures).
+#[derive(Debug)]
+struct WorkerHealth {
+    addr: String,
+    not_before_ms: u64,
+    consecutive_failures: u32,
+    spawned: Option<Child>,
+}
+
+impl WorkerHealth {
+    fn available(&self, now: u64) -> bool {
+        now >= self.not_before_ms
+    }
+
+    /// Escalating connect-failure backoff, capped at 2 s.
+    fn back_off_failure(&mut self, now: u64) {
+        self.consecutive_failures += 1;
+        let ms = (100u64 << self.consecutive_failures.min(4)).min(2_000);
+        self.not_before_ms = now + ms;
+    }
+
+    fn back_off_advice(&mut self, now: u64, advice: Duration) {
+        self.not_before_ms = now + advice.as_millis() as u64;
+    }
+
+    fn healthy_again(&mut self) {
+        self.consecutive_failures = 0;
+    }
+}
+
+/// The builtin fleet job set: every manufacturer × module index, in
+/// the same order and with the same module ids a single-process
+/// campaign would use.
+fn fleet_jobs(cfg: &FleetConfig) -> Vec<(String, Value)> {
+    let mut jobs = Vec::new();
+    for mfr in Manufacturer::ALL {
+        for index in 0..cfg.modules_per_mfr {
+            jobs.push((
+                fleet_module_id(mfr, index, cfg.seed),
+                job_payload(mfr, index, cfg.seed, cfg.scale, &cfg.workload),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Runs the same job set as [`run_fleet`] in this process, without
+/// any workers — the determinism oracle: a fleet run (with any amount
+/// of worker death) must produce a bit-identical report.
+///
+/// # Errors
+///
+/// [`CharError`] from the characterization itself.
+pub fn run_fleet_local(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
+    let mut table = JobTable::new(FleetPolicy {
+        retry: cfg.retry.clone(),
+        lease_ms: u64::MAX / 4,
+        suspect_after_misses: cfg.suspect_after_misses,
+    });
+    for (id, payload) in fleet_jobs(cfg) {
+        table.add_job(id, payload);
+    }
+    while let Some(module) = table.next_ready(0) {
+        let grant = table.grant(&module, "local", 0)?;
+        match crate::worker::execute_payload(&grant.payload, &cfg.cancel) {
+            Ok(result) => {
+                table.commit(grant.lease_id, result);
+            }
+            Err(e) if e.is_cancelled() => return Err(e),
+            Err(e) => {
+                let transient = e.is_transient();
+                table.fail(grant.lease_id, &e.to_string(), transient, 0);
+            }
+        }
+    }
+    Ok(table.report())
+}
+
+/// Spawns one local `repro serve` child and parses its announced
+/// address from stderr.
+fn spawn_worker(slots: usize) -> Result<(Child, String), CharError> {
+    let exe = std::env::current_exe().map_err(|e| CharError::Checkpoint {
+        detail: format!("fleet: cannot locate own binary: {e}"),
+    })?;
+    let mut child = Command::new(exe)
+        .args(["serve", "--addr", "127.0.0.1:0", "--slots", &slots.to_string()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| CharError::Checkpoint { detail: format!("fleet: spawn worker: {e}") })?;
+    let stderr = child.stderr.take().ok_or_else(|| CharError::Checkpoint {
+        detail: "fleet: no stderr pipe from worker".to_string(),
+    })?;
+    let mut reader = std::io::BufReader::new(stderr);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| CharError::Checkpoint {
+            detail: format!("fleet: read worker stderr: {e}"),
+        })?;
+        if n == 0 {
+            let _ = child.kill();
+            return Err(CharError::Checkpoint {
+                detail: "fleet: worker exited before announcing its address".to_string(),
+            });
+        }
+        if let Some(rest) = line.trim().strip_prefix("repro: worker serving on http://") {
+            break rest.to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::Builder::new()
+        .name("rh-fleet-worker-stderr".to_string())
+        .spawn(move || {
+            let mut sink = String::new();
+            loop {
+                sink.clear();
+                match reader.read_line(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+        })
+        .map_err(|e| CharError::Checkpoint { detail: format!("fleet: spawn drain: {e}") })?;
+    Ok((child, addr))
+}
+
+/// What one poll of one lease told us.
+enum PollVerdict {
+    Alive,
+    Done(Value),
+    Failed { error: String, transient: bool },
+    Gone,
+}
+
+fn poll_lease(addr: &str, lease_id: u64, timeout: Duration) -> PollVerdict {
+    let Ok(response) = http_get(addr, &format!("/job?lease={lease_id}"), timeout) else {
+        return PollVerdict::Gone;
+    };
+    let Ok(body) = serde_json::from_str::<Value>(&response.body) else {
+        return PollVerdict::Gone;
+    };
+    match body.field("state").as_str() {
+        Some("running") => PollVerdict::Alive,
+        Some("done") => PollVerdict::Done(body.field("result").clone()),
+        Some("failed") => PollVerdict::Failed {
+            error: body.field("error").as_str().unwrap_or("unknown worker error").to_string(),
+            transient: body.field("transient").as_bool().unwrap_or(false),
+        },
+        // "cancelled" / "unknown" / garbage: the lease is not coming
+        // back from this worker.
+        _ => PollVerdict::Gone,
+    }
+}
+
+/// Runs a fleet campaign to completion (every module committed or
+/// quarantined), honoring leases, re-dispatch, checkpoint resume, and
+/// operator cancellation. Returns the final [`FleetReport`].
+///
+/// # Errors
+///
+/// [`CharError::Checkpoint`] for unusable checkpoints or when no
+/// worker can be contacted at all; [`CharError::Cancelled`] when the
+/// operator cancels before completion.
+pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
+    let origin = Instant::now();
+    let io_timeout = Duration::from_millis(cfg.poll_ms.clamp(50, 2_000) * 4);
+
+    let mut workers: Vec<WorkerHealth> = cfg
+        .workers
+        .iter()
+        .map(|addr| WorkerHealth {
+            addr: addr.clone(),
+            not_before_ms: 0,
+            consecutive_failures: 0,
+            spawned: None,
+        })
+        .collect();
+    for _ in 0..cfg.spawn_workers {
+        let (child, addr) = spawn_worker(2)?;
+        eprintln!("repro: fleet spawned worker on {addr}");
+        workers.push(WorkerHealth {
+            addr,
+            not_before_ms: 0,
+            consecutive_failures: 0,
+            spawned: Some(child),
+        });
+    }
+    if workers.is_empty() {
+        return Err(CharError::Checkpoint {
+            detail: "fleet: no workers (pass --worker or --spawn)".to_string(),
+        });
+    }
+
+    let mut table = JobTable::new(FleetPolicy {
+        retry: cfg.retry.clone(),
+        lease_ms: cfg.lease_ms,
+        suspect_after_misses: cfg.suspect_after_misses,
+    });
+    // Per-incarnation lease-ID nonce: a resumed coordinator must not
+    // mint IDs its dead predecessor already used, or a worker still
+    // holding one of those jobs would answer the new lease with the
+    // old job's result (see `JobTable::set_lease_base`). The low bits
+    // stay free for the grant counter.
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()) ^ (d.as_secs() << 20))
+        .unwrap_or(1);
+    table.set_lease_base((nonce & 0xffff_ffff) << 24);
+    for (id, payload) in fleet_jobs(cfg) {
+        table.add_job(id, payload);
+    }
+    if let Some(path) = &cfg.checkpoint {
+        table.with_checkpoint(path.clone())?;
+    }
+    if let Some(progress) = &cfg.progress {
+        progress.add_modules(table.total());
+        // Checkpoint-resumed modules count as already done.
+        for _ in 0..table.done_count() {
+            progress.record_status(&ModuleStatus::Succeeded);
+        }
+    }
+
+    // lease id -> worker address, for polling.
+    let mut lease_worker: HashMap<u64, String> = HashMap::new();
+    // Expired leases we keep polling so a zombie's late result is
+    // *observed* being rejected by the commit rule (rather than the
+    // zombie silently never being asked).
+    let mut orphans: HashMap<u64, String> = HashMap::new();
+    let mut rr_cursor = 0usize;
+
+    let outcome = loop {
+        if cfg.cancel.is_cancelled() {
+            break Err(CharError::Cancelled { op: "fleet".to_string() });
+        }
+        if table.is_done() {
+            break Ok(());
+        }
+        let now = now_ms(origin);
+
+        // 1. Expire overdue leases; their jobs re-queue behind backoff.
+        for expired in table.tick(now) {
+            lease_worker.remove(&expired.lease_id);
+            if !expired.quarantined {
+                orphans.insert(expired.lease_id, expired.worker.clone());
+            } else if let Some(progress) = &cfg.progress {
+                progress.record_status(&ModuleStatus::Quarantined {
+                    attempts: cfg.retry.max_attempts,
+                    error: "lease expired; attempt budget exhausted".to_string(),
+                });
+            }
+        }
+
+        // 2. Dispatch every ready job to an available worker.
+        while let Some(module) = table.next_ready(now) {
+            let n = workers.len();
+            let Some(slot) = (0..n)
+                .map(|i| (rr_cursor + i) % n)
+                .find(|&i| workers[i].available(now))
+            else {
+                break; // everyone is backing off; try next tick
+            };
+            rr_cursor = slot + 1;
+            let grant = table.grant(&module, &workers[slot].addr, now)?;
+            let body = serde_json::to_string(&grant.to_json_value()).map_err(|e| {
+                CharError::Checkpoint { detail: format!("fleet: serialize grant: {e}") }
+            })?;
+            match http_post(&workers[slot].addr, "/job", &body, io_timeout) {
+                Ok(ClientResponse { status, .. }) if (200..300).contains(&status) => {
+                    workers[slot].healthy_again();
+                    lease_worker.insert(grant.lease_id, workers[slot].addr.clone());
+                }
+                Ok(response) => {
+                    // Worker refused (e.g. 503 all-slots-busy): honor
+                    // its Retry-After advice and release the lease
+                    // without burning the module's attempt budget.
+                    let advice = response
+                        .retry_after
+                        .unwrap_or_else(|| Duration::from_millis(cfg.poll_ms.max(100)));
+                    workers[slot].back_off_advice(now, advice);
+                    table.release(grant.lease_id, now);
+                }
+                Err(_) => {
+                    workers[slot].back_off_failure(now);
+                    table.release(grant.lease_id, now);
+                }
+            }
+        }
+
+        // 3. Poll every active lease: heartbeat, result, or miss.
+        for (lease_id, worker_addr, _state) in table.active_leases() {
+            let addr = lease_worker
+                .get(&lease_id)
+                .cloned()
+                .unwrap_or_else(|| worker_addr.clone());
+            match poll_lease(&addr, lease_id, io_timeout) {
+                PollVerdict::Alive => {
+                    table.heartbeat(lease_id, now_ms(origin));
+                }
+                PollVerdict::Done(result) => {
+                    let attempts = table.lease_generation(lease_id).unwrap_or(1);
+                    if table.commit(lease_id, result) == CommitOutcome::Committed {
+                        lease_worker.remove(&lease_id);
+                        if let Some(progress) = &cfg.progress {
+                            progress.record_status(&if attempts <= 1 {
+                                ModuleStatus::Succeeded
+                            } else {
+                                ModuleStatus::Recovered { attempts }
+                            });
+                        }
+                    }
+                }
+                PollVerdict::Failed { error, transient } => {
+                    lease_worker.remove(&lease_id);
+                    if table.fail(lease_id, &error, transient, now_ms(origin))
+                        == FailOutcome::Quarantined
+                    {
+                        if let Some(progress) = &cfg.progress {
+                            progress.record_status(&ModuleStatus::Quarantined {
+                                attempts: cfg.retry.max_attempts,
+                                error,
+                            });
+                        }
+                    }
+                }
+                PollVerdict::Gone => {
+                    table.heartbeat_missed(lease_id);
+                }
+            }
+        }
+        let suspects = table
+            .active_leases()
+            .iter()
+            .filter(|(_, _, s)| *s == rh_core::fleet::LeaseState::Suspect)
+            .count();
+        rh_obs::gauge(names::FLEET_WORKER_SUSPECT, suspects as f64);
+
+        // 4. Poll orphaned leases: a zombie that finished after its
+        // lease expired gets its late result explicitly rejected.
+        orphans.retain(|&lease_id, addr| match poll_lease(addr, lease_id, io_timeout) {
+            PollVerdict::Done(result) => {
+                // Stale by construction: the lease no longer owns its
+                // job. Counted as fleet.duplicate inside commit().
+                let _ = table.commit(lease_id, result);
+                false
+            }
+            PollVerdict::Alive => true,
+            _ => false,
+        });
+
+        std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(10)));
+    };
+
+    // Fan cancellation out to the workers we know about, then tear
+    // down the children we spawned.
+    if outcome.is_err() {
+        for (lease_id, addr) in &lease_worker {
+            let _ = http_post(
+                addr,
+                "/cancel",
+                &format!("{{\"lease_id\":{lease_id}}}"),
+                io_timeout,
+            );
+        }
+        if let Some(progress) = &cfg.progress {
+            for (_, _, _) in table.active_leases() {
+                progress.record_status(&ModuleStatus::Cancelled { attempts: 1 });
+            }
+        }
+    }
+    for worker in &mut workers {
+        if let Some(mut child) = worker.spawned.take() {
+            let _ = http_post(&worker.addr, "/shutdown", "{}", io_timeout);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    outcome.map(|()| table.report())
+}
+
+/// Renders a fleet report the way `repro` prints campaign footers.
+#[must_use]
+pub fn fleet_text(report: &FleetReport) -> String {
+    let mut s = format!("fleet: {}\n", report.summary_line());
+    for outcome in report.outcomes.iter().filter(|o| o.status != "committed") {
+        s.push_str(&format!(
+            "  {} {} after {} attempt(s)\n",
+            outcome.status, outcome.id, outcome.attempts
+        ));
+        for error in &outcome.errors {
+            s.push_str(&format!("    - {error}\n"));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_jobs_are_stable_and_ordered() {
+        let cfg = FleetConfig { seed: 3, modules_per_mfr: 2, ..FleetConfig::default() };
+        let jobs = fleet_jobs(&cfg);
+        assert_eq!(jobs.len(), 8, "4 manufacturers x 2 modules");
+        let again = fleet_jobs(&cfg);
+        assert_eq!(
+            jobs.iter().map(|(id, _)| id.clone()).collect::<Vec<_>>(),
+            again.iter().map(|(id, _)| id.clone()).collect::<Vec<_>>()
+        );
+        // Ids are unique.
+        let mut ids: Vec<_> = jobs.iter().map(|(id, _)| id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn local_fleet_run_is_deterministic() {
+        let cfg = FleetConfig { seed: 11, ..FleetConfig::default() };
+        let a = run_fleet_local(&cfg).unwrap();
+        let b = run_fleet_local(&cfg).unwrap();
+        assert!(a.is_clean());
+        assert_eq!(a.results.len(), 4);
+        assert_eq!(
+            serde_json::to_string(&a.to_json_value()).unwrap(),
+            serde_json::to_string(&b.to_json_value()).unwrap(),
+            "local oracle must be bit-stable"
+        );
+    }
+
+    #[test]
+    fn fleet_without_workers_is_refused() {
+        let cfg = FleetConfig::default();
+        let err = run_fleet(&cfg).unwrap_err();
+        assert!(err.to_string().contains("no workers"), "got {err}");
+    }
+}

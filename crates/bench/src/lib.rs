@@ -6,10 +6,17 @@
 //! structures.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod fleet;
 pub mod perf;
 pub mod runners;
 pub mod soak;
 pub mod top;
+pub mod worker;
+
+pub use fleet::{fleet_text, run_fleet, run_fleet_local, FleetConfig};
+pub use worker::{
+    execute_payload, fleet_module_id, fleet_workloads, job_payload, run_worker, WorkerConfig,
+};
 
 pub use perf::{
     compare_reports, from_json, run_bench, to_json, workload_names, BenchConfig, BenchReport,

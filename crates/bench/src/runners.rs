@@ -332,7 +332,7 @@ pub fn targets() -> Vec<&'static str> {
     ]
 }
 
-fn module_identity(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> u64 {
+pub(crate) fn module_identity(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> u64 {
     let modules = ddr4_modules_of(mfr);
     modules[index % modules.len()].seed() ^ cfg.seed.rotate_left(17)
 }
@@ -353,7 +353,7 @@ fn characterizer(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> Result<Cha
 /// transient fault does not replay identically on every rebuild. The
 /// per-task cancel token is installed *before* the (expensive) build so
 /// even module bring-up unwinds promptly on cancellation.
-fn characterizer_armed(
+pub(crate) fn characterizer_armed(
     mfr: Manufacturer,
     cfg: &RunConfig,
     index: usize,
@@ -375,7 +375,7 @@ fn characterizer_armed(
 }
 
 /// The checkpoint-stable identifier of a campaign module.
-fn campaign_module_id(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> String {
+pub(crate) fn campaign_module_id(mfr: Manufacturer, cfg: &RunConfig, index: usize) -> String {
     format!("{}#{}", module_id(mfr, module_identity(mfr, cfg, index)), index)
 }
 

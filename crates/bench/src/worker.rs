@@ -1,0 +1,575 @@
+//! The `repro serve` fleet worker: a process that owns a shard of
+//! characterization work and executes jobs POSTed by the `repro
+//! fleet` coordinator.
+//!
+//! A worker is the telemetry HTTP server from `rh-obs` plus custom
+//! routes (via [`rh_obs::TelemetrySource::handle`]):
+//!
+//! - `POST /job` — body is a [`JobGrant`]; accepted jobs run on a
+//!   detached thread and the reply is `202 {"accepted":true,...}`.
+//!   When every slot is busy the worker answers `503` with a
+//!   `Retry-After` header instead of queueing unboundedly.
+//! - `GET /job?lease=N` — the coordinator's combined heartbeat and
+//!   result poll: `{"state":"running"|"done"|"failed"|"cancelled"}`
+//!   plus the result or error. An unknown lease (e.g. the worker
+//!   restarted) is `404 {"state":"unknown"}`.
+//! - `POST /cancel` — body `{"lease_id":N}`; trips the job's remote
+//!   cancel token. Coordinator-driven lease revocation and operator
+//!   Ctrl-C meet in the same [`CancelToken::linked`] token.
+//! - `POST /shutdown` — drains and exits the serve loop.
+//!
+//! `GET /metrics`, `/progress`, and `/healthz` keep working, so
+//! `repro top` can watch an individual worker too.
+//!
+//! The work itself is deterministic in the payload: the same
+//! `(module, seed, scale, workload)` produces bit-identical JSON on
+//! any worker, which is what lets the coordinator re-dispatch freely
+//! and still match a single-process run.
+
+use crate::runners::{characterizer_armed, module_identity, RunConfig};
+use rh_core::experiments::{spatial, temperature};
+use rh_core::fleet::JobGrant;
+use rh_core::{module_id, CharError, Scale};
+use rh_dram::Manufacturer;
+use rh_obs::names;
+use rh_obs::{HttpRequest, HttpResponse, TelemetrySource};
+use rh_softmc::CancelToken;
+use serde::{Deserialize as _, Value};
+use serde_json::json;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Sizing and wiring of one fleet worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Bind address (e.g. `127.0.0.1:0` for an OS-assigned port).
+    pub addr: String,
+    /// Concurrent job slots; further submissions get `503`.
+    pub slots: usize,
+    /// `Retry-After` seconds advertised when all slots are busy.
+    pub retry_after_secs: u64,
+    /// Operator cancellation (SIGINT/SIGTERM in `repro serve`).
+    pub cancel: CancelToken,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            slots: 2,
+            retry_after_secs: 1,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+/// Builds the deterministic wire payload for one module's job. The
+/// coordinator calls this when populating its job table; the worker's
+/// [`execute_payload`] inverts it.
+#[must_use]
+pub fn job_payload(mfr: Manufacturer, index: usize, seed: u64, scale: Scale, workload: &str) -> Value {
+    json!({
+        "mfr": format!("{mfr:?}"),
+        "index": index,
+        "seed": seed,
+        "scale": format!("{scale:?}"),
+        "workload": workload,
+    })
+}
+
+/// The stable module id of one fleet job — identical to the campaign
+/// module id of the same `(mfr, index, seed)`, so fleet and
+/// single-process reports line up key-for-key.
+#[must_use]
+pub fn fleet_module_id(mfr: Manufacturer, index: usize, seed: u64) -> String {
+    let cfg = RunConfig { seed, ..RunConfig::default() };
+    format!("{}#{index}", module_id(mfr, module_identity(mfr, &cfg, index)))
+}
+
+/// Workload names [`execute_payload`] understands.
+#[must_use]
+pub fn fleet_workloads() -> &'static [&'static str] {
+    &["row_variation", "temp_ranges"]
+}
+
+/// Executes one job payload to completion (or cancellation), building
+/// a fresh bench exactly like a campaign attempt would. Deterministic
+/// in the payload; the attempt number only re-derives fault streams,
+/// and fleet payloads are fault-free, so re-dispatched runs are
+/// bit-identical.
+///
+/// # Errors
+///
+/// [`CharError`] from the characterization itself, a malformed
+/// payload, or cancellation.
+pub fn execute_payload(payload: &Value, cancel: &CancelToken) -> Result<Value, CharError> {
+    let malformed = |what: &str| CharError::Checkpoint { detail: format!("fleet payload: {what}") };
+    let mfr_name = payload.field("mfr").as_str().ok_or_else(|| malformed("missing mfr"))?;
+    let mfr = Manufacturer::ALL
+        .into_iter()
+        .find(|m| format!("{m:?}") == mfr_name)
+        .ok_or_else(|| malformed("unknown mfr"))?;
+    let index = payload.field("index").as_u64().ok_or_else(|| malformed("missing index"))? as usize;
+    let seed = payload.field("seed").as_u64().ok_or_else(|| malformed("missing seed"))?;
+    let scale = match payload.field("scale").as_str() {
+        Some("Smoke") => Scale::Smoke,
+        Some("Default") => Scale::Default,
+        Some("Paper") => Scale::Paper,
+        _ => return Err(malformed("unknown scale")),
+    };
+    let workload =
+        payload.field("workload").as_str().ok_or_else(|| malformed("missing workload"))?;
+
+    let cfg = RunConfig { seed, scale, ..RunConfig::default() };
+    let mut ch = characterizer_armed(mfr, &cfg, index, 1, cancel)?;
+    match workload {
+        "row_variation" => {
+            let r = spatial::row_variation(&mut ch)?;
+            serde_json::to_value(r)
+                .map_err(|e| CharError::Checkpoint { detail: format!("serialize result: {e}") })
+        }
+        "temp_ranges" => {
+            let r = temperature::cell_temp_ranges(&mut ch)?;
+            serde_json::to_value(r)
+                .map_err(|e| CharError::Checkpoint { detail: format!("serialize result: {e}") })
+        }
+        other => Err(malformed(&format!("unknown workload '{other}'"))),
+    }
+}
+
+/// One job slot's lifecycle on the worker.
+#[derive(Debug, Clone)]
+enum JobState {
+    Running,
+    Done(Value),
+    Failed { error: String, transient: bool },
+    Cancelled,
+}
+
+#[derive(Debug)]
+struct JobSlot {
+    lease_id: u64,
+    generation: u32,
+    module_id: String,
+    state: JobState,
+    cancel: CancelToken,
+}
+
+/// Shared state between the HTTP routes and the job threads.
+struct WorkerState {
+    slots: usize,
+    retry_after_secs: u64,
+    jobs: Mutex<Vec<JobSlot>>,
+    running: AtomicUsize,
+    operator: CancelToken,
+    shutdown: AtomicBool,
+}
+
+impl WorkerState {
+    fn submit(&self, grant: JobGrant, state: &Arc<WorkerState>) -> HttpResponse {
+        let mut jobs = lock(&self.jobs);
+        // Idempotent re-submission of a lease we already hold (e.g.
+        // the coordinator's POST reply was lost) — but only for the
+        // *same* job: a known lease ID carrying a different module or
+        // generation is a distinct coordinator incarnation reusing the
+        // ID, and silently adopting the stored job would hand it the
+        // wrong module's result. Refuse so the coordinator re-grants
+        // under a fresh ID.
+        if let Some(held) = jobs.iter().find(|j| j.lease_id == grant.lease_id) {
+            if held.module_id == grant.module_id && held.generation == grant.generation {
+                return HttpResponse::json(
+                    200,
+                    json!({"accepted": true, "lease_id": grant.lease_id}).to_string(),
+                );
+            }
+            rh_obs::counter(names::WORKER_JOBS_REJECTED, 1);
+            return HttpResponse::json(
+                409,
+                json!({"accepted": false, "error": "lease id collision"}).to_string(),
+            );
+        }
+        if self.running.load(Ordering::SeqCst) >= self.slots {
+            rh_obs::counter(names::WORKER_JOBS_REJECTED, 1);
+            return HttpResponse::json(503, json!({"accepted": false}).to_string())
+                .with_header("Retry-After", self.retry_after_secs.to_string());
+        }
+        let remote = CancelToken::new();
+        let job_token = self.operator.linked(&remote);
+        jobs.push(JobSlot {
+            lease_id: grant.lease_id,
+            generation: grant.generation,
+            module_id: grant.module_id.clone(),
+            state: JobState::Running,
+            cancel: remote,
+        });
+        self.running.fetch_add(1, Ordering::SeqCst);
+        rh_obs::counter(names::WORKER_JOBS_ACCEPTED, 1);
+        drop(jobs);
+
+        let state = Arc::clone(state);
+        let lease_id = grant.lease_id;
+        let spawned = std::thread::Builder::new()
+            .name(format!("rh-fleet-job-{lease_id}"))
+            .spawn(move || {
+                let outcome = execute_payload(&grant.payload, &job_token);
+                let mut jobs = lock(&state.jobs);
+                if let Some(slot) = jobs.iter_mut().find(|j| j.lease_id == lease_id) {
+                    slot.state = match outcome {
+                        Ok(result) => {
+                            rh_obs::counter(names::WORKER_JOBS_COMPLETED, 1);
+                            JobState::Done(result)
+                        }
+                        Err(e) if e.is_cancelled() || job_token.is_cancelled() => {
+                            rh_obs::counter(names::WORKER_JOBS_CANCELLED, 1);
+                            JobState::Cancelled
+                        }
+                        Err(e) => {
+                            rh_obs::counter(names::WORKER_JOBS_FAILED, 1);
+                            JobState::Failed {
+                                error: e.to_string(),
+                                transient: e.is_transient(),
+                            }
+                        }
+                    };
+                }
+                state.running.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // Thread spawn failed: roll the slot back and refuse.
+            let mut jobs = lock(&self.jobs);
+            jobs.retain(|j| j.lease_id != lease_id);
+            self.running.fetch_sub(1, Ordering::SeqCst);
+            rh_obs::counter(names::WORKER_JOBS_REJECTED, 1);
+            return HttpResponse::json(503, json!({"accepted": false}).to_string())
+                .with_header("Retry-After", self.retry_after_secs.to_string());
+        }
+        HttpResponse::json(202, json!({"accepted": true, "lease_id": lease_id}).to_string())
+    }
+
+    fn poll(&self, lease_id: u64) -> HttpResponse {
+        let jobs = lock(&self.jobs);
+        let Some(slot) = jobs.iter().find(|j| j.lease_id == lease_id) else {
+            return HttpResponse::json(404, json!({"state": "unknown"}).to_string());
+        };
+        let body = match &slot.state {
+            JobState::Running => json!({"state": "running", "lease_id": lease_id}),
+            JobState::Done(result) => json!({
+                "state": "done",
+                "lease_id": lease_id,
+                "generation": slot.generation,
+                "module_id": slot.module_id.clone(),
+                "result": result.clone(),
+            }),
+            JobState::Failed { error, transient } => json!({
+                "state": "failed",
+                "lease_id": lease_id,
+                "error": error.clone(),
+                "transient": *transient,
+            }),
+            JobState::Cancelled => json!({"state": "cancelled", "lease_id": lease_id}),
+        };
+        HttpResponse::ok_json(body.to_string())
+    }
+
+    fn cancel_lease(&self, lease_id: u64) -> HttpResponse {
+        let jobs = lock(&self.jobs);
+        match jobs.iter().find(|j| j.lease_id == lease_id) {
+            Some(slot) => {
+                slot.cancel.cancel();
+                HttpResponse::ok_json(json!({"ok": true}).to_string())
+            }
+            None => HttpResponse::json(404, json!({"state": "unknown"}).to_string()),
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The [`TelemetrySource`] a worker serves: built-in telemetry plus
+/// the job-control routes.
+struct WorkerSource {
+    state: Arc<WorkerState>,
+    recorder: Arc<rh_obs::Recorder>,
+}
+
+impl TelemetrySource for WorkerSource {
+    fn metrics_text(&self) -> String {
+        rh_obs::export::render_prometheus(&self.recorder)
+    }
+
+    fn progress_json(&self) -> String {
+        let jobs = lock(&self.state.jobs);
+        let running = self.state.running.load(Ordering::SeqCst);
+        json!({"total": jobs.len(), "running": running}).to_string()
+    }
+
+    fn healthy(&self) -> bool {
+        !self.state.operator.is_cancelled() && !self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn handle(&self, request: &HttpRequest) -> Option<HttpResponse> {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/job") => {
+                let grant = serde_json::from_str::<Value>(&request.body)
+                    .ok()
+                    .and_then(|v| JobGrant::from_json_value(&v).ok());
+                Some(match grant {
+                    Some(grant) => self.state.submit(grant, &self.state),
+                    None => HttpResponse::json(400, "{\"error\":\"bad job grant\"}".to_string()),
+                })
+            }
+            ("GET", "/job") => {
+                let lease = request.query_param("lease").and_then(|v| v.parse::<u64>().ok());
+                Some(match lease {
+                    Some(lease) => self.state.poll(lease),
+                    None => HttpResponse::json(400, "{\"error\":\"missing lease\"}".to_string()),
+                })
+            }
+            ("POST", "/cancel") => {
+                let lease = serde_json::from_str::<Value>(&request.body)
+                    .ok()
+                    .and_then(|v| v.field("lease_id").as_u64());
+                Some(match lease {
+                    Some(lease) => self.state.cancel_lease(lease),
+                    None => HttpResponse::json(400, "{\"error\":\"missing lease_id\"}".to_string()),
+                })
+            }
+            ("POST", "/shutdown") => {
+                self.state.shutdown.store(true, Ordering::SeqCst);
+                Some(HttpResponse::ok_json(json!({"ok": true}).to_string()))
+            }
+            (_, "/job" | "/cancel" | "/shutdown") => {
+                Some(HttpResponse::method_not_allowed(match request.path.as_str() {
+                    "/job" => "GET, POST",
+                    _ => "POST",
+                }))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Runs one fleet worker until `POST /shutdown` or operator
+/// cancellation. Installs its own [`rh_obs::Recorder`] so `/metrics`
+/// is live, announces its bound address on stderr (`repro: worker
+/// serving on http://ADDR` — the line the coordinator and CI parse),
+/// and joins every thread before returning.
+///
+/// # Errors
+///
+/// Binding the listen address.
+pub fn run_worker(cfg: &WorkerConfig) -> std::io::Result<()> {
+    let recorder = Arc::new(rh_obs::Recorder::new());
+    rh_obs::install(recorder.clone());
+
+    let state = Arc::new(WorkerState {
+        slots: cfg.slots.max(1),
+        retry_after_secs: cfg.retry_after_secs,
+        jobs: Mutex::new(Vec::new()),
+        running: AtomicUsize::new(0),
+        operator: cfg.cancel.clone(),
+        shutdown: AtomicBool::new(false),
+    });
+    let source = Arc::new(WorkerSource { state: Arc::clone(&state), recorder });
+
+    let watch = Arc::clone(&state);
+    let shutdown = Box::new(move || {
+        watch.operator.is_cancelled() || watch.shutdown.load(Ordering::SeqCst)
+    });
+    let serve_cfg = rh_obs::ServeConfig {
+        // Job submissions + heartbeats from the coordinator plus
+        // scrapes: a little more headroom than the pure-telemetry
+        // default.
+        workers: 4,
+        queue_depth: 32,
+        retry_after_secs: cfg.retry_after_secs,
+        ..rh_obs::ServeConfig::default()
+    };
+    let mut server = rh_obs::serve_with(&cfg.addr, source, &serve_cfg, Some(shutdown))?;
+    eprintln!("repro: worker serving on http://{}", server.local_addr());
+
+    // Block until shutdown is requested, then drain: revoke every
+    // running job and wait for the slots to empty.
+    while !state.operator.is_cancelled() && !state.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.shutdown();
+    for slot in lock(&state.jobs).iter() {
+        slot.cancel.cancel();
+    }
+    let drain_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while state.running.load(Ordering::SeqCst) > 0
+        && std::time::Instant::now() < drain_deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    rh_obs::uninstall();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_obs::{http_get, http_post};
+    use serde::Serialize as _;
+
+    fn start_worker(slots: usize) -> (std::thread::JoinHandle<()>, String, CancelToken) {
+        // Bind first so the test knows the address without parsing
+        // stderr: ask the OS for a free port, then hand it to the
+        // worker. (A race window exists but loopback port reuse in a
+        // fresh netns makes it negligible for tests.)
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let cancel = CancelToken::new();
+        let cfg = WorkerConfig {
+            addr: addr.clone(),
+            slots,
+            retry_after_secs: 1,
+            cancel: cancel.clone(),
+        };
+        let handle = std::thread::spawn(move || {
+            run_worker(&cfg).unwrap();
+        });
+        // Wait for the listener to come up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::net::TcpStream::connect(&addr).is_err() {
+            assert!(std::time::Instant::now() < deadline, "worker never bound {addr}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        (handle, addr, cancel)
+    }
+
+    fn grant(lease_id: u64, generation: u32) -> JobGrant {
+        JobGrant {
+            module_id: fleet_module_id(Manufacturer::A, 0, 7),
+            payload: job_payload(Manufacturer::A, 0, 7, Scale::Smoke, "row_variation"),
+            lease_id,
+            generation,
+            lease_ms: 5_000,
+        }
+    }
+
+    fn poll_until_done(addr: &str, lease: u64) -> Value {
+        let timeout = Duration::from_secs(5);
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let r = http_get(addr, &format!("/job?lease={lease}"), timeout).unwrap();
+            let v: Value = serde_json::from_str(&r.body).unwrap();
+            match v.field("state").as_str() {
+                Some("running") => {
+                    assert!(std::time::Instant::now() < deadline, "job never finished");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => return v,
+            }
+        }
+    }
+
+    #[test]
+    fn worker_runs_a_job_and_result_is_deterministic() {
+        let (handle, addr, _cancel) = start_worker(2);
+        let timeout = Duration::from_secs(5);
+
+        let g = grant(1, 1);
+        let body = serde_json::to_string(&g.to_json_value()).unwrap();
+        let r = http_post(&addr, "/job", &body, timeout).unwrap();
+        assert_eq!(r.status, 202, "submit: {}", r.body);
+
+        // Re-submitting the same lease is idempotent.
+        let r = http_post(&addr, "/job", &body, timeout).unwrap();
+        assert_eq!(r.status, 200, "resubmit: {}", r.body);
+
+        let done = poll_until_done(&addr, 1);
+        assert_eq!(done.field("state").as_str(), Some("done"));
+        assert_eq!(done.field("generation").as_u64(), Some(1));
+        let remote = done.field("result").clone();
+
+        // The worker's result matches an in-process execution bit for
+        // bit.
+        let local = execute_payload(&g.payload, &CancelToken::new()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&remote).unwrap(),
+            serde_json::to_string(&local).unwrap(),
+            "remote and local execution must be identical"
+        );
+
+        // Unknown leases are 404/unknown.
+        let r = http_get(&addr, "/job?lease=999", timeout).unwrap();
+        assert_eq!(r.status, 404);
+
+        let r = http_post(&addr, "/shutdown", "{}", timeout).unwrap();
+        assert_eq!(r.status, 200);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn full_slots_answer_503_with_retry_after() {
+        let (handle, addr, cancel) = start_worker(1);
+        let timeout = Duration::from_secs(5);
+
+        // Occupy the only slot with a slow job (Default scale).
+        let slow = JobGrant {
+            module_id: fleet_module_id(Manufacturer::B, 0, 9),
+            payload: job_payload(Manufacturer::B, 0, 9, Scale::Default, "row_variation"),
+            lease_id: 10,
+            generation: 1,
+            lease_ms: 60_000,
+        };
+        let r = http_post(
+            &addr,
+            "/job",
+            &serde_json::to_string(&slow.to_json_value()).unwrap(),
+            timeout,
+        )
+        .unwrap();
+        assert_eq!(r.status, 202, "{}", r.body);
+
+        // The next submission must be refused with backoff advice —
+        // unless the slow job already finished, which Default scale
+        // makes effectively impossible within one round trip.
+        let g = grant(11, 1);
+        let r = http_post(
+            &addr,
+            "/job",
+            &serde_json::to_string(&g.to_json_value()).unwrap(),
+            timeout,
+        )
+        .unwrap();
+        assert_eq!(r.status, 503, "{}", r.body);
+        assert_eq!(r.retry_after, Some(Duration::from_secs(1)), "Retry-After must be advertised");
+
+        // Cancel the slow job remotely; the slot must drain.
+        let r = http_post(&addr, "/cancel", "{\"lease_id\":10}", timeout).unwrap();
+        assert_eq!(r.status, 200);
+        let v = poll_until_done(&addr, 10);
+        assert_eq!(v.field("state").as_str(), Some("cancelled"), "{v:?}");
+
+        // Operator cancellation also downs the worker.
+        cancel.cancel();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_job_control_requests_are_400() {
+        let (handle, addr, cancel) = start_worker(1);
+        let timeout = Duration::from_secs(5);
+        let r = http_post(&addr, "/job", "not json", timeout).unwrap();
+        assert_eq!(r.status, 400);
+        let r = http_get(&addr, "/job", timeout).unwrap();
+        assert_eq!(r.status, 400, "missing lease param");
+        let r = http_post(&addr, "/cancel", "{}", timeout).unwrap();
+        assert_eq!(r.status, 400, "missing lease_id");
+        // Wrong method on a job route is 405, not 400.
+        let r = http_get(&addr, "/shutdown", timeout).unwrap();
+        assert_eq!(r.status, 405);
+        cancel.cancel();
+        handle.join().unwrap();
+    }
+}

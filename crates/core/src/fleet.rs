@@ -1,0 +1,1042 @@
+//! Fleet coordination: the job table and lease state machine behind
+//! `repro fleet`.
+//!
+//! A campaign at characterization-as-a-service scale (ROADMAP item 1)
+//! outgrows one process: modules are sharded across worker processes,
+//! and workers die — cleanly, or with `kill -9` mid-job. This module
+//! is the *pure* core of the coordinator: a [`JobTable`] that hands
+//! out work under **leases** and guarantees that every module commits
+//! **exactly one** result no matter how many workers raced on it.
+//!
+//! # The lease state machine (DESIGN.md §11)
+//!
+//! ```text
+//! Pending ──grant──▶ Granted ──heartbeat ok──▶ Heartbeating ─┐
+//!    ▲                  │                          │     ▲   │ heartbeat ok
+//!    │                  │ misses ≥ threshold       │     └───┘
+//!    │                  ▼                          ▼
+//!    │               Suspect ◀──────── misses ≥ threshold
+//!    │                  │
+//!    │   deadline passes│(tick)
+//!    ├──◀── Expired ◀───┘         (backoff per RetryPolicy, attempts += 0
+//!    │                             — the grant already counted)
+//!    └── re-grant = *re-dispatch* (generation += 1)
+//! ```
+//!
+//! Terminal phases are `Committed` (a result landed from the lease
+//! that currently owns the job) and `Quarantined` (attempt budget
+//! exhausted, or a non-transient worker error).
+//!
+//! # The at-most-once commit rule
+//!
+//! Every grant mints a fresh `(lease_id, generation)`. A result may
+//! commit **only** from the lease that currently owns the job: a
+//! zombie worker's late reply carries a stale generation and is
+//! counted as [`CommitOutcome::Stale`]; a repeat of an
+//! already-committed module is [`CommitOutcome::Duplicate`]. Either
+//! way the committed result never changes — re-dispatch plus this
+//! rule is what makes `kill -9` invisible in the final report.
+//!
+//! # Crash-resume
+//!
+//! [`JobTable::save_checkpoint`] persists committed and quarantined
+//! entries (plus attempt counts) through the same
+//! versioned-JSON/atomic-rename machinery as campaign checkpoints.
+//! In-flight leases are deliberately *not* persisted: a restarted
+//! coordinator re-runs exactly the work that was in flight, and
+//! nothing else.
+//!
+//! All methods take the current time as a parameter (`now_ms`), so
+//! the whole state machine is deterministic under test.
+
+use crate::campaign::RetryPolicy;
+use crate::error::CharError;
+use rh_obs::names;
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+
+/// Current fleet checkpoint schema version.
+const FLEET_CHECKPOINT_VERSION: u32 = 1;
+
+/// Liveness of an active lease, driven by heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseState {
+    /// Granted; no heartbeat observed yet.
+    Granted,
+    /// At least one heartbeat has renewed the lease.
+    Heartbeating,
+    /// Enough consecutive heartbeats missed that the worker is
+    /// presumed dead; the lease still expires only at its deadline.
+    Suspect,
+}
+
+/// One active lease.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lease {
+    /// Unique across the whole fleet run.
+    pub lease_id: u64,
+    /// 1-based grant counter for this job; the commit key.
+    pub generation: u32,
+    /// The worker the job was dispatched to.
+    pub worker: String,
+    /// Absolute coordinator-clock deadline (ms).
+    pub deadline_ms: u64,
+    /// Liveness state.
+    pub state: LeaseState,
+    /// Consecutive missed heartbeats.
+    pub missed_heartbeats: u32,
+}
+
+/// Where one job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum JobPhase {
+    /// Ready to grant once `now >= not_before_ms`.
+    Pending {
+        /// Retry backoff gate (0 = immediately ready).
+        not_before_ms: u64,
+    },
+    /// Owned by an active lease.
+    Leased(Lease),
+    /// A result committed; `generation` records the winning lease.
+    Committed {
+        /// Generation of the lease whose result won.
+        generation: u32,
+        /// The committed result payload.
+        result: Value,
+    },
+    /// Attempt budget exhausted or non-transient error.
+    Quarantined {
+        /// Grants consumed before giving up.
+        attempts: u32,
+        /// Final error, rendered.
+        error: String,
+    },
+}
+
+/// One job: a module plus its dispatch history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Job {
+    module_id: String,
+    /// Opaque work description; the worker interprets it.
+    payload: Value,
+    /// Leases granted so far.
+    attempts: u32,
+    phase: JobPhase,
+    /// One rendered error per failed attempt.
+    errors: Vec<String>,
+}
+
+/// The wire form of one job grant, POSTed to a worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobGrant {
+    /// Stable module identifier (the commit key for reports).
+    pub module_id: String,
+    /// Opaque work description; the worker interprets it.
+    pub payload: Value,
+    /// Fleet-unique lease identifier.
+    pub lease_id: u64,
+    /// Grant generation for this module.
+    pub generation: u32,
+    /// Advisory lease duration: how long the worker has before the
+    /// coordinator presumes it dead.
+    pub lease_ms: u64,
+}
+
+/// What [`JobTable::commit`] decided about an arriving result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The result is the module's one committed result.
+    Committed,
+    /// The module already committed; this reply changes nothing.
+    Duplicate,
+    /// The reply's lease no longer owns the job (expired and
+    /// re-dispatched, or never known); it is discarded.
+    Stale,
+}
+
+/// What [`JobTable::fail`] decided about a reported failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailOutcome {
+    /// The job went back to pending behind a backoff gate.
+    Retrying {
+        /// Scheduled backoff before the job is grantable again (ms).
+        backoff_ms: u64,
+    },
+    /// Attempt budget exhausted or the error was not transient.
+    Quarantined,
+    /// The reporting lease no longer owns the job; ignored.
+    Stale,
+}
+
+/// One lease expired by [`JobTable::tick`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpiredLease {
+    /// The job that lost its lease.
+    pub module_id: String,
+    /// The expired lease id.
+    pub lease_id: u64,
+    /// The worker that held it.
+    pub worker: String,
+    /// Whether the job was quarantined instead of re-queued.
+    pub quarantined: bool,
+}
+
+/// Per-module line in a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetModuleOutcome {
+    /// Stable module identifier.
+    pub id: String,
+    /// `"committed"` or `"quarantined"`.
+    pub status: String,
+    /// Grants consumed.
+    pub attempts: u32,
+    /// One rendered error per failed attempt.
+    pub errors: Vec<String>,
+}
+
+/// Structured summary of a fleet run. `results` carries the committed
+/// payloads in job input order, so a fleet run of seed *s* renders
+/// bit-identically to a single-process run of seed *s*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// `(module id, committed result)` in input order.
+    pub results: Vec<(String, Value)>,
+    /// Per-module outcomes in input order.
+    pub outcomes: Vec<FleetModuleOutcome>,
+    /// Modules with a committed result.
+    pub committed: usize,
+    /// Modules quarantined.
+    pub quarantined: usize,
+    /// Grants beyond each module's first (the re-dispatch count).
+    pub redispatches: u64,
+}
+
+impl FleetReport {
+    /// `true` when every module committed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantined == 0
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} module(s): {} committed, {} quarantined, {} redispatch(es)",
+            self.outcomes.len(),
+            self.committed,
+            self.quarantined,
+            self.redispatches
+        )
+    }
+}
+
+/// Fleet sizing and liveness knobs.
+#[derive(Debug, Clone)]
+pub struct FleetPolicy {
+    /// Bounded retry/backoff schedule, shared with campaigns.
+    pub retry: RetryPolicy,
+    /// Lease duration: a worker must commit or heartbeat within this.
+    pub lease_ms: u64,
+    /// Consecutive missed heartbeats before a lease turns suspect.
+    pub suspect_after_misses: u32,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        Self { retry: RetryPolicy::default(), lease_ms: 5_000, suspect_after_misses: 2 }
+    }
+}
+
+/// The coordinator's authoritative job/lease/commit state. Pure and
+/// clock-injected; the HTTP loop around it lives in `rh-bench`.
+#[derive(Debug)]
+pub struct JobTable {
+    jobs: Vec<Job>,
+    policy: FleetPolicy,
+    /// Every grant ever made: `(lease_id, job index, generation)`.
+    /// Late replies are resolved against this, not just active leases.
+    grants: Vec<(u64, usize, u32)>,
+    next_lease_id: u64,
+    redispatches: u64,
+    checkpoint: Option<PathBuf>,
+}
+
+impl JobTable {
+    /// An empty table under `policy`.
+    #[must_use]
+    pub fn new(policy: FleetPolicy) -> Self {
+        Self {
+            jobs: Vec::new(),
+            policy,
+            grants: Vec::new(),
+            next_lease_id: 1,
+            redispatches: 0,
+            checkpoint: None,
+        }
+    }
+
+    /// Offsets all future lease IDs by `base`. A restarted
+    /// coordinator would otherwise mint the same IDs as its previous
+    /// incarnation (the counter restarts at 1), and a worker still
+    /// holding a finished job under such an ID would answer the
+    /// "new" lease with the *old* job's result — committing one
+    /// module's data under another module's name. Callers pass a
+    /// per-incarnation nonce (e.g. wall-clock derived); tests keep
+    /// the deterministic default of 0.
+    pub fn set_lease_base(&mut self, base: u64) {
+        self.next_lease_id = base.saturating_add(1);
+    }
+
+    /// Admits one job. Input order is report order.
+    pub fn add_job(&mut self, module_id: impl Into<String>, payload: Value) {
+        self.jobs.push(Job {
+            module_id: module_id.into(),
+            payload,
+            attempts: 0,
+            phase: JobPhase::Pending { not_before_ms: 0 },
+            errors: Vec::new(),
+        });
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> &FleetPolicy {
+        &self.policy
+    }
+
+    /// Persists a checkpoint to `path` after every commit/quarantine
+    /// and — if the file already exists — resumes from it now:
+    /// committed and quarantined entries are applied to matching
+    /// jobs, everything else (including work that was in flight when
+    /// the previous coordinator died) stays pending and re-runs.
+    ///
+    /// Call after [`add_job`](Self::add_job)ing the full campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`CharError::Checkpoint`] for unreadable, corrupt, or
+    /// future-versioned files.
+    pub fn with_checkpoint(&mut self, path: impl Into<PathBuf>) -> Result<(), CharError> {
+        let path = path.into();
+        clean_stale_tmp(&path);
+        let entries = load_fleet_checkpoint(&path)?;
+        if !entries.is_empty() {
+            rh_obs::event!(names::FLEET_CHECKPOINT_LOADED, entries = entries.len());
+        }
+        for entry in entries {
+            if let Some(job) = self.jobs.iter_mut().find(|j| j.module_id == entry.id) {
+                job.attempts = entry.attempts;
+                job.errors = entry.errors;
+                self.redispatches += u64::from(entry.attempts.saturating_sub(1));
+                job.phase = match (entry.status.as_str(), entry.result) {
+                    ("committed", Some(result)) => {
+                        JobPhase::Committed { generation: entry.generation, result }
+                    }
+                    ("quarantined", _) => JobPhase::Quarantined {
+                        attempts: entry.attempts,
+                        error: entry.error.unwrap_or_default(),
+                    },
+                    _ => JobPhase::Pending { not_before_ms: 0 },
+                };
+            }
+        }
+        self.checkpoint = Some(path);
+        Ok(())
+    }
+
+    /// The next grantable job's module id, in input order, honoring
+    /// retry backoff gates. `None` means nothing is ready *right
+    /// now* — there may still be leased or backoff-gated jobs.
+    #[must_use]
+    pub fn next_ready(&self, now_ms: u64) -> Option<String> {
+        self.jobs
+            .iter()
+            .find(|j| matches!(j.phase, JobPhase::Pending { not_before_ms } if now_ms >= not_before_ms))
+            .map(|j| j.module_id.clone())
+    }
+
+    /// The earliest time any backoff-gated pending job becomes ready,
+    /// for the dispatch loop's sleep calculation.
+    #[must_use]
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.jobs
+            .iter()
+            .filter_map(|j| match j.phase {
+                JobPhase::Pending { not_before_ms } => Some(not_before_ms),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Grants a lease on `module_id` to `worker`, minting a fresh
+    /// `(lease_id, generation)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CharError::Checkpoint`] if the job is unknown or not
+    /// currently pending (grants race only through coordinator bugs;
+    /// the table is single-owner).
+    pub fn grant(
+        &mut self,
+        module_id: &str,
+        worker: &str,
+        now_ms: u64,
+    ) -> Result<JobGrant, CharError> {
+        let lease_ms = self.policy.lease_ms;
+        let lease_id = self.next_lease_id;
+        let idx = self
+            .jobs
+            .iter()
+            .position(|j| j.module_id == module_id)
+            .ok_or_else(|| CharError::Checkpoint {
+                detail: format!("fleet: grant on unknown module '{module_id}'"),
+            })?;
+        let job = &mut self.jobs[idx];
+        if !matches!(job.phase, JobPhase::Pending { .. }) {
+            return Err(CharError::Checkpoint {
+                detail: format!("fleet: grant on non-pending module '{module_id}'"),
+            });
+        }
+        self.next_lease_id += 1;
+        job.attempts += 1;
+        let generation = job.attempts;
+        job.phase = JobPhase::Leased(Lease {
+            lease_id,
+            generation,
+            worker: worker.to_string(),
+            deadline_ms: now_ms + lease_ms,
+            state: LeaseState::Granted,
+            missed_heartbeats: 0,
+        });
+        self.grants.push((lease_id, idx, generation));
+        rh_obs::counter(names::FLEET_DISPATCH, 1);
+        if generation > 1 {
+            self.redispatches += 1;
+            rh_obs::counter(names::FLEET_REDISPATCH, 1);
+        }
+        rh_obs::event!(
+            names::FLEET_GRANT_EVENT,
+            module = module_id.to_string(),
+            worker = worker.to_string(),
+            lease = lease_id,
+            generation = generation
+        );
+        Ok(JobGrant {
+            module_id: module_id.to_string(),
+            payload: job.payload.clone(),
+            lease_id,
+            generation,
+            lease_ms,
+        })
+    }
+
+    /// Records a successful heartbeat (any successful poll of the
+    /// worker counts): renews the lease deadline and clears the miss
+    /// counter. Returns `false` for a lease that no longer owns its
+    /// job.
+    pub fn heartbeat(&mut self, lease_id: u64, now_ms: u64) -> bool {
+        let lease_ms = self.policy.lease_ms;
+        match self.active_lease_mut(lease_id) {
+            Some(lease) => {
+                lease.deadline_ms = now_ms + lease_ms;
+                lease.state = LeaseState::Heartbeating;
+                lease.missed_heartbeats = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records a missed heartbeat (connection refused, timeout, bad
+    /// reply). Returns the lease state afterwards, or `None` for a
+    /// lease that no longer owns its job. The lease still only
+    /// expires at its deadline — a suspect worker gets the benefit of
+    /// the doubt until then.
+    pub fn heartbeat_missed(&mut self, lease_id: u64) -> Option<LeaseState> {
+        let threshold = self.policy.suspect_after_misses;
+        let lease = self.active_lease_mut(lease_id)?;
+        lease.missed_heartbeats += 1;
+        rh_obs::counter(names::FLEET_HEARTBEAT_MISSED, 1);
+        if lease.missed_heartbeats >= threshold {
+            lease.state = LeaseState::Suspect;
+        }
+        Some(lease.state)
+    }
+
+    /// Returns a job to pending *without* consuming an attempt — the
+    /// dispatch itself failed (connection refused before the worker
+    /// ever saw the job), so the module's retry budget is untouched.
+    /// The grant's generation is burned, which is exactly what makes
+    /// a late reply from a half-delivered job stale.
+    pub fn release(&mut self, lease_id: u64, now_ms: u64) {
+        let base = self.policy.retry.base_backoff_ms;
+        if let Some(idx) = self.active_lease_index(lease_id) {
+            let job = &mut self.jobs[idx];
+            job.attempts = job.attempts.saturating_sub(1);
+            job.phase = JobPhase::Pending { not_before_ms: now_ms + base };
+        }
+    }
+
+    /// Applies a worker-reported failure from lease `lease_id`.
+    /// Transient errors retry behind the deterministic backoff until
+    /// the attempt budget runs out; anything else quarantines.
+    pub fn fail(
+        &mut self,
+        lease_id: u64,
+        error: &str,
+        transient: bool,
+        now_ms: u64,
+    ) -> FailOutcome {
+        let max_attempts = self.policy.retry.max_attempts;
+        let Some(idx) = self.active_lease_index(lease_id) else {
+            return FailOutcome::Stale;
+        };
+        let retry = self.policy.retry.clone();
+        let job = &mut self.jobs[idx];
+        job.errors.push(error.to_string());
+        if transient && job.attempts < max_attempts {
+            let backoff_ms = retry.backoff_ms(&job.module_id, job.attempts);
+            job.phase = JobPhase::Pending { not_before_ms: now_ms + backoff_ms };
+            FailOutcome::Retrying { backoff_ms }
+        } else {
+            job.phase =
+                JobPhase::Quarantined { attempts: job.attempts, error: error.to_string() };
+            rh_obs::counter(names::FLEET_QUARANTINED, 1);
+            self.save_if_configured();
+            FailOutcome::Quarantined
+        }
+    }
+
+    /// Expires every lease whose deadline has passed. Expired jobs go
+    /// back to pending behind the retry backoff (they re-dispatch on
+    /// the next [`grant`](Self::grant)), or quarantine when the
+    /// attempt budget is spent.
+    pub fn tick(&mut self, now_ms: u64) -> Vec<ExpiredLease> {
+        let max_attempts = self.policy.retry.max_attempts;
+        let retry = self.policy.retry.clone();
+        let mut expired = Vec::new();
+        let mut any_quarantined = false;
+        for job in &mut self.jobs {
+            let JobPhase::Leased(lease) = &job.phase else { continue };
+            if now_ms < lease.deadline_ms {
+                continue;
+            }
+            let info = ExpiredLease {
+                module_id: job.module_id.clone(),
+                lease_id: lease.lease_id,
+                worker: lease.worker.clone(),
+                quarantined: job.attempts >= max_attempts,
+            };
+            rh_obs::counter(names::FLEET_LEASE_EXPIRED, 1);
+            rh_obs::event!(
+                names::FLEET_EXPIRE_EVENT,
+                module = info.module_id.clone(),
+                lease = info.lease_id,
+                worker = info.worker.clone()
+            );
+            job.errors.push(format!(
+                "lease {} on worker {} expired after {} attempt(s)",
+                lease.lease_id, lease.worker, job.attempts
+            ));
+            if info.quarantined {
+                job.phase = JobPhase::Quarantined {
+                    attempts: job.attempts,
+                    error: "lease expired; attempt budget exhausted".to_string(),
+                };
+                rh_obs::counter(names::FLEET_QUARANTINED, 1);
+                any_quarantined = true;
+            } else {
+                let backoff_ms = retry.backoff_ms(&job.module_id, job.attempts);
+                job.phase = JobPhase::Pending { not_before_ms: now_ms + backoff_ms };
+            }
+            expired.push(info);
+        }
+        if any_quarantined {
+            self.save_if_configured();
+        }
+        expired
+    }
+
+    /// Applies an arriving result under the at-most-once rule: only
+    /// the lease that currently owns the job may commit. See the
+    /// [module docs](self).
+    pub fn commit(&mut self, lease_id: u64, result: Value) -> CommitOutcome {
+        let Some(&(_, idx, generation)) =
+            self.grants.iter().find(|(id, _, _)| *id == lease_id)
+        else {
+            rh_obs::counter(names::FLEET_DUPLICATE, 1);
+            return CommitOutcome::Stale;
+        };
+        let job = &mut self.jobs[idx];
+        match &job.phase {
+            JobPhase::Committed { .. } => {
+                rh_obs::counter(names::FLEET_DUPLICATE, 1);
+                CommitOutcome::Duplicate
+            }
+            JobPhase::Leased(lease) if lease.lease_id == lease_id => {
+                job.phase = JobPhase::Committed { generation, result };
+                rh_obs::counter(names::FLEET_COMMIT, 1);
+                self.save_if_configured();
+                CommitOutcome::Committed
+            }
+            // The job moved on: expired & re-leased, re-pending, or
+            // quarantined. The zombie's reply is dropped.
+            _ => {
+                rh_obs::counter(names::FLEET_DUPLICATE, 1);
+                CommitOutcome::Stale
+            }
+        }
+    }
+
+    /// Whether every job reached a terminal phase.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.jobs
+            .iter()
+            .all(|j| matches!(j.phase, JobPhase::Committed { .. } | JobPhase::Quarantined { .. }))
+    }
+
+    /// Jobs admitted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Jobs in a terminal phase.
+    #[must_use]
+    pub fn done_count(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| {
+                matches!(j.phase, JobPhase::Committed { .. } | JobPhase::Quarantined { .. })
+            })
+            .count()
+    }
+
+    /// Active leases, for the poll loop: `(lease_id, worker, state)`.
+    #[must_use]
+    pub fn active_leases(&self) -> Vec<(u64, String, LeaseState)> {
+        self.jobs
+            .iter()
+            .filter_map(|j| match &j.phase {
+                JobPhase::Leased(l) => Some((l.lease_id, l.worker.clone(), l.state)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Grants beyond each module's first.
+    #[must_use]
+    pub fn redispatches(&self) -> u64 {
+        self.redispatches
+    }
+
+    /// The generation a lease was granted at (== the module's attempt
+    /// count at grant time), for any lease ever minted.
+    #[must_use]
+    pub fn lease_generation(&self, lease_id: u64) -> Option<u32> {
+        self.grants.iter().find(|(id, _, _)| *id == lease_id).map(|&(_, _, g)| g)
+    }
+
+    /// The final report. Call once [`is_done`](Self::is_done) (jobs
+    /// still in flight are simply absent from `results`).
+    #[must_use]
+    pub fn report(&self) -> FleetReport {
+        let mut results = Vec::new();
+        let mut outcomes = Vec::new();
+        for job in &self.jobs {
+            let status = match &job.phase {
+                JobPhase::Committed { result, .. } => {
+                    results.push((job.module_id.clone(), result.clone()));
+                    "committed"
+                }
+                JobPhase::Quarantined { .. } => "quarantined",
+                _ => "pending",
+            };
+            outcomes.push(FleetModuleOutcome {
+                id: job.module_id.clone(),
+                status: status.to_string(),
+                attempts: job.attempts,
+                errors: job.errors.clone(),
+            });
+        }
+        let committed = outcomes.iter().filter(|o| o.status == "committed").count();
+        let quarantined = outcomes.iter().filter(|o| o.status == "quarantined").count();
+        FleetReport { results, outcomes, committed, quarantined, redispatches: self.redispatches }
+    }
+
+    fn active_lease_index(&self, lease_id: u64) -> Option<usize> {
+        self.jobs.iter().position(
+            |j| matches!(&j.phase, JobPhase::Leased(l) if l.lease_id == lease_id),
+        )
+    }
+
+    fn active_lease_mut(&mut self, lease_id: u64) -> Option<&mut Lease> {
+        self.jobs.iter_mut().find_map(|j| match &mut j.phase {
+            JobPhase::Leased(l) if l.lease_id == lease_id => Some(l),
+            _ => None,
+        })
+    }
+
+    fn save_if_configured(&self) {
+        if let Some(path) = &self.checkpoint {
+            match self.save_checkpoint(path) {
+                Ok(entries) => {
+                    rh_obs::event!(names::FLEET_CHECKPOINT_SAVED, entries = entries, ok = true);
+                }
+                Err(e) => {
+                    rh_obs::event!(
+                        names::FLEET_CHECKPOINT_SAVED,
+                        entries = 0usize,
+                        ok = false,
+                        error = e.to_string()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Writes the terminal entries (committed + quarantined) to
+    /// `path` via tmp-write + atomic rename. In-flight leases are not
+    /// persisted by design.
+    ///
+    /// # Errors
+    ///
+    /// [`CharError::Checkpoint`] on serialization or I/O failure.
+    pub fn save_checkpoint(&self, path: &Path) -> Result<usize, CharError> {
+        let entries: Vec<FleetCheckpointEntry> = self
+            .jobs
+            .iter()
+            .filter_map(|job| match &job.phase {
+                JobPhase::Committed { generation, result } => Some(FleetCheckpointEntry {
+                    id: job.module_id.clone(),
+                    status: "committed".to_string(),
+                    attempts: job.attempts,
+                    generation: *generation,
+                    errors: job.errors.clone(),
+                    result: Some(result.clone()),
+                    error: None,
+                }),
+                JobPhase::Quarantined { attempts, error } => Some(FleetCheckpointEntry {
+                    id: job.module_id.clone(),
+                    status: "quarantined".to_string(),
+                    attempts: *attempts,
+                    generation: 0,
+                    errors: job.errors.clone(),
+                    result: None,
+                    error: Some(error.clone()),
+                }),
+                _ => None,
+            })
+            .collect();
+        let count = entries.len();
+        let cp = FleetCheckpoint { version: FLEET_CHECKPOINT_VERSION, entries };
+        let bytes = serde_json::to_vec_pretty(&cp.to_json_value()).map_err(|e| {
+            CharError::Checkpoint { detail: format!("serialize fleet checkpoint: {e}") }
+        })?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, bytes).map_err(|e| CharError::Checkpoint {
+            detail: format!("write {}: {e}", tmp.display()),
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| CharError::Checkpoint {
+            detail: format!("rename {} -> {}: {e}", tmp.display(), path.display()),
+        })?;
+        Ok(count)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FleetCheckpointEntry {
+    id: String,
+    status: String,
+    attempts: u32,
+    generation: u32,
+    errors: Vec<String>,
+    result: Option<Value>,
+    error: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FleetCheckpoint {
+    version: u32,
+    entries: Vec<FleetCheckpointEntry>,
+}
+
+fn clean_stale_tmp(path: &Path) {
+    let tmp = path.with_extension("tmp");
+    if tmp.exists() && std::fs::remove_file(&tmp).is_ok() {
+        rh_obs::event!(names::CAMPAIGN_CHECKPOINT_STALE_TMP, path = tmp.display().to_string());
+    }
+}
+
+/// Loads a fleet checkpoint, returning no entries for a missing file.
+///
+/// # Errors
+///
+/// [`CharError::Checkpoint`] for unreadable, corrupt, or
+/// future-versioned files.
+pub fn verify_fleet_checkpoint(path: &Path) -> Result<usize, CharError> {
+    load_fleet_checkpoint(path).map(|entries| entries.len())
+}
+
+fn load_fleet_checkpoint(path: &Path) -> Result<Vec<FleetCheckpointEntry>, CharError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(CharError::Checkpoint { detail: format!("read {}: {e}", path.display()) })
+        }
+    };
+    let value: Value = serde_json::from_str(&text).map_err(|e| CharError::Checkpoint {
+        detail: format!("parse {}: {e}", path.display()),
+    })?;
+    match value.field("version").as_u64() {
+        Some(v) if v > u64::from(FLEET_CHECKPOINT_VERSION) => {
+            return Err(CharError::Checkpoint {
+                detail: format!(
+                    "{} was written by fleet checkpoint schema version {v}; this build reads \
+                     versions <= {FLEET_CHECKPOINT_VERSION}",
+                    path.display()
+                ),
+            });
+        }
+        Some(_) => {}
+        None => {
+            return Err(CharError::Checkpoint {
+                detail: format!("{} has no checkpoint version field", path.display()),
+            });
+        }
+    }
+    let cp = FleetCheckpoint::from_json_value(&value).map_err(|e| CharError::Checkpoint {
+        detail: format!("decode {}: {e}", path.display()),
+    })?;
+    Ok(cp.entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn table() -> JobTable {
+        let mut t = JobTable::new(FleetPolicy {
+            retry: RetryPolicy { max_attempts: 3, ..RetryPolicy::default() },
+            lease_ms: 1_000,
+            suspect_after_misses: 2,
+        });
+        t.add_job("m0", json!({"n": 0}));
+        t.add_job("m1", json!({"n": 1}));
+        t
+    }
+
+    #[test]
+    fn lease_base_offsets_every_minted_id() {
+        let mut t = table();
+        t.set_lease_base(7 << 32);
+        let g0 = t.grant("m0", "w1", 0).unwrap();
+        let g1 = t.grant("m1", "w1", 0).unwrap();
+        assert_eq!(g0.lease_id, (7 << 32) + 1);
+        assert_eq!(g1.lease_id, (7 << 32) + 2);
+        // The offset changes identity only — commits still resolve.
+        assert_eq!(t.commit(g0.lease_id, json!({"ok": true})), CommitOutcome::Committed);
+    }
+
+    #[test]
+    fn grant_heartbeat_commit_happy_path() {
+        let mut t = table();
+        assert_eq!(t.next_ready(0).as_deref(), Some("m0"));
+        let g = t.grant("m0", "w1", 0).unwrap();
+        assert_eq!((g.lease_id, g.generation), (1, 1));
+        // m0 now leased; the next ready job is m1.
+        assert_eq!(t.next_ready(0).as_deref(), Some("m1"));
+
+        assert!(t.heartbeat(g.lease_id, 900));
+        // Heartbeat renewed the deadline: tick at the original
+        // deadline expires nothing.
+        assert!(t.tick(1_100).is_empty());
+
+        assert_eq!(t.commit(g.lease_id, json!({"ber": 0.5})), CommitOutcome::Committed);
+        assert_eq!(t.commit(g.lease_id, json!({"ber": 0.5})), CommitOutcome::Duplicate);
+        assert!(!t.is_done(), "m1 still pending");
+        assert_eq!(t.done_count(), 1);
+    }
+
+    #[test]
+    fn expired_lease_redispatches_and_zombie_reply_is_stale() {
+        let mut t = table();
+        let g1 = t.grant("m0", "w1", 0).unwrap();
+        // Park m1 on another worker (and keep it alive) so the gate
+        // arithmetic below is m0's alone.
+        let parked = t.grant("m1", "w9", 0).unwrap();
+        assert!(t.heartbeat(parked.lease_id, 900));
+        // No heartbeat on m0's lease: it dies at its deadline.
+        let expired = t.tick(1_000);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].module_id, "m0");
+        assert!(!expired[0].quarantined);
+
+        // The job waits out its backoff, then re-dispatches with a
+        // bumped generation.
+        assert!(t.next_ready(1_000).as_deref() != Some("m0"), "backoff gates the re-grant");
+        let ready_at = t.next_ready_at().unwrap();
+        assert!(ready_at > 1_000);
+        let g2 = t.grant("m0", "w2", ready_at).unwrap();
+        assert_eq!(g2.generation, 2);
+        assert!(g2.lease_id > g1.lease_id);
+        assert_eq!(t.redispatches(), 1);
+
+        // The zombie's late reply must not commit...
+        assert_eq!(t.commit(g1.lease_id, json!({"zombie": true})), CommitOutcome::Stale);
+        // ...and the live lease's result must.
+        assert_eq!(t.commit(g2.lease_id, json!({"ber": 1.0})), CommitOutcome::Committed);
+        let report = t.report();
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.results[0].1, json!({"ber": 1.0}), "zombie result must not win");
+        assert_eq!(report.redispatches, 1);
+    }
+
+    #[test]
+    fn heartbeat_misses_mark_suspect_but_deadline_rules() {
+        let mut t = table();
+        let g = t.grant("m0", "w1", 0).unwrap();
+        assert_eq!(t.heartbeat_missed(g.lease_id), Some(LeaseState::Granted));
+        assert_eq!(t.heartbeat_missed(g.lease_id), Some(LeaseState::Suspect));
+        // Suspect is advisory; the lease still holds until deadline.
+        assert!(t.tick(500).is_empty());
+        // A successful heartbeat rehabilitates the lease.
+        assert!(t.heartbeat(g.lease_id, 600));
+        assert_eq!(t.active_leases()[0].2, LeaseState::Heartbeating);
+        assert!(t.tick(1_500).is_empty(), "renewed deadline holds");
+        assert_eq!(t.tick(1_700).len(), 1, "then expires");
+        // Heartbeats on a dead lease are refused.
+        assert!(!t.heartbeat(g.lease_id, 1_800));
+        assert_eq!(t.heartbeat_missed(g.lease_id), None);
+    }
+
+    #[test]
+    fn attempt_budget_exhaustion_quarantines() {
+        let mut t = table();
+        let mut now = 0u64;
+        for attempt in 1..=3u32 {
+            let ready_at = t.next_ready_at().unwrap().max(now);
+            let g = t.grant("m0", "w1", ready_at).unwrap();
+            assert_eq!(g.generation, attempt);
+            now = ready_at + 1_000;
+            let expired = t.tick(now);
+            assert_eq!(expired.len(), 1);
+            assert_eq!(expired[0].quarantined, attempt == 3);
+        }
+        let report = t.report();
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.outcomes[0].attempts, 3);
+        assert!(!report.is_clean());
+        // Quarantined jobs never re-dispatch.
+        t.grant("m1", "w1", now).unwrap();
+        assert_eq!(t.next_ready(u64::MAX), None);
+    }
+
+    #[test]
+    fn transient_failure_retries_and_hard_failure_quarantines() {
+        let mut t = table();
+        let g = t.grant("m0", "w1", 0).unwrap();
+        let FailOutcome::Retrying { backoff_ms } =
+            t.fail(g.lease_id, "host link flake", true, 100)
+        else {
+            panic!("transient failure should retry");
+        };
+        assert!(backoff_ms > 0);
+        // Stale failure reports are ignored.
+        assert_eq!(t.fail(g.lease_id, "again", true, 150), FailOutcome::Stale);
+
+        let g2 = t.grant("m0", "w1", 100 + backoff_ms).unwrap();
+        assert_eq!(g2.generation, 2);
+        assert_eq!(
+            t.fail(g2.lease_id, "module unresponsive", false, 300),
+            FailOutcome::Quarantined
+        );
+        let report = t.report();
+        assert_eq!(report.outcomes[0].errors.len(), 2);
+        assert_eq!(report.quarantined, 1);
+    }
+
+    #[test]
+    fn release_returns_job_without_burning_an_attempt() {
+        let mut t = table();
+        let g = t.grant("m0", "w1", 0).unwrap();
+        t.release(g.lease_id, 0);
+        let ready_at = t.next_ready_at().unwrap();
+        let g2 = t.grant("m0", "w2", ready_at).unwrap();
+        assert_eq!(g2.generation, 1, "released dispatch must not consume the budget");
+        // But the released lease is dead for commits.
+        assert_eq!(t.commit(g.lease_id, json!(1)), CommitOutcome::Stale);
+        assert_eq!(t.commit(g2.lease_id, json!(2)), CommitOutcome::Committed);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_drops_in_flight_leases() {
+        let dir = std::env::temp_dir().join(format!("rh-fleet-cp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut t = table();
+        t.add_job("m2", json!({"n": 2}));
+        t.with_checkpoint(&path).unwrap();
+        let g0 = t.grant("m0", "w1", 0).unwrap();
+        assert_eq!(t.commit(g0.lease_id, json!({"ok": 0})), CommitOutcome::Committed);
+        let g1 = t.grant("m1", "w1", 0).unwrap();
+        let _in_flight = t.grant("m2", "w2", 0).unwrap();
+        assert_eq!(
+            t.fail(g1.lease_id, "module unresponsive", false, 10),
+            FailOutcome::Quarantined
+        );
+        // m2's lease is in flight when the "coordinator dies" here.
+
+        let mut resumed = JobTable::new(FleetPolicy {
+            retry: RetryPolicy { max_attempts: 3, ..RetryPolicy::default() },
+            lease_ms: 1_000,
+            suspect_after_misses: 2,
+        });
+        resumed.add_job("m0", json!({"n": 0}));
+        resumed.add_job("m1", json!({"n": 1}));
+        resumed.add_job("m2", json!({"n": 2}));
+        resumed.with_checkpoint(&path).unwrap();
+
+        // Committed and quarantined entries survive; only the
+        // in-flight m2 is pending again.
+        assert_eq!(resumed.next_ready(0).as_deref(), Some("m2"));
+        assert_eq!(resumed.done_count(), 2);
+        let g2 = resumed.grant("m2", "w3", 0).unwrap();
+        assert_eq!(resumed.commit(g2.lease_id, json!({"ok": 2})), CommitOutcome::Committed);
+        assert!(resumed.is_done());
+        let report = resumed.report();
+        assert_eq!(report.committed, 2);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(verify_fleet_checkpoint(&path).unwrap(), 3);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn future_version_checkpoint_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("rh-fleet-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.json");
+        std::fs::write(&path, "{\"version\": 99, \"entries\": []}").unwrap();
+        let mut t = table();
+        let err = t.with_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "got {err}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn grant_refuses_unknown_and_non_pending_jobs() {
+        let mut t = table();
+        assert!(t.grant("nope", "w1", 0).is_err());
+        t.grant("m0", "w1", 0).unwrap();
+        assert!(t.grant("m0", "w1", 0).is_err(), "double grant must be refused");
+    }
+}

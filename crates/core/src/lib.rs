@@ -31,6 +31,10 @@
 //! * [`executor`] — the supervised execution layer campaigns run on: a
 //!   bounded work-stealing worker pool with per-module wall-clock
 //!   deadlines (watchdog) and cooperative cancellation.
+//! * [`fleet`] — the coordinator-side job table and lease state
+//!   machine for multi-process campaigns: leases with heartbeats,
+//!   re-dispatch on expiry, at-most-once result commit, and
+//!   crash-resume through versioned checkpoints.
 //!
 //! # Examples
 //!
@@ -52,6 +56,7 @@ pub mod config;
 pub mod error;
 pub mod executor;
 pub mod experiments;
+pub mod fleet;
 pub mod mapping_re;
 pub mod metrics;
 pub mod observations;
@@ -65,6 +70,10 @@ pub use campaign::{
 };
 pub use config::{Scale, TestPlan};
 pub use error::CharError;
+pub use fleet::{
+    verify_fleet_checkpoint, CommitOutcome, FailOutcome, FleetModuleOutcome, FleetPolicy,
+    FleetReport, JobGrant, JobTable, LeaseState,
+};
 pub use executor::ExecutorConfig;
 pub use metrics::{BerMeasurement, Characterizer};
 pub use progress::{ProgressSnapshot, ProgressTracker};

@@ -1,0 +1,208 @@
+//! A dependency-free HTTP/1.1 client for the fleet coordinator,
+//! matching the server in [`crate::serve`]: one request per
+//! connection, `Connection: close`, bounded by socket timeouts.
+//!
+//! The client surfaces the `Retry-After` header on error responses so
+//! a caller that hit a `503` from an overloaded worker can honor the
+//! worker's own advice about when to come back instead of hammering
+//! it.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Response body cap; a telemetry or job-result body beyond this is
+/// treated as an I/O error rather than buffered without bound.
+const MAX_RESPONSE_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+    /// Parsed `Retry-After` header (seconds form), when present.
+    pub retry_after: Option<Duration>,
+}
+
+impl ClientResponse {
+    /// Whether the status is in the 2xx range.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Issues `GET path` against `addr` (a `host:port` string).
+///
+/// # Errors
+///
+/// Connection, timeout, and malformed-response errors.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, None, timeout)
+}
+
+/// Issues `POST path` with a body against `addr`.
+///
+/// # Errors
+///
+/// Connection, timeout, and malformed-response errors.
+pub fn http_post(
+    addr: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body), timeout)
+}
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let socket_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, format!("no addr for {addr}")))?;
+    let mut stream = TcpStream::connect_timeout(&socket_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&chunk[..n]);
+                if raw.len() > MAX_RESPONSE_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "response exceeds size cap",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
+    let malformed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| malformed("no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| malformed("non-utf8 header"))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| malformed("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed("bad status line"))?;
+
+    let mut retry_after = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse::<u64>().ok().map(Duration::from_secs);
+            }
+        }
+    }
+
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|_| malformed("non-utf8 body"))?;
+    Ok(ClientResponse { status, body, retry_after })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{serve, HttpRequest, HttpResponse, TelemetrySource};
+    use std::sync::Arc;
+
+    struct StubSource;
+
+    impl TelemetrySource for StubSource {
+        fn metrics_text(&self) -> String {
+            "up 1\n".to_string()
+        }
+        fn progress_json(&self) -> String {
+            "{\"total\":1}".to_string()
+        }
+        fn handle(&self, request: &HttpRequest) -> Option<HttpResponse> {
+            match (request.method.as_str(), request.path.as_str()) {
+                ("POST", "/job") => Some(HttpResponse::json(
+                    202,
+                    format!("{{\"echo\":{}}}", request.body.len()),
+                )),
+                ("GET", "/busy") => {
+                    Some(HttpResponse::text(503, "overloaded\n").with_header("Retry-After", "7"))
+                }
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn get_and_post_round_trip() {
+        let mut server =
+            serve("127.0.0.1:0", Arc::new(StubSource)).unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr().to_string();
+        let timeout = Duration::from_secs(5);
+
+        let response = http_get(&addr, "/metrics", timeout).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(response.status, 200);
+        assert!(response.is_success());
+        assert!(response.body.contains("up 1"));
+        assert!(response.retry_after.is_none());
+
+        let response =
+            http_post(&addr, "/job", "{\"m\":1}", timeout).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(response.status, 202);
+        assert_eq!(response.body, "{\"echo\":7}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_after_is_parsed() {
+        let mut server =
+            serve("127.0.0.1:0", Arc::new(StubSource)).unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr().to_string();
+        let response =
+            http_get(&addr, "/busy", Duration::from_secs(5)).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(response.status, 503);
+        assert!(!response.is_success());
+        assert_eq!(response.retry_after, Some(Duration::from_secs(7)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_refused_is_an_error() {
+        // Bind-then-drop guarantees an unused port.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0")
+                .unwrap_or_else(|e| panic!("bind: {e}"));
+            l.local_addr().map(|a| a.port()).unwrap_or_else(|e| panic!("addr: {e}"))
+        };
+        let err = http_get(&format!("127.0.0.1:{port}"), "/metrics", Duration::from_millis(500));
+        assert!(err.is_err(), "connect to a closed port should fail");
+    }
+}

@@ -45,16 +45,20 @@
 //! ```
 
 pub mod analyze;
+pub mod client;
 pub mod export;
 pub mod hist;
 pub mod names;
 mod recorder;
 pub mod serve;
 
+pub use client::{http_get, http_post, ClientResponse};
 pub use export::RollupPublisher;
 pub use hist::{HistSnapshot, Histogram, TimerGuard};
 pub use recorder::{Recorder, SpanStat, TraceRecord};
-pub use serve::{serve, serve_with, ServeConfig, TelemetryServer, TelemetrySource};
+pub use serve::{
+    serve, serve_with, HttpRequest, HttpResponse, ServeConfig, TelemetryServer, TelemetrySource,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};

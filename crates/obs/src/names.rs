@@ -151,12 +151,50 @@ pub const BENCH_TARGET: &str = "bench.target";
 /// Span: one perf-bench workload repetition.
 pub const BENCH_WORKLOAD: &str = "bench.workload";
 
+/// Jobs the fleet coordinator dispatched (first grant or re-grant).
+pub const FLEET_DISPATCH: &str = "fleet.dispatch";
+/// Jobs re-dispatched after a lease expired.
+pub const FLEET_REDISPATCH: &str = "fleet.redispatch";
+/// Module results committed (exactly one per module, ever).
+pub const FLEET_COMMIT: &str = "fleet.commit";
+/// Late or repeated results rejected by the commit rule.
+pub const FLEET_DUPLICATE: &str = "fleet.duplicate";
+/// Leases that expired (deadline passed without commit).
+pub const FLEET_LEASE_EXPIRED: &str = "fleet.lease.expired";
+/// Heartbeats that failed (connection refused, timeout, bad reply).
+pub const FLEET_HEARTBEAT_MISSED: &str = "fleet.heartbeat.missed";
+/// Workers currently marked suspect (gauge).
+pub const FLEET_WORKER_SUSPECT: &str = "fleet.worker.suspect";
+/// Modules the fleet quarantined after exhausting attempts.
+pub const FLEET_QUARANTINED: &str = "fleet.quarantined";
+/// Event: one lease grant (module, worker, lease, generation).
+pub const FLEET_GRANT_EVENT: &str = "fleet.grant";
+/// Event: one lease expiry (module, lease, worker).
+pub const FLEET_EXPIRE_EVENT: &str = "fleet.expire";
+/// Event: the fleet checkpoint was loaded (committed entries).
+pub const FLEET_CHECKPOINT_LOADED: &str = "fleet.checkpoint.loaded";
+/// Event: the fleet checkpoint was saved (committed entries).
+pub const FLEET_CHECKPOINT_SAVED: &str = "fleet.checkpoint.saved";
+
+/// Jobs a worker accepted onto a slot.
+pub const WORKER_JOBS_ACCEPTED: &str = "worker.jobs.accepted";
+/// Jobs a worker refused for lack of slots (503 to the coordinator).
+pub const WORKER_JOBS_REJECTED: &str = "worker.jobs.rejected";
+/// Jobs a worker ran to successful completion.
+pub const WORKER_JOBS_COMPLETED: &str = "worker.jobs.completed";
+/// Jobs that failed on the worker (the error travels back).
+pub const WORKER_JOBS_FAILED: &str = "worker.jobs.failed";
+/// Jobs cancelled on the worker via `POST /cancel`.
+pub const WORKER_JOBS_CANCELLED: &str = "worker.jobs.cancelled";
+
 /// Trace records dropped by the recorder (memory cap or write error).
 pub const OBS_DROPPED_RECORDS: &str = "obs.dropped_records";
 /// Connections accepted by the telemetry HTTP server.
 pub const OBS_HTTP_REQUESTS: &str = "obs.http.requests";
 /// Connections the telemetry server refused with 503 (queue full).
 pub const OBS_HTTP_REJECTED: &str = "obs.http.rejected";
+/// Requests answered 405 (known route, wrong method).
+pub const OBS_HTTP_METHOD_NOT_ALLOWED: &str = "obs.http.method_not_allowed";
 
 /// Every name above, for the uniqueness and convention tests and for
 /// tooling that wants to validate a trace against the registry.
@@ -225,9 +263,27 @@ pub fn all() -> &'static [&'static str] {
         DEFENSE_THROTTLE_PS,
         BENCH_TARGET,
         BENCH_WORKLOAD,
+        FLEET_DISPATCH,
+        FLEET_REDISPATCH,
+        FLEET_COMMIT,
+        FLEET_DUPLICATE,
+        FLEET_LEASE_EXPIRED,
+        FLEET_HEARTBEAT_MISSED,
+        FLEET_WORKER_SUSPECT,
+        FLEET_QUARANTINED,
+        FLEET_GRANT_EVENT,
+        FLEET_EXPIRE_EVENT,
+        FLEET_CHECKPOINT_LOADED,
+        FLEET_CHECKPOINT_SAVED,
+        WORKER_JOBS_ACCEPTED,
+        WORKER_JOBS_REJECTED,
+        WORKER_JOBS_COMPLETED,
+        WORKER_JOBS_FAILED,
+        WORKER_JOBS_CANCELLED,
         OBS_DROPPED_RECORDS,
         OBS_HTTP_REQUESTS,
         OBS_HTTP_REJECTED,
+        OBS_HTTP_METHOD_NOT_ALLOWED,
     ]
 }
 

@@ -1,20 +1,29 @@
-//! A dependency-free HTTP/1.1 server for live telemetry, built on
-//! `std::net::TcpListener` only.
+//! A dependency-free HTTP/1.1 server for live telemetry and job
+//! control, built on `std::net::TcpListener` only.
 //!
-//! Endpoints:
+//! Built-in endpoints:
 //!
 //! - `GET /metrics` — Prometheus text exposition (see [`crate::export`]),
 //! - `GET /healthz` — liveness JSON; `503` when the source reports
 //!   unhealthy,
 //! - `GET /progress` — campaign progress JSON from the source.
 //!
+//! A source can add routes of its own — including `POST` routes with
+//! request bodies — by overriding [`TelemetrySource::handle`]; the
+//! fleet worker uses this for job submission. Requests are parsed
+//! fully (method, path, headers, bounded body): a well-formed request
+//! for a known route with the wrong method gets `405 Method Not
+//! Allowed` with an `Allow` header, an oversized body gets `413`, and
+//! `400` is reserved for genuinely malformed requests.
+//!
 //! The design is deliberately minimal: a nonblocking accept loop that
 //! polls a shutdown flag (and an optional caller-supplied shutdown
 //! predicate, the bridge to a cancellation-token tree the caller
 //! owns), a small fixed worker pool fed through a *bounded* channel,
 //! and `Connection: close` on every response. When the queue is full
-//! the accept thread answers `503` immediately rather than letting
-//! connections pile up — a scrape endpoint must never become a memory
+//! the accept thread answers `503` immediately — with a `Retry-After`
+//! header so a well-behaved client backs off — rather than letting
+//! connections pile up; a scrape endpoint must never become a memory
 //! leak. Every thread is joined on [`TelemetryServer::shutdown`] (and
 //! on drop), so a served campaign exits with no leaked threads.
 
@@ -26,6 +35,104 @@ use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Request head cap: method, path, and headers must fit here.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Body cap; larger `Content-Length` is answered `413`.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed request, handed to [`TelemetrySource::handle`].
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method, uppercase as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path with the query string stripped.
+    pub path: String,
+    /// Raw query string (without the `?`), empty when absent.
+    pub query: String,
+    /// Request body (UTF-8; capped at [`MAX_BODY_BYTES`]).
+    pub body: String,
+}
+
+impl HttpRequest {
+    /// The value of `name` in a `k=v&k=v` query string, if present.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// One response, either from a built-in route or a source's custom
+/// handler. The reason phrase is derived from `status`.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+    /// Extra headers appended verbatim (`Allow`, `Retry-After`, ...).
+    pub headers: Vec<(&'static str, String)>,
+}
+
+impl HttpResponse {
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn ok_json(body: impl Into<String>) -> Self {
+        Self::json(200, body)
+    }
+
+    /// A JSON response with an explicit status.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self { status, content_type: "application/json", body: body.into(), headers: Vec::new() }
+    }
+
+    /// A plain-text response with an explicit status.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Appends one extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// `405 Method Not Allowed` advertising the methods a route does
+    /// accept.
+    #[must_use]
+    pub fn method_not_allowed(allow: &'static str) -> Self {
+        crate::counter(names::OBS_HTTP_METHOD_NOT_ALLOWED, 1);
+        Self::text(405, "method not allowed\n").with_header("Allow", allow)
+    }
+}
+
+/// The standard reason phrase for the statuses this server emits.
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
 
 /// What the server serves. Implementations render on demand, per
 /// request, under the caller's locks — keep the renders cheap.
@@ -43,6 +150,14 @@ pub trait TelemetrySource: Send + Sync {
     fn healthz_json(&self) -> String {
         format!("{{\"ok\":{}}}\n", self.healthy())
     }
+    /// Custom routes, consulted before the built-ins. Return `None`
+    /// to fall through to `/metrics`, `/progress`, `/healthz`, and
+    /// the 404/405 machinery. This is how the fleet worker exposes
+    /// `POST /job` and friends without rh-obs knowing about jobs.
+    fn handle(&self, request: &HttpRequest) -> Option<HttpResponse> {
+        let _ = request;
+        None
+    }
 }
 
 /// Server sizing knobs. The defaults suit a scrape interval of
@@ -59,6 +174,8 @@ pub struct ServeConfig {
     pub io_timeout: Duration,
     /// How often the accept loop polls for shutdown.
     pub poll_interval: Duration,
+    /// `Retry-After` seconds advertised on the 503 overflow response.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +185,7 @@ impl Default for ServeConfig {
             queue_depth: 16,
             io_timeout: Duration::from_secs(2),
             poll_interval: Duration::from_millis(20),
+            retry_after_secs: 1,
         }
     }
 }
@@ -137,6 +255,7 @@ pub fn serve_with(
     let stop_flag = stop.clone();
     let poll = cfg.poll_interval.max(Duration::from_millis(1));
     let io_timeout = cfg.io_timeout;
+    let retry_after_secs = cfg.retry_after_secs;
     let accept = std::thread::Builder::new().name("rh-obs-http-accept".into()).spawn(move || {
         // `tx` moves in here; dropping it on exit closes the channel
         // and lets every worker drain and terminate.
@@ -153,7 +272,7 @@ pub fn serve_with(
                         Ok(()) => {}
                         Err(TrySendError::Full(stream)) => {
                             crate::counter(names::OBS_HTTP_REJECTED, 1);
-                            reject_overloaded(stream, io_timeout);
+                            reject_overloaded(stream, io_timeout, retry_after_secs);
                         }
                         Err(TrySendError::Disconnected(_)) => break,
                     }
@@ -216,85 +335,149 @@ fn worker_loop(
 fn handle_connection(mut stream: TcpStream, source: &dyn TelemetrySource, io_timeout: Duration) {
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
-    let (status, reason, content_type, body) = match read_request_target(&mut stream) {
-        None => (400, "Bad Request", "text/plain; charset=utf-8", "bad request\n".to_string()),
-        Some(target) => route(&target, source),
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(&request, source),
+        Err(error_response) => error_response,
     };
-    respond(&mut stream, status, reason, content_type, &body);
+    respond(&mut stream, &response);
 }
 
-/// Dispatches one request path (query string already stripped).
-fn route(target: &str, source: &dyn TelemetrySource) -> (u16, &'static str, &'static str, String) {
-    match target {
-        "/metrics" => (
-            200,
-            "OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            source.metrics_text(),
-        ),
-        "/progress" => (200, "OK", "application/json", source.progress_json()),
+/// Dispatches one parsed request: the source's custom routes first,
+/// then the built-in GET endpoints. A known route hit with the wrong
+/// method is a `405` with an `Allow` header — not a `400`, which is
+/// reserved for requests we could not parse at all.
+fn route(request: &HttpRequest, source: &dyn TelemetrySource) -> HttpResponse {
+    if let Some(response) = source.handle(request) {
+        return response;
+    }
+    match request.path.as_str() {
+        "/metrics" | "/progress" | "/healthz" if request.method != "GET" => {
+            HttpResponse::method_not_allowed("GET")
+        }
+        "/metrics" => HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: source.metrics_text(),
+            headers: Vec::new(),
+        },
+        "/progress" => HttpResponse::ok_json(source.progress_json()),
         "/healthz" => {
             let body = source.healthz_json();
             if source.healthy() {
-                (200, "OK", "application/json", body)
+                HttpResponse::json(200, body)
             } else {
-                (503, "Service Unavailable", "application/json", body)
+                HttpResponse::json(503, body)
             }
         }
-        _ => (404, "Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        _ => HttpResponse::text(404, "not found\n"),
     }
 }
 
-/// Reads the request head and returns the path of a `GET` request
-/// (query string stripped), or `None` for anything malformed or
-/// non-`GET`. Reads at most 8 KiB — telemetry requests have no body.
-fn read_request_target(stream: &mut TcpStream) -> Option<String> {
-    let mut buf = [0u8; 8192];
-    let mut len = 0usize;
-    loop {
-        if len == buf.len() {
-            return None;
+/// Reads and parses one request: request line, headers, and — when
+/// `Content-Length` says so — a bounded body. Returns the error
+/// response to send for anything malformed (`400`) or oversized
+/// (`413`).
+fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, HttpResponse> {
+    let bad = || HttpResponse::text(400, "bad request\n");
+
+    // Accumulate until the blank line ending the head. Some probes
+    // send bare "\n" line endings; accept both.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
         }
-        let n = match stream.read(&mut buf[len..]) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(_) => return None,
-        };
-        len += n;
-        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(bad());
         }
-        // A bare request line is enough; some probes skip headers.
-        if buf[..len].windows(2).any(|w| w == b"\n\n") {
-            break;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(bad()), // EOF before the head finished
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(bad()),
         }
-    }
-    let head = std::str::from_utf8(&buf[..len]).ok()?;
-    let request_line = head.lines().next()?;
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end.start]).map_err(|_| bad())?.to_string();
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or_else(bad)?;
     let mut parts = request_line.split_whitespace();
-    let method = parts.next()?;
-    let target = parts.next()?;
-    if method != "GET" {
-        return None;
+    let method = parts.next().ok_or_else(bad)?.to_string();
+    let target = parts.next().ok_or_else(bad)?;
+    if method.is_empty() || !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(bad());
     }
-    let path = target.split('?').next().unwrap_or(target);
-    Some(path.to_string())
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| bad())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpResponse::text(413, "payload too large\n"));
+    }
+
+    // Body bytes already read past the head, then the remainder.
+    let mut body_bytes = buf[head_end.end..].to_vec();
+    while body_bytes.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(bad()), // EOF mid-body
+            Ok(n) => body_bytes.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(bad()),
+        }
+    }
+    body_bytes.truncate(content_length);
+    let body = String::from_utf8(body_bytes).map_err(|_| bad())?;
+
+    Ok(HttpRequest { method, path, query, body })
 }
 
-fn respond(stream: &mut TcpStream, status: u16, reason: &str, content_type: &str, body: &str) {
-    let header = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+/// Locates the head/body boundary: the byte range of the first blank
+/// line (`\r\n\r\n` or `\n\n`). `start` is where the head text ends,
+/// `end` is where the body begins.
+fn find_head_end(buf: &[u8]) -> Option<std::ops::Range<usize>> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i..i + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| i..i + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(if a.start <= b.start { a } else { b }),
+        (a, b) => a.or(b),
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &HttpResponse) {
+    let mut header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason_for(response.status),
+        response.content_type,
+        response.body.len()
     );
+    for (name, value) in &response.headers {
+        header.push_str(name);
+        header.push_str(": ");
+        header.push_str(value);
+        header.push_str("\r\n");
+    }
+    header.push_str("\r\n");
     let _ = stream.write_all(header.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
     let _ = stream.flush();
 }
 
-/// Answers a connection the queue had no room for.
-fn reject_overloaded(mut stream: TcpStream, io_timeout: Duration) {
+/// Answers a connection the queue had no room for, advertising when
+/// to come back.
+fn reject_overloaded(mut stream: TcpStream, io_timeout: Duration, retry_after_secs: u64) {
     let _ = stream.set_write_timeout(Some(io_timeout));
-    respond(&mut stream, 503, "Service Unavailable", "text/plain; charset=utf-8", "overloaded\n");
+    let response = HttpResponse::text(503, "overloaded\n")
+        .with_header("Retry-After", retry_after_secs.to_string());
+    respond(&mut stream, &response);
 }
 
 #[cfg(test)]
@@ -322,6 +505,38 @@ mod tests {
         fn healthy(&self) -> bool {
             self.healthy.load(Ordering::Relaxed)
         }
+    }
+
+    /// A source with one custom POST route that echoes its body.
+    struct EchoSource;
+
+    impl TelemetrySource for EchoSource {
+        fn metrics_text(&self) -> String {
+            String::new()
+        }
+        fn progress_json(&self) -> String {
+            "{}".to_string()
+        }
+        fn handle(&self, request: &HttpRequest) -> Option<HttpResponse> {
+            match (request.method.as_str(), request.path.as_str()) {
+                ("POST", "/echo") => Some(HttpResponse::ok_json(request.body.clone())),
+                ("GET", "/lease") => Some(HttpResponse::ok_json(format!(
+                    "{{\"lease\":\"{}\"}}",
+                    request.query_param("lease").unwrap_or("none")
+                ))),
+                (_, "/echo" | "/lease") => Some(HttpResponse::method_not_allowed("GET, POST")),
+                _ => None,
+            }
+        }
+    }
+
+    fn raw(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        stream.write_all(request.as_bytes()).unwrap_or_else(|e| panic!("write: {e}"));
+        let mut response = String::new();
+        let _ = std::io::Read::read_to_string(&mut stream, &mut response);
+        response
     }
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
@@ -413,16 +628,75 @@ mod tests {
     }
 
     #[test]
+    fn non_get_on_known_route_is_405_with_allow() {
+        let mut server = serve("127.0.0.1:0", Arc::new(StubSource::new()))
+            .unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr();
+        let response = raw(addr, "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 405"), "got {response:?}");
+        assert!(response.contains("Allow: GET"), "missing Allow header: {response:?}");
+        // Unknown routes stay 404 regardless of method.
+        let response = raw(addr, "POST /nope HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 404"), "got {response:?}");
+        server.shutdown();
+    }
+
+    #[test]
     fn malformed_requests_get_400() {
         let mut server = serve("127.0.0.1:0", Arc::new(StubSource::new()))
             .unwrap_or_else(|e| panic!("serve: {e}"));
         let addr = server.local_addr();
-        let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap_or_else(|e| panic!("{e}"));
-        let mut response = String::new();
-        let _ = std::io::Read::read_to_string(&mut stream, &mut response);
+        // Lower-case method token: not a parseable request.
+        let response = raw(addr, "get /metrics HTTP/1.1\r\n\r\n");
         assert!(response.starts_with("HTTP/1.1 400"), "got {response:?}");
+        // Missing target.
+        let response = raw(addr, "GET\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 400"), "got {response:?}");
+        // Body shorter than Content-Length promises (EOF mid-body).
+        let response = raw(addr, "POST /metrics HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort");
+        assert!(response.starts_with("HTTP/1.1 400"), "got {response:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let mut server = serve("127.0.0.1:0", Arc::new(StubSource::new()))
+            .unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr();
+        let response = raw(
+            addr,
+            &format!("POST /metrics HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1),
+        );
+        assert!(response.starts_with("HTTP/1.1 413"), "got {response:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn custom_routes_take_post_bodies_and_queries() {
+        let mut server = serve("127.0.0.1:0", Arc::new(EchoSource))
+            .unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr();
+
+        let body = "{\"module\":\"mfr_a#3\"}";
+        let response = raw(
+            addr,
+            &format!("POST /echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
+        );
+        assert!(response.starts_with("HTTP/1.1 200"), "got {response:?}");
+        assert!(response.ends_with(body), "body not echoed: {response:?}");
+
+        let (status, body) = get(addr, "/lease?lease=42");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"lease\":\"42\""), "got {body:?}");
+
+        // Wrong method on a custom route: the source's own 405.
+        let response = raw(addr, "DELETE /echo HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 405"), "got {response:?}");
+        assert!(response.contains("Allow: GET, POST"), "got {response:?}");
+
+        // Built-ins still work when the custom handler falls through.
+        let (status, _) = get(addr, "/progress");
+        assert_eq!(status, 200);
         server.shutdown();
     }
 }

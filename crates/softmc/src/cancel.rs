@@ -42,6 +42,21 @@ impl CancelToken {
         Self { own: Arc::new(AtomicBool::new(false)), ancestors }
     }
 
+    /// Derives a token that trips when *either* this token's line or
+    /// `other`'s line cancels (or when the linked token itself is
+    /// cancelled). Cancelling the linked token affects neither
+    /// parent. This is the bridge a fleet worker uses to merge its
+    /// process-wide operator token with a per-lease remote-cancel
+    /// token: the job stops when the operator hits Ctrl-C *or* the
+    /// coordinator revokes the lease.
+    pub fn linked(&self, other: &CancelToken) -> Self {
+        let mut ancestors = self.ancestors.clone();
+        ancestors.push(Arc::clone(&self.own));
+        ancestors.extend(other.ancestors.iter().cloned());
+        ancestors.push(Arc::clone(&other.own));
+        Self { own: Arc::new(AtomicBool::new(false)), ancestors }
+    }
+
     /// Requests cancellation of this token and all its descendants.
     pub fn cancel(&self) {
         self.own.store(true, Ordering::SeqCst);
@@ -114,6 +129,43 @@ mod tests {
         assert!(!grandchild.is_cancelled());
         root.cancel();
         assert!(grandchild.is_cancelled());
+    }
+
+    #[test]
+    fn linked_token_observes_both_parents() {
+        let operator = CancelToken::new();
+        let lease = CancelToken::new();
+        let job = operator.linked(&lease);
+        assert!(!job.is_cancelled());
+
+        // Either parent trips the link.
+        lease.cancel();
+        assert!(job.is_cancelled(), "lease cancel must reach the job");
+        assert!(!operator.is_cancelled(), "link never propagates back");
+
+        let lease2 = CancelToken::new();
+        let job2 = operator.linked(&lease2);
+        operator.cancel();
+        assert!(job2.is_cancelled(), "operator cancel must reach the job");
+        assert!(!lease2.is_cancelled());
+
+        // Cancelling the link itself touches neither parent.
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let link = a.linked(&b);
+        link.cancel();
+        assert!(link.is_cancelled());
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+    }
+
+    #[test]
+    fn linked_token_sees_grandparents() {
+        let root = CancelToken::new();
+        let mid = root.child();
+        let remote = CancelToken::new();
+        let job = mid.linked(&remote.child());
+        root.cancel();
+        assert!(job.is_cancelled(), "ancestors of either side must reach the link");
     }
 
     #[test]
