@@ -44,6 +44,11 @@ struct WorkloadSpec {
     /// Whether to run the extra instrumented rep. The disabled-overhead
     /// micro-bench skips it: installing a sink would defeat its point.
     instrument: bool,
+    /// Multiplier on the configured timed reps. Workloads whose
+    /// baseline spread was too wide for the gate to mean anything
+    /// (`hammer_double` shipped at 41 %) run more reps so the median
+    /// and spread stabilize; 1 for everything else.
+    reps_boost: u32,
 }
 
 /// Bench configuration, filled from `repro bench` flags.
@@ -247,24 +252,55 @@ fn run_obs_disabled_event(_seed: u64, _scale: Scale) -> Result<u64, String> {
 }
 
 const WORKLOADS: &[WorkloadSpec] = &[
-    WorkloadSpec { name: "hammer_double", units: "hammers", runner: run_hammer_double, instrument: true },
-    WorkloadSpec { name: "hammer_single", units: "hammers", runner: run_hammer_single, instrument: true },
-    WorkloadSpec { name: "hc_first_search", units: "searches", runner: run_hc_first_search, instrument: true },
-    WorkloadSpec { name: "temp_sweep", units: "temp_points", runner: run_temp_sweep, instrument: true },
-    WorkloadSpec { name: "soak", units: "modules", runner: run_soak_workload, instrument: true },
+    WorkloadSpec {
+        name: "hammer_double",
+        units: "hammers",
+        runner: run_hammer_double,
+        instrument: true,
+        reps_boost: 3,
+    },
+    WorkloadSpec {
+        name: "hammer_single",
+        units: "hammers",
+        runner: run_hammer_single,
+        instrument: true,
+        reps_boost: 1,
+    },
+    WorkloadSpec {
+        name: "hc_first_search",
+        units: "searches",
+        runner: run_hc_first_search,
+        instrument: true,
+        reps_boost: 1,
+    },
+    WorkloadSpec {
+        name: "temp_sweep",
+        units: "temp_points",
+        runner: run_temp_sweep,
+        instrument: true,
+        reps_boost: 1,
+    },
+    WorkloadSpec { name: "soak", units: "modules", runner: run_soak_workload, instrument: true, reps_boost: 1 },
     WorkloadSpec {
         name: "obs_disabled_record",
         units: "records",
         runner: run_obs_disabled_record,
         instrument: false,
+        reps_boost: 1,
     },
     WorkloadSpec {
         name: "obs_disabled_event",
         units: "events",
         runner: run_obs_disabled_event,
         instrument: false,
+        reps_boost: 1,
     },
 ];
+
+/// Timed repetitions one workload actually runs under `cfg`.
+fn timed_reps_for(spec: &WorkloadSpec, cfg: &BenchConfig) -> u32 {
+    cfg.reps.saturating_mul(spec.reps_boost.max(1))
+}
 
 /// Names of every canonical workload, in run order.
 #[must_use]
@@ -290,9 +326,10 @@ fn run_workload(spec: &WorkloadSpec, cfg: &BenchConfig) -> Result<WorkloadResult
         (spec.runner)(cfg.seed, cfg.scale)?;
     }
 
-    let mut wall_ms = Vec::with_capacity(cfg.reps as usize);
+    let timed_reps = timed_reps_for(spec, cfg);
+    let mut wall_ms = Vec::with_capacity(timed_reps as usize);
     let mut units_per_rep = 0u64;
-    for _ in 0..cfg.reps {
+    for _ in 0..timed_reps {
         let start = Instant::now();
         units_per_rep = (spec.runner)(cfg.seed, cfg.scale)?;
         wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
@@ -337,7 +374,7 @@ fn run_workload(spec: &WorkloadSpec, cfg: &BenchConfig) -> Result<WorkloadResult
         name: spec.name.to_string(),
         units: spec.units.to_string(),
         warmup_reps: cfg.warmup,
-        timed_reps: cfg.reps,
+        timed_reps,
         wall_ms,
         median_ms,
         min_ms,
@@ -380,7 +417,7 @@ pub fn run_bench(
             selected.len(),
             spec.name,
             cfg.warmup,
-            cfg.reps
+            timed_reps_for(spec, cfg)
         ));
         workloads.push(run_workload(spec, cfg)?);
     }
@@ -639,6 +676,23 @@ mod tests {
         assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
         assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn noisy_workloads_run_boosted_reps() {
+        let cfg = BenchConfig { reps: 5, ..BenchConfig::default() };
+        let by_name = |n: &str| WORKLOADS.iter().find(|w| w.name == n).unwrap();
+        assert_eq!(timed_reps_for(by_name("hammer_double"), &cfg), 15);
+        assert_eq!(timed_reps_for(by_name("hammer_single"), &cfg), 5);
+        // A zero boost must not silently disable timing.
+        let spec = WorkloadSpec {
+            name: "z",
+            units: "u",
+            runner: run_obs_disabled_record,
+            instrument: false,
+            reps_boost: 0,
+        };
+        assert_eq!(timed_reps_for(&spec, &cfg), 5);
     }
 
     #[test]

@@ -116,6 +116,19 @@ impl Bank {
         self.stats = AggressionStats::default();
     }
 
+    /// Accounts `count` activation episodes of `row` delivered by a
+    /// bulk hammer path that bypasses the per-command state machine.
+    /// Keeps [`AggressionStats`] consistent between the program path
+    /// (one [`Bank::activate`] per episode) and the direct bulk paths,
+    /// so activation-counting consumers (e.g. TRR-style defenses) see
+    /// the same ledger either way.
+    pub fn record_bulk_activations(&mut self, row: RowAddr, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.stats.activations.entry(row.0).or_insert(0) += count;
+    }
+
     /// Activates `row` at time `now`.
     ///
     /// Returns the previous episode as a fully-attributed
@@ -314,6 +327,21 @@ mod tests {
         assert_eq!(b.stats().total(), 3);
         b.reset_stats();
         assert_eq!(b.stats().total(), 0);
+    }
+
+    #[test]
+    fn bulk_activations_merge_with_per_command_stats() {
+        let tp = t();
+        let mut b = Bank::new(BankId(0));
+        b.activate(0, RowAddr(4), &tp, true).unwrap();
+        b.precharge(tp.t_ras, &tp, true).unwrap();
+        b.record_bulk_activations(RowAddr(4), 150_000);
+        b.record_bulk_activations(RowAddr(5), 150_000);
+        b.record_bulk_activations(RowAddr(6), 0);
+        assert_eq!(b.stats().count(RowAddr(4)), 150_001);
+        assert_eq!(b.stats().count(RowAddr(5)), 150_000);
+        assert_eq!(b.stats().count(RowAddr(6)), 0);
+        assert_eq!(b.stats().total(), 300_001);
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub struct BitFlip {
 /// `rh-dram` ships only [`NullDisturbance`]; the calibrated model lives
 /// in the `rh-faultmodel` crate. All rows are *physical* rows.
 pub trait DisturbanceModel: Send {
+    /// Tells the model the geometry of the module it is installed
+    /// into. Called once by [`DramModule::with_model`]; models use the
+    /// row count to clamp victim accumulation to rows that exist.
+    /// The default does nothing (geometry-oblivious models).
+    fn configure_geometry(&mut self, _rows_per_bank: u32, _row_bytes: usize) {}
+
     /// Notifies the model that `row` completed `count` activation
     /// episodes with on-time `t_on` and off-time `t_off` each.
     fn on_hammer(&mut self, bank: BankId, row: RowAddr, count: u64, t_on: Picos, t_off: Picos);
@@ -161,8 +167,9 @@ impl DramModule {
     }
 
     /// Creates a module backed by `model`.
-    pub fn with_model(cfg: ModuleConfig, model: Box<dyn DisturbanceModel>) -> Self {
+    pub fn with_model(cfg: ModuleConfig, mut model: Box<dyn DisturbanceModel>) -> Self {
         let banks = (0..cfg.geometry.banks).map(|i| Bank::new(BankId(i))).collect();
+        model.configure_geometry(cfg.geometry.rows_per_bank, cfg.geometry.row_bytes());
         Self { cfg, banks, storage: HashMap::new(), model, now: 0 }
     }
 
@@ -441,6 +448,7 @@ impl DramModule {
         // itself, clearing any disturbance accumulated on it.
         self.sense_and_restore(bank, phys);
         self.model.on_hammer(bank, phys, count, t_on, t_off);
+        self.banks[bank.0 as usize].record_bulk_activations(phys, count);
         self.now += count * (t_on + t_off);
         Ok(())
     }
@@ -482,6 +490,8 @@ impl DramModule {
         self.sense_and_restore(bank, phys_r);
         self.model.on_hammer(bank, phys_l, count, t_on, t_off);
         self.model.on_hammer(bank, phys_r, count, t_on, t_off);
+        self.banks[bank.0 as usize].record_bulk_activations(phys_l, count);
+        self.banks[bank.0 as usize].record_bulk_activations(phys_r, count);
         self.now += count * 2 * (t_on + t_off);
         // The interleaved program restores each aggressor on every
         // episode, so their mutual distance-2 disturbance never reaches
@@ -617,6 +627,20 @@ mod tests {
         let t = m.config().timing;
         m.hammer_direct(BankId(0), RowAddr(4), 1000, t.t_ras, t.t_rp).unwrap();
         assert_eq!(m.now(), 1000 * t.t_rc());
+    }
+
+    #[test]
+    fn bulk_hammer_paths_account_activation_stats() {
+        let mut m = module();
+        let t = m.config().timing;
+        let b = BankId(0);
+        let phys4 = m.config().mapping.logical_to_physical(RowAddr(4));
+        let phys6 = m.config().mapping.logical_to_physical(RowAddr(6));
+        m.hammer_direct(b, RowAddr(4), 1000, t.t_ras, t.t_rp).unwrap();
+        m.hammer_pair_direct(b, RowAddr(4), RowAddr(6), 500, t.t_ras, t.t_rp).unwrap();
+        assert_eq!(m.bank(b).stats().count(phys4), 1500);
+        assert_eq!(m.bank(b).stats().count(phys6), 500);
+        assert_eq!(m.bank(b).stats().total(), 2000);
     }
 
     #[test]

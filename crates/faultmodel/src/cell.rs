@@ -90,13 +90,44 @@ impl CellVulnerability {
 
     /// Per-trial multiplicative threshold noise for trial `nonce`.
     pub fn trial_noise(&self, profile: &MfrProfile, module_seed: u64, nonce: u64) -> f64 {
-        rng::lognormal(
-            module_seed,
-            &[tag::NOISE, self.byte as u64, self.bit as u64, nonce],
-            0.0,
-            profile.rep_noise_sigma,
-        )
+        trial_noise_at(profile, module_seed, self.byte, self.bit, nonce)
     }
+}
+
+/// Per-trial multiplicative threshold noise of the cell at `(byte,
+/// bit)` for trial `nonce` — the free-function form the columnar
+/// kernel uses, so both evaluation paths derive *exactly* the same
+/// sample from the same coordinates.
+pub fn trial_noise_at(
+    profile: &MfrProfile,
+    module_seed: u64,
+    byte: u32,
+    bit: u8,
+    nonce: u64,
+) -> f64 {
+    rng::lognormal(
+        module_seed,
+        &[tag::NOISE, byte as u64, bit as u64, nonce],
+        0.0,
+        profile.rep_noise_sigma,
+    )
+}
+
+/// Proven bound on the standard-normal magnitude [`rng::normal`] can
+/// produce: its Box–Muller transform clamps `u1` at `1e-12`, so
+/// `|N| <= sqrt(-2 ln 1e-12) ≈ 7.434`. The columnar kernel multiplies
+/// this by the profile's noise sigma to bracket [`trial_noise_at`]
+/// without sampling it: a cell whose dose clears (or misses) its
+/// threshold by more than the bracket needs no exact noise draw, and
+/// the bracket being *sound* (never tighter than the true range) is
+/// what keeps the shortcut bit-identical to the scalar path.
+pub const NOISE_Z_BOUND: f64 = 7.44;
+
+/// The multiplicative range `[lo, hi]` that [`trial_noise_at`] can ever
+/// return under `profile`.
+pub fn trial_noise_bounds(profile: &MfrProfile) -> (f64, f64) {
+    let spread = (profile.rep_noise_sigma.abs() * NOISE_Z_BOUND).exp();
+    (1.0 / spread, spread)
 }
 
 /// Derives the vulnerable-cell population of one physical row.
@@ -355,6 +386,30 @@ mod tests {
         };
         assert!(c.susceptible(false)); // anti-cell flips a stored 0
         assert!(!c.susceptible(true));
+    }
+
+    #[test]
+    fn trial_noise_stays_within_proven_bounds() {
+        // The columnar kernel's definite-pass/definite-fail shortcut is
+        // only sound if no sample ever escapes the bracket.
+        let p = MfrProfile::for_manufacturer(Manufacturer::B);
+        let (lo, hi) = trial_noise_bounds(&p);
+        assert!(lo < 1.0 && hi > 1.0);
+        for row in 0..4u32 {
+            for c in cells(Manufacturer::B, row) {
+                for nonce in 0..64u64 {
+                    let n = c.trial_noise(&p, 42, nonce);
+                    assert!(n >= lo && n <= hi, "noise {n} outside [{lo}, {hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trial_noise_free_function_matches_method() {
+        let p = MfrProfile::for_manufacturer(Manufacturer::D);
+        let c = cells(Manufacturer::D, 2)[0];
+        assert_eq!(c.trial_noise(&p, 9, 3), trial_noise_at(&p, 9, c.byte, c.bit, 3));
     }
 
     #[test]

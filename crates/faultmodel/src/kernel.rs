@@ -1,0 +1,365 @@
+//! Columnar (struct-of-arrays) evaluation kernel for the RowHammer
+//! fault model.
+//!
+//! The scalar path in [`crate::model`] walks every derived cell of a
+//! row on every activation, recomputing its temperature-dependent
+//! threshold and drawing a per-trial noise sample — hundreds of
+//! transcendental evaluations per row read. This module restructures
+//! that work so an activation costs a handful of comparisons in the
+//! common case:
+//!
+//! 1. **Row kernel** ([`RowKernel`]): the row's cells laid out as
+//!    parallel arrays (byte/bit coordinates, base thresholds, window
+//!    bounds, packed orientation bits) — derived once per row.
+//! 2. **Temperature surface** ([`TempSurface`]): for one temperature,
+//!    the in-window cells sorted by effective threshold, with a packed
+//!    `u64` flip mask per cell aligned to the row's 64-bit data lanes
+//!    and per-lane aggregate orientation masks. Surfaces are memoized
+//!    per `(row, temperature)`, so repeated sweep points hit a cache.
+//! 3. **Noise bracketing**: the per-trial noise sample is bounded by
+//!    [`crate::cell::trial_noise_bounds`]; cells whose threshold falls
+//!    outside the `dose / noise` bracket are decided by one comparison
+//!    and only the narrow band in between draws an exact sample — the
+//!    same sample the scalar path draws, keeping the two paths
+//!    bit-identical (asserted by the `equivalence` test suite).
+//!
+//! An activation whose dose is below every bracketed threshold returns
+//! after two comparisons; one whose dose clears every threshold is
+//! evaluated lane-wise: `flips = (anti & !data) | (true_cells & data)`
+//! per 64-bit word.
+
+use crate::cell::{trial_noise_at, trial_noise_bounds, CellVulnerability};
+use crate::lru::LruCache;
+use crate::profile::MfrProfile;
+use rh_dram::BitFlip;
+use std::sync::Arc;
+
+/// Temperature surfaces memoized per row kernel. Sweeps iterate
+/// temperature in the outer loop, so per-row reuse only needs the last
+/// few sweep points resident.
+const SURFACES_PER_ROW: usize = 4;
+
+/// One row's vulnerable cells in columnar layout, plus its memoized
+/// per-temperature surfaces.
+#[derive(Debug)]
+pub struct RowKernel {
+    /// The derivation this kernel was built from (shared with the
+    /// scalar path's cache, so both paths see the same population).
+    cells: Arc<Vec<CellVulnerability>>,
+    surfaces: LruCache<u64, Arc<TempSurface>>,
+}
+
+/// The response surface of one row at one temperature: every in-window
+/// cell with its effective threshold, sorted ascending so a dose maps
+/// to a contiguous prefix of passing cells.
+#[derive(Debug)]
+pub struct TempSurface {
+    /// Effective thresholds (hammer units), ascending.
+    h: Vec<f64>,
+    /// Byte offset within the row, parallel to `h`.
+    byte: Vec<u32>,
+    /// Bit within the byte, parallel to `h`.
+    bit: Vec<u8>,
+    /// 64-bit data lane (word index) holding the cell, parallel to `h`.
+    word: Vec<u32>,
+    /// Single-bit mask of the cell within its lane, parallel to `h`.
+    mask: Vec<u64>,
+    /// Anti-cell flags, parallel to `h`.
+    anti: Vec<bool>,
+    /// Per-lane aggregate masks `(word, anti_mask, true_mask)` over all
+    /// in-window cells, for the everything-passes bulk path.
+    lane_masks: Vec<(u32, u64, u64)>,
+    /// `h[0] * noise_lo`: below this dose nothing can flip.
+    min_gate: f64,
+    /// `h[last] * noise_hi`: at or above this dose everything passes.
+    max_gate: f64,
+    /// Noise bracket of the profile, cached.
+    noise_lo: f64,
+    noise_hi: f64,
+}
+
+impl RowKernel {
+    /// Builds the kernel over a derived cell population.
+    pub fn new(cells: Arc<Vec<CellVulnerability>>) -> Self {
+        Self { cells, surfaces: LruCache::new(SURFACES_PER_ROW) }
+    }
+
+    /// The cell population the kernel evaluates.
+    pub fn cells(&self) -> &Arc<Vec<CellVulnerability>> {
+        &self.cells
+    }
+
+    /// The memoized surface at `temperature`, building it on first use.
+    /// Returns the surface and whether it was freshly built.
+    pub fn surface(&mut self, profile: &MfrProfile, temperature: f64) -> (Arc<TempSurface>, bool) {
+        let key = temperature.to_bits();
+        let cells = Arc::clone(&self.cells);
+        let (s, built) = self
+            .surfaces
+            .get_or_insert_with(key, || Arc::new(TempSurface::build(profile, &cells, temperature)));
+        (Arc::clone(s), built)
+    }
+
+    /// The memoized surface for a `f64::to_bits` temperature key, if
+    /// this kernel already holds one.
+    pub fn cached_surface(&mut self, temp_bits: u64) -> Option<Arc<TempSurface>> {
+        self.surfaces.get(&temp_bits).map(Arc::clone)
+    }
+
+    /// Installs an externally built (or globally shared) surface under
+    /// a `f64::to_bits` temperature key.
+    pub fn insert_surface(&mut self, temp_bits: u64, surface: &Arc<TempSurface>) {
+        self.surfaces.insert(temp_bits, Arc::clone(surface));
+    }
+}
+
+impl TempSurface {
+    /// Derives the surface of `cells` at `temperature`. Effective
+    /// thresholds come from [`CellVulnerability::threshold_at`] — the
+    /// same computation the scalar path performs per activation — so
+    /// the two paths agree bit-for-bit.
+    pub fn build(profile: &MfrProfile, cells: &[CellVulnerability], temperature: f64) -> Self {
+        let mut order: Vec<(f64, &CellVulnerability)> = cells
+            .iter()
+            .filter_map(|c| c.threshold_at(temperature).map(|h| (h, c)))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let n = order.len();
+        let mut h = Vec::with_capacity(n);
+        let mut byte = Vec::with_capacity(n);
+        let mut bit = Vec::with_capacity(n);
+        let mut word = Vec::with_capacity(n);
+        let mut mask = Vec::with_capacity(n);
+        let mut anti = Vec::with_capacity(n);
+        let mut lanes: std::collections::BTreeMap<u32, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for (eff, c) in order {
+            let w = c.byte / 8;
+            let m = 1u64 << ((c.byte % 8) * 8 + c.bit as u32);
+            h.push(eff);
+            byte.push(c.byte);
+            bit.push(c.bit);
+            word.push(w);
+            mask.push(m);
+            anti.push(c.anti_cell);
+            let lane = lanes.entry(w).or_insert((0, 0));
+            if c.anti_cell {
+                lane.0 |= m;
+            } else {
+                lane.1 |= m;
+            }
+        }
+        let (noise_lo, noise_hi) = trial_noise_bounds(profile);
+        let min_gate = h.first().map_or(f64::INFINITY, |&h0| h0 * noise_lo);
+        let max_gate = h.last().map_or(0.0, |&hn| hn * noise_hi);
+        Self {
+            h,
+            byte,
+            bit,
+            word,
+            mask,
+            anti,
+            lane_masks: lanes.into_iter().map(|(w, (a, t))| (w, a, t)).collect(),
+            min_gate,
+            max_gate,
+            noise_lo,
+            noise_hi,
+        }
+    }
+
+    /// Number of in-window cells.
+    pub fn len(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Whether no cell is vulnerable at this temperature.
+    pub fn is_empty(&self) -> bool {
+        self.h.is_empty()
+    }
+
+    /// Whether `dose` is below every bracketed threshold (the O(1)
+    /// early-out that decides most activations).
+    pub fn below_all(&self, dose: f64) -> bool {
+        dose < self.min_gate
+    }
+
+    /// Evaluates one activation: appends the flips `dose` causes in a
+    /// row holding `data` to `out`. `module_seed` and `nonce` feed the
+    /// per-trial noise draw for cells inside the noise band.
+    pub fn evaluate(
+        &self,
+        profile: &MfrProfile,
+        module_seed: u64,
+        nonce: u64,
+        dose: f64,
+        data: &[u8],
+        out: &mut Vec<BitFlip>,
+    ) {
+        if self.below_all(dose) {
+            return;
+        }
+        if dose >= self.max_gate {
+            // Everything passes the threshold: decide purely lane-wise.
+            for &(w, anti_mask, true_mask) in &self.lane_masks {
+                let lane = data_word(data, w);
+                let mut flips = (anti_mask & !lane) | (true_mask & lane);
+                while flips != 0 {
+                    let pos = flips.trailing_zeros();
+                    flips &= flips - 1;
+                    out.push(BitFlip { byte: w * 8 + pos / 8, bit: (pos % 8) as u8 });
+                }
+            }
+            return;
+        }
+        // `h` ascending makes `h * bound <= dose` a prefix predicate.
+        let pass = self.h.partition_point(|&h| h * self.noise_hi <= dose);
+        let band = self.h.partition_point(|&h| h * self.noise_lo <= dose);
+        for i in 0..pass {
+            let stored_one = data_word(data, self.word[i]) & self.mask[i] != 0;
+            if stored_one != self.anti[i] {
+                out.push(BitFlip { byte: self.byte[i], bit: self.bit[i] });
+            }
+        }
+        for i in pass..band {
+            let stored_one = data_word(data, self.word[i]) & self.mask[i] != 0;
+            if stored_one == self.anti[i] {
+                continue;
+            }
+            let noise = trial_noise_at(profile, module_seed, self.byte[i], self.bit[i], nonce);
+            if dose >= self.h[i] * noise {
+                out.push(BitFlip { byte: self.byte[i], bit: self.bit[i] });
+            }
+        }
+    }
+}
+
+/// The 64-bit little-endian data lane at `word` of a row image.
+#[inline]
+fn data_word(data: &[u8], word: u32) -> u64 {
+    let off = word as usize * 8;
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&data[off..off + 8]);
+    u64::from_le_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::derive_row_cells;
+    use rh_dram::{BankId, Manufacturer, RowAddr};
+
+    fn surface(mfr: Manufacturer, row: u32, t: f64) -> (MfrProfile, TempSurface) {
+        let p = MfrProfile::for_manufacturer(mfr);
+        let cells = derive_row_cells(&p, 42, BankId(0), RowAddr(row), 8192, 512);
+        let s = TempSurface::build(&p, &cells, t);
+        (p, s)
+    }
+
+    #[test]
+    fn surface_thresholds_are_sorted_and_positive() {
+        let (_, s) = surface(Manufacturer::A, 10, 75.0);
+        assert!(!s.is_empty());
+        for pair in s.h.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert!(s.h[0] > 0.0);
+    }
+
+    #[test]
+    fn masks_match_byte_bit_coordinates() {
+        let (_, s) = surface(Manufacturer::C, 3, 60.0);
+        for i in 0..s.len() {
+            assert_eq!(s.word[i], s.byte[i] / 8);
+            let pos = (s.byte[i] % 8) * 8 + s.bit[i] as u32;
+            assert_eq!(s.mask[i], 1u64 << pos);
+        }
+    }
+
+    #[test]
+    fn lane_masks_cover_every_cell_exactly() {
+        let (_, s) = surface(Manufacturer::B, 7, 75.0);
+        let mut anti_bits = 0u32;
+        let mut true_bits = 0u32;
+        for &(_, a, t) in &s.lane_masks {
+            assert_eq!(a & t & !(a & t), 0);
+            anti_bits += a.count_ones();
+            true_bits += t.count_ones();
+        }
+        let anti_cells = s.anti.iter().filter(|&&a| a).count() as u32;
+        // Two cells can share a (byte, bit) position; the mask merges
+        // them, so the popcount is a lower bound.
+        assert!(anti_bits <= anti_cells);
+        assert!(true_bits <= s.len() as u32 - anti_cells);
+        assert!(anti_bits + true_bits > 0);
+    }
+
+    #[test]
+    fn zero_dose_early_outs() {
+        let (p, s) = surface(Manufacturer::A, 5, 75.0);
+        assert!(s.below_all(0.0));
+        let data = vec![0u8; 8192];
+        let mut out = Vec::new();
+        s.evaluate(&p, 42, 0, 0.0, &data, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn saturating_dose_takes_lane_path_and_flips_all_susceptible() {
+        let (p, s) = surface(Manufacturer::A, 5, 75.0);
+        let dose = s.max_gate * 2.0;
+        let zeros = vec![0u8; 8192];
+        let ones = vec![0xFFu8; 8192];
+        let mut flips0 = Vec::new();
+        let mut flips1 = Vec::new();
+        s.evaluate(&p, 42, 0, dose, &zeros, &mut flips0);
+        s.evaluate(&p, 42, 0, dose, &ones, &mut flips1);
+        // All-zero data flips every anti-cell position; all-ones every
+        // true-cell position (dedup via lane masks).
+        let anti_positions: std::collections::BTreeSet<_> = (0..s.len())
+            .filter(|&i| s.anti[i])
+            .map(|i| (s.byte[i], s.bit[i]))
+            .collect();
+        let got0: std::collections::BTreeSet<_> =
+            flips0.iter().map(|f| (f.byte, f.bit)).collect();
+        assert_eq!(got0, anti_positions);
+        let true_positions: std::collections::BTreeSet<_> = (0..s.len())
+            .filter(|&i| !s.anti[i])
+            .map(|i| (s.byte[i], s.bit[i]))
+            .collect();
+        let got1: std::collections::BTreeSet<_> =
+            flips1.iter().map(|f| (f.byte, f.bit)).collect();
+        // A position hosting both an anti- and a true-cell flips in
+        // both fills; subtract the overlap before comparing.
+        assert_eq!(got1, true_positions);
+    }
+
+    #[test]
+    fn kernel_memoizes_surfaces_per_temperature() {
+        let p = MfrProfile::for_manufacturer(Manufacturer::D);
+        let cells =
+            Arc::new(derive_row_cells(&p, 42, BankId(0), RowAddr(9), 8192, 512));
+        let mut k = RowKernel::new(cells);
+        let (_, miss1) = k.surface(&p, 75.0);
+        let (_, miss2) = k.surface(&p, 75.0);
+        let (_, miss3) = k.surface(&p, 80.0);
+        assert!(miss1, "first build must be a miss");
+        assert!(!miss2, "repeat temperature must hit the memo");
+        assert!(miss3, "new temperature must build");
+    }
+
+    #[test]
+    fn out_of_window_temperature_yields_empty_surface() {
+        // At a physically absurd temperature only full-range cells
+        // remain; with none, the surface must be inert.
+        let p = MfrProfile::for_manufacturer(Manufacturer::C);
+        let cells: Vec<CellVulnerability> =
+            derive_row_cells(&p, 42, BankId(0), RowAddr(4), 8192, 512)
+                .into_iter()
+                .filter(|c| c.window.lo > -250.0)
+                .collect();
+        let s = TempSurface::build(&p, &cells, 500.0);
+        assert!(s.is_empty());
+        assert!(s.below_all(f64::INFINITY) || s.max_gate == 0.0);
+    }
+}

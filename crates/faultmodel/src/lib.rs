@@ -53,14 +53,18 @@
 
 pub mod cell;
 pub mod disturb;
+pub mod kernel;
+pub mod lru;
 pub mod model;
 pub mod profile;
 pub mod retention;
 pub mod rng;
 pub mod variation;
 
-pub use cell::{CellVulnerability, TempWindow};
+pub use cell::{trial_noise_at, trial_noise_bounds, CellVulnerability, TempWindow, NOISE_Z_BOUND};
 pub use disturb::{g_off, g_on, DisturbanceUnits};
-pub use model::RowHammerModel;
+pub use kernel::{RowKernel, TempSurface};
+pub use lru::LruCache;
+pub use model::{EvalMode, RowHammerModel};
 pub use retention::RetentionCell;
 pub use profile::MfrProfile;

@@ -1,0 +1,206 @@
+//! A small bounded map with least-recently-used eviction.
+//!
+//! The fault model's derived-state caches (vulnerable-cell populations,
+//! retention cells, columnar row kernels) were previously bounded by
+//! wiping the whole map on overflow, so sweeps just past the capacity
+//! re-derived every row on every pass. This cache evicts exactly one
+//! entry — the least recently *used* — per overflowing insert, so a
+//! working set that fits stays resident no matter how many cold rows
+//! stream past it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded `HashMap` that evicts the least-recently-used entry when
+/// an insert would exceed its capacity.
+///
+/// Recency is tracked with a monotone tick stamped on every access;
+/// eviction scans for the minimum stamp. The scan is O(len), which is
+/// deliberate: it only runs on inserts past capacity, and every cached
+/// value here costs orders of magnitude more to re-derive than a scan
+/// of a few thousand integers.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, (u64, V)>,
+    capacity: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruCache capacity must be nonzero");
+        Self { map: HashMap::new(), capacity, tick: 0, evictions: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            &slot.1
+        })
+    }
+
+    /// Looks up `key` mutably, refreshing its recency on a hit.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            &mut slot.1
+        })
+    }
+
+    /// Whether `key` is resident, *without* refreshing its recency.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry first if
+    /// the cache is full (and `key` is not already resident).
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Looks up `key`, inserting `make()` on a miss. Returns the value
+    /// and whether it was a miss (freshly built).
+    pub fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> V) -> (&V, bool) {
+        // Two-phase to satisfy the borrow checker: probe, then insert.
+        let miss = !self.map.contains_key(&key);
+        if miss {
+            let value = make();
+            self.insert(key.clone(), value);
+        } else {
+            self.tick += 1;
+        }
+        let tick = self.tick;
+        let slot = self.map.get_mut(&key).map(|slot| {
+            slot.0 = tick;
+            &slot.1
+        });
+        // The entry was inserted or found just above.
+        #[allow(clippy::unwrap_used)]
+        (slot.unwrap(), miss)
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_up_to_capacity() {
+        let mut c = LruCache::new(4);
+        for i in 0..4u32 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.evictions(), 0);
+        for i in 0..4u32 {
+            assert_eq!(c.get(&i), Some(&(i * 10)));
+        }
+    }
+
+    #[test]
+    fn overflow_evicts_exactly_one_not_everything() {
+        // The regression this type exists for: the N+1th insert must
+        // not wipe the cache (the old code called `.clear()`).
+        let mut c = LruCache::new(4);
+        for i in 0..4u32 {
+            c.insert(i, i);
+        }
+        c.insert(4, 4);
+        assert_eq!(c.len(), 4, "insert past capacity must keep the cache full");
+        assert_eq!(c.evictions(), 1, "exactly one entry evicted");
+        // Only the oldest (0) is gone.
+        assert!(!c.contains(&0));
+        for i in 1..=4u32 {
+            assert!(c.contains(&i), "entry {i} wrongly evicted");
+        }
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut c = LruCache::new(3);
+        c.insert(0, 0);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        // Touch 0 so 1 becomes the oldest.
+        assert_eq!(c.get(&0), Some(&0));
+        c.insert(3, 3);
+        assert!(c.contains(&0), "recently used entry must survive");
+        assert!(!c.contains(&1), "least recently used entry must go");
+    }
+
+    #[test]
+    fn reinsert_existing_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert(0, 0);
+        c.insert(1, 1);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn get_or_insert_reports_miss_then_hit() {
+        let mut c = LruCache::new(2);
+        let (v, miss) = c.get_or_insert_with(7, || 70);
+        assert_eq!((*v, miss), (70, true));
+        let (v, miss) = c.get_or_insert_with(7, || unreachable!("must not rebuild"));
+        assert_eq!((*v, miss), (70, false));
+    }
+
+    #[test]
+    fn working_set_survives_a_cold_stream() {
+        // A sweep larger than the cache must not dislodge a hot working
+        // set that is touched between cold inserts.
+        let mut c = LruCache::new(8);
+        for i in 0..4u32 {
+            c.insert(i, i);
+        }
+        for cold in 100..200u32 {
+            for hot in 0..4u32 {
+                assert!(c.get(&hot).is_some(), "hot entry {hot} evicted at {cold}");
+            }
+            c.insert(cold, cold);
+        }
+    }
+}

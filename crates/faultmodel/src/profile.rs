@@ -169,6 +169,44 @@ impl MfrProfile {
     pub fn all() -> [MfrProfile; 4] {
         Manufacturer::ALL.map(Self::for_manufacturer)
     }
+
+    /// A fingerprint folding every calibration constant, used to key
+    /// process-global derivation caches: two profiles with equal
+    /// fingerprints derive identical cell populations, so ablated
+    /// profiles never alias the stock ones.
+    pub fn fingerprint(&self) -> u64 {
+        let mfr = Manufacturer::ALL
+            .iter()
+            .position(|m| *m == self.manufacturer)
+            .unwrap_or(usize::MAX) as u64;
+        let fields = [
+            mfr,
+            self.cells_per_row as u64,
+            self.hc_median.to_bits(),
+            self.sigma_cell.to_bits(),
+            self.sigma_row.to_bits(),
+            self.weak_row_fraction.to_bits(),
+            self.weak_row_factor.to_bits(),
+            self.sigma_subarray.to_bits(),
+            self.sigma_module.to_bits(),
+            self.on_slope.to_bits(),
+            self.off_slope.to_bits(),
+            self.p_full_range.to_bits(),
+            self.p_rising.to_bits(),
+            self.width_mean.to_bits(),
+            self.infl_bias.to_bits(),
+            self.kappa.to_bits(),
+            self.anti_cell_fraction.to_bits(),
+            self.design_share.to_bits(),
+            self.col_zero_fraction.to_bits(),
+            self.rep_noise_sigma.to_bits(),
+        ];
+        let mut h = 0x5EED_F1E1_0000_0001u64;
+        for f in fields {
+            h = crate::rng::mix(h ^ f);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,17 @@ pub const DRAM_ROW_WRITE_NS: &str = "dram.row.write.ns";
 /// Histogram: wall latency of one direct row read (ns).
 pub const DRAM_ROW_READ_NS: &str = "dram.row.read.ns";
 
+/// Vulnerable-cell populations derived (global-cache misses).
+pub const FAULTMODEL_ROW_DERIVE: &str = "faultmodel.row.derive";
+/// Row derivations served by the process-global cell cache.
+pub const FAULTMODEL_CELLS_GLOBAL_HIT: &str = "faultmodel.cells.global_hit";
+/// Columnar temperature surfaces built (memo misses).
+pub const FAULTMODEL_SURFACE_BUILD: &str = "faultmodel.surface.build";
+/// Activations decided by the O(1) below-every-threshold early-out.
+pub const FAULTMODEL_EVAL_EARLY_OUT: &str = "faultmodel.eval.early_out";
+/// Per-model derivation-cache entries evicted (LRU, not wiped).
+pub const FAULTMODEL_CACHE_EVICT: &str = "faultmodel.cache.evict";
+
 /// BER measurements taken.
 pub const CORE_BER_MEASUREMENTS: &str = "core.ber_measurements";
 /// Span: one HCfirst binary search.
@@ -231,6 +242,11 @@ pub fn all() -> &'static [&'static str] {
         DRAM_HAMMER_NS,
         DRAM_ROW_WRITE_NS,
         DRAM_ROW_READ_NS,
+        FAULTMODEL_ROW_DERIVE,
+        FAULTMODEL_CELLS_GLOBAL_HIT,
+        FAULTMODEL_SURFACE_BUILD,
+        FAULTMODEL_EVAL_EARLY_OUT,
+        FAULTMODEL_CACHE_EVICT,
         CORE_BER_MEASUREMENTS,
         CORE_HC_FIRST,
         CORE_HC_FIRST_PROBE_NS,
