@@ -14,10 +14,12 @@
 //!             [--out BENCH.json] [--compare BASELINE.json] [--threshold PCT]
 //! repro analyze TRACE.jsonl [--metrics METRICS.json] [--folded OUT.folded] [--top N]
 //! repro top ADDR [--interval-ms N] [--once]
-//! repro serve [--addr ADDR] [--slots N] [--retry-after SECS]
+//! repro serve [--addr ADDR] [--slots N] [--queue N] [--retry-after SECS]
+//!             [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]
 //! repro fleet [--worker ADDR]... [--spawn N] [--seed N] [--scale S] [--modules N]
 //!             [--workload NAME] [--lease-ms N] [--poll-ms N] [--max-attempts N]
 //!             [--checkpoint FILE] [--resume] [--json]
+//!             [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]
 //!             [--serve-metrics ADDR] [--metrics-interval SECS]
 //! ```
 //!
@@ -62,6 +64,21 @@
 //! `--resume` survives its own crash by re-running only in-flight
 //! leases. See DESIGN.md §11 for the lease state machine.
 //!
+//! `--net-fault-scenario` arms seeded *network* chaos (a
+//! `NetFaultPlan` preset — `none`, `flaky-link`, `slow-link`,
+//! `lossy-link`, `chaos` — or a JSON file): on `repro fleet` it
+//! injects connection refusals, delays, drip-feeds, truncations,
+//! duplicated replies, and corrupted status lines into the
+//! coordinator's client I/O; on `repro serve` it mutilates the
+//! worker's replies. Per-worker circuit breakers
+//! (closed/open/half-open, then eviction) keep a chaotic run
+//! converging: persistently failing workers stop receiving dispatches
+//! and their leases re-dispatch to healthy ones. When losses leave
+//! modules uncommitted the fleet report is flagged `DEGRADED` (and
+//! the run exits nonzero) instead of wedging. `--queue` bounds a
+//! worker's admission queue; overflow is shed with `429` +
+//! `Retry-After`.
+//!
 //! `--fault-scenario` arms deterministic fault injection on every
 //! module of campaign-backed targets: a preset name (`none`,
 //! `flaky-host`, `thermal`, `dead-module`, `hung-module`, `chaos`) or a
@@ -105,12 +122,15 @@ fn usage() -> ! {
          \x20            [--out BENCH.json] [--compare BASELINE.json] [--threshold PCT]\n\
          \x20      repro analyze TRACE.jsonl [--metrics FILE.json] [--folded OUT] [--top N]\n\
          \x20      repro top ADDR [--interval-ms N] [--once]\n\
-         \x20      repro serve [--addr ADDR] [--slots N] [--retry-after SECS]\n\
+         \x20      repro serve [--addr ADDR] [--slots N] [--queue N] [--retry-after SECS]\n\
+         \x20            [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]\n\
          \x20      repro fleet [--worker ADDR]... [--spawn N] [--seed N] [--scale S]\n\
          \x20            [--modules N] [--workload NAME] [--lease-ms N] [--poll-ms N]\n\
          \x20            [--max-attempts N] [--checkpoint FILE] [--resume] [--json]\n\
+         \x20            [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]\n\
          \x20            [--serve-metrics ADDR] [--metrics-interval SECS]\n\
          fault scenarios: none | flaky-host | thermal | dead-module | hung-module | chaos | <plan.json>\n\
+         net-fault scenarios: none | flaky-link | slow-link | lossy-link | chaos | <plan.json>\n\
          targets: {} | defense-matrix | all\n\
          bench workloads: {}\n\
          fleet workloads: {}",
@@ -285,6 +305,8 @@ fn analyze_main(mut args: impl Iterator<Item = String>) -> ExitCode {
 /// `/shutdown`, SIGINT, or SIGTERM).
 fn serve_main(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut cfg = rh_bench::WorkerConfig::default();
+    let mut net_fault: Option<String> = None;
+    let mut net_fault_seed: Option<u64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => match args.next() {
@@ -295,11 +317,32 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ExitCode {
                 Some(n) if n >= 1 => cfg.slots = n,
                 _ => usage(),
             },
+            "--queue" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg.queue_depth = n,
+                None => usage(),
+            },
             "--retry-after" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(secs) => cfg.retry_after_secs = secs,
                 None => usage(),
             },
+            "--net-fault-scenario" => match args.next() {
+                Some(spec) => net_fault = Some(spec),
+                None => usage(),
+            },
+            "--net-fault-seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => net_fault_seed = Some(seed),
+                None => usage(),
+            },
             _ => usage(),
+        }
+    }
+    if let Some(spec) = net_fault {
+        match load_net_fault_plan(&spec, net_fault_seed.unwrap_or(0)) {
+            Ok(plan) => cfg.fault = Some(plan),
+            Err(e) => {
+                eprintln!("repro serve: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     interrupt::install();
@@ -329,6 +372,8 @@ fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut resume = false;
     let mut json = false;
     let mut telemetry = TelemetryOptions::default();
+    let mut net_fault: Option<String> = None;
+    let mut net_fault_seed: Option<u64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--worker" => match args.next() {
@@ -379,6 +424,14 @@ fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
             },
             "--resume" => resume = true,
             "--json" => json = true,
+            "--net-fault-scenario" => match args.next() {
+                Some(spec) => net_fault = Some(spec),
+                None => usage(),
+            },
+            "--net-fault-seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => net_fault_seed = Some(seed),
+                None => usage(),
+            },
             "--serve-metrics" => match args.next() {
                 Some(addr) => telemetry.serve_addr = Some(addr),
                 None => usage(),
@@ -391,6 +444,17 @@ fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
                 _ => usage(),
             },
             _ => usage(),
+        }
+    }
+    if let Some(spec) = net_fault {
+        // Default the chaos seed to the run seed so a chaos run is
+        // replayable from its command line alone.
+        match load_net_fault_plan(&spec, net_fault_seed.unwrap_or(cfg.seed)) {
+            Ok(plan) => cfg.net_fault = Some(plan),
+            Err(e) => {
+                eprintln!("repro fleet: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if let Some(path) = &cfg.checkpoint {
@@ -447,6 +511,16 @@ fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
         code = ExitCode::FAILURE;
     }
     code
+}
+
+/// Resolves `--net-fault-scenario` (preset name or JSON file path).
+fn load_net_fault_plan(spec: &str, seed: u64) -> Result<rh_obs::NetFaultPlan, String> {
+    if let Some(plan) = rh_obs::NetFaultPlan::preset(spec, seed) {
+        return Ok(plan);
+    }
+    let raw = std::fs::read_to_string(spec)
+        .map_err(|e| format!("net-fault scenario '{spec}': not a preset and unreadable: {e}"))?;
+    serde_json::from_str(&raw).map_err(|e| format!("net-fault scenario '{spec}': bad JSON: {e}"))
 }
 
 /// Resolves `--fault-scenario` (preset name or JSON file path).

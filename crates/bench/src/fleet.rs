@@ -8,11 +8,15 @@
 //! progress aggregation, and cancellation fan-out. See DESIGN.md §11.
 
 use crate::worker::{fleet_module_id, job_payload};
-use rh_core::fleet::{CommitOutcome, FailOutcome, FleetPolicy, FleetReport, JobTable};
+use rh_core::fleet::{
+    BreakerPolicy, BreakerState, CircuitBreaker, CommitOutcome, FailOutcome, FleetPolicy,
+    FleetReport, JobTable,
+};
 use rh_core::{CharError, ModuleStatus, ProgressTracker, RetryPolicy, Scale};
 use rh_dram::Manufacturer;
+use rh_obs::faultnet::InstalledPlan;
 use rh_obs::names;
-use rh_obs::{http_get, http_post, ClientResponse};
+use rh_obs::{http_get, http_post, ClientResponse, NetFaultPlan};
 use rh_softmc::CancelToken;
 use serde::{Serialize as _, Value};
 use std::collections::HashMap;
@@ -55,6 +59,13 @@ pub struct FleetConfig {
     /// Fleet-wide progress aggregation (drives `campaign.progress.*`
     /// so `repro top` can watch the whole fleet).
     pub progress: Option<Arc<ProgressTracker>>,
+    /// Per-worker circuit breaker policy (trip thresholds, cooldowns,
+    /// eviction). The `jitter_seed` is normally derived from `seed`.
+    pub breaker: BreakerPolicy,
+    /// Client-side network fault plan, installed process-globally for
+    /// the duration of the run (chaos testing). `None` or an inert
+    /// plan injects nothing.
+    pub net_fault: Option<NetFaultPlan>,
 }
 
 impl Default for FleetConfig {
@@ -73,6 +84,8 @@ impl Default for FleetConfig {
             checkpoint: None,
             cancel: CancelToken::new(),
             progress: None,
+            breaker: BreakerPolicy::default(),
+            net_fault: None,
         }
     }
 }
@@ -83,34 +96,54 @@ fn now_ms(origin: Instant) -> u64 {
     origin.elapsed().as_millis() as u64
 }
 
-/// Per-worker dispatch health: round-robin skips workers that are
-/// backing off (their own `Retry-After` advice, or connect failures).
+/// Per-worker dispatch health: round-robin skips workers whose
+/// circuit breaker is open (connect failures / injected faults) or
+/// that are backing off on their own `Retry-After` advice.
+///
+/// The breaker replaces the old ad-hoc consecutive-failure backoff:
+/// repeated transport failures trip it Open (no dispatch until an
+/// escalating, jittered cooldown elapses), a single half-open probe
+/// decides recovery, and a worker that keeps failing its probes is
+/// *evicted* — permanently removed from dispatch so its leases
+/// re-dispatch to healthy workers via [`JobTable::tick`].
 #[derive(Debug)]
 struct WorkerHealth {
     addr: String,
     not_before_ms: u64,
-    consecutive_failures: u32,
+    breaker: CircuitBreaker,
     spawned: Option<Child>,
 }
 
 impl WorkerHealth {
-    fn available(&self, now: u64) -> bool {
-        now >= self.not_before_ms
+    fn new(addr: String, policy: BreakerPolicy, spawned: Option<Child>) -> Self {
+        let breaker = CircuitBreaker::new(&addr, policy);
+        Self { addr, not_before_ms: 0, breaker, spawned }
     }
 
-    /// Escalating connect-failure backoff, capped at 2 s.
-    fn back_off_failure(&mut self, now: u64) {
-        self.consecutive_failures += 1;
-        let ms = (100u64 << self.consecutive_failures.min(4)).min(2_000);
-        self.not_before_ms = now + ms;
+    /// May this worker receive a dispatch right now? Consults (and
+    /// advances) the breaker: an Open breaker whose cooldown elapsed
+    /// transitions to HalfOpen here, admitting this dispatch as its
+    /// single probe.
+    fn available(&mut self, now: u64) -> bool {
+        now >= self.not_before_ms && self.breaker.allow_request(now)
     }
 
+    /// Worker answered 503 all-slots-busy (or 429 shed): healthy but
+    /// loaded. Honor the advice without touching the breaker.
     fn back_off_advice(&mut self, now: u64, advice: Duration) {
         self.not_before_ms = now + advice.as_millis() as u64;
     }
 
-    fn healthy_again(&mut self) {
-        self.consecutive_failures = 0;
+    /// Any successful HTTP exchange (dispatch or poll) proves the
+    /// link: resets the failure streak, closes a half-open breaker.
+    fn note_success(&mut self) {
+        self.breaker.record_success();
+    }
+
+    /// Transport-level failure (connect refused, deadline exceeded,
+    /// garbage reply): feeds the breaker.
+    fn note_failure(&mut self, now: u64) {
+        self.breaker.record_failure(now);
     }
 }
 
@@ -228,7 +261,9 @@ fn poll_lease(addr: &str, lease_id: u64, timeout: Duration) -> PollVerdict {
         return PollVerdict::Gone;
     };
     match body.field("state").as_str() {
-        Some("running") => PollVerdict::Alive,
+        // "queued" = admitted but waiting for a slot; the lease is
+        // alive and must keep its heartbeat.
+        Some("running" | "queued") => PollVerdict::Alive,
         Some("done") => PollVerdict::Done(body.field("result").clone()),
         Some("failed") => PollVerdict::Failed {
             error: body.field("error").as_str().unwrap_or("unknown worker error").to_string(),
@@ -253,25 +288,29 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
     let origin = Instant::now();
     let io_timeout = Duration::from_millis(cfg.poll_ms.clamp(50, 2_000) * 4);
 
+    // Arm client-side chaos for the whole run; the guard uninstalls
+    // the plan on every exit path (including errors).
+    let _net_fault = cfg
+        .net_fault
+        .as_ref()
+        .filter(|plan| !plan.is_inert())
+        .map(InstalledPlan::new);
+
+    // Tie breaker jitter to the run seed so cooldown schedules are
+    // replayable, unless the caller pinned a seed explicitly.
+    let breaker_policy = BreakerPolicy {
+        jitter_seed: if cfg.breaker.jitter_seed == 0 { cfg.seed } else { cfg.breaker.jitter_seed },
+        ..cfg.breaker.clone()
+    };
     let mut workers: Vec<WorkerHealth> = cfg
         .workers
         .iter()
-        .map(|addr| WorkerHealth {
-            addr: addr.clone(),
-            not_before_ms: 0,
-            consecutive_failures: 0,
-            spawned: None,
-        })
+        .map(|addr| WorkerHealth::new(addr.clone(), breaker_policy.clone(), None))
         .collect();
     for _ in 0..cfg.spawn_workers {
         let (child, addr) = spawn_worker(2)?;
         eprintln!("repro: fleet spawned worker on {addr}");
-        workers.push(WorkerHealth {
-            addr,
-            not_before_ms: 0,
-            consecutive_failures: 0,
-            spawned: Some(child),
-        });
+        workers.push(WorkerHealth::new(addr, breaker_policy.clone(), Some(child)));
     }
     if workers.is_empty() {
         return Err(CharError::Checkpoint {
@@ -325,6 +364,15 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
         }
         let now = now_ms(origin);
 
+        // Quorum loss: every worker evicted and no lease still in
+        // flight means no job can ever progress again. Complete with
+        // whatever committed — the report is flagged degraded below —
+        // instead of wedging in this loop forever.
+        if workers.iter().all(|w| w.breaker.is_evicted()) && table.active_leases().is_empty() {
+            eprintln!("repro: fleet degraded: every worker evicted; returning partial report");
+            break Ok(());
+        }
+
         // 1. Expire overdue leases; their jobs re-queue behind backoff.
         for expired in table.tick(now) {
             lease_worker.remove(&expired.lease_id);
@@ -341,11 +389,16 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
         // 2. Dispatch every ready job to an available worker.
         while let Some(module) = table.next_ready(now) {
             let n = workers.len();
-            let Some(slot) = (0..n)
-                .map(|i| (rr_cursor + i) % n)
-                .find(|&i| workers[i].available(now))
-            else {
-                break; // everyone is backing off; try next tick
+            let mut found = None;
+            for offset in 0..n {
+                let i = (rr_cursor + offset) % n;
+                if workers[i].available(now) {
+                    found = Some(i);
+                    break;
+                }
+            }
+            let Some(slot) = found else {
+                break; // breakers open / advice backoff; try next tick
             };
             rr_cursor = slot + 1;
             let grant = table.grant(&module, &workers[slot].addr, now)?;
@@ -354,13 +407,16 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
             })?;
             match http_post(&workers[slot].addr, "/job", &body, io_timeout) {
                 Ok(ClientResponse { status, .. }) if (200..300).contains(&status) => {
-                    workers[slot].healthy_again();
+                    workers[slot].note_success();
                     lease_worker.insert(grant.lease_id, workers[slot].addr.clone());
                 }
                 Ok(response) => {
-                    // Worker refused (e.g. 503 all-slots-busy): honor
-                    // its Retry-After advice and release the lease
-                    // without burning the module's attempt budget.
+                    // Worker refused (503 all-slots-busy or 429
+                    // admission shed): it answered, so the link is
+                    // fine — honor its Retry-After advice and release
+                    // the lease without burning the module's attempt
+                    // budget.
+                    workers[slot].note_success();
                     let advice = response
                         .retry_after
                         .unwrap_or_else(|| Duration::from_millis(cfg.poll_ms.max(100)));
@@ -368,7 +424,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
                     table.release(grant.lease_id, now);
                 }
                 Err(_) => {
-                    workers[slot].back_off_failure(now);
+                    workers[slot].note_failure(now);
                     table.release(grant.lease_id, now);
                 }
             }
@@ -380,7 +436,18 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
                 .get(&lease_id)
                 .cloned()
                 .unwrap_or_else(|| worker_addr.clone());
-            match poll_lease(&addr, lease_id, io_timeout) {
+            let verdict = poll_lease(&addr, lease_id, io_timeout);
+            // Poll outcomes feed the worker's breaker too: a dead
+            // worker with only in-flight leases (nothing left to
+            // dispatch) still accumulates failures toward eviction,
+            // and a successful poll closes a half-open breaker.
+            if let Some(worker) = workers.iter_mut().find(|w| w.addr == addr) {
+                match &verdict {
+                    PollVerdict::Gone => worker.note_failure(now_ms(origin)),
+                    _ => worker.note_success(),
+                }
+            }
+            match verdict {
                 PollVerdict::Alive => {
                     table.heartbeat(lease_id, now_ms(origin));
                 }
@@ -421,6 +488,9 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
             .filter(|(_, _, s)| *s == rh_core::fleet::LeaseState::Suspect)
             .count();
         rh_obs::gauge(names::FLEET_WORKER_SUSPECT, suspects as f64);
+        let not_closed =
+            workers.iter().filter(|w| w.breaker.state() != BreakerState::Closed).count();
+        rh_obs::gauge(names::FLEET_BREAKER_OPEN, not_closed as f64);
 
         // 4. Poll orphaned leases: a zombie that finished after its
         // lease expired gets its late result explicitly rejected.
@@ -475,7 +545,15 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
         }
     }
 
-    outcome.map(|()| table.report())
+    // Evicted workers are the fleet's permanent losses. The report is
+    // only *degraded* when losses left work uncommitted — a fleet
+    // that absorbed a death and still committed everything is clean.
+    let workers_lost = workers.iter().filter(|w| w.breaker.is_evicted()).count() as u64;
+    outcome.map(|()| {
+        let mut report = table.report();
+        report.mark_degraded(workers_lost);
+        report
+    })
 }
 
 /// Renders a fleet report the way `repro` prints campaign footers.

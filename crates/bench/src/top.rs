@@ -183,6 +183,20 @@ pub fn render_frame(progress: &Value, metrics: &str, rates: Rates) -> String {
         counter(names::CAMPAIGN_QUARANTINE_EVENT),
         counter(names::OBS_HTTP_REQUESTS),
     ));
+    // Fleet chaos health: only rendered when a coordinator exports
+    // breaker telemetry (the gauge exists once a fleet loop ran).
+    if let Some(open) = gauge(names::FLEET_BREAKER_OPEN) {
+        out.push_str(&format!(
+            "  breakers    {:>10.0} not closed  {:>5.0} trips  {:>5.0} evicted  {:>5.0} shed\n",
+            open,
+            counter(names::FLEET_BREAKER_TRIP),
+            counter(names::FLEET_BREAKER_EVICTED),
+            counter(names::WORKER_ADMISSION_SHED),
+        ));
+    }
+    if gauge(names::FLEET_DEGRADED).unwrap_or(0.0) > 0.0 {
+        out.push_str("  DEGRADED    fleet lost workers with modules uncommitted\n");
+    }
     if counter(names::OBS_DROPPED_RECORDS) > 0.0 {
         out.push_str(&format!(
             "  WARNING     {:.0} trace records dropped (memory cap or write error)\n",
@@ -347,6 +361,20 @@ mod tests {
         assert!(frame.contains("DONE"), "{frame}");
         assert!(frame.contains("WARNING"), "{frame}");
         assert!(frame.contains("17 trace records dropped"), "{frame}");
+    }
+
+    #[test]
+    fn frame_shows_breaker_state_when_fleet_telemetry_is_present() {
+        let plain = render_frame(&sample_progress(), "campaign_retries 1\n", Rates::default());
+        assert!(!plain.contains("breakers"), "no fleet telemetry yet: {plain}");
+        let metrics = "fleet_breaker_open 2\nfleet_breaker_trip 5\n\
+                       fleet_breaker_evicted 1\nworker_admission_shed 3\nfleet_degraded 1\n";
+        let frame = render_frame(&sample_progress(), metrics, Rates::default());
+        assert!(frame.contains("2 not closed"), "{frame}");
+        assert!(frame.contains("5 trips"), "{frame}");
+        assert!(frame.contains("1 evicted"), "{frame}");
+        assert!(frame.contains("3 shed"), "{frame}");
+        assert!(frame.contains("DEGRADED"), "{frame}");
     }
 
     #[test]

@@ -45,12 +45,20 @@ use std::time::Duration;
 pub struct WorkerConfig {
     /// Bind address (e.g. `127.0.0.1:0` for an OS-assigned port).
     pub addr: String,
-    /// Concurrent job slots; further submissions get `503`.
+    /// Concurrent job slots.
     pub slots: usize,
-    /// `Retry-After` seconds advertised when all slots are busy.
+    /// Bounded admission queue: submissions beyond the running slots
+    /// wait here; beyond `slots + queue_depth` in flight, further
+    /// submissions are shed with `429` + `Retry-After`.
+    pub queue_depth: usize,
+    /// `Retry-After` seconds advertised when submissions are shed.
     pub retry_after_secs: u64,
     /// Operator cancellation (SIGINT/SIGTERM in `repro serve`).
     pub cancel: CancelToken,
+    /// Server-side network fault plan for chaos testing: replies are
+    /// dripped/truncated/corrupted per this seeded schedule. `None`
+    /// (or an inert plan) serves faithfully.
+    pub fault: Option<rh_obs::NetFaultPlan>,
 }
 
 impl Default for WorkerConfig {
@@ -58,8 +66,10 @@ impl Default for WorkerConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             slots: 2,
+            queue_depth: 4,
             retry_after_secs: 1,
             cancel: CancelToken::new(),
+            fault: None,
         }
     }
 }
@@ -141,6 +151,9 @@ pub fn execute_payload(payload: &Value, cancel: &CancelToken) -> Result<Value, C
 /// One job slot's lifecycle on the worker.
 #[derive(Debug, Clone)]
 enum JobState {
+    /// Admitted but waiting for a free slot; polls answer `"queued"`,
+    /// which the coordinator treats as a live heartbeat.
+    Queued,
     Running,
     Done(Value),
     Failed { error: String, transient: bool },
@@ -152,13 +165,20 @@ struct JobSlot {
     lease_id: u64,
     generation: u32,
     module_id: String,
+    /// Retained until execution starts, so queued jobs can launch
+    /// after their submission request has long been answered.
+    payload: Value,
     state: JobState,
+    /// The remote half tripped by `POST /cancel`.
     cancel: CancelToken,
+    /// Operator ∪ remote; what the executing job watches.
+    token: CancelToken,
 }
 
 /// Shared state between the HTTP routes and the job threads.
 struct WorkerState {
     slots: usize,
+    queue_depth: usize,
     retry_after_secs: u64,
     jobs: Mutex<Vec<JobSlot>>,
     running: AtomicUsize,
@@ -189,62 +209,47 @@ impl WorkerState {
                 json!({"accepted": false, "error": "lease id collision"}).to_string(),
             );
         }
-        if self.running.load(Ordering::SeqCst) >= self.slots {
-            rh_obs::counter(names::WORKER_JOBS_REJECTED, 1);
-            return HttpResponse::json(503, json!({"accepted": false}).to_string())
+        // Admission control: `slots` jobs run, up to `queue_depth`
+        // more wait in line, and anything beyond that is shed with
+        // `429` so a coordinator under chaos cannot pile unbounded
+        // work onto a struggling worker.
+        let running = self.running.load(Ordering::SeqCst);
+        let queued = jobs.iter().filter(|j| matches!(j.state, JobState::Queued)).count();
+        if running >= self.slots && queued >= self.queue_depth {
+            rh_obs::counter(names::WORKER_ADMISSION_SHED, 1);
+            return HttpResponse::json(429, json!({"accepted": false}).to_string())
                 .with_header("Retry-After", self.retry_after_secs.to_string());
         }
         let remote = CancelToken::new();
-        let job_token = self.operator.linked(&remote);
+        let token = self.operator.linked(&remote);
+        let start_now = running < self.slots;
+        let lease_id = grant.lease_id;
         jobs.push(JobSlot {
-            lease_id: grant.lease_id,
+            lease_id,
             generation: grant.generation,
             module_id: grant.module_id.clone(),
-            state: JobState::Running,
+            payload: grant.payload,
+            state: if start_now { JobState::Running } else { JobState::Queued },
             cancel: remote,
+            token,
         });
-        self.running.fetch_add(1, Ordering::SeqCst);
+        if start_now {
+            self.running.fetch_add(1, Ordering::SeqCst);
+        } else {
+            rh_obs::counter(names::WORKER_ADMISSION_QUEUED, 1);
+        }
         rh_obs::counter(names::WORKER_JOBS_ACCEPTED, 1);
         drop(jobs);
 
-        let state = Arc::clone(state);
-        let lease_id = grant.lease_id;
-        let spawned = std::thread::Builder::new()
-            .name(format!("rh-fleet-job-{lease_id}"))
-            .spawn(move || {
-                let outcome = execute_payload(&grant.payload, &job_token);
-                let mut jobs = lock(&state.jobs);
-                if let Some(slot) = jobs.iter_mut().find(|j| j.lease_id == lease_id) {
-                    slot.state = match outcome {
-                        Ok(result) => {
-                            rh_obs::counter(names::WORKER_JOBS_COMPLETED, 1);
-                            JobState::Done(result)
-                        }
-                        Err(e) if e.is_cancelled() || job_token.is_cancelled() => {
-                            rh_obs::counter(names::WORKER_JOBS_CANCELLED, 1);
-                            JobState::Cancelled
-                        }
-                        Err(e) => {
-                            rh_obs::counter(names::WORKER_JOBS_FAILED, 1);
-                            JobState::Failed {
-                                error: e.to_string(),
-                                transient: e.is_transient(),
-                            }
-                        }
-                    };
-                }
-                state.running.fetch_sub(1, Ordering::SeqCst);
-            });
-        if spawned.is_err() {
-            // Thread spawn failed: roll the slot back and refuse.
-            let mut jobs = lock(&self.jobs);
-            jobs.retain(|j| j.lease_id != lease_id);
-            self.running.fetch_sub(1, Ordering::SeqCst);
+        if start_now && !start_job(state, lease_id) {
             rh_obs::counter(names::WORKER_JOBS_REJECTED, 1);
             return HttpResponse::json(503, json!({"accepted": false}).to_string())
                 .with_header("Retry-After", self.retry_after_secs.to_string());
         }
-        HttpResponse::json(202, json!({"accepted": true, "lease_id": lease_id}).to_string())
+        HttpResponse::json(
+            202,
+            json!({"accepted": true, "lease_id": lease_id, "queued": !start_now}).to_string(),
+        )
     }
 
     fn poll(&self, lease_id: u64) -> HttpResponse {
@@ -253,6 +258,7 @@ impl WorkerState {
             return HttpResponse::json(404, json!({"state": "unknown"}).to_string());
         };
         let body = match &slot.state {
+            JobState::Queued => json!({"state": "queued", "lease_id": lease_id}),
             JobState::Running => json!({"state": "running", "lease_id": lease_id}),
             JobState::Done(result) => json!({
                 "state": "done",
@@ -284,6 +290,81 @@ impl WorkerState {
     }
 }
 
+/// Spawns the executor thread for `lease_id`, whose slot must already
+/// be `Running` (its slot count reserved). On thread-spawn failure the
+/// slot is rolled back entirely — the coordinator's poll then sees
+/// `unknown` and the lease expires into a re-dispatch.
+fn start_job(state: &Arc<WorkerState>, lease_id: u64) -> bool {
+    let staged = {
+        let jobs = lock(&state.jobs);
+        jobs.iter()
+            .find(|j| j.lease_id == lease_id)
+            .map(|slot| (slot.payload.clone(), slot.token.clone()))
+    };
+    let Some((payload, token)) = staged else {
+        state.running.fetch_sub(1, Ordering::SeqCst);
+        return false;
+    };
+    let owner = Arc::clone(state);
+    let spawned = std::thread::Builder::new()
+        .name(format!("rh-fleet-job-{lease_id}"))
+        .spawn(move || {
+            let outcome = if token.is_cancelled() {
+                Err(CharError::Cancelled { op: "fleet job".to_string() })
+            } else {
+                execute_payload(&payload, &token)
+            };
+            {
+                let mut jobs = lock(&owner.jobs);
+                if let Some(slot) = jobs.iter_mut().find(|j| j.lease_id == lease_id) {
+                    slot.state = match outcome {
+                        Ok(result) => {
+                            rh_obs::counter(names::WORKER_JOBS_COMPLETED, 1);
+                            JobState::Done(result)
+                        }
+                        Err(e) if e.is_cancelled() || token.is_cancelled() => {
+                            rh_obs::counter(names::WORKER_JOBS_CANCELLED, 1);
+                            JobState::Cancelled
+                        }
+                        Err(e) => {
+                            rh_obs::counter(names::WORKER_JOBS_FAILED, 1);
+                            JobState::Failed { error: e.to_string(), transient: e.is_transient() }
+                        }
+                    };
+                }
+                owner.running.fetch_sub(1, Ordering::SeqCst);
+            }
+            // The freed slot pulls the next queued job, if any.
+            pump(&owner);
+        });
+    if spawned.is_err() {
+        let mut jobs = lock(&state.jobs);
+        jobs.retain(|j| j.lease_id != lease_id);
+        state.running.fetch_sub(1, Ordering::SeqCst);
+        return false;
+    }
+    true
+}
+
+/// Promotes queued jobs into free slots until either runs out.
+fn pump(state: &Arc<WorkerState>) {
+    loop {
+        let promoted = {
+            let mut jobs = lock(&state.jobs);
+            if state.running.load(Ordering::SeqCst) >= state.slots {
+                return;
+            }
+            let Some(slot) = jobs.iter_mut().find(|j| matches!(j.state, JobState::Queued)) else {
+                return;
+            };
+            slot.state = JobState::Running;
+            state.running.fetch_add(1, Ordering::SeqCst);
+            slot.lease_id
+        };
+        let _ = start_job(state, promoted);
+    }
+}
+
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     match mutex.lock() {
         Ok(guard) => guard,
@@ -306,7 +387,8 @@ impl TelemetrySource for WorkerSource {
     fn progress_json(&self) -> String {
         let jobs = lock(&self.state.jobs);
         let running = self.state.running.load(Ordering::SeqCst);
-        json!({"total": jobs.len(), "running": running}).to_string()
+        let queued = jobs.iter().filter(|j| matches!(j.state, JobState::Queued)).count();
+        json!({"total": jobs.len(), "running": running, "queued": queued}).to_string()
     }
 
     fn healthy(&self) -> bool {
@@ -370,6 +452,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> std::io::Result<()> {
 
     let state = Arc::new(WorkerState {
         slots: cfg.slots.max(1),
+        queue_depth: cfg.queue_depth,
         retry_after_secs: cfg.retry_after_secs,
         jobs: Mutex::new(Vec::new()),
         running: AtomicUsize::new(0),
@@ -389,6 +472,11 @@ pub fn run_worker(cfg: &WorkerConfig) -> std::io::Result<()> {
         workers: 4,
         queue_depth: 32,
         retry_after_secs: cfg.retry_after_secs,
+        fault: cfg
+            .fault
+            .as_ref()
+            .filter(|plan| !plan.is_inert())
+            .map(|plan| Arc::new(plan.injector())),
         ..rh_obs::ServeConfig::default()
     };
     let mut server = rh_obs::serve_with(&cfg.addr, source, &serve_cfg, Some(shutdown))?;
@@ -419,7 +507,10 @@ mod tests {
     use rh_obs::{http_get, http_post};
     use serde::Serialize as _;
 
-    fn start_worker(slots: usize) -> (std::thread::JoinHandle<()>, String, CancelToken) {
+    fn start_worker(
+        slots: usize,
+        queue_depth: usize,
+    ) -> (std::thread::JoinHandle<()>, String, CancelToken) {
         // Bind first so the test knows the address without parsing
         // stderr: ask the OS for a free port, then hand it to the
         // worker. (A race window exists but loopback port reuse in a
@@ -431,8 +522,10 @@ mod tests {
         let cfg = WorkerConfig {
             addr: addr.clone(),
             slots,
+            queue_depth,
             retry_after_secs: 1,
             cancel: cancel.clone(),
+            fault: None,
         };
         let handle = std::thread::spawn(move || {
             run_worker(&cfg).unwrap();
@@ -474,7 +567,7 @@ mod tests {
 
     #[test]
     fn worker_runs_a_job_and_result_is_deterministic() {
-        let (handle, addr, _cancel) = start_worker(2);
+        let (handle, addr, _cancel) = start_worker(2, 0);
         let timeout = Duration::from_secs(5);
 
         let g = grant(1, 1);
@@ -510,8 +603,8 @@ mod tests {
     }
 
     #[test]
-    fn full_slots_answer_503_with_retry_after() {
-        let (handle, addr, cancel) = start_worker(1);
+    fn full_slots_answer_429_with_retry_after() {
+        let (handle, addr, cancel) = start_worker(1, 0);
         let timeout = Duration::from_secs(5);
 
         // Occupy the only slot with a slow job (Default scale).
@@ -531,9 +624,10 @@ mod tests {
         .unwrap();
         assert_eq!(r.status, 202, "{}", r.body);
 
-        // The next submission must be refused with backoff advice —
-        // unless the slow job already finished, which Default scale
-        // makes effectively impossible within one round trip.
+        // With no admission queue, the next submission must be shed
+        // with backoff advice — unless the slow job already finished,
+        // which Default scale makes effectively impossible within one
+        // round trip.
         let g = grant(11, 1);
         let r = http_post(
             &addr,
@@ -542,7 +636,7 @@ mod tests {
             timeout,
         )
         .unwrap();
-        assert_eq!(r.status, 503, "{}", r.body);
+        assert_eq!(r.status, 429, "{}", r.body);
         assert_eq!(r.retry_after, Some(Duration::from_secs(1)), "Retry-After must be advertised");
 
         // Cancel the slow job remotely; the slot must drain.
@@ -557,8 +651,70 @@ mod tests {
     }
 
     #[test]
+    fn queued_job_runs_once_a_slot_frees() {
+        let (handle, addr, cancel) = start_worker(1, 1);
+        let timeout = Duration::from_secs(5);
+
+        // Occupy the only slot with a slow job.
+        let slow = JobGrant {
+            module_id: fleet_module_id(Manufacturer::B, 0, 9),
+            payload: job_payload(Manufacturer::B, 0, 9, Scale::Default, "row_variation"),
+            lease_id: 20,
+            generation: 1,
+            lease_ms: 60_000,
+        };
+        let r = http_post(
+            &addr,
+            "/job",
+            &serde_json::to_string(&slow.to_json_value()).unwrap(),
+            timeout,
+        )
+        .unwrap();
+        assert_eq!(r.status, 202, "{}", r.body);
+
+        // A second submission is admitted into the queue, not shed.
+        let quick = grant(21, 1);
+        let r = http_post(
+            &addr,
+            "/job",
+            &serde_json::to_string(&quick.to_json_value()).unwrap(),
+            timeout,
+        )
+        .unwrap();
+        assert_eq!(r.status, 202, "queued submission: {}", r.body);
+        let v: Value = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(v.field("queued").as_bool(), Some(true));
+
+        // While waiting it polls as "queued" (a live heartbeat)...
+        let r = http_get(&addr, "/job?lease=21", timeout).unwrap();
+        let v: Value = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(v.field("state").as_str(), Some("queued"), "{v:?}");
+
+        // ...and a third submission overflows the bounded queue.
+        let shed = grant(22, 1);
+        let r = http_post(
+            &addr,
+            "/job",
+            &serde_json::to_string(&shed.to_json_value()).unwrap(),
+            timeout,
+        )
+        .unwrap();
+        assert_eq!(r.status, 429, "overflow must shed: {}", r.body);
+        assert_eq!(r.retry_after, Some(Duration::from_secs(1)));
+
+        // Freeing the slot promotes the queued job to completion.
+        let r = http_post(&addr, "/cancel", "{\"lease_id\":20}", timeout).unwrap();
+        assert_eq!(r.status, 200);
+        let v = poll_until_done(&addr, 21);
+        assert_eq!(v.field("state").as_str(), Some("done"), "{v:?}");
+
+        cancel.cancel();
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn malformed_job_control_requests_are_400() {
-        let (handle, addr, cancel) = start_worker(1);
+        let (handle, addr, cancel) = start_worker(1, 0);
         let timeout = Duration::from_secs(5);
         let r = http_post(&addr, "/job", "not json", timeout).unwrap();
         assert_eq!(r.status, 400);

@@ -209,25 +209,297 @@ pub struct FleetReport {
     pub quarantined: usize,
     /// Grants beyond each module's first (the re-dispatch count).
     pub redispatches: u64,
+    /// `true` when the coordinator finished *partially* because
+    /// workers were permanently lost (circuit-breaker eviction with
+    /// no healthy replacement): the report is explicitly incomplete
+    /// rather than silently short. Worker loss that the fleet fully
+    /// absorbed (every module still committed) is not degradation.
+    pub degraded: bool,
+    /// Workers permanently evicted during the run (informational;
+    /// nonzero with `degraded == false` means the fleet rode through
+    /// the losses).
+    pub workers_lost: u64,
 }
 
 impl FleetReport {
-    /// `true` when every module committed.
+    /// `true` when every module committed and nothing was lost to
+    /// degradation.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.quarantined == 0
+        self.quarantined == 0 && !self.degraded
     }
 
-    /// One-line human summary.
+    /// One-line human summary. Degradation appends a suffix (the
+    /// prefix format is stable for log scrapers).
     #[must_use]
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} module(s): {} committed, {} quarantined, {} redispatch(es)",
             self.outcomes.len(),
             self.committed,
             self.quarantined,
             self.redispatches
-        )
+        );
+        if self.degraded {
+            line.push_str(&format!(" [DEGRADED: {} worker(s) lost]", self.workers_lost));
+        }
+        line
+    }
+
+    /// Flags the report as the partial product of a degraded run:
+    /// `workers_lost` workers were evicted, and not every module
+    /// committed. Called by the coordinator; pure reporting.
+    pub fn mark_degraded(&mut self, workers_lost: u64) {
+        self.workers_lost = workers_lost;
+        self.degraded = workers_lost > 0 && self.committed < self.outcomes.len();
+        rh_obs::gauge(names::FLEET_DEGRADED, if self.degraded { 1.0 } else { 0.0 });
+    }
+}
+
+/// Circuit-breaker tuning for one worker link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Consecutive transport failures (while Closed or probing) that
+    /// trip the breaker Open.
+    pub failure_threshold: u32,
+    /// Cooldown before an Open breaker admits a half-open probe (ms);
+    /// doubles per consecutive trip.
+    pub cooldown_ms: u64,
+    /// Upper bound on the escalated cooldown (ms).
+    pub max_cooldown_ms: u64,
+    /// Trips before the worker is evicted from dispatch permanently.
+    pub max_trips: u32,
+    /// Seed for the deterministic cooldown jitter, so replays of the
+    /// same seed reproduce the same probe schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown_ms: 500,
+            max_cooldown_ms: 8_000,
+            max_trips: 4,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Where one worker's breaker stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are blocked until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is in flight;
+    /// its outcome re-closes or re-trips the breaker.
+    HalfOpen,
+    /// Permanently removed from dispatch after `max_trips` trips.
+    Evicted,
+}
+
+impl BreakerState {
+    /// Short tag for events.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+            BreakerState::Evicted => "evicted",
+        }
+    }
+}
+
+/// SplitMix64 finalizer for the deterministic cooldown jitter.
+fn breaker_mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A per-worker circuit breaker (DESIGN.md §13): Closed → Open after
+/// `failure_threshold` consecutive failures, Open → HalfOpen after a
+/// jittered, escalating cooldown, HalfOpen → Closed on a successful
+/// probe or back to Open on a failed one, and → Evicted for good
+/// after `max_trips` trips. Pure and clock-injected like
+/// [`JobTable`]; the coordinator drives it with dispatch outcomes.
+///
+/// ```text
+///            failures ≥ threshold                cooldown elapsed
+/// Closed ───────────────────────────▶ Open ──────────────────────▶ HalfOpen
+///    ▲                                 ▲                               │
+///    │            probe ok             │        probe failed           │
+///    └─────────────────────────────────┼───────────────────────────────┤
+///                                      └───────────────────────────────┘
+///                       (trips ≥ max_trips anywhere ▶ Evicted, terminal)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitBreaker {
+    worker: String,
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    trips: u32,
+    open_until_ms: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker guarding `worker`.
+    #[must_use]
+    pub fn new(worker: impl Into<String>, policy: BreakerPolicy) -> Self {
+        Self {
+            worker: worker.into(),
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+            open_until_ms: 0,
+        }
+    }
+
+    /// The guarded worker's address/name.
+    #[must_use]
+    pub fn worker(&self) -> &str {
+        &self.worker
+    }
+
+    /// Current state (does not advance the clock; see
+    /// [`allow_request`](Self::allow_request)).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker tripped Open.
+    #[must_use]
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Whether the worker is permanently out of dispatch.
+    #[must_use]
+    pub fn is_evicted(&self) -> bool {
+        self.state == BreakerState::Evicted
+    }
+
+    /// When an Open breaker next admits a probe (ms); 0 unless Open.
+    #[must_use]
+    pub fn open_until_ms(&self) -> u64 {
+        if self.state == BreakerState::Open {
+            self.open_until_ms
+        } else {
+            0
+        }
+    }
+
+    /// Whether a request may be sent to this worker now. Closed:
+    /// always. Open: transitions to HalfOpen and admits exactly one
+    /// probe once the cooldown has elapsed. HalfOpen: the probe is
+    /// already in flight, no more until its outcome lands. Evicted:
+    /// never.
+    pub fn allow_request(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Evicted | BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                if now_ms < self.open_until_ms {
+                    return false;
+                }
+                self.transition(BreakerState::HalfOpen);
+                rh_obs::counter(names::FLEET_BREAKER_HALF_OPEN, 1);
+                true
+            }
+        }
+    }
+
+    /// Records a successful request: failures reset; a half-open
+    /// probe's success re-closes the breaker (and resets the trip
+    /// escalation — the worker earned a clean slate).
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.trips = 0;
+            self.transition(BreakerState::Closed);
+            rh_obs::counter(names::FLEET_BREAKER_CLOSE, 1);
+        }
+    }
+
+    /// Records a failed request; returns the state afterwards. A
+    /// Closed breaker trips after `failure_threshold` consecutive
+    /// failures; a HalfOpen probe failure re-trips immediately. Each
+    /// trip doubles the cooldown (with deterministic jitter) and
+    /// counts toward eviction.
+    pub fn record_failure(&mut self, now_ms: u64) -> BreakerState {
+        match self.state {
+            BreakerState::Evicted | BreakerState::Open => self.state,
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.policy.failure_threshold {
+                    self.trip(now_ms);
+                }
+                self.state
+            }
+            BreakerState::HalfOpen => {
+                self.consecutive_failures += 1;
+                self.trip(now_ms);
+                self.state
+            }
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.trips += 1;
+        rh_obs::counter(names::FLEET_BREAKER_TRIP, 1);
+        if self.trips >= self.policy.max_trips {
+            self.transition(BreakerState::Evicted);
+            rh_obs::counter(names::FLEET_BREAKER_EVICTED, 1);
+            return;
+        }
+        self.open_until_ms = now_ms + self.cooldown_for_trip(self.trips);
+        self.transition(BreakerState::Open);
+    }
+
+    /// The escalated, jittered cooldown for trip number `trip`
+    /// (1-based): `cooldown_ms * 2^(trip-1)`, capped, then jittered
+    /// ±25% by a pure function of `(jitter_seed, worker, trip)` so
+    /// two breakers tripping together do not probe in lockstep — yet
+    /// a replay of the same seed probes on the same schedule.
+    #[must_use]
+    pub fn cooldown_for_trip(&self, trip: u32) -> u64 {
+        let base = self
+            .policy
+            .cooldown_ms
+            .saturating_mul(1u64 << trip.saturating_sub(1).min(20))
+            .min(self.policy.max_cooldown_ms)
+            .max(1);
+        let mut h = self.policy.jitter_seed ^ u64::from(trip).wrapping_mul(0xA24B_AED4_963E_E407);
+        for b in self.worker.bytes() {
+            h = breaker_mix(h ^ u64::from(b));
+        }
+        // Map the draw onto [-25%, +25%] of base.
+        let span = base / 2;
+        let jitter = if span == 0 { 0 } else { breaker_mix(h) % (span + 1) };
+        base - span / 2 + jitter
+    }
+
+    fn transition(&mut self, to: BreakerState) {
+        let from = self.state;
+        if from == to {
+            return;
+        }
+        self.state = to;
+        rh_obs::event!(
+            names::FLEET_BREAKER_EVENT,
+            worker = self.worker.clone(),
+            from = from.tag(),
+            to = to.tag(),
+            failures = self.consecutive_failures,
+            trips = self.trips
+        );
     }
 }
 
@@ -663,7 +935,15 @@ impl JobTable {
         }
         let committed = outcomes.iter().filter(|o| o.status == "committed").count();
         let quarantined = outcomes.iter().filter(|o| o.status == "quarantined").count();
-        FleetReport { results, outcomes, committed, quarantined, redispatches: self.redispatches }
+        FleetReport {
+            results,
+            outcomes,
+            committed,
+            quarantined,
+            redispatches: self.redispatches,
+            degraded: false,
+            workers_lost: 0,
+        }
     }
 
     fn active_lease_index(&self, lease_id: u64) -> Option<usize> {
@@ -1038,5 +1318,138 @@ mod tests {
         assert!(t.grant("nope", "w1", 0).is_err());
         t.grant("m0", "w1", 0).unwrap();
         assert!(t.grant("m0", "w1", 0).is_err(), "double grant must be refused");
+    }
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(
+            "127.0.0.1:9001",
+            BreakerPolicy {
+                failure_threshold: 3,
+                cooldown_ms: 1_000,
+                max_cooldown_ms: 8_000,
+                max_trips: 3,
+                jitter_seed: 42,
+            },
+        )
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_admits_one_probe() {
+        let mut b = breaker();
+        assert!(b.allow_request(0));
+        assert_eq!(b.record_failure(0), BreakerState::Closed);
+        assert_eq!(b.record_failure(0), BreakerState::Closed);
+        assert!(b.allow_request(0), "two failures stay under the threshold");
+        assert_eq!(b.record_failure(0), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+
+        // Open: blocked until the cooldown elapses.
+        assert!(!b.allow_request(1));
+        let ready = b.open_until_ms();
+        assert!((750..=1_500).contains(&ready), "jittered cooldown out of band: {ready}");
+        // Exactly one half-open probe is admitted, not a stampede.
+        assert!(b.allow_request(ready));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow_request(ready), "second probe must wait for the first");
+
+        // Probe success re-closes and resets the escalation.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+        assert!(b.allow_request(ready + 1));
+    }
+
+    #[test]
+    fn failed_probe_retrips_with_escalating_cooldown_until_eviction() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record_failure(0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        let first_cooldown = b.cooldown_for_trip(1);
+        let second_cooldown = b.cooldown_for_trip(2);
+        assert!(
+            second_cooldown > first_cooldown,
+            "cooldowns must escalate: {first_cooldown} -> {second_cooldown}"
+        );
+
+        // Probe #1 fails: trip 2.
+        let t1 = b.open_until_ms();
+        assert!(b.allow_request(t1));
+        assert_eq!(b.record_failure(t1), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+
+        // Probe #2 fails: trip 3 == max_trips -> evicted for good.
+        let t2 = b.open_until_ms();
+        assert!(t2 > t1);
+        assert!(b.allow_request(t2));
+        assert_eq!(b.record_failure(t2), BreakerState::Evicted);
+        assert!(b.is_evicted());
+        assert!(!b.allow_request(u64::MAX), "eviction is terminal");
+        assert_eq!(b.record_failure(u64::MAX), BreakerState::Evicted);
+    }
+
+    #[test]
+    fn breaker_jitter_is_deterministic_and_worker_dependent() {
+        let b1 = breaker();
+        let b2 = breaker();
+        assert_eq!(b1.cooldown_for_trip(1), b2.cooldown_for_trip(1), "same seed, same schedule");
+        let other = CircuitBreaker::new(
+            "127.0.0.1:9002",
+            BreakerPolicy { jitter_seed: 42, ..BreakerPolicy::default() },
+        );
+        let same_policy = CircuitBreaker::new(
+            "127.0.0.1:9001",
+            BreakerPolicy { jitter_seed: 42, ..BreakerPolicy::default() },
+        );
+        assert_ne!(
+            other.cooldown_for_trip(1),
+            same_policy.cooldown_for_trip(1),
+            "different workers must not probe in lockstep"
+        );
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(0);
+        b.record_success();
+        b.record_failure(0);
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Closed, "streak must reset on success");
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn degraded_report_semantics() {
+        let mut t = table();
+        let g = t.grant("m0", "w1", 0).unwrap();
+        assert_eq!(t.commit(g.lease_id, json!({"ok": 0})), CommitOutcome::Committed);
+        // m1 never finishes: the coordinator lost its last worker.
+        let mut partial = t.report();
+        assert_eq!(partial.committed, 1);
+        partial.mark_degraded(1);
+        assert!(partial.degraded);
+        assert!(!partial.is_clean());
+        assert!(
+            partial.summary_line().starts_with("2 module(s): 1 committed, 0 quarantined"),
+            "stable prefix broken: {}",
+            partial.summary_line()
+        );
+        assert!(partial.summary_line().contains("[DEGRADED: 1 worker(s) lost]"));
+
+        // Losing workers while still committing everything is NOT
+        // degradation — the fleet absorbed it (fleet-smoke relies on
+        // this: kill -9 one of two workers, still clean 4/4).
+        let g1 = t.grant("m1", "w2", 0).unwrap();
+        assert_eq!(t.commit(g1.lease_id, json!({"ok": 1})), CommitOutcome::Committed);
+        let mut full = t.report();
+        full.mark_degraded(1);
+        assert!(!full.degraded);
+        assert!(full.is_clean());
+        assert_eq!(full.workers_lost, 1, "losses stay visible in the report");
+        assert!(!full.summary_line().contains("DEGRADED"));
     }
 }

@@ -47,12 +47,14 @@
 pub mod analyze;
 pub mod client;
 pub mod export;
+pub mod faultnet;
 pub mod hist;
 pub mod names;
 mod recorder;
 pub mod serve;
 
 pub use client::{http_get, http_post, ClientResponse};
+pub use faultnet::{NetFault, NetFaultInjector, NetFaultPlan};
 pub use export::RollupPublisher;
 pub use hist::{HistSnapshot, Histogram, TimerGuard};
 pub use recorder::{Recorder, SpanStat, TraceRecord};

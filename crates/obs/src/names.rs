@@ -198,6 +198,36 @@ pub const WORKER_JOBS_FAILED: &str = "worker.jobs.failed";
 /// Jobs cancelled on the worker via `POST /cancel`.
 pub const WORKER_JOBS_CANCELLED: &str = "worker.jobs.cancelled";
 
+/// Circuit-breaker trips: a worker's breaker moved Closed/HalfOpen →
+/// Open after consecutive transport failures.
+pub const FLEET_BREAKER_TRIP: &str = "fleet.breaker.trip";
+/// Breaker probes: an Open breaker cooled down and admitted one
+/// half-open trial request.
+pub const FLEET_BREAKER_HALF_OPEN: &str = "fleet.breaker.half_open";
+/// Breaker recoveries: a half-open probe succeeded and the breaker
+/// re-closed.
+pub const FLEET_BREAKER_CLOSE: &str = "fleet.breaker.close";
+/// Workers evicted from dispatch after exhausting breaker trips.
+pub const FLEET_BREAKER_EVICTED: &str = "fleet.breaker.evicted";
+/// Gauge: workers whose breaker is currently not Closed (open,
+/// half-open, or evicted) — nonzero means the fleet is degraded-risk.
+pub const FLEET_BREAKER_OPEN: &str = "fleet.breaker.open";
+/// Event: one breaker transition (worker, from, to, failures).
+pub const FLEET_BREAKER_EVENT: &str = "fleet.breaker";
+/// Gauge: 1 when the coordinator finished with a degraded (partial)
+/// report because workers were permanently lost, else 0.
+pub const FLEET_DEGRADED: &str = "fleet.degraded";
+/// Jobs a worker shed with 429 because the admission queue was full.
+pub const WORKER_ADMISSION_SHED: &str = "worker.admission.shed";
+/// Jobs accepted into the worker's bounded admission queue (deferred,
+/// not yet on a slot).
+pub const WORKER_ADMISSION_QUEUED: &str = "worker.admission.queued";
+
+/// Network faults injected by the armed [`crate::faultnet`] plan.
+pub const NETFAULT_INJECTED: &str = "obs.netfault.injected";
+/// Event: one injected network fault (kind, op).
+pub const NETFAULT_EVENT: &str = "obs.netfault";
+
 /// Trace records dropped by the recorder (memory cap or write error).
 pub const OBS_DROPPED_RECORDS: &str = "obs.dropped_records";
 /// Connections accepted by the telemetry HTTP server.
@@ -291,6 +321,17 @@ pub fn all() -> &'static [&'static str] {
         FLEET_EXPIRE_EVENT,
         FLEET_CHECKPOINT_LOADED,
         FLEET_CHECKPOINT_SAVED,
+        FLEET_BREAKER_TRIP,
+        FLEET_BREAKER_HALF_OPEN,
+        FLEET_BREAKER_CLOSE,
+        FLEET_BREAKER_EVICTED,
+        FLEET_BREAKER_OPEN,
+        FLEET_BREAKER_EVENT,
+        FLEET_DEGRADED,
+        WORKER_ADMISSION_SHED,
+        WORKER_ADMISSION_QUEUED,
+        NETFAULT_INJECTED,
+        NETFAULT_EVENT,
         WORKER_JOBS_ACCEPTED,
         WORKER_JOBS_REJECTED,
         WORKER_JOBS_COMPLETED,

@@ -27,6 +27,7 @@
 //! leak. Every thread is joined on [`TelemetryServer::shutdown`] (and
 //! on drop), so a served campaign exits with no leaked threads.
 
+use crate::faultnet::{NetFault, NetFaultInjector};
 use crate::names;
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,7 +35,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Request head cap: method, path, and headers must fit here.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
@@ -129,6 +130,7 @@ fn reason_for(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -170,12 +172,23 @@ pub struct ServeConfig {
     /// Bounded queue depth between the accept loop and the workers;
     /// overflow is answered `503` by the accept thread.
     pub queue_depth: usize,
-    /// Per-connection read/write timeout.
+    /// Total per-direction I/O budget for one connection: the whole
+    /// request must be read within this long, and the whole response
+    /// written within this long. Socket timeouts are re-armed with
+    /// the remainder before every syscall, so a drip-feeding writer
+    /// or a slowly draining reader — each syscall making just enough
+    /// progress to keep a naive per-syscall timer happy — still
+    /// releases the worker slot on time.
     pub io_timeout: Duration,
     /// How often the accept loop polls for shutdown.
     pub poll_interval: Duration,
     /// `Retry-After` seconds advertised on the 503 overflow response.
     pub retry_after_secs: u64,
+    /// Optional armed fault injector applied to every response this
+    /// server writes: a worker process configured with a
+    /// [`crate::faultnet::NetFaultPlan`] presents a flaky link to all
+    /// of its clients. `None` (the default) serves faithfully.
+    pub fault: Option<Arc<NetFaultInjector>>,
 }
 
 impl Default for ServeConfig {
@@ -186,6 +199,7 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(2),
             poll_interval: Duration::from_millis(20),
             retry_after_secs: 1,
+            fault: None,
         }
     }
 }
@@ -245,10 +259,11 @@ pub fn serve_with(
         let rx = rx.clone();
         let source = source.clone();
         let io_timeout = cfg.io_timeout;
+        let fault = cfg.fault.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("rh-obs-http-{i}"))
-                .spawn(move || worker_loop(&rx, source.as_ref(), io_timeout))?,
+                .spawn(move || worker_loop(&rx, source.as_ref(), io_timeout, fault.as_deref()))?,
         );
     }
 
@@ -316,6 +331,7 @@ fn worker_loop(
     rx: &Arc<Mutex<Receiver<TcpStream>>>,
     source: &dyn TelemetrySource,
     io_timeout: Duration,
+    fault: Option<&NetFaultInjector>,
 ) {
     loop {
         let next = {
@@ -326,20 +342,35 @@ fn worker_loop(
             guard.recv()
         };
         match next {
-            Ok(stream) => handle_connection(stream, source, io_timeout),
+            Ok(stream) => handle_connection(stream, source, io_timeout, fault),
             Err(_) => break, // accept loop gone: no more work, ever
         }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, source: &dyn TelemetrySource, io_timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(io_timeout));
-    let _ = stream.set_write_timeout(Some(io_timeout));
-    let response = match read_request(&mut stream) {
+fn handle_connection(
+    mut stream: TcpStream,
+    source: &dyn TelemetrySource,
+    io_timeout: Duration,
+    fault: Option<&NetFaultInjector>,
+) {
+    let read_deadline = Instant::now() + io_timeout;
+    let response = match read_request(&mut stream, read_deadline) {
         Ok(request) => route(&request, source),
         Err(error_response) => error_response,
     };
-    respond(&mut stream, &response);
+    send_response(&mut stream, &response, io_timeout, fault);
+}
+
+/// Time left until `deadline`, clamped to ≥ 1 ms (a zero `Duration`
+/// means *blocking* to the socket timeout setters); `None` once
+/// spent.
+fn remaining_budget(deadline: Instant) -> Option<Duration> {
+    let now = Instant::now();
+    if now >= deadline {
+        return None;
+    }
+    Some((deadline - now).max(Duration::from_millis(1)))
 }
 
 /// Dispatches one parsed request: the source's custom routes first,
@@ -377,11 +408,17 @@ fn route(request: &HttpRequest, source: &dyn TelemetrySource) -> HttpResponse {
 /// `Content-Length` says so — a bounded body. Returns the error
 /// response to send for anything malformed (`400`) or oversized
 /// (`413`).
-fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, HttpResponse> {
+fn read_request(
+    stream: &mut TcpStream,
+    deadline: Instant,
+) -> Result<HttpRequest, HttpResponse> {
     let bad = || HttpResponse::text(400, "bad request\n");
 
     // Accumulate until the blank line ending the head. Some probes
-    // send bare "\n" line endings; accept both.
+    // send bare "\n" line endings; accept both. The read timeout is
+    // re-armed with the deadline's remainder before every read, so a
+    // requester dripping one byte per read still frees this worker
+    // slot when the total budget is spent.
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let head_end = loop {
@@ -391,6 +428,8 @@ fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, HttpResponse> {
         if buf.len() >= MAX_HEAD_BYTES {
             return Err(bad());
         }
+        let Some(budget) = remaining_budget(deadline) else { return Err(bad()) };
+        let _ = stream.set_read_timeout(Some(budget));
         match stream.read(&mut chunk) {
             Ok(0) => return Err(bad()), // EOF before the head finished
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
@@ -427,6 +466,8 @@ fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, HttpResponse> {
     // Body bytes already read past the head, then the remainder.
     let mut body_bytes = buf[head_end.end..].to_vec();
     while body_bytes.len() < content_length {
+        let Some(budget) = remaining_budget(deadline) else { return Err(bad()) };
+        let _ = stream.set_read_timeout(Some(budget));
         match stream.read(&mut chunk) {
             Ok(0) => return Err(bad()), // EOF mid-body
             Ok(n) => body_bytes.extend_from_slice(&chunk[..n]),
@@ -451,7 +492,9 @@ fn find_head_end(buf: &[u8]) -> Option<std::ops::Range<usize>> {
     }
 }
 
-fn respond(stream: &mut TcpStream, response: &HttpResponse) {
+/// Renders a response into its full wire form (status line + headers
+/// + body).
+fn wire_bytes(response: &HttpResponse) -> Vec<u8> {
     let mut header = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
@@ -466,18 +509,63 @@ fn respond(stream: &mut TcpStream, response: &HttpResponse) {
         header.push_str("\r\n");
     }
     header.push_str("\r\n");
-    let _ = stream.write_all(header.as_bytes());
-    let _ = stream.write_all(response.body.as_bytes());
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(response.body.as_bytes());
+    bytes
+}
+
+/// Chunk size for deadline-bounded writes: small enough that a
+/// slowly draining reader cannot park one `write_all` call for long
+/// stretches between deadline checks.
+const WRITE_CHUNK_BYTES: usize = 8 * 1024;
+
+fn send_response(
+    stream: &mut TcpStream,
+    response: &HttpResponse,
+    budget: Duration,
+    fault: Option<&NetFaultInjector>,
+) {
+    let decision = fault.map_or(NetFault::None, NetFaultInjector::decide);
+    let bytes = match (&decision, fault) {
+        (NetFault::Refuse, _) => return, // drop without a byte, as a dying peer would
+        (NetFault::Truncate | NetFault::Duplicate | NetFault::CorruptStatus, Some(injector)) => {
+            injector.mutate_reply(&decision, &wire_bytes(response))
+        }
+        _ => wire_bytes(response),
+    };
+
+    let deadline = Instant::now() + budget;
+    let (chunk_len, gap) = match &decision {
+        NetFault::Drip { chunk, gap } => (*chunk, *gap),
+        _ => (WRITE_CHUNK_BYTES, Duration::ZERO),
+    };
+    if let NetFault::Delay(pause) = &decision {
+        std::thread::sleep((*pause).min(budget));
+    }
+    // The write timeout is re-armed with the deadline's remainder
+    // before every chunk, so the *whole* response must go out within
+    // the budget — a reader draining one byte per timeout window
+    // cannot hold this worker slot past it.
+    for chunk in bytes.chunks(chunk_len.max(1)) {
+        let Some(remaining) = remaining_budget(deadline) else { return };
+        let _ = stream.set_write_timeout(Some(remaining));
+        if stream.write_all(chunk).is_err() {
+            return;
+        }
+        if !gap.is_zero() {
+            let Some(remaining) = remaining_budget(deadline) else { return };
+            std::thread::sleep(gap.min(remaining));
+        }
+    }
     let _ = stream.flush();
 }
 
 /// Answers a connection the queue had no room for, advertising when
 /// to come back.
 fn reject_overloaded(mut stream: TcpStream, io_timeout: Duration, retry_after_secs: u64) {
-    let _ = stream.set_write_timeout(Some(io_timeout));
     let response = HttpResponse::text(503, "overloaded\n")
         .with_header("Retry-After", retry_after_secs.to_string());
-    respond(&mut stream, &response);
+    send_response(&mut stream, &response, io_timeout, None);
 }
 
 #[cfg(test)]
@@ -668,6 +756,103 @@ mod tests {
             &format!("POST /metrics HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1),
         );
         assert!(response.starts_with("HTTP/1.1 413"), "got {response:?}");
+        server.shutdown();
+    }
+
+    /// A source with one huge response, for the stalled-reader test.
+    struct BulkSource;
+
+    /// Large enough to overflow the loopback send+receive buffering
+    /// (tcp_wmem max 4 MB + tcp_rmem max 32 MB on stock Linux), so a
+    /// reader that stops draining forces the server's writes to
+    /// block.
+    const BULK_BYTES: usize = 48 * 1024 * 1024;
+
+    impl TelemetrySource for BulkSource {
+        fn metrics_text(&self) -> String {
+            String::new()
+        }
+        fn progress_json(&self) -> String {
+            "{}".to_string()
+        }
+        fn handle(&self, request: &HttpRequest) -> Option<HttpResponse> {
+            (request.path == "/big").then(|| HttpResponse::text(200, "x".repeat(BULK_BYTES)))
+        }
+    }
+
+    /// The satellite regression: a peer that requests a large body and
+    /// then drains it one byte at a time keeps every per-write timeout
+    /// happy, so only a *total* write budget frees the worker slot.
+    /// With one worker, a healthy client queued behind the stalled
+    /// reader measures exactly how long the slot stays blocked.
+    #[test]
+    fn stalled_reader_frees_the_worker_slot_within_the_write_budget() {
+        let cfg = ServeConfig {
+            workers: 1,
+            io_timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        };
+        let mut server = serve_with("127.0.0.1:0", Arc::new(BulkSource), &cfg, None)
+            .unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr();
+
+        // The stalled reader: request /big, then drain one byte per
+        // 20 ms — never enough to let 48 MB through, always enough to
+        // defeat a per-syscall timeout.
+        let mut stalled = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect: {e}"));
+        stalled
+            .write_all(b"GET /big HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap_or_else(|e| panic!("write: {e}"));
+        let drainer = std::thread::spawn(move || {
+            let mut byte = [0u8; 1];
+            let _ = stalled.set_read_timeout(Some(Duration::from_millis(200)));
+            for _ in 0..500 {
+                if matches!(std::io::Read::read(&mut stalled, &mut byte), Ok(0) | Err(_)) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            // Dropping the socket unblocks any remaining server write.
+        });
+
+        // Give the worker a moment to pick the stalled connection up,
+        // then measure how long a healthy request waits behind it.
+        std::thread::sleep(Duration::from_millis(100));
+        let started = std::time::Instant::now();
+        let (status, _) = get(addr, "/healthz");
+        let waited = started.elapsed();
+        assert_eq!(status, 200);
+        assert!(
+            waited < Duration::from_secs(4),
+            "healthy request waited {waited:?} behind a stalled reader; \
+             the write budget did not free the slot"
+        );
+
+        server.shutdown();
+        let _ = drainer.join();
+    }
+
+    /// Server-side fault injection: a worker armed with a corrupting
+    /// plan emits garbage status lines that the hardened client
+    /// rejects as `InvalidData` — the coordinator sees a failed
+    /// request, not a wedge or a mis-parse.
+    #[test]
+    fn server_side_faults_reach_the_client_as_errors() {
+        use crate::faultnet::NetFaultPlan;
+        // http_get consults the process-global client-side injector;
+        // serialize with the tests that install one.
+        let _l = crate::testlock::locked();
+        let plan = NetFaultPlan { corrupt_prob: 1.0, ..NetFaultPlan::none(5) };
+        let cfg = ServeConfig { fault: Some(Arc::new(plan.injector())), ..ServeConfig::default() };
+        let mut server = serve_with("127.0.0.1:0", Arc::new(StubSource::new()), &cfg, None)
+            .unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr().to_string();
+
+        let err = crate::client::http_get(&addr, "/metrics", Duration::from_secs(2));
+        match err {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData, "got {e}"),
+            Ok(r) => panic!("corrupted reply parsed as {}", r.status),
+        }
         server.shutdown();
     }
 

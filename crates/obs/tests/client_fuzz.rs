@@ -1,0 +1,175 @@
+//! Adversarial fuzz suite for `rh_obs::client::parse_response`.
+//!
+//! The fleet client parses bytes received from the network, and under
+//! an armed `NetFaultPlan` those bytes are *deliberately* hostile:
+//! truncated status lines, garbage `Content-Length`, duplicated
+//! replies, oversized heads. The contract under fuzz is narrow and
+//! absolute — `parse_response` returns `Ok` or `Err`; it never
+//! panics, never indexes out of bounds, and never loops beyond the
+//! input length. The structured properties then pin the useful
+//! direction: well-formed responses round-trip exactly, and a valid
+//! `Content-Length` shields the body from any trailing junk.
+
+use proptest::prelude::*;
+use rh_obs::client::parse_response;
+
+/// Printable-ASCII body text (valid UTF-8, no CR/LF surprises).
+struct BodyText;
+
+impl Strategy for BodyText {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(200) as usize;
+        (0..len).map(|_| (32 + rng.below(95)) as u8 as char).collect()
+    }
+}
+
+fn body_text() -> impl Strategy<Value = String> {
+    BodyText
+}
+
+/// A fully well-formed `Connection: close` response.
+fn wire_response(status: u16, body: &str, extra_header: Option<&str>) -> Vec<u8> {
+    let extra = extra_header.map_or(String::new(), |h| format!("{h}\r\n"));
+    format!(
+        "HTTP/1.1 {status} Reason\r\nContent-Length: {}\r\n{extra}\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // The absolute contract: arbitrary byte soup must never panic or
+    // hang, whatever it parses to.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = parse_response(&raw);
+    }
+
+    // Byte soup that at least contains a header terminator — deeper
+    // into the parser, same contract.
+    #[test]
+    fn terminated_garbage_never_panics(
+        head in prop::collection::vec(any::<u8>(), 0..512),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut raw = head;
+        raw.extend_from_slice(b"\r\n\r\n");
+        raw.extend_from_slice(&body);
+        let _ = parse_response(&raw);
+    }
+
+    // Well-formed responses round-trip exactly.
+    #[test]
+    fn valid_responses_round_trip(status in 100u16..=599, body in body_text()) {
+        let parsed = parse_response(&wire_response(status, &body, None));
+        let response = match parsed {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::Fail(format!("valid response rejected: {e}"))),
+        };
+        prop_assert_eq!(response.status, status);
+        prop_assert_eq!(response.body, body);
+        prop_assert!(response.retry_after.is_none());
+    }
+
+    // A valid Content-Length shields the body from any trailing junk:
+    // duplicated replies and appended garbage parse identically to the
+    // clean response.
+    #[test]
+    fn trailing_junk_beyond_content_length_is_ignored(
+        status in 100u16..=599,
+        body in body_text(),
+        junk in prop::collection::vec(any::<u8>(), 1..600),
+    ) {
+        let clean = wire_response(status, &body, None);
+        let mut noisy = clean.clone();
+        noisy.extend_from_slice(&junk);
+        let a = parse_response(&clean);
+        let b = parse_response(&noisy);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.status, b.status);
+                prop_assert_eq!(a.body, b.body);
+            }
+            (a, b) => return Err(TestCaseError::Fail(format!(
+                "clean {:?} vs noisy {:?} disagree",
+                a.map(|r| r.status),
+                b.map(|r| r.status),
+            ))),
+        }
+    }
+
+    // Cutting a valid response anywhere must never panic; a cut that
+    // lands strictly inside the declared body must be rejected (that's
+    // the truncation fault the client depends on detecting).
+    #[test]
+    fn truncation_is_detected_not_panicked(
+        status in 100u16..=599,
+        body in body_text(),
+        cut_seed in any::<u64>(),
+    ) {
+        let full = wire_response(status, &body, None);
+        let cut = (cut_seed % full.len() as u64) as usize;
+        let result = parse_response(&full[..cut]);
+        let head_len = full.len() - body.len();
+        if cut >= head_len && cut < full.len() && !body.is_empty() {
+            prop_assert!(result.is_err(), "body cut at {cut}/{} parsed Ok", full.len());
+        }
+    }
+
+    // Garbage where the status line should be must be an error, not a
+    // status of 0 or a slice panic.
+    #[test]
+    fn garbage_status_lines_are_rejected(
+        line in prop::collection::vec(32u8..127u8, 0..60),
+        body in body_text(),
+    ) {
+        let mut raw: Vec<u8> = line.clone();
+        raw.extend_from_slice(b"\r\n\r\n");
+        raw.extend_from_slice(body.as_bytes());
+        let text: String = line.iter().map(|&b| b as char).collect();
+        let plausible = text.starts_with("HTTP/");
+        if !plausible {
+            prop_assert!(parse_response(&raw).is_err(), "accepted status line {text:?}");
+        }
+    }
+
+    // Non-numeric Content-Length values must be rejected outright.
+    #[test]
+    fn garbage_content_length_is_rejected(
+        status in 100u16..=599,
+        garbage in prop::collection::vec(97u8..123u8, 1..20),
+        body in body_text(),
+    ) {
+        let text: String = garbage.iter().map(|&b| b as char).collect();
+        let raw = format!(
+            "HTTP/1.1 {status} Reason\r\nContent-Length: {text}\r\n\r\n{body}"
+        );
+        prop_assert!(parse_response(raw.as_bytes()).is_err());
+    }
+
+    // Heads that never terminate within the cap are rejected in
+    // bounded time, however large the input.
+    #[test]
+    fn oversized_heads_are_rejected(filler in 33u8..127u8, extra in 0usize..4096) {
+        let mut raw = b"HTTP/1.1 200 OK\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(filler, 70 * 1024 + extra));
+        prop_assert!(parse_response(&raw).is_err());
+    }
+}
+
+#[test]
+fn retry_after_survives_hardening() {
+    let raw = b"HTTP/1.1 503 Busy\r\nContent-Length: 2\r\nRetry-After: 9\r\n\r\nno";
+    let response = parse_response(raw).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(response.status, 503);
+    assert_eq!(response.retry_after, Some(std::time::Duration::from_secs(9)));
+}
+
+#[test]
+fn conflicting_content_lengths_are_rejected() {
+    let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi!";
+    assert!(parse_response(raw).is_err(), "smuggled conflicting lengths must be rejected");
+}
