@@ -20,8 +20,25 @@
 //!             [--workload NAME] [--lease-ms N] [--poll-ms N] [--max-attempts N]
 //!             [--checkpoint FILE] [--resume] [--json]
 //!             [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]
-//!             [--serve-metrics ADDR] [--metrics-interval SECS]
+//!             [--serve-metrics ADDR] [--metrics-interval SECS] [--trace-dir DIR]
+//! repro analyze --fleet TRACE_DIR    # stitch a multi-process fleet trace
+//! repro analyze replay TOKEN         # re-execute one committed job and diff
 //! ```
+//!
+//! `repro fleet --trace-dir DIR` records a causal distributed trace of
+//! the run: the coordinator opens a `fleet.run` root span, every
+//! dispatch RPC carries a W3C-style `Traceparent` header, workers run
+//! each job under a `worker.job` span and ship their bounded per-job
+//! JSONL segment back with the result, and the coordinator writes
+//! `DIR/coordinator.jsonl` plus one `DIR/segment-<lease>.jsonl` per
+//! committed job. `repro analyze --fleet DIR` stitches the segments
+//! into one cross-process span tree (normalizing per-worker clock skew
+//! from the poll's request/response bracket and flagging orphan spans
+//! from killed workers). Every committed job is stamped with a replay
+//! token (printed as `replay <module> rtv1:...` and carried in the
+//! JSON report); `repro analyze replay <token>` re-executes that job
+//! single-process and verifies the result hash bit-for-bit. See
+//! DESIGN.md §14.
 //!
 //! `repro bench` runs the canonical perf workloads (median-of-N with
 //! warmup) and writes a stable-schema `BENCH_*.json`; with `--compare`
@@ -120,7 +137,9 @@ fn usage() -> ! {
          \x20            [--serve-metrics ADDR] [--metrics-interval SECS] <target>... | --soak N\n\
          \x20      repro bench [--scale S] [--seed N] [--reps N] [--warmup N] [--filter SUBSTR]\n\
          \x20            [--out BENCH.json] [--compare BASELINE.json] [--threshold PCT]\n\
-         \x20      repro analyze TRACE.jsonl [--metrics FILE.json] [--folded OUT] [--top N]\n\
+         \x20      repro analyze TRACE.jsonl [--metrics FILE.json] [--folded OUT] [--top N] [--lenient]\n\
+         \x20      repro analyze --fleet TRACE_DIR [--folded OUT] [--top N]\n\
+         \x20      repro analyze replay TOKEN\n\
          \x20      repro top ADDR [--interval-ms N] [--once]\n\
          \x20      repro serve [--addr ADDR] [--slots N] [--queue N] [--retry-after SECS]\n\
          \x20            [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]\n\
@@ -128,7 +147,7 @@ fn usage() -> ! {
          \x20            [--modules N] [--workload NAME] [--lease-ms N] [--poll-ms N]\n\
          \x20            [--max-attempts N] [--checkpoint FILE] [--resume] [--json]\n\
          \x20            [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]\n\
-         \x20            [--serve-metrics ADDR] [--metrics-interval SECS]\n\
+         \x20            [--serve-metrics ADDR] [--metrics-interval SECS] [--trace-dir DIR]\n\
          fault scenarios: none | flaky-host | thermal | dead-module | hung-module | chaos | <plan.json>\n\
          net-fault scenarios: none | flaky-link | slow-link | lossy-link | chaos | <plan.json>\n\
          targets: {} | defense-matrix | all\n\
@@ -233,14 +252,27 @@ fn bench_main(mut args: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `repro analyze`: reconstruct and report on a JSONL trace.
-fn analyze_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+/// `repro analyze`: reconstruct and report on a JSONL trace, stitch a
+/// fleet trace directory (`--fleet`), or re-execute a replay token
+/// (`analyze replay <token>`).
+fn analyze_main(args: impl Iterator<Item = String>) -> ExitCode {
+    let argv: Vec<String> = args.collect();
+    if argv.first().map(String::as_str) == Some("replay") {
+        return replay_main(&argv[1..]);
+    }
+    let mut args = argv.into_iter();
     let mut trace: Option<PathBuf> = None;
+    let mut fleet_dir: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
     let mut folded: Option<PathBuf> = None;
     let mut top = 15usize;
+    let mut lenient = false;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--fleet" => match args.next() {
+                Some(d) => fleet_dir = Some(PathBuf::from(d)),
+                None => usage(),
+            },
             "--metrics" => match args.next() {
                 Some(p) => metrics = Some(PathBuf::from(p)),
                 None => usage(),
@@ -253,26 +285,12 @@ fn analyze_main(mut args: impl Iterator<Item = String>) -> ExitCode {
                 Some(n) if n >= 1 => top = n,
                 _ => usage(),
             },
+            "--lenient" => lenient = true,
             other if other.starts_with('-') => usage(),
             other if trace.is_none() => trace = Some(PathBuf::from(other)),
             _ => usage(),
         }
     }
-    let Some(trace) = trace else { usage() };
-    let jsonl = match std::fs::read_to_string(&trace) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("repro analyze: cannot read {}: {e}", trace.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    let analysis = match analyze::analyze_trace(&jsonl) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("repro analyze: {}: {e}", trace.display());
-            return ExitCode::FAILURE;
-        }
-    };
     let counters = match &metrics {
         Some(path) => match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
@@ -285,6 +303,58 @@ fn analyze_main(mut args: impl Iterator<Item = String>) -> ExitCode {
             }
         },
         None => None,
+    };
+
+    // Fleet mode: stitch coordinator + worker segments into one tree.
+    if let Some(dir) = &fleet_dir {
+        if trace.is_some() {
+            usage();
+        }
+        let stitch = match analyze::analyze_fleet_dir(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("repro analyze: fleet {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", analyze::render_fleet_report(&stitch));
+        let analysis = stitch.to_analysis();
+        print!("\n{}", analyze::render_report(&analysis, counters.as_ref(), top));
+        if let Some(path) = &folded {
+            if let Err(e) = std::fs::write(path, analysis.folded_stacks()) {
+                eprintln!("repro analyze: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("analyze: wrote folded stacks to {}", path.display());
+        }
+        if stitch.roots.is_empty() {
+            eprintln!("repro analyze: fleet trace has no stitched root");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(trace) = trace else { usage() };
+    let jsonl = match std::fs::read_to_string(&trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("repro analyze: cannot read {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Strict by default: a truncated/corrupt record is a hard error
+    // with its line number, not a silently smaller tree.
+    let parsed = if lenient {
+        analyze::analyze_trace(&jsonl)
+    } else {
+        analyze::analyze_trace_strict(&jsonl)
+    };
+    let analysis = match parsed {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro analyze: {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
     };
     print!("{}", analyze::render_report(&analysis, counters.as_ref(), top));
     if let Some(path) = &folded {
@@ -299,6 +369,69 @@ fn analyze_main(mut args: impl Iterator<Item = String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// `repro analyze replay <token>`: re-execute one committed fleet job
+/// single-process from its replay token and diff the result hash
+/// bit-for-bit.
+fn replay_main(argv: &[String]) -> ExitCode {
+    let [token_str] = argv else { usage() };
+    let token = match rh_core::ReplayToken::parse(token_str) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("repro analyze replay: bad token: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(mfr) = rh_dram::Manufacturer::ALL.into_iter().find(|m| format!("{m:?}") == token.mfr)
+    else {
+        eprintln!("repro analyze replay: unknown manufacturer '{}'", token.mfr);
+        return ExitCode::FAILURE;
+    };
+    let scale = match token.scale.as_str() {
+        "Smoke" => Scale::Smoke,
+        "Default" => Scale::Default,
+        "Paper" => Scale::Paper,
+        other => {
+            eprintln!("repro analyze replay: unknown scale '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "replay: {} {} index {} seed {} scale {} (run under net-plan {} seed {}, trace {:032x})",
+        token.workload, token.mfr, token.index, token.seed, token.scale,
+        token.net_plan, token.net_seed, token.trace_id,
+    );
+    let payload = rh_bench::job_payload(
+        mfr,
+        token.index as usize,
+        token.seed,
+        scale,
+        &token.workload,
+    );
+    // Single-process, fault-free: the job itself is deterministic in
+    // its payload, so the net-fault posture of the original run must
+    // not change the committed bits.
+    let result = match rh_bench::execute_payload(&payload, &rh_softmc::CancelToken::new()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro analyze replay: execution failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let got = rh_core::fnv1a64(result.to_string().as_bytes());
+    if got == token.result_hash {
+        println!(
+            "replay OK: result hash {got:016x} matches the committed token (bit-identical)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "replay MISMATCH: token committed {:016x}, re-execution produced {got:016x}",
+            token.result_hash
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// `repro serve`: run a fleet worker until shut down (POST
@@ -424,6 +557,10 @@ fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
             },
             "--resume" => resume = true,
             "--json" => json = true,
+            "--trace-dir" => match args.next() {
+                Some(d) => cfg.trace_dir = Some(PathBuf::from(d)),
+                None => usage(),
+            },
             "--net-fault-scenario" => match args.next() {
                 Some(spec) => net_fault = Some(spec),
                 None => usage(),
@@ -450,7 +587,11 @@ fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
         // Default the chaos seed to the run seed so a chaos run is
         // replayable from its command line alone.
         match load_net_fault_plan(&spec, net_fault_seed.unwrap_or(cfg.seed)) {
-            Ok(plan) => cfg.net_fault = Some(plan),
+            Ok(plan) => {
+                cfg.net_fault = Some(plan);
+                // Replay tokens record the scenario by its CLI name.
+                cfg.net_fault_name = Some(spec);
+            }
             Err(e) => {
                 eprintln!("repro fleet: {e}");
                 return ExitCode::FAILURE;
@@ -480,6 +621,9 @@ fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
     let obs = ObsSetup::with_telemetry(None, None, &telemetry, &cfg.cancel);
     cfg.progress = obs.progress();
+    // Reuse the telemetry recorder for trace capture when one is up;
+    // otherwise run_fleet installs a private one for --trace-dir.
+    cfg.trace_recorder = obs.recorder_handle();
     let outcome = rh_bench::run_fleet(&cfg);
     let mut code = match &outcome {
         Ok(report) => {

@@ -66,6 +66,18 @@ pub struct FleetConfig {
     /// the duration of the run (chaos testing). `None` or an inert
     /// plan injects nothing.
     pub net_fault: Option<NetFaultPlan>,
+    /// Human name of the net-fault scenario (e.g. `flaky-link`),
+    /// recorded in replay tokens. `None` renders as `none`.
+    pub net_fault_name: Option<String>,
+    /// When set, the run captures a distributed trace: the
+    /// coordinator's own records land in `<dir>/coordinator.jsonl`
+    /// and each committed job's shipped segment in
+    /// `<dir>/segment-<lease>.jsonl` (see `repro analyze --fleet`).
+    pub trace_dir: Option<PathBuf>,
+    /// Recorder to capture with. `None` + `trace_dir` set = the run
+    /// installs (and uninstalls) a private recorder; callers that
+    /// already installed one (live telemetry) pass it here instead.
+    pub trace_recorder: Option<Arc<rh_obs::Recorder>>,
 }
 
 impl Default for FleetConfig {
@@ -86,6 +98,9 @@ impl Default for FleetConfig {
             progress: None,
             breaker: BreakerPolicy::default(),
             net_fault: None,
+            net_fault_name: None,
+            trace_dir: None,
+            trace_recorder: None,
         }
     }
 }
@@ -248,7 +263,12 @@ fn spawn_worker(slots: usize) -> Result<(Child, String), CharError> {
 /// What one poll of one lease told us.
 enum PollVerdict {
     Alive,
-    Done(Value),
+    Done {
+        result: Value,
+        /// The worker's shipped trace payload
+        /// (`{"segment","shed","now_us"}`), when the job ran traced.
+        trace: Option<Value>,
+    },
     Failed { error: String, transient: bool },
     Gone,
 }
@@ -264,7 +284,13 @@ fn poll_lease(addr: &str, lease_id: u64, timeout: Duration) -> PollVerdict {
         // "queued" = admitted but waiting for a slot; the lease is
         // alive and must keep its heartbeat.
         Some("running" | "queued") => PollVerdict::Alive,
-        Some("done") => PollVerdict::Done(body.field("result").clone()),
+        Some("done") => PollVerdict::Done {
+            result: body.field("result").clone(),
+            trace: {
+                let t = body.field("trace");
+                (!t.is_null()).then(|| t.clone())
+            },
+        },
         Some("failed") => PollVerdict::Failed {
             error: body.field("error").as_str().unwrap_or("unknown worker error").to_string(),
             transient: body.field("transient").as_bool().unwrap_or(false),
@@ -272,6 +298,95 @@ fn poll_lease(addr: &str, lease_id: u64, timeout: Duration) -> PollVerdict {
         // "cancelled" / "unknown" / garbage: the lease is not coming
         // back from this worker.
         _ => PollVerdict::Gone,
+    }
+}
+
+/// Byte budget for the coordinator's own trace file.
+const COORD_TRACE_BUDGET: usize = 4 << 20;
+
+/// Coordinator-side trace capture for one fleet run: owns the output
+/// directory, the recorder the spans land in, and — on drop — writes
+/// `coordinator.jsonl` and uninstalls any sink this run installed.
+struct TraceCapture {
+    dir: PathBuf,
+    recorder: Arc<rh_obs::Recorder>,
+    /// Whether this run installed the global sink (and must restore).
+    owns_sink: bool,
+    /// Thread ordinal of the coordinator loop, keying its records.
+    tid: u64,
+    /// The run's root trace, set once the root span opens.
+    trace_id: u128,
+}
+
+impl TraceCapture {
+    /// Arms capture when `cfg.trace_dir` is set; `None` otherwise (or
+    /// when the directory cannot be created — tracing must never fail
+    /// the run it observes).
+    fn arm(cfg: &FleetConfig) -> Option<TraceCapture> {
+        let dir = cfg.trace_dir.clone()?;
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("repro: fleet trace dir {}: {e}", dir.display());
+            return None;
+        }
+        let (recorder, owns_sink) = match &cfg.trace_recorder {
+            Some(recorder) => (Arc::clone(recorder), false),
+            None => {
+                let recorder = Arc::new(rh_obs::Recorder::new());
+                rh_obs::install(recorder.clone());
+                (recorder, true)
+            }
+        };
+        Some(Self { dir, recorder, owns_sink, tid: rh_obs::thread_ordinal(), trace_id: 0 })
+    }
+
+    /// Writes one committed (or orphaned) job's shipped segment to
+    /// `segment-<lease>.jsonl`, headed by a meta record carrying the
+    /// lease⇄worker binding, shed count, orphan flag, and the clock
+    /// skew `offset_us` estimated from the poll's request/response
+    /// bracket: `offset = coordinator_midpoint - worker_now`, so
+    /// `ts_coordinator ≈ ts_worker + offset_us`.
+    fn write_segment(
+        &self,
+        lease_id: u64,
+        worker: &str,
+        trace: &Value,
+        bracket: Option<(u64, u64)>,
+        orphan: bool,
+    ) {
+        let Some(segment) = trace.field("segment").as_str() else { return };
+        let shed = trace.field("shed").as_u64().unwrap_or(0);
+        let offset_us = match (bracket, trace.field("now_us").as_u64()) {
+            (Some((t0, t1)), Some(worker_now)) => {
+                let mid = i64::try_from(t0 / 2 + t1 / 2).unwrap_or(i64::MAX);
+                Some(mid.saturating_sub(i64::try_from(worker_now).unwrap_or(i64::MAX)))
+            }
+            _ => None,
+        };
+        let meta = format!(
+            "{{\"ts_us\":0,\"kind\":\"meta\",\"name\":\"{}\",\"tid\":0,\"fields\":{{\"lease\":{lease_id},\"worker\":\"{worker}\",\"offset_us\":{},\"shed\":{shed},\"orphan\":{orphan}}}}}\n",
+            names::FLEET_TRACE_SEGMENT,
+            offset_us.map_or_else(|| "null".to_string(), |o| o.to_string()),
+        );
+        let path = self.dir.join(format!("segment-{lease_id}.jsonl"));
+        if let Err(e) = std::fs::write(&path, format!("{meta}{segment}")) {
+            eprintln!("repro: fleet trace segment {}: {e}", path.display());
+        }
+    }
+}
+
+impl Drop for TraceCapture {
+    fn drop(&mut self) {
+        // The root span guard has already dropped (declared after this
+        // capture), so the fleet.run record is in the recorder.
+        let (jsonl, _shed) =
+            self.recorder.trace_segment(self.trace_id, self.tid, COORD_TRACE_BUDGET);
+        let path = self.dir.join("coordinator.jsonl");
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            eprintln!("repro: fleet trace {}: {e}", path.display());
+        }
+        if self.owns_sink {
+            rh_obs::uninstall();
+        }
     }
 }
 
@@ -318,6 +433,21 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
         });
     }
 
+    // Trace capture: declared *before* the root span so the span guard
+    // drops (recording fleet.run) before the capture drops (writing
+    // coordinator.jsonl and uninstalling any sink this run installed).
+    let mut capture = TraceCapture::arm(cfg);
+    let mut root = rh_obs::span(names::FLEET_RUN_SPAN);
+    root.set("workers", workers.len());
+    root.set("seed", cfg.seed);
+    // When obs is disabled the guard is inert and trace_id is 0: every
+    // lease binds trace 0 and replay tokens carry an all-zero trace,
+    // keeping disabled runs deterministic.
+    let trace_id = root.ids().trace_id;
+    if let Some(c) = capture.as_mut() {
+        c.trace_id = trace_id;
+    }
+
     let mut table = JobTable::new(FleetPolicy {
         retry: cfg.retry.clone(),
         lease_ms: cfg.lease_ms,
@@ -333,6 +463,11 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
         .map(|d| u64::from(d.subsec_nanos()) ^ (d.as_secs() << 20))
         .unwrap_or(1);
     table.set_lease_base((nonce & 0xffff_ffff) << 24);
+    // Replay tokens minted at commit embed the run's fault posture.
+    table.set_replay_context(
+        cfg.net_fault_name.clone().unwrap_or_else(|| "none".to_string()),
+        cfg.net_fault.as_ref().filter(|plan| !plan.is_inert()).map_or(0, |plan| plan.seed),
+    );
     for (id, payload) in fleet_jobs(cfg) {
         table.add_job(id, payload);
     }
@@ -402,10 +537,21 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
             };
             rr_cursor = slot + 1;
             let grant = table.grant(&module, &workers[slot].addr, now)?;
+            table.bind_trace(grant.lease_id, trace_id);
             let body = serde_json::to_string(&grant.to_json_value()).map_err(|e| {
                 CharError::Checkpoint { detail: format!("fleet: serialize grant: {e}") }
             })?;
-            match http_post(&workers[slot].addr, "/job", &body, io_timeout) {
+            // The RPC span is the remote parent of the worker's job
+            // span: the HTTP client injects its traceparent while the
+            // guard is live, so dispatch → worker.job links causally.
+            let response = {
+                let mut rpc = rh_obs::span(names::FLEET_DISPATCH_RPC);
+                rpc.set("module", module.as_str());
+                rpc.set("lease", grant.lease_id);
+                rpc.set("worker", workers[slot].addr.as_str());
+                http_post(&workers[slot].addr, "/job", &body, io_timeout)
+            };
+            match response {
                 Ok(ClientResponse { status, .. }) if (200..300).contains(&status) => {
                     workers[slot].note_success();
                     lease_worker.insert(grant.lease_id, workers[slot].addr.clone());
@@ -436,7 +582,12 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
                 .get(&lease_id)
                 .cloned()
                 .unwrap_or_else(|| worker_addr.clone());
+            // Bracket the poll with coordinator clock reads: the
+            // midpoint pairs with the worker's now_us in the response
+            // to estimate per-process clock skew for trace stitching.
+            let poll_t0 = capture.as_ref().map(|c| c.recorder.elapsed_us());
             let verdict = poll_lease(&addr, lease_id, io_timeout);
+            let bracket = capture.as_ref().and_then(|c| Some((poll_t0?, c.recorder.elapsed_us())));
             // Poll outcomes feed the worker's breaker too: a dead
             // worker with only in-flight leases (nothing left to
             // dispatch) still accumulates failures toward eviction,
@@ -451,9 +602,12 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
                 PollVerdict::Alive => {
                     table.heartbeat(lease_id, now_ms(origin));
                 }
-                PollVerdict::Done(result) => {
+                PollVerdict::Done { result, trace } => {
                     let attempts = table.lease_generation(lease_id).unwrap_or(1);
                     if table.commit(lease_id, result) == CommitOutcome::Committed {
+                        if let (Some(c), Some(trace)) = (capture.as_ref(), trace.as_ref()) {
+                            c.write_segment(lease_id, &addr, trace, bracket, false);
+                        }
                         lease_worker.remove(&lease_id);
                         if let Some(progress) = &cfg.progress {
                             progress.record_status(&if attempts <= 1 {
@@ -495,9 +649,14 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
         // 4. Poll orphaned leases: a zombie that finished after its
         // lease expired gets its late result explicitly rejected.
         orphans.retain(|&lease_id, addr| match poll_lease(addr, lease_id, io_timeout) {
-            PollVerdict::Done(result) => {
+            PollVerdict::Done { result, trace } => {
                 // Stale by construction: the lease no longer owns its
-                // job. Counted as fleet.duplicate inside commit().
+                // job. Counted as fleet.duplicate inside commit(). Its
+                // trace segment is still kept — flagged, not dropped —
+                // so the stitched tree shows what the zombie executed.
+                if let (Some(c), Some(trace)) = (capture.as_ref(), trace.as_ref()) {
+                    c.write_segment(lease_id, addr, trace, None, true);
+                }
                 let _ = table.commit(lease_id, result);
                 false
             }
@@ -567,6 +726,11 @@ pub fn fleet_text(report: &FleetReport) -> String {
         ));
         for error in &outcome.errors {
             s.push_str(&format!("    - {error}\n"));
+        }
+    }
+    for outcome in &report.outcomes {
+        if let Some(token) = &outcome.replay_token {
+            s.push_str(&format!("  replay {} {token}\n", outcome.id));
         }
     }
     s

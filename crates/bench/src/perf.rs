@@ -251,6 +251,23 @@ fn run_obs_disabled_event(_seed: u64, _scale: Scale) -> Result<u64, String> {
     Ok(DISABLED_RECORDS)
 }
 
+/// The same contract for `span()` now that guards mint trace IDs:
+/// with no sink, creating (and dropping) a span plus setting a field
+/// must stay at one relaxed load — no ID minting, no thread-local
+/// traffic, no clock reads. CI asserts the per-span cost stays under
+/// the same gate as records and events.
+fn run_obs_disabled_span(_seed: u64, _scale: Scale) -> Result<u64, String> {
+    if rh_obs::enabled() {
+        return Err("observability must be disabled for the overhead micro-bench".into());
+    }
+    for i in 0..DISABLED_RECORDS {
+        let mut span = rh_obs::span("bench.disabled.span");
+        span.set("index", std::hint::black_box(i));
+        std::hint::black_box(span.ids());
+    }
+    Ok(DISABLED_RECORDS)
+}
+
 const WORKLOADS: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "hammer_double",
@@ -292,6 +309,13 @@ const WORKLOADS: &[WorkloadSpec] = &[
         name: "obs_disabled_event",
         units: "events",
         runner: run_obs_disabled_event,
+        instrument: false,
+        reps_boost: 1,
+    },
+    WorkloadSpec {
+        name: "obs_disabled_span",
+        units: "spans",
+        runner: run_obs_disabled_span,
         instrument: false,
         reps_boost: 1,
     },

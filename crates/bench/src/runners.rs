@@ -276,6 +276,12 @@ impl ObsSetup {
         self.recorder.as_deref()
     }
 
+    /// An owning handle to the installed recorder, for components
+    /// (e.g. the fleet trace capture) that hold it past `self`.
+    pub fn recorder_handle(&self) -> Option<Arc<rh_obs::Recorder>> {
+        self.recorder.clone()
+    }
+
     /// The shared progress tracker (present whenever a recorder is),
     /// for wiring into [`RunConfig::progress`].
     pub fn progress(&self) -> Option<Arc<ProgressTracker>> {

@@ -203,6 +203,23 @@ pub fn render_frame(progress: &Value, metrics: &str, rates: Rates) -> String {
             counter(names::OBS_DROPPED_RECORDS)
         ));
     }
+    // Worker slot detail: a fleet worker's /progress carries a
+    // "slots" array — what each slot is executing right now, with its
+    // lease and live trace id ("0" = untraced).
+    if let Value::Array(slots) = progress.field("slots") {
+        if !slots.is_empty() {
+            out.push_str("\n  worker slots:\n");
+            for slot in slots {
+                out.push_str(&format!(
+                    "    lease={:<12} {:<10} {:<28} trace={}\n",
+                    slot.field("lease_id").as_u64().unwrap_or(0),
+                    slot.field("state").as_str().unwrap_or("?"),
+                    slot.field("module").as_str().unwrap_or("-"),
+                    slot.field("trace_id").as_str().unwrap_or("0"),
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -375,6 +392,22 @@ mod tests {
         assert!(frame.contains("1 evicted"), "{frame}");
         assert!(frame.contains("3 shed"), "{frame}");
         assert!(frame.contains("DEGRADED"), "{frame}");
+    }
+
+    #[test]
+    fn frame_lists_worker_slots_with_lease_and_trace_ids() {
+        let plain = render_frame(&sample_progress(), "", Rates::default());
+        assert!(!plain.contains("worker slots"), "no slots on a campaign: {plain}");
+        let body = r#"{"total":1,"pending":0,"running":1,"succeeded":0,"recovered":0,
+            "quarantined":0,"timed_out":0,"cancelled":0,"elapsed_ms":5,"eta_ms":null,
+            "slots":[{"lease_id":16777217,"module":"mfr_a_x16_2021#0","state":"running",
+                      "trace_id":"00000000000000000000000000005eed"}]}"#;
+        let progress = parse_progress(body).unwrap_or_else(|e| panic!("{e}"));
+        let frame = render_frame(&progress, "", Rates::default());
+        assert!(frame.contains("worker slots"), "{frame}");
+        assert!(frame.contains("lease=16777217"), "{frame}");
+        assert!(frame.contains("mfr_a_x16_2021#0"), "{frame}");
+        assert!(frame.contains("trace=00000000000000000000000000005eed"), "{frame}");
     }
 
     #[test]

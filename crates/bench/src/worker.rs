@@ -148,6 +148,11 @@ pub fn execute_payload(payload: &Value, cancel: &CancelToken) -> Result<Value, C
     }
 }
 
+/// Byte budget for one job's trace segment in a Done poll reply.
+/// Records beyond it are shed (counted via `obs.trace.shed`), keeping
+/// the reply far under the client's 4 MiB response cap.
+const TRACE_SEGMENT_BUDGET: usize = 32 * 1024;
+
 /// One job slot's lifecycle on the worker.
 #[derive(Debug, Clone)]
 enum JobState {
@@ -173,6 +178,13 @@ struct JobSlot {
     cancel: CancelToken,
     /// Operator ∪ remote; what the executing job watches.
     token: CancelToken,
+    /// Trace context from the submission's `Traceparent` header; the
+    /// job thread adopts it so its spans join the coordinator's trace.
+    trace: Option<rh_obs::TraceContext>,
+    /// [`rh_obs::thread_ordinal`] of the executing job thread, set at
+    /// thread start — the key that isolates this job's records in the
+    /// shared recorder when the segment ships back.
+    job_tid: Option<u64>,
 }
 
 /// Shared state between the HTTP routes and the job threads.
@@ -184,10 +196,19 @@ struct WorkerState {
     running: AtomicUsize,
     operator: CancelToken,
     shutdown: AtomicBool,
+    /// The worker's own recorder, for extracting per-job trace
+    /// segments to ship back with results. `None` only in tests that
+    /// build the state by hand.
+    recorder: Option<Arc<rh_obs::Recorder>>,
 }
 
 impl WorkerState {
-    fn submit(&self, grant: JobGrant, state: &Arc<WorkerState>) -> HttpResponse {
+    fn submit(
+        &self,
+        grant: JobGrant,
+        trace: Option<rh_obs::TraceContext>,
+        state: &Arc<WorkerState>,
+    ) -> HttpResponse {
         let mut jobs = lock(&self.jobs);
         // Idempotent re-submission of a lease we already hold (e.g.
         // the coordinator's POST reply was lost) — but only for the
@@ -232,6 +253,8 @@ impl WorkerState {
             state: if start_now { JobState::Running } else { JobState::Queued },
             cancel: remote,
             token,
+            trace,
+            job_tid: None,
         });
         if start_now {
             self.running.fetch_add(1, Ordering::SeqCst);
@@ -260,13 +283,38 @@ impl WorkerState {
         let body = match &slot.state {
             JobState::Queued => json!({"state": "queued", "lease_id": lease_id}),
             JobState::Running => json!({"state": "running", "lease_id": lease_id}),
-            JobState::Done(result) => json!({
-                "state": "done",
-                "lease_id": lease_id,
-                "generation": slot.generation,
-                "module_id": slot.module_id.clone(),
-                "result": result.clone(),
-            }),
+            JobState::Done(result) => {
+                let mut body = json!({
+                    "state": "done",
+                    "lease_id": lease_id,
+                    "generation": slot.generation,
+                    "module_id": slot.module_id.clone(),
+                    "result": result.clone(),
+                });
+                // Ship the job's bounded trace segment *beside* the
+                // result, never inside it: the committed result must
+                // stay bit-identical to a single-process run.
+                if let (Some(recorder), Some(trace), Some(tid)) =
+                    (&self.recorder, slot.trace, slot.job_tid)
+                {
+                    let (segment, shed) =
+                        recorder.trace_segment(trace.trace_id, tid, TRACE_SEGMENT_BUDGET);
+                    if shed > 0 {
+                        rh_obs::counter(names::OBS_TRACE_SHED, shed);
+                    }
+                    if let Value::Object(pairs) = &mut body {
+                        pairs.push((
+                            "trace".to_string(),
+                            json!({
+                                "segment": segment,
+                                "shed": shed,
+                                "now_us": recorder.elapsed_us(),
+                            }),
+                        ));
+                    }
+                }
+                body
+            }
             JobState::Failed { error, transient } => json!({
                 "state": "failed",
                 "lease_id": lease_id,
@@ -299,9 +347,9 @@ fn start_job(state: &Arc<WorkerState>, lease_id: u64) -> bool {
         let jobs = lock(&state.jobs);
         jobs.iter()
             .find(|j| j.lease_id == lease_id)
-            .map(|slot| (slot.payload.clone(), slot.token.clone()))
+            .map(|slot| (slot.payload.clone(), slot.token.clone(), slot.trace, slot.module_id.clone()))
     };
-    let Some((payload, token)) = staged else {
+    let Some((payload, token, trace, module_id)) = staged else {
         state.running.fetch_sub(1, Ordering::SeqCst);
         return false;
     };
@@ -309,9 +357,25 @@ fn start_job(state: &Arc<WorkerState>, lease_id: u64) -> bool {
     let spawned = std::thread::Builder::new()
         .name(format!("rh-fleet-job-{lease_id}"))
         .spawn(move || {
+            // Adopt the coordinator's trace (this thread runs exactly
+            // one job, then exits) and record which thread ordinal the
+            // job's records will carry, so the Done poll can extract
+            // this job's segment from the shared recorder.
+            if let Some(ctx) = trace {
+                rh_obs::set_remote_parent(ctx);
+            }
+            {
+                let mut jobs = lock(&owner.jobs);
+                if let Some(slot) = jobs.iter_mut().find(|j| j.lease_id == lease_id) {
+                    slot.job_tid = Some(rh_obs::thread_ordinal());
+                }
+            }
             let outcome = if token.is_cancelled() {
                 Err(CharError::Cancelled { op: "fleet job".to_string() })
             } else {
+                let mut span = rh_obs::span(names::WORKER_JOB_SPAN);
+                span.set("lease", lease_id);
+                span.set("module", module_id);
                 execute_payload(&payload, &token)
             };
             {
@@ -388,7 +452,28 @@ impl TelemetrySource for WorkerSource {
         let jobs = lock(&self.state.jobs);
         let running = self.state.running.load(Ordering::SeqCst);
         let queued = jobs.iter().filter(|j| matches!(j.state, JobState::Queued)).count();
-        json!({"total": jobs.len(), "running": running, "queued": queued}).to_string()
+        // Per-slot detail for `repro top`: what each slot is actually
+        // executing, with the trace id linking it to the distributed
+        // trace ("0" = untraced submission).
+        let slots: Vec<Value> = jobs
+            .iter()
+            .map(|j| {
+                json!({
+                    "lease_id": j.lease_id,
+                    "module": j.module_id.clone(),
+                    "state": match &j.state {
+                        JobState::Queued => "queued",
+                        JobState::Running => "running",
+                        JobState::Done(_) => "done",
+                        JobState::Failed { .. } => "failed",
+                        JobState::Cancelled => "cancelled",
+                    },
+                    "trace_id": j.trace.map_or("0".to_string(), |t| format!("{:032x}", t.trace_id)),
+                })
+            })
+            .collect();
+        json!({"total": jobs.len(), "running": running, "queued": queued, "slots": slots})
+            .to_string()
     }
 
     fn healthy(&self) -> bool {
@@ -402,7 +487,7 @@ impl TelemetrySource for WorkerSource {
                     .ok()
                     .and_then(|v| JobGrant::from_json_value(&v).ok());
                 Some(match grant {
-                    Some(grant) => self.state.submit(grant, &self.state),
+                    Some(grant) => self.state.submit(grant, request.traceparent, &self.state),
                     None => HttpResponse::json(400, "{\"error\":\"bad job grant\"}".to_string()),
                 })
             }
@@ -458,6 +543,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> std::io::Result<()> {
         running: AtomicUsize::new(0),
         operator: cfg.cancel.clone(),
         shutdown: AtomicBool::new(false),
+        recorder: Some(Arc::clone(&recorder)),
     });
     let source = Arc::new(WorkerSource { state: Arc::clone(&state), recorder });
 
@@ -556,7 +642,9 @@ mod tests {
             let r = http_get(addr, &format!("/job?lease={lease}"), timeout).unwrap();
             let v: Value = serde_json::from_str(&r.body).unwrap();
             match v.field("state").as_str() {
-                Some("running") => {
+                // "queued" is a live heartbeat too: promotion into a
+                // freed slot races the poll, so keep waiting.
+                Some("running" | "queued") => {
                     assert!(std::time::Instant::now() < deadline, "job never finished");
                     std::thread::sleep(Duration::from_millis(20));
                 }
@@ -570,6 +658,10 @@ mod tests {
         let (handle, addr, _cancel) = start_worker(2, 0);
         let timeout = Duration::from_secs(5);
 
+        // Submit under a live trace context: the client injects the
+        // traceparent header, the worker binds the job to our trace.
+        let ctx = rh_obs::TraceContext { trace_id: 0x5eed, span_id: 0x1 };
+        rh_obs::set_remote_parent(ctx);
         let g = grant(1, 1);
         let body = serde_json::to_string(&g.to_json_value()).unwrap();
         let r = http_post(&addr, "/job", &body, timeout).unwrap();
@@ -579,9 +671,28 @@ mod tests {
         let r = http_post(&addr, "/job", &body, timeout).unwrap();
         assert_eq!(r.status, 200, "resubmit: {}", r.body);
 
+        // The progress route exposes per-slot lease/trace detail.
+        let r = http_get(&addr, "/progress", timeout).unwrap();
+        let progress: Value = serde_json::from_str(&r.body).unwrap();
+        let slot = progress.field("slots").index(0);
+        assert_eq!(slot.field("lease_id").as_u64(), Some(1), "{progress:?}");
+        assert_eq!(
+            slot.field("trace_id").as_str(),
+            Some(format!("{:032x}", 0x5eed_u128).as_str()),
+            "{progress:?}"
+        );
+
         let done = poll_until_done(&addr, 1);
+        rh_obs::set_remote_parent(rh_obs::TraceContext { trace_id: 0, span_id: 0 });
         assert_eq!(done.field("state").as_str(), Some("done"));
         assert_eq!(done.field("generation").as_u64(), Some(1));
+        // The Done reply ships the job's trace segment beside (never
+        // inside) the result.
+        let trace = done.field("trace");
+        assert!(!trace.is_null(), "Done reply must carry a trace object: {done:?}");
+        assert!(trace.field("now_us").as_u64().is_some(), "{trace:?}");
+        assert!(trace.field("shed").as_u64().is_some(), "{trace:?}");
+        assert!(trace.field("segment").as_str().is_some(), "{trace:?}");
         let remote = done.field("result").clone();
 
         // The worker's result matches an in-process execution bit for

@@ -7,6 +7,7 @@ use crate::config::{Scale, TestPlan};
 use crate::error::CharError;
 use crate::metrics::{Characterizer, BER_HAMMERS};
 use rh_dram::RowAddr;
+use rh_obs::names;
 use rh_stats::{
     coefficient_of_variation, ks_statistic, normalized_bhattacharyya, pearson, percentile,
     Histogram2d, LinearFit,
@@ -53,12 +54,15 @@ impl RowVariation {
 pub fn row_variation(ch: &mut Characterizer) -> Result<RowVariation, CharError> {
     ch.set_temperature(75.0)?;
     let plan = TestPlan::for_bank(ch.bench().module().geometry().rows_per_bank, ch.scale());
+    let mut kernel = rh_obs::span(names::FAULTMODEL_KERNEL_SPAN);
+    kernel.set("victims", plan.victims.len());
     let mut rows = Vec::new();
     for &v in &plan.victims {
         if let Some(hc) = ch.hc_first_default(RowAddr(v))? {
             rows.push((v, hc));
         }
     }
+    drop(kernel);
     let mut sorted: Vec<f64> = rows.iter().map(|&(_, h)| h as f64).collect();
     sorted.sort_by(|a, b| b.total_cmp(a));
     Ok(RowVariation { rows, sorted_desc: sorted })

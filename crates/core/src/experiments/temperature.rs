@@ -6,6 +6,7 @@ use crate::config::TestPlan;
 use crate::error::CharError;
 use crate::metrics::{Characterizer, BER_HAMMERS};
 use rh_dram::RowAddr;
+use rh_obs::names;
 use rh_stats::ConfidenceInterval;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -49,6 +50,9 @@ pub fn cell_temp_ranges(ch: &mut Characterizer) -> Result<TempRangeAnalysis, Cha
     let mut observed: HashMap<(u32, u32, u8), u32> = HashMap::new();
     for (gi, &t) in grid.iter().enumerate() {
         ch.set_temperature(t)?;
+        let mut kernel = rh_obs::span(names::FAULTMODEL_KERNEL_SPAN);
+        kernel.set("temperature", t);
+        kernel.set("victims", plan.victims.len());
         for &v in &plan.victims {
             for _ in 0..plan.repetitions {
                 for (byte, bit) in ch.flipped_cells(RowAddr(v), pattern, BER_HAMMERS)? {

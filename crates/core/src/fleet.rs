@@ -124,6 +124,10 @@ struct Job {
     phase: JobPhase,
     /// One rendered error per failed attempt.
     errors: Vec<String>,
+    /// Replay token minted when the result committed (see
+    /// [`ReplayToken`]); `None` until then, and forever for payloads
+    /// that do not describe a replayable workload.
+    token: Option<String>,
 }
 
 /// The wire form of one job grant, POSTed to a worker.
@@ -192,6 +196,142 @@ pub struct FleetModuleOutcome {
     pub attempts: u32,
     /// One rendered error per failed attempt.
     pub errors: Vec<String>,
+    /// Deterministic replay token for committed results (see
+    /// [`ReplayToken`]); `None` for quarantined modules or payloads
+    /// that do not describe a replayable workload.
+    pub replay_token: Option<String>,
+}
+
+/// FNV-1a 64-bit hash — the result fingerprint inside a
+/// [`ReplayToken`]. Stable, dependency-free, and fast enough to hash
+/// every committed result at commit time.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A deterministic replay token, stamped on every committed job
+/// result: everything needed to re-execute the job single-process
+/// (`repro analyze replay <token>`) and diff the result bit-for-bit.
+///
+/// Wire form (10 `:`-separated fields, first is the literal version
+/// tag):
+///
+/// ```text
+/// rtv1:<workload>:<mfr>:<index>:<seed:016x>:<scale>:<net-plan>:<net-seed:016x>:<result-hash:016x>:<trace:032x>
+/// ```
+///
+/// `workload`/`mfr`/`index`/`seed`/`scale` identify the module profile
+/// and command seed; `net-plan`/`net-seed` pin the network-fault
+/// environment the result survived (informational for replay — the
+/// single-process re-execution runs fault-free and must still match);
+/// `result-hash` is [`fnv1a64`] over the committed result's compact
+/// JSON; `trace` links the token back to the distributed trace that
+/// produced it (0 for local runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayToken {
+    /// Worker workload name (e.g. `row_variation`).
+    pub workload: String,
+    /// Manufacturer debug name (e.g. `MfrA`).
+    pub mfr: String,
+    /// Module index within the manufacturer.
+    pub index: u64,
+    /// Command seed the job ran under.
+    pub seed: u64,
+    /// Scale debug name (e.g. `Smoke`).
+    pub scale: String,
+    /// Armed net-fault plan name (`none` when unfaulted).
+    pub net_plan: String,
+    /// Net-fault plan seed (0 when unfaulted).
+    pub net_seed: u64,
+    /// [`fnv1a64`] of the committed result's compact JSON.
+    pub result_hash: u64,
+    /// Trace the job executed under (0 = untraced/local).
+    pub trace_id: u128,
+}
+
+impl ReplayToken {
+    /// Parses the wire form back into a token.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.trim().split(':').collect();
+        if parts.len() != 10 {
+            return Err(format!("expected 10 ':'-separated fields, got {}", parts.len()));
+        }
+        if parts[0] != "rtv1" {
+            return Err(format!("unknown token version '{}' (expected rtv1)", parts[0]));
+        }
+        let hex = |what: &str, s: &str| -> Result<u128, String> {
+            u128::from_str_radix(s, 16).map_err(|e| format!("bad {what} '{s}': {e}"))
+        };
+        let index: u64 =
+            parts[3].parse().map_err(|e| format!("bad index '{}': {e}", parts[3]))?;
+        Ok(Self {
+            workload: parts[1].to_string(),
+            mfr: parts[2].to_string(),
+            index,
+            seed: hex("seed", parts[4])? as u64,
+            scale: parts[5].to_string(),
+            net_plan: parts[6].to_string(),
+            net_seed: hex("net seed", parts[7])? as u64,
+            result_hash: hex("result hash", parts[8])? as u64,
+            trace_id: hex("trace id", parts[9])?,
+        })
+    }
+}
+
+/// Mints a [`ReplayToken`] for a committed `(payload, result)` pair,
+/// or `None` when the payload does not carry the full replayable
+/// profile (`workload`/`mfr`/`index`/`seed`/`scale`) — synthetic test
+/// payloads stay tokenless rather than minting garbage.
+#[must_use]
+pub fn mint_replay_token(
+    payload: &Value,
+    result: &Value,
+    net_plan: &str,
+    net_seed: u64,
+    trace_id: u128,
+) -> Option<String> {
+    let token = ReplayToken {
+        workload: payload.field("workload").as_str()?.to_string(),
+        mfr: payload.field("mfr").as_str()?.to_string(),
+        index: payload.field("index").as_u64()?,
+        seed: payload.field("seed").as_u64()?,
+        scale: payload.field("scale").as_str()?.to_string(),
+        net_plan: net_plan.to_string(),
+        net_seed,
+        result_hash: fnv1a64(result.to_string().as_bytes()),
+        trace_id,
+    };
+    Some(token.to_string())
+}
+
+impl std::fmt::Display for ReplayToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ':' inside free-text fields would shift every later field.
+        let clean = |s: &str| s.replace(':', "_");
+        write!(
+            f,
+            "rtv1:{}:{}:{}:{:016x}:{}:{}:{:016x}:{:016x}:{:032x}",
+            clean(&self.workload),
+            clean(&self.mfr),
+            self.index,
+            self.seed,
+            clean(&self.scale),
+            clean(&self.net_plan),
+            self.net_seed,
+            self.result_hash,
+            self.trace_id
+        )
+    }
 }
 
 /// Structured summary of a fleet run. `results` carries the committed
@@ -532,6 +672,13 @@ pub struct JobTable {
     next_lease_id: u64,
     redispatches: u64,
     checkpoint: Option<PathBuf>,
+    /// Net-fault environment baked into replay tokens.
+    net_plan: String,
+    net_seed: u64,
+    /// Lease⇄trace bindings: the distributed trace each dispatch
+    /// executed under, recorded by the coordinator loop so the token
+    /// minted at commit can link back to the trace tree.
+    traces: Vec<(u64, u128)>,
 }
 
 impl JobTable {
@@ -545,7 +692,26 @@ impl JobTable {
             next_lease_id: 1,
             redispatches: 0,
             checkpoint: None,
+            net_plan: "none".to_string(),
+            net_seed: 0,
+            traces: Vec::new(),
         }
+    }
+
+    /// Declares the net-fault environment this run executes under, so
+    /// replay tokens record which chaos the committed results
+    /// survived. Call before the first commit; the default is
+    /// `("none", 0)`.
+    pub fn set_replay_context(&mut self, net_plan: impl Into<String>, net_seed: u64) {
+        self.net_plan = net_plan.into();
+        self.net_seed = net_seed;
+    }
+
+    /// Binds `lease_id` to the distributed trace its dispatch executes
+    /// under. The token minted when that lease commits carries the
+    /// trace id; unbound leases (local runs, tests) mint trace 0.
+    pub fn bind_trace(&mut self, lease_id: u64, trace_id: u128) {
+        self.traces.push((lease_id, trace_id));
     }
 
     /// Offsets all future lease IDs by `base`. A restarted
@@ -568,6 +734,7 @@ impl JobTable {
             attempts: 0,
             phase: JobPhase::Pending { not_before_ms: 0 },
             errors: Vec::new(),
+            token: None,
         });
     }
 
@@ -603,6 +770,17 @@ impl JobTable {
                 self.redispatches += u64::from(entry.attempts.saturating_sub(1));
                 job.phase = match (entry.status.as_str(), entry.result) {
                     ("committed", Some(result)) => {
+                        // Re-mint the replay token rather than persist
+                        // it: payload and result are both in hand, and
+                        // a resumed run is by definition local to this
+                        // incarnation (trace 0).
+                        job.token = mint_replay_token(
+                            &job.payload,
+                            &result,
+                            &self.net_plan,
+                            self.net_seed,
+                            0,
+                        );
                         JobPhase::Committed { generation: entry.generation, result }
                     }
                     ("quarantined", _) => JobPhase::Quarantined {
@@ -847,6 +1025,13 @@ impl JobTable {
                 CommitOutcome::Duplicate
             }
             JobPhase::Leased(lease) if lease.lease_id == lease_id => {
+                let trace_id = self
+                    .traces
+                    .iter()
+                    .find(|(id, _)| *id == lease_id)
+                    .map_or(0, |&(_, t)| t);
+                job.token =
+                    mint_replay_token(&job.payload, &result, &self.net_plan, self.net_seed, trace_id);
                 job.phase = JobPhase::Committed { generation, result };
                 rh_obs::counter(names::FLEET_COMMIT, 1);
                 self.save_if_configured();
@@ -931,6 +1116,7 @@ impl JobTable {
                 status: status.to_string(),
                 attempts: job.attempts,
                 errors: job.errors.clone(),
+                replay_token: job.token.clone(),
             });
         }
         let committed = outcomes.iter().filter(|o| o.status == "committed").count();
@@ -1108,6 +1294,70 @@ mod tests {
         t.add_job("m0", json!({"n": 0}));
         t.add_job("m1", json!({"n": 1}));
         t
+    }
+
+    #[test]
+    fn replay_token_round_trips_and_rejects_malformed() {
+        let token = ReplayToken {
+            workload: "row_variation".to_string(),
+            mfr: "MfrA".to_string(),
+            index: 3,
+            seed: 42,
+            scale: "Smoke".to_string(),
+            net_plan: "flaky-link".to_string(),
+            net_seed: 7,
+            result_hash: 0xdead_beef,
+            trace_id: 0xabc,
+        };
+        let wire = token.to_string();
+        assert!(wire.starts_with("rtv1:row_variation:MfrA:3:"), "got {wire}");
+        assert_eq!(ReplayToken::parse(&wire), Ok(token.clone()));
+        // Colons in free-text fields must not shift later fields.
+        let evil = ReplayToken { net_plan: "a:b".to_string(), ..token };
+        assert_eq!(ReplayToken::parse(&evil.to_string()).map(|t| t.net_plan), Ok("a_b".into()));
+        for bad in ["", "rtv1:short", "rtv2:w:m:1:0:s:p:0:0:0", "rtv1:w:m:x:0:s:p:0:0:0"] {
+            assert!(ReplayToken::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn commit_mints_replay_tokens_for_replayable_payloads_only() {
+        let mut t = table();
+        t.add_job(
+            "mfr_a#0",
+            json!({"mfr": "MfrA", "index": 0, "seed": 9, "scale": "Smoke",
+                   "workload": "row_variation"}),
+        );
+        t.set_replay_context("flaky-link", 1234);
+        // Synthetic payload: committed, but tokenless.
+        let g = t.grant("m0", "w1", 0).unwrap();
+        assert_eq!(t.commit(g.lease_id, json!({"ok": true})), CommitOutcome::Committed);
+        // Replayable payload, with a trace bound to the lease.
+        let g = t.grant("mfr_a#0", "w1", 0).unwrap();
+        t.bind_trace(g.lease_id, 0xfeed);
+        let result = json!({"ber": 0.5});
+        assert_eq!(t.commit(g.lease_id, result.clone()), CommitOutcome::Committed);
+        let report = t.report();
+        let by_id = |id: &str| {
+            report.outcomes.iter().find(|o| o.id == id).unwrap_or_else(|| panic!("{id} missing"))
+        };
+        assert_eq!(by_id("m0").replay_token, None);
+        let token_str = by_id("mfr_a#0").replay_token.clone().expect("token minted");
+        let token = ReplayToken::parse(&token_str).expect("token parses");
+        assert_eq!(token.workload, "row_variation");
+        assert_eq!((token.index, token.seed), (0, 9));
+        assert_eq!((token.net_plan.as_str(), token.net_seed), ("flaky-link", 1234));
+        assert_eq!(token.trace_id, 0xfeed);
+        assert_eq!(
+            token.result_hash,
+            fnv1a64(rh_core_result_json(&result).as_bytes()),
+            "hash covers the committed result's compact JSON"
+        );
+    }
+
+    /// Compact-JSON helper mirroring what the minting path hashes.
+    fn rh_core_result_json(v: &Value) -> String {
+        v.to_string()
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub use campaign::{
 pub use config::{Scale, TestPlan};
 pub use error::CharError;
 pub use fleet::{
-    verify_fleet_checkpoint, CommitOutcome, FailOutcome, FleetModuleOutcome, FleetPolicy,
-    FleetReport, JobGrant, JobTable, LeaseState,
+    fnv1a64, mint_replay_token, verify_fleet_checkpoint, CommitOutcome, FailOutcome,
+    FleetModuleOutcome, FleetPolicy, FleetReport, JobGrant, JobTable, LeaseState, ReplayToken,
 };
 pub use executor::ExecutorConfig;
 pub use metrics::{BerMeasurement, Characterizer};

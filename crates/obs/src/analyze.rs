@@ -37,7 +37,10 @@ pub enum Json {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number (f64 is exact for the u64 ranges traces contain).
+    /// Integer, kept exact: lease and span IDs exceed f64's 53-bit
+    /// integer range, and rounding them would alias distinct leases.
+    Int(i64),
+    /// Any non-integer (or i64-overflowing) number.
     Num(f64),
     /// String.
     Str(String),
@@ -61,6 +64,7 @@ impl Json {
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
@@ -73,6 +77,29 @@ impl Json {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64 if it is an integral number in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Num(n)
+                if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -154,6 +181,11 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.b[start..self.i])
             .map_err(|_| format!("non-utf8 number at byte {start}"))?;
+        if !text.bytes().any(|c| matches!(c, b'.' | b'e' | b'E')) {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
         text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number at byte {start}"))
     }
 
@@ -495,6 +527,396 @@ impl Analysis {
 }
 
 // ---------------------------------------------------------------------------
+// Strict parsing + multi-process fleet stitching
+// ---------------------------------------------------------------------------
+
+/// Validates every line of a JSONL trace *before* analysis: any
+/// malformed or truncated record (e.g. a file cut mid-record by a
+/// crash) fails with its 1-based line number instead of being
+/// silently skipped and shrinking the tree.
+///
+/// # Errors
+///
+/// `"line N: <cause>"` on the first bad line, or the underlying
+/// [`analyze_trace`] error on an empty trace.
+pub fn analyze_trace_strict(jsonl: &str) -> Result<Analysis, String> {
+    validate_jsonl(jsonl)?;
+    analyze_trace(jsonl)
+}
+
+fn validate_jsonl(jsonl: &str) -> Result<(), String> {
+    for (idx, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = parse_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let complete = rec.get("ts_us").and_then(Json::as_u64).is_some()
+            && rec.get("kind").and_then(Json::as_str).is_some()
+            && rec.get("name").and_then(Json::as_str).is_some();
+        if !complete {
+            return Err(format!("line {}: record missing ts_us/kind/name", idx + 1));
+        }
+    }
+    Ok(())
+}
+
+/// Metadata of one process segment in a stitched fleet trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Source file name (`coordinator.jsonl` / `segment-<lease>.jsonl`).
+    pub file: String,
+    /// Lease the segment belongs to (0 for the coordinator).
+    pub lease: u64,
+    /// Worker address, or `"coordinator"`.
+    pub worker: String,
+    /// Clock-skew correction applied to this segment's timestamps,
+    /// microseconds of coordinator-clock minus worker-clock (None when
+    /// the poll bracket was unavailable; the segment is then stitched
+    /// unshifted).
+    pub offset_us: Option<i64>,
+    /// Records shed worker-side to fit the ship-back budget.
+    pub shed: u64,
+    /// Whether the lease had already expired when the segment shipped
+    /// (a zombie's late result, kept for forensics).
+    pub orphan: bool,
+    /// Traced spans this segment contributed.
+    pub spans: u64,
+}
+
+/// A span tree stitched across processes by explicit
+/// `span_id -> parent_id` links, with per-segment clock-skew
+/// normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStitch {
+    /// True roots (`parent_id == 0`); a healthy run has exactly one,
+    /// the coordinator's `fleet.run` span.
+    pub roots: Vec<SpanNode>,
+    /// Subtrees whose parent span never arrived (killed worker, shed
+    /// record): flagged here, never dropped.
+    pub orphans: Vec<SpanNode>,
+    /// Traced spans across all segments.
+    pub span_count: u64,
+    /// Events across all segments.
+    pub event_count: u64,
+    /// Event occurrences by name.
+    pub event_counts: BTreeMap<String, u64>,
+    /// `worker.job` spans from non-orphan segments — exactly one per
+    /// committed job (zombie segments are excluded so duplicates from
+    /// expired leases don't inflate the count).
+    pub job_spans: u64,
+    /// `fleet.dispatch.rpc` spans whose lease shipped no segment: the
+    /// worker died or the job was re-dispatched before completing.
+    pub orphan_dispatches: u64,
+    /// Segments flagged orphan in their meta record.
+    pub orphan_segments: u64,
+    /// Per-segment metadata, in file order (coordinator first).
+    pub segments: Vec<SegmentInfo>,
+    /// Stitched trace extent on the coordinator clock, microseconds.
+    pub wall_us: u64,
+}
+
+struct RawSpan {
+    name: String,
+    tid: u64,
+    start_us: u64,
+    end_us: u64,
+    parent: u64,
+    lease: Option<u64>,
+}
+
+fn parse_hex_id(rec: &Json, key: &str) -> Option<u64> {
+    u64::from_str_radix(rec.get(key)?.as_str()?, 16).ok()
+}
+
+/// Stitches a fleet trace from `(file_name, jsonl)` pairs — one
+/// `coordinator.jsonl` plus any number of `segment-<lease>.jsonl`
+/// ship-backs. Strict: any malformed record fails with
+/// `"<file>: line N: <cause>"`.
+///
+/// # Errors
+///
+/// On empty input, unreadable records, or a coordinator file with no
+/// traced spans.
+pub fn stitch_fleet(files: &[(String, String)]) -> Result<FleetStitch, String> {
+    if files.is_empty() {
+        return Err("fleet trace: no coordinator.jsonl or segment-*.jsonl inputs".to_string());
+    }
+    let mut spans: BTreeMap<u64, RawSpan> = BTreeMap::new();
+    let mut segments: Vec<SegmentInfo> = Vec::new();
+    let mut segment_leases: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut event_count = 0u64;
+    let mut event_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut orphan_segments = 0u64;
+    let mut job_spans = 0u64;
+
+    for (fname, content) in files {
+        validate_jsonl(content).map_err(|e| format!("{fname}: {e}"))?;
+        let is_segment = fname.starts_with("segment-");
+        let mut info = SegmentInfo {
+            file: fname.clone(),
+            lease: 0,
+            worker: "coordinator".to_string(),
+            offset_us: if is_segment { None } else { Some(0) },
+            shed: 0,
+            orphan: false,
+            spans: 0,
+        };
+        let mut offset = 0i64;
+        let mut file_job_spans = 0u64;
+        for line in content.lines().filter(|l| !l.trim().is_empty()) {
+            // Validated above; a failure here would be a logic error.
+            let rec = parse_json(line).map_err(|e| format!("{fname}: {e}"))?;
+            let kind = rec.get("kind").and_then(Json::as_str).unwrap_or("");
+            let name = rec.get("name").and_then(Json::as_str).unwrap_or("");
+            match kind {
+                "meta" if name == crate::names::FLEET_TRACE_SEGMENT => {
+                    let fields = rec.get("fields").cloned().unwrap_or(Json::Null);
+                    info.lease = fields.get("lease").and_then(Json::as_u64).unwrap_or(0);
+                    if let Some(w) = fields.get("worker").and_then(Json::as_str) {
+                        info.worker = w.to_string();
+                    }
+                    info.offset_us = fields.get("offset_us").and_then(Json::as_i64);
+                    info.shed = fields.get("shed").and_then(Json::as_u64).unwrap_or(0);
+                    info.orphan = fields.get("orphan").and_then(Json::as_bool).unwrap_or(false);
+                    offset = info.offset_us.unwrap_or(0);
+                }
+                "span" => {
+                    // Only spans carrying explicit trace identity join
+                    // the stitched tree; untraced spans from the same
+                    // process belong to other work.
+                    let Some(span_id) = parse_hex_id(&rec, "span_id") else { continue };
+                    let parent = parse_hex_id(&rec, "parent_id").unwrap_or(0);
+                    let ts = rec.get("ts_us").and_then(Json::as_u64).unwrap_or(0);
+                    let elapsed = rec.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+                    let end_us =
+                        u64::try_from((i64::try_from(ts).unwrap_or(i64::MAX)).saturating_add(offset))
+                            .unwrap_or(0);
+                    let tid = rec.get("tid").and_then(Json::as_u64).unwrap_or(0);
+                    let lease = rec
+                        .get("fields")
+                        .and_then(|f| f.get("lease"))
+                        .and_then(Json::as_u64);
+                    spans.insert(
+                        span_id,
+                        RawSpan {
+                            name: name.to_string(),
+                            tid,
+                            start_us: end_us.saturating_sub(elapsed),
+                            end_us,
+                            parent,
+                            lease,
+                        },
+                    );
+                    info.spans += 1;
+                    if name == crate::names::WORKER_JOB_SPAN {
+                        file_job_spans += 1;
+                    }
+                }
+                _ => {
+                    event_count += 1;
+                    *event_counts.entry(name.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        if is_segment {
+            segment_leases.insert(info.lease);
+            if info.orphan {
+                orphan_segments += 1;
+            }
+        }
+        if !info.orphan {
+            job_spans += file_job_spans;
+        }
+        segments.push(info);
+    }
+
+    // Adjacency by explicit parent link, then recursive assembly.
+    let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut root_ids: Vec<u64> = Vec::new();
+    let mut orphan_ids: Vec<u64> = Vec::new();
+    for (&id, raw) in &spans {
+        if raw.parent == 0 {
+            root_ids.push(id);
+        } else if spans.contains_key(&raw.parent) {
+            children.entry(raw.parent).or_default().push(id);
+        } else {
+            orphan_ids.push(id);
+        }
+    }
+    fn build(
+        id: u64,
+        spans: &BTreeMap<u64, RawSpan>,
+        children: &BTreeMap<u64, Vec<u64>>,
+        visited: &mut std::collections::BTreeSet<u64>,
+    ) -> Option<SpanNode> {
+        if !visited.insert(id) {
+            return None; // cycle in corrupt input: keep the first visit
+        }
+        let raw = spans.get(&id)?;
+        let mut kids: Vec<SpanNode> = children
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .filter_map(|&c| build(c, spans, children, visited))
+            .collect();
+        kids.sort_by_key(|k| (k.start_us, k.tid));
+        Some(SpanNode {
+            name: raw.name.clone(),
+            tid: raw.tid,
+            start_us: raw.start_us,
+            end_us: raw.end_us,
+            children: kids,
+        })
+    }
+    let mut visited = std::collections::BTreeSet::new();
+    let mut roots: Vec<SpanNode> =
+        root_ids.iter().filter_map(|&id| build(id, &spans, &children, &mut visited)).collect();
+    roots.sort_by_key(|r| (r.start_us, r.tid));
+    let mut orphans: Vec<SpanNode> =
+        orphan_ids.iter().filter_map(|&id| build(id, &spans, &children, &mut visited)).collect();
+    orphans.sort_by_key(|r| (r.start_us, r.tid));
+
+    let orphan_dispatches = spans
+        .values()
+        .filter(|s| {
+            s.name == crate::names::FLEET_DISPATCH_RPC
+                && s.lease.is_some_and(|l| !segment_leases.contains(&l))
+        })
+        .count() as u64;
+    let first_start = spans.values().map(|s| s.start_us).min().unwrap_or(0);
+    let last_end = spans.values().map(|s| s.end_us).max().unwrap_or(0);
+
+    Ok(FleetStitch {
+        roots,
+        orphans,
+        span_count: spans.len() as u64,
+        event_count,
+        event_counts,
+        job_spans,
+        orphan_dispatches,
+        orphan_segments,
+        segments,
+        wall_us: last_end.saturating_sub(first_start),
+    })
+}
+
+/// Reads `coordinator.jsonl` + every `segment-*.jsonl` from a fleet
+/// trace directory (as written by `repro fleet --trace-dir`) and
+/// stitches them.
+///
+/// # Errors
+///
+/// On an unreadable directory/file or any malformed record
+/// (`"<file>: line N: <cause>"`).
+pub fn analyze_fleet_dir(dir: &std::path::Path) -> Result<FleetStitch, String> {
+    let mut files: Vec<(String, String)> = Vec::new();
+    let coord = dir.join("coordinator.jsonl");
+    if coord.is_file() {
+        let content = std::fs::read_to_string(&coord)
+            .map_err(|e| format!("{}: {e}", coord.display()))?;
+        files.push(("coordinator.jsonl".to_string(), content));
+    }
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|n| n.starts_with("segment-") && n.ends_with(".jsonl"))
+        .collect();
+    names.sort();
+    for name in names {
+        let path = dir.join(&name);
+        let content =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        files.push((name, content));
+    }
+    stitch_fleet(&files)
+}
+
+impl FleetStitch {
+    /// Folds the stitch into a plain [`Analysis`] (orphan subtrees
+    /// become extra roots) so the standard report, flamegraph, and
+    /// histogram renderers apply unchanged.
+    #[must_use]
+    pub fn to_analysis(&self) -> Analysis {
+        let mut roots = self.roots.clone();
+        roots.extend(self.orphans.iter().cloned());
+        roots.sort_by_key(|r| (r.start_us, r.tid));
+        Analysis {
+            roots,
+            span_count: self.span_count,
+            event_count: self.event_count,
+            event_counts: self.event_counts.clone(),
+            wall_us: self.wall_us,
+            skipped_lines: 0,
+        }
+    }
+}
+
+fn render_tree(node: &SpanNode, depth: usize, orphan: bool, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "  {:indent$}{} {}{}",
+        "",
+        node.name,
+        fmt_us(node.elapsed_us()),
+        if orphan { " [orphan]" } else { "" },
+        indent = depth * 2
+    );
+    for child in &node.children {
+        render_tree(child, depth + 1, false, out);
+    }
+}
+
+/// Renders the stitched-fleet summary: root/orphan accounting, the
+/// cross-process span tree, and per-segment skew/shed lines.
+#[must_use]
+pub fn render_fleet_report(stitch: &FleetStitch) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet trace: {} root(s), {} spans, {} events across {} process segment(s), wall {}",
+        stitch.roots.len(),
+        stitch.span_count,
+        stitch.event_count,
+        stitch.segments.len(),
+        fmt_us(stitch.wall_us),
+    );
+    let _ = writeln!(
+        out,
+        "  jobs: {} worker.job span(s); orphan spans: {}; orphan dispatches: {}; orphan segments: {}",
+        stitch.job_spans,
+        stitch.orphans.len(),
+        stitch.orphan_dispatches,
+        stitch.orphan_segments,
+    );
+    let _ = writeln!(out, "\nsegments:");
+    for seg in &stitch.segments {
+        let offset = seg
+            .offset_us
+            .map_or_else(|| "unknown".to_string(), |o| format!("{o:+}us"));
+        let _ = writeln!(
+            out,
+            "  {:<28} worker={} lease={} spans={} skew={} shed={}{}",
+            seg.file,
+            seg.worker,
+            seg.lease,
+            seg.spans,
+            offset,
+            seg.shed,
+            if seg.orphan { " [orphan]" } else { "" },
+        );
+    }
+    let _ = writeln!(out, "\nspan tree (skew-normalized to the coordinator clock):");
+    for root in &stitch.roots {
+        render_tree(root, 0, false, &mut out);
+    }
+    for orphan in &stitch.orphans {
+        render_tree(orphan, 0, true, &mut out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Metrics sidecar + report rendering
 // ---------------------------------------------------------------------------
 
@@ -682,7 +1104,7 @@ mod tests {
         assert_eq!(fields.get("n"), Some(&Json::Num(-2.5)));
         assert_eq!(fields.get("b"), Some(&Json::Bool(true)));
         assert_eq!(fields.get("z"), Some(&Json::Null));
-        assert_eq!(fields.get("arr"), Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])));
+        assert_eq!(fields.get("arr"), Some(&Json::Arr(vec![Json::Int(1), Json::Int(2)])));
     }
 
     #[test]
@@ -843,6 +1265,117 @@ mod tests {
         counters.insert(crate::names::OBS_DROPPED_RECORDS.to_string(), 0);
         assert!(!render_report(&a, Some(&counters), 10).contains("WARNING"));
         assert!(!render_report(&a, None, 10).contains("WARNING"));
+    }
+
+    #[test]
+    fn strict_analysis_fails_on_a_mid_record_cut_with_a_line_number() {
+        // A crash cut the file mid-record: lenient analysis silently
+        // drops the tail; strict analysis must refuse with the line.
+        let full = concat!(
+            r#"{"ts_us":100,"kind":"span","name":"child","elapsed_us":40,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":110,"kind":"span","name":"parent","elapsed_us":100,"fields":{}}"#,
+            "\n",
+        );
+        let cut = &full[..full.len() - 30]; // mid-record on line 2
+        let lenient = analyze_trace(cut).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(lenient.skipped_lines, 1, "lenient mode silently truncates");
+        let err = analyze_trace_strict(cut).expect_err("strict must refuse");
+        assert!(err.starts_with("line 2:"), "error must carry the line number: {err}");
+        // An intact trace passes strict analysis unchanged.
+        let strict = analyze_trace_strict(full).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(strict.span_count, 2);
+        // A structurally-valid record missing the schema fields is
+        // also an error, not a skip.
+        let bad = "{\"ts_us\":5,\"kind\":\"span\"}\n";
+        let err = analyze_trace_strict(bad).expect_err("incomplete record");
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    fn fleet_fixture() -> Vec<(String, String)> {
+        // Coordinator: fleet.run (span 0x1, root) containing one
+        // dispatch rpc per lease (0x2 -> lease 7 committed, 0x3 ->
+        // lease 8 lost). Worker segment for lease 7: worker.job 0xa
+        // parented on 0x2, inner kernel span 0xb, plus an orphan span
+        // 0xc whose parent 0xdead never shipped. Worker clock runs
+        // 1000us behind (offset +1000).
+        let coordinator = concat!(
+            r#"{"ts_us":50,"kind":"span","name":"fleet.dispatch.rpc","elapsed_us":10,"tid":1,"trace_id":"00000000000000000000000000000abc","span_id":"0000000000000002","parent_id":"0000000000000001","fields":{"lease":7}}"#,
+            "\n",
+            r#"{"ts_us":70,"kind":"span","name":"fleet.dispatch.rpc","elapsed_us":10,"tid":1,"trace_id":"00000000000000000000000000000abc","span_id":"0000000000000003","parent_id":"0000000000000001","fields":{"lease":8}}"#,
+            "\n",
+            r#"{"ts_us":500,"kind":"span","name":"fleet.run","elapsed_us":490,"tid":1,"trace_id":"00000000000000000000000000000abc","span_id":"0000000000000001","parent_id":"0000000000000000","fields":{}}"#,
+            "\n",
+        );
+        let segment7 = concat!(
+            r#"{"ts_us":0,"kind":"meta","name":"fleet.trace.segment","tid":0,"fields":{"lease":7,"worker":"127.0.0.1:9","offset_us":1000,"shed":0,"orphan":false}}"#,
+            "\n",
+            r#"{"ts_us":-900,"kind":"event","name":"fleet.worker.job_start","tid":4,"fields":{}}"#,
+            "\n",
+            r#"{"ts_us":-800,"kind":"span","name":"fm.kernel","elapsed_us":50,"tid":4,"trace_id":"00000000000000000000000000000abc","span_id":"000000000000000b","parent_id":"000000000000000a","fields":{}}"#,
+            "\n",
+            r#"{"ts_us":-750,"kind":"span","name":"worker.job","elapsed_us":200,"tid":4,"trace_id":"00000000000000000000000000000abc","span_id":"000000000000000a","parent_id":"0000000000000002","fields":{"lease":7}}"#,
+            "\n",
+            r#"{"ts_us":-740,"kind":"span","name":"stray","elapsed_us":5,"tid":4,"trace_id":"00000000000000000000000000000abc","span_id":"000000000000000c","parent_id":"000000000000dead","fields":{}}"#,
+            "\n",
+        );
+        // ts_us is unsigned in the schema; rewrite the negative demo
+        // values (worker clocks start at 0 in reality).
+        let segment7 = segment7.replace("-900", "100").replace("-800", "200").replace("-750", "250").replace("-740", "260");
+        vec![
+            ("coordinator.jsonl".to_string(), coordinator.to_string()),
+            ("segment-7.jsonl".to_string(), segment7),
+        ]
+    }
+
+    #[test]
+    fn fleet_stitch_links_processes_normalizes_skew_and_flags_orphans() {
+        let stitch = stitch_fleet(&fleet_fixture()).unwrap_or_else(|e| panic!("{e}"));
+        // Exactly one true root: the coordinator's fleet.run.
+        assert_eq!(stitch.roots.len(), 1);
+        assert_eq!(stitch.roots[0].name, "fleet.run");
+        // fleet.run -> dispatch(lease 7) -> worker.job -> fm.kernel.
+        let dispatches = &stitch.roots[0].children;
+        assert_eq!(dispatches.len(), 2);
+        let job = dispatches
+            .iter()
+            .flat_map(|d| &d.children)
+            .find(|c| c.name == "worker.job")
+            .unwrap_or_else(|| panic!("worker.job must stitch under its dispatch"));
+        assert_eq!(job.children.len(), 1);
+        assert_eq!(job.children[0].name, "fm.kernel");
+        // Skew: worker ts 250 + offset 1000 = 1250 on coordinator clock.
+        assert_eq!(job.end_us, 1250);
+        assert_eq!(stitch.job_spans, 1);
+        // The stray span's parent never shipped: flagged, not dropped.
+        assert_eq!(stitch.orphans.len(), 1);
+        assert_eq!(stitch.orphans[0].name, "stray");
+        // Lease 8 dispatched but shipped no segment (killed worker).
+        assert_eq!(stitch.orphan_dispatches, 1);
+        assert_eq!(stitch.orphan_segments, 0);
+        assert_eq!(stitch.span_count, 6);
+        assert_eq!(stitch.event_count, 1);
+        let report = render_fleet_report(&stitch);
+        for needle in
+            ["fleet trace: 1 root(s)", "segment-7.jsonl", "skew=+1000us", "[orphan]", "worker.job"]
+        {
+            assert!(report.contains(needle), "missing '{needle}' in:\n{report}");
+        }
+        // The stitch folds into a standard Analysis for flamegraphs.
+        let analysis = stitch.to_analysis();
+        assert_eq!(analysis.span_count, 6);
+        assert_eq!(analysis.roots.len(), 2, "fleet.run + flagged orphan");
+        assert!(analysis.folded_stacks().contains("fleet.run;fleet.dispatch.rpc;worker.job;fm.kernel"));
+    }
+
+    #[test]
+    fn fleet_stitch_is_strict_about_corrupt_segments() {
+        let mut files = fleet_fixture();
+        let cut = files[1].1.len() - 20;
+        files[1].1.truncate(cut);
+        let err = stitch_fleet(&files).expect_err("corrupt segment must refuse");
+        assert!(err.starts_with("segment-7.jsonl: line"), "{err}");
+        assert!(stitch_fleet(&[]).is_err());
     }
 
     #[test]

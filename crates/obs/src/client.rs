@@ -147,8 +147,14 @@ fn request(
     let mut stream = TcpStream::connect_timeout(&socket_addr, deadline.remaining()?)?;
 
     let body = body.unwrap_or("");
+    // Propagate the caller's trace context so the server can parent
+    // its spans under ours (see `crate::trace`). One extra header
+    // line, only when a trace is actually live.
+    let traceparent = crate::trace::current_context().map_or(String::new(), |ctx| {
+        format!("Traceparent: {}\r\n", crate::trace::format_traceparent(ctx))
+    });
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n{traceparent}Connection: close\r\n\r\n",
         body.len()
     );
     deadline.arm_write(&stream)?;

@@ -52,12 +52,17 @@ pub mod hist;
 pub mod names;
 mod recorder;
 pub mod serve;
+pub mod trace;
 
 pub use client::{http_get, http_post, ClientResponse};
 pub use faultnet::{NetFault, NetFaultInjector, NetFaultPlan};
 pub use export::RollupPublisher;
 pub use hist::{HistSnapshot, Histogram, TimerGuard};
 pub use recorder::{Recorder, SpanStat, TraceRecord};
+pub use trace::{
+    current_context, format_traceparent, parse_traceparent, set_remote_parent, SpanIds,
+    TraceContext,
+};
 pub use serve::{
     serve, serve_with, HttpRequest, HttpResponse, ServeConfig, TelemetryServer, TelemetrySource,
 };
@@ -163,6 +168,26 @@ pub trait Sink: Send + Sync {
     fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]);
     /// A completed span of `elapsed` wall time.
     fn span_end(&self, name: &'static str, elapsed: Duration, fields: &[(&'static str, FieldValue)]);
+    /// A completed span carrying distributed-trace identity. The
+    /// default forwards to [`span_end`](Self::span_end), so sinks
+    /// that do not care about trace IDs need not change.
+    fn span_end_ids(
+        &self,
+        name: &'static str,
+        elapsed: Duration,
+        ids: SpanIds,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        let _ = ids;
+        self.span_end(name, elapsed, fields);
+    }
+    /// The sink's own monotonic clock in microseconds, if it has one.
+    /// The fleet coordinator uses this to bracket worker replies for
+    /// clock-skew normalization; sinks without a stable clock return
+    /// `None` (the default).
+    fn now_us(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Fast-path switch: avoids taking the sink lock when disabled.
@@ -241,11 +266,24 @@ pub fn event(name: &'static str, fields: &[(&'static str, FieldValue)]) {
 }
 
 /// Starts a scoped timer; the span is emitted when the guard drops.
-/// When disabled at creation the guard is inert (no clock read) and
-/// stays inert even if a sink is installed before it drops.
+/// When disabled at creation the guard is inert (no clock read, no
+/// trace IDs minted — one relaxed atomic load total) and stays inert
+/// even if a sink is installed before it drops. When enabled, the
+/// span joins the thread's current distributed trace (minting a fresh
+/// trace when there is none) and becomes the current context until
+/// the guard drops; see [`trace`].
 pub fn span(name: &'static str) -> SpanGuard {
-    let start = if enabled() { Some(Instant::now()) } else { None };
-    SpanGuard { name, start, fields: Vec::new() }
+    if !enabled() {
+        return SpanGuard {
+            name,
+            start: None,
+            fields: Vec::new(),
+            ids: SpanIds::none(),
+            prev: (0, 0),
+        };
+    }
+    let (ids, prev) = trace::enter_span();
+    SpanGuard { name, start: Some(Instant::now()), fields: Vec::new(), ids, prev }
 }
 
 /// Guard returned by [`span`]; emits a `span_end` record on drop.
@@ -254,6 +292,8 @@ pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
     fields: Vec<(&'static str, FieldValue)>,
+    ids: SpanIds,
+    prev: (u128, u64),
 }
 
 impl SpanGuard {
@@ -263,14 +303,22 @@ impl SpanGuard {
             self.fields.push((key, value.into()));
         }
     }
+
+    /// The span's distributed-trace identity ([`SpanIds::none`] on an
+    /// inert guard).
+    #[must_use]
+    pub fn ids(&self) -> SpanIds {
+        self.ids
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start) = self.start {
+            trace::exit_span(self.prev);
             let elapsed = start.elapsed();
             let fields = std::mem::take(&mut self.fields);
-            with_sink(|s| s.span_end(self.name, elapsed, &fields));
+            with_sink(|s| s.span_end_ids(self.name, elapsed, self.ids, &fields));
         }
     }
 }

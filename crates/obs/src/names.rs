@@ -228,6 +228,22 @@ pub const NETFAULT_INJECTED: &str = "obs.netfault.injected";
 /// Event: one injected network fault (kind, op).
 pub const NETFAULT_EVENT: &str = "obs.netfault";
 
+/// Span: one whole coordinator fleet run (the trace root).
+pub const FLEET_RUN_SPAN: &str = "fleet.run";
+/// Span: one coordinator→worker dispatch RPC (carries the traceparent).
+pub const FLEET_DISPATCH_RPC: &str = "fleet.dispatch.rpc";
+/// Span: one job executing on a worker slot thread.
+pub const WORKER_JOB_SPAN: &str = "worker.job";
+/// Span: one fault-model kernel sweep (a bounded hammer+evaluate
+/// batch inside a characterization workload, e.g. one temperature
+/// grid step), so worker job spans carry kernel children across the
+/// process boundary without flooding the per-job segment budget.
+pub const FAULTMODEL_KERNEL_SPAN: &str = "faultmodel.kernel";
+/// Meta record heading each per-job trace segment file.
+pub const FLEET_TRACE_SEGMENT: &str = "fleet.trace.segment";
+/// Trace records a worker shed from a job segment to stay in budget.
+pub const OBS_TRACE_SHED: &str = "obs.trace.shed";
+
 /// Trace records dropped by the recorder (memory cap or write error).
 pub const OBS_DROPPED_RECORDS: &str = "obs.dropped_records";
 /// Connections accepted by the telemetry HTTP server.
@@ -337,6 +353,12 @@ pub fn all() -> &'static [&'static str] {
         WORKER_JOBS_COMPLETED,
         WORKER_JOBS_FAILED,
         WORKER_JOBS_CANCELLED,
+        FLEET_RUN_SPAN,
+        FLEET_DISPATCH_RPC,
+        WORKER_JOB_SPAN,
+        FAULTMODEL_KERNEL_SPAN,
+        FLEET_TRACE_SEGMENT,
+        OBS_TRACE_SHED,
         OBS_DROPPED_RECORDS,
         OBS_HTTP_REQUESTS,
         OBS_HTTP_REJECTED,

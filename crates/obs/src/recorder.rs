@@ -21,7 +21,7 @@
 //! anything the trace lost shows up as the `obs.dropped_records`
 //! counter in the metrics snapshot.
 
-use crate::{FieldValue, Sink};
+use crate::{FieldValue, Sink, SpanIds};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -49,6 +49,10 @@ pub struct TraceRecord {
     pub elapsed_us: Option<u64>,
     /// Emitting thread's [`crate::thread_ordinal`].
     pub tid: u64,
+    /// Distributed trace identity (spans only, and only when the span
+    /// ran inside a live trace). Rendered as zero-padded lowercase hex
+    /// strings in the JSONL output.
+    pub trace: Option<SpanIds>,
     /// Attached fields, in emission order.
     pub fields: Vec<(String, FieldValue)>,
 }
@@ -312,6 +316,37 @@ impl Recorder {
         std::fs::write(path, self.to_jsonl())
     }
 
+    /// Extracts the bounded JSONL trace segment for one remote job:
+    /// every record emitted by thread `tid` that either belongs to
+    /// `trace_id` or is an untraced event (job-side events carry no
+    /// span identity but still matter for replay diagnosis). Rendering
+    /// stops once the segment would exceed `max_bytes`; the second
+    /// return value counts the records shed to the budget — callers
+    /// surface it through the [`crate::names::OBS_TRACE_SHED`]
+    /// counter.
+    pub fn trace_segment(&self, trace_id: u128, tid: u64, max_bytes: usize) -> (String, u64) {
+        let inner = self.lock();
+        let mut out = String::new();
+        let mut shed = 0u64;
+        for r in &inner.records {
+            if r.tid != tid {
+                continue;
+            }
+            let in_trace = r.trace.is_some_and(|ids| ids.trace_id == trace_id);
+            let untraced_event = r.kind == "event" && r.trace.is_none();
+            if !in_trace && !untraced_event {
+                continue;
+            }
+            let before = out.len();
+            render_record(&mut out, r);
+            if out.len() > max_bytes {
+                out.truncate(before);
+                shed += 1;
+            }
+        }
+        (out, shed)
+    }
+
     /// Writes the metrics snapshot to `path` (flushing the streaming
     /// trace writer as a side effect).
     ///
@@ -362,6 +397,7 @@ impl Sink for Recorder {
             name: name.to_string(),
             elapsed_us: None,
             tid: crate::thread_ordinal(),
+            trace: None,
             fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
         };
         let mut inner = self.lock();
@@ -369,6 +405,16 @@ impl Sink for Recorder {
     }
 
     fn span_end(&self, name: &'static str, elapsed: Duration, fields: &[(&'static str, FieldValue)]) {
+        self.span_end_ids(name, elapsed, SpanIds::none(), fields);
+    }
+
+    fn span_end_ids(
+        &self,
+        name: &'static str,
+        elapsed: Duration,
+        ids: SpanIds,
+        fields: &[(&'static str, FieldValue)],
+    ) {
         let ts_us = self.t0.elapsed().as_micros() as u64;
         let elapsed_us = elapsed.as_micros() as u64;
         let record = TraceRecord {
@@ -377,6 +423,7 @@ impl Sink for Recorder {
             name: name.to_string(),
             elapsed_us: Some(elapsed_us),
             tid: crate::thread_ordinal(),
+            trace: ids.is_traced().then_some(ids),
             fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
         };
         let mut inner = self.lock();
@@ -385,6 +432,10 @@ impl Sink for Recorder {
         stat.total_us = stat.total_us.saturating_add(elapsed_us);
         stat.max_us = stat.max_us.max(elapsed_us);
         self.push_record(&mut inner, record);
+    }
+
+    fn now_us(&self) -> Option<u64> {
+        Some(self.elapsed_us())
     }
 }
 
@@ -396,6 +447,13 @@ fn render_record(out: &mut String, r: &TraceRecord) {
         let _ = write!(out, ",\"elapsed_us\":{e}");
     }
     let _ = write!(out, ",\"tid\":{}", r.tid);
+    if let Some(ids) = r.trace {
+        let _ = write!(
+            out,
+            ",\"trace_id\":\"{:032x}\",\"span_id\":\"{:016x}\",\"parent_id\":\"{:016x}\"",
+            ids.trace_id, ids.span_id, ids.parent_id
+        );
+    }
     out.push_str(",\"fields\":{");
     for (i, (k, v)) in r.fields.iter().enumerate() {
         if i > 0 {
@@ -510,6 +568,46 @@ mod tests {
         assert_eq!(rec.counter_value(crate::names::OBS_DROPPED_RECORDS), 3);
         assert_eq!(rec.counters().get(crate::names::OBS_DROPPED_RECORDS), Some(&3));
         assert!(rec.metrics_json().contains("\"obs.dropped_records\": 3"));
+    }
+
+    #[test]
+    fn span_trace_ids_render_as_padded_hex() {
+        let rec = Recorder::new();
+        let ids = SpanIds { trace_id: 0xabc, span_id: 0x17, parent_id: 0 };
+        rec.span_end_ids("t.s", Duration::from_micros(3), ids, &[]);
+        rec.span_end("t.p", Duration::from_micros(4), &[]);
+        let jsonl = rec.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"trace_id\":\"00000000000000000000000000000abc\""));
+        assert!(lines[0].contains("\"span_id\":\"0000000000000017\""));
+        assert!(lines[0].contains("\"parent_id\":\"0000000000000000\""));
+        // An untraced span renders without any trace keys.
+        assert!(!lines[1].contains("trace_id"));
+    }
+
+    #[test]
+    fn trace_segment_filters_by_trace_and_thread_and_sheds_over_budget() {
+        let rec = Recorder::new();
+        let tid = crate::thread_ordinal();
+        let mine = SpanIds { trace_id: 5, span_id: 1, parent_id: 0 };
+        let other = SpanIds { trace_id: 9, span_id: 2, parent_id: 0 };
+        rec.span_end_ids("seg.mine", Duration::from_micros(1), mine, &[]);
+        rec.span_end_ids("seg.other", Duration::from_micros(1), other, &[]);
+        rec.event("seg.event", &[]);
+        rec.span_end("seg.untraced", Duration::from_micros(1), &[]);
+        let (segment, shed) = rec.trace_segment(5, tid, 64 * 1024);
+        assert_eq!(shed, 0);
+        assert!(segment.contains("seg.mine"));
+        assert!(segment.contains("seg.event"), "untraced events ride along");
+        assert!(!segment.contains("seg.other"), "foreign traces excluded");
+        assert!(!segment.contains("seg.untraced"), "untraced spans excluded");
+        // A different thread id matches nothing.
+        let (empty, _) = rec.trace_segment(5, tid + 1000, 64 * 1024);
+        assert!(empty.is_empty());
+        // A one-byte budget sheds everything and counts it.
+        let (tiny, shed) = rec.trace_segment(5, tid, 1);
+        assert!(tiny.is_empty());
+        assert_eq!(shed, 2);
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct HttpRequest {
     pub query: String,
     /// Request body (UTF-8; capped at [`MAX_BODY_BYTES`]).
     pub body: String,
+    /// Parsed `Traceparent` header, when present and well-formed; a
+    /// malformed header is treated as absent, never as an error (a
+    /// corrupted trace must not fail the request it decorates).
+    pub traceparent: Option<crate::trace::TraceContext>,
 }
 
 impl HttpRequest {
@@ -452,10 +456,13 @@ fn read_request(
     };
 
     let mut content_length = 0usize;
+    let mut traceparent = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().map_err(|_| bad())?;
+            } else if name.trim().eq_ignore_ascii_case("traceparent") {
+                traceparent = crate::trace::parse_traceparent(value);
             }
         }
     }
@@ -477,7 +484,7 @@ fn read_request(
     body_bytes.truncate(content_length);
     let body = String::from_utf8(body_bytes).map_err(|_| bad())?;
 
-    Ok(HttpRequest { method, path, query, body })
+    Ok(HttpRequest { method, path, query, body, traceparent })
 }
 
 /// Locates the head/body boundary: the byte range of the first blank
@@ -611,6 +618,12 @@ mod tests {
                 ("GET", "/lease") => Some(HttpResponse::ok_json(format!(
                     "{{\"lease\":\"{}\"}}",
                     request.query_param("lease").unwrap_or("none")
+                ))),
+                ("GET", "/trace") => Some(HttpResponse::ok_json(format!(
+                    "{{\"traceparent\":\"{}\"}}",
+                    request
+                        .traceparent
+                        .map_or("none".to_string(), crate::trace::format_traceparent)
                 ))),
                 (_, "/echo" | "/lease") => Some(HttpResponse::method_not_allowed("GET, POST")),
                 _ => None,
@@ -882,6 +895,40 @@ mod tests {
         // Built-ins still work when the custom handler falls through.
         let (status, _) = get(addr, "/progress");
         assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn traceparent_header_crosses_the_http_pair() {
+        // The client half races armed faultnet plans from other tests.
+        let _l = crate::testlock::locked();
+        let mut server = serve("127.0.0.1:0", Arc::new(EchoSource))
+            .unwrap_or_else(|e| panic!("serve: {e}"));
+        let addr = server.local_addr();
+        let wire = "00-000000000000000000000000000000ab-00000000000000cd-01";
+
+        // Server side: a well-formed header parses, case-insensitively.
+        let response =
+            raw(addr, &format!("GET /trace HTTP/1.1\r\ntRaCeParEnT: {wire}\r\n\r\n"));
+        assert!(response.contains(&format!("\"traceparent\":\"{wire}\"")), "got {response:?}");
+
+        // A corrupt header is treated as absent, not as a 400.
+        let response = raw(addr, "GET /trace HTTP/1.1\r\nTraceparent: 00-zz-xx-01\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200"), "got {response:?}");
+        assert!(response.contains("\"traceparent\":\"none\""), "got {response:?}");
+
+        // Client side: a thread with a live context injects the header
+        // on its own (no sink required — context is thread-local).
+        let ctx = crate::trace::TraceContext { trace_id: 0xab, span_id: 0xcd };
+        crate::trace::set_remote_parent(ctx);
+        let reply = crate::client::http_get(
+            &addr.to_string(),
+            "/trace",
+            Duration::from_secs(5),
+        )
+        .unwrap_or_else(|e| panic!("http_get: {e}"));
+        crate::trace::set_remote_parent(crate::trace::TraceContext { trace_id: 0, span_id: 0 });
+        assert!(reply.body.contains(&format!("\"traceparent\":\"{wire}\"")), "got {}", reply.body);
         server.shutdown();
     }
 }

@@ -1,0 +1,98 @@
+//! Adversarial fuzz suite for the W3C-style traceparent codec.
+//!
+//! The coordinator writes this header and workers parse it back from
+//! network bytes that an armed `NetFaultPlan` deliberately mangles:
+//! flipped bytes (corrupt-status class) and mid-value cuts
+//! (truncation class). The contract under fuzz is narrow and
+//! absolute: `parse_traceparent` returns `Some` or `None`, never
+//! panics — and `parse(format(ctx))` is the *only* round-trip, so a
+//! corrupted header can never smuggle a different trace identity into
+//! a worker's span tree.
+
+use proptest::prelude::*;
+use rh_obs::trace::{format_traceparent, parse_traceparent, TraceContext};
+
+/// Arbitrary nonzero on-wire IDs (zero IDs are invalid by design and
+/// covered by their own property below).
+fn nonzero_ctx(hi: u64, lo: u64, span: u64) -> TraceContext {
+    TraceContext {
+        trace_id: (u128::from(hi) << 64) | u128::from(lo.max(1)),
+        span_id: span.max(1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // The absolute contract: arbitrary byte soup (lossily decoded,
+    // exactly as the HTTP header path does) must never panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = parse_traceparent(&String::from_utf8_lossy(&raw));
+    }
+
+    // format → parse is the identity for every representable context.
+    #[test]
+    fn round_trip_is_exact(hi in any::<u64>(), lo in any::<u64>(), span in any::<u64>()) {
+        let ctx = nonzero_ctx(hi, lo, span);
+        let wire = format_traceparent(ctx);
+        prop_assert_eq!(wire.len(), 55);
+        prop_assert_eq!(parse_traceparent(&wire), Some(ctx));
+    }
+
+    // Zero IDs never survive parsing, whichever half is zeroed.
+    #[test]
+    fn zero_ids_are_rejected(span in any::<u64>(), zero_trace in any::<bool>()) {
+        let ctx = if zero_trace {
+            TraceContext { trace_id: 0, span_id: span.max(1) }
+        } else {
+            TraceContext { trace_id: u128::from(span.max(1)), span_id: 0 }
+        };
+        prop_assert_eq!(parse_traceparent(&format_traceparent(ctx)), None);
+    }
+
+    // faultnet truncation class: any strict prefix of a valid header
+    // is rejected (the 55-byte length gate leaves no partial parse).
+    #[test]
+    fn truncated_headers_are_rejected(
+        hi in any::<u64>(), lo in any::<u64>(), span in any::<u64>(),
+        cut in 0usize..55,
+    ) {
+        let wire = format_traceparent(nonzero_ctx(hi, lo, span));
+        prop_assert_eq!(parse_traceparent(&wire[..cut]), None);
+    }
+
+    // faultnet corrupt-status class: flipping any single byte of a
+    // valid header either yields None or — when the flip lands inside
+    // an ID and happens to produce another lowercase hex digit — a
+    // context that is NOT the original. Corruption can never alias
+    // back to the identity it corrupted.
+    #[test]
+    fn corrupted_headers_never_alias_the_original(
+        hi in any::<u64>(), lo in any::<u64>(), span in any::<u64>(),
+        pos in 0usize..55, flip in 1u8..=255,
+    ) {
+        let ctx = nonzero_ctx(hi, lo, span);
+        let mut raw = format_traceparent(ctx).into_bytes();
+        raw[pos] ^= flip;
+        let mangled = String::from_utf8_lossy(&raw).into_owned();
+        match parse_traceparent(&mangled) {
+            None => {}
+            // The flags field (bytes 53..55) carries no identity: a
+            // flip there may parse and legitimately keep the context.
+            Some(_) if pos >= 53 => {}
+            Some(got) => prop_assert_ne!(got, ctx),
+        }
+    }
+
+    // Uppercase hex is outside the W3C grammar: case-folding a valid
+    // header must not reintroduce a parse.
+    #[test]
+    fn uppercase_headers_are_rejected(hi in any::<u64>(), lo in any::<u64>(), span in any::<u64>()) {
+        let wire = format_traceparent(nonzero_ctx(hi, lo, span));
+        let upper = wire.to_ascii_uppercase();
+        if upper != wire {
+            prop_assert_eq!(parse_traceparent(&upper), None);
+        }
+    }
+}
