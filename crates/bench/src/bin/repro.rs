@@ -13,7 +13,7 @@
 //! repro bench [--scale S] [--seed N] [--reps N] [--warmup N] [--filter SUBSTR]
 //!             [--out BENCH.json] [--compare BASELINE.json] [--threshold PCT]
 //! repro analyze TRACE.jsonl [--metrics METRICS.json] [--folded OUT.folded] [--top N]
-//! repro top ADDR [--interval-ms N] [--once]
+//! repro top ADDR [--interval-ms N] [--once] [--fleet]
 //! repro serve [--addr ADDR] [--slots N] [--queue N] [--retry-after SECS]
 //!             [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]
 //! repro fleet [--worker ADDR]... [--spawn N] [--seed N] [--scale S] [--modules N]
@@ -21,9 +21,28 @@
 //!             [--checkpoint FILE] [--resume] [--json]
 //!             [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]
 //!             [--serve-metrics ADDR] [--metrics-interval SECS] [--trace-dir DIR]
+//!             [--journal FILE.jsonl]
 //! repro analyze --fleet TRACE_DIR    # stitch a multi-process fleet trace
 //! repro analyze replay TOKEN         # re-execute one committed job and diff
+//! repro analyze journal JOURNAL.jsonl [--worker ADDR] [--module ID] [--kind KIND]
+//!             [--from KIND] [--to KIND]
 //! ```
+//!
+//! `repro fleet --journal FILE.jsonl` writes the durable fleet
+//! journal: the coordinator scrapes every worker's `GET /events`
+//! stream (per-job lifecycle events with per-worker monotone sequence
+//! numbers) with a per-worker resume cursor and appends each event —
+//! deduplicated by `(lease_id, seq)`, so at-least-once delivery
+//! becomes an exactly-once journal — as one worker-attributed JSONL
+//! line. Terminal events additionally ride the worker's Done/Failed
+//! poll reply, so a job's outcome is journaled even if the worker is
+//! killed before its stream is scraped again. With `--serve-metrics`
+//! the coordinator's `/metrics` federates the scraped worker
+//! expositions (worker series relabeled with `worker="addr"`, aligned
+//! log2 histogram buckets summed element-wise), `repro top ADDR
+//! --fleet` renders live per-worker journal lag and event/flip rates,
+//! and `repro analyze journal` queries the journal offline. See
+//! DESIGN.md §15.
 //!
 //! `repro fleet --trace-dir DIR` records a causal distributed trace of
 //! the run: the coordinator opens a `fleet.run` root span, every
@@ -140,7 +159,9 @@ fn usage() -> ! {
          \x20      repro analyze TRACE.jsonl [--metrics FILE.json] [--folded OUT] [--top N] [--lenient]\n\
          \x20      repro analyze --fleet TRACE_DIR [--folded OUT] [--top N]\n\
          \x20      repro analyze replay TOKEN\n\
-         \x20      repro top ADDR [--interval-ms N] [--once]\n\
+         \x20      repro analyze journal JOURNAL.jsonl [--worker ADDR] [--module ID]\n\
+         \x20            [--kind KIND] [--from KIND] [--to KIND]\n\
+         \x20      repro top ADDR [--interval-ms N] [--once] [--fleet]\n\
          \x20      repro serve [--addr ADDR] [--slots N] [--queue N] [--retry-after SECS]\n\
          \x20            [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]\n\
          \x20      repro fleet [--worker ADDR]... [--spawn N] [--seed N] [--scale S]\n\
@@ -148,6 +169,7 @@ fn usage() -> ! {
          \x20            [--max-attempts N] [--checkpoint FILE] [--resume] [--json]\n\
          \x20            [--net-fault-scenario NAME|FILE.json] [--net-fault-seed N]\n\
          \x20            [--serve-metrics ADDR] [--metrics-interval SECS] [--trace-dir DIR]\n\
+         \x20            [--journal FILE.jsonl]\n\
          fault scenarios: none | flaky-host | thermal | dead-module | hung-module | chaos | <plan.json>\n\
          net-fault scenarios: none | flaky-link | slow-link | lossy-link | chaos | <plan.json>\n\
          targets: {} | defense-matrix | all\n\
@@ -259,6 +281,9 @@ fn analyze_main(args: impl Iterator<Item = String>) -> ExitCode {
     let argv: Vec<String> = args.collect();
     if argv.first().map(String::as_str) == Some("replay") {
         return replay_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("journal") {
+        return journal_main(&argv[1..]);
     }
     let mut args = argv.into_iter();
     let mut trace: Option<PathBuf> = None;
@@ -434,6 +459,63 @@ fn replay_main(argv: &[String]) -> ExitCode {
     }
 }
 
+/// `repro analyze journal <journal.jsonl>`: offline queries over the
+/// fleet journal a `repro fleet --journal` run wrote — per-kind /
+/// worker / module counts, an exactly-once sanity check, and latency
+/// percentiles between an event pair (default `started -> committed`).
+fn journal_main(argv: &[String]) -> ExitCode {
+    let parse_kind = |spec: Option<String>| -> rh_obs::EventKind {
+        match spec.as_deref().and_then(rh_obs::EventKind::parse) {
+            Some(k) => k,
+            None => {
+                eprintln!(
+                    "repro analyze journal: event kinds: {}",
+                    rh_obs::EventKind::ALL.map(|k| k.as_str()).join(" | ")
+                );
+                usage()
+            }
+        }
+    };
+    let mut args = argv.iter().cloned();
+    let mut path: Option<PathBuf> = None;
+    let mut filter = analyze::JournalFilter::default();
+    let mut from = rh_obs::EventKind::Started;
+    let mut to = rh_obs::EventKind::Committed;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--worker" => match args.next() {
+                Some(w) => filter.worker = Some(w),
+                None => usage(),
+            },
+            "--module" => match args.next() {
+                Some(m) => filter.module = Some(m),
+                None => usage(),
+            },
+            "--kind" => filter.kind = Some(parse_kind(args.next())),
+            "--from" => from = parse_kind(args.next()),
+            "--to" => to = parse_kind(args.next()),
+            other if other.starts_with('-') => usage(),
+            other if path.is_none() => path = Some(PathBuf::from(other)),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("repro analyze journal: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let a = analyze::analyze_journal(&text, &filter, from, to);
+    print!("{}", analyze::render_journal_report(&a));
+    if a.total == 0 && a.skipped == 0 && a.leases == 0 {
+        eprintln!("repro analyze journal: {} contains no events", path.display());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro serve`: run a fleet worker until shut down (POST
 /// `/shutdown`, SIGINT, or SIGTERM).
 fn serve_main(mut args: impl Iterator<Item = String>) -> ExitCode {
@@ -561,6 +643,10 @@ fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
                 Some(d) => cfg.trace_dir = Some(PathBuf::from(d)),
                 None => usage(),
             },
+            "--journal" => match args.next() {
+                Some(p) => cfg.journal = Some(PathBuf::from(p)),
+                None => usage(),
+            },
             "--net-fault-scenario" => match args.next() {
                 Some(spec) => net_fault = Some(spec),
                 None => usage(),
@@ -624,6 +710,9 @@ fn fleet_main(mut args: impl Iterator<Item = String>) -> ExitCode {
     // Reuse the telemetry recorder for trace capture when one is up;
     // otherwise run_fleet installs a private one for --trace-dir.
     cfg.trace_recorder = obs.recorder_handle();
+    // With live telemetry up, the coordinator's /metrics federates the
+    // scraped worker expositions (worker="addr"-labeled).
+    cfg.federation = obs.federation_hub();
     let outcome = rh_bench::run_fleet(&cfg);
     let mut code = match &outcome {
         Ok(report) => {

@@ -7,7 +7,7 @@
 //! worker-process spawning, `Retry-After`-honoring backoff, fleet-wide
 //! progress aggregation, and cancellation fan-out. See DESIGN.md §11.
 
-use crate::worker::{fleet_module_id, job_payload};
+use crate::worker::{event_from_value, fleet_module_id, job_payload};
 use rh_core::fleet::{
     BreakerPolicy, BreakerState, CircuitBreaker, CommitOutcome, FailOutcome, FleetPolicy,
     FleetReport, JobTable,
@@ -16,11 +16,12 @@ use rh_core::{CharError, ModuleStatus, ProgressTracker, RetryPolicy, Scale};
 use rh_dram::Manufacturer;
 use rh_obs::faultnet::InstalledPlan;
 use rh_obs::names;
-use rh_obs::{http_get, http_post, ClientResponse, NetFaultPlan};
+use rh_obs::stream::{self, EventDedup, JobEvent};
+use rh_obs::{http_get, http_post, ClientResponse, FederationHub, NetFaultPlan};
 use rh_softmc::CancelToken;
 use serde::{Serialize as _, Value};
 use std::collections::HashMap;
-use std::io::BufRead as _;
+use std::io::{BufRead as _, Write as _};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
@@ -78,6 +79,16 @@ pub struct FleetConfig {
     /// installs (and uninstalls) a private recorder; callers that
     /// already installed one (live telemetry) pass it here instead.
     pub trace_recorder: Option<Arc<rh_obs::Recorder>>,
+    /// Append-only fleet journal (`journal.jsonl`): every per-job
+    /// lifecycle event scraped from worker `/events` streams — plus
+    /// the terminal-event copies embedded in poll replies — lands
+    /// here exactly once, deduplicated by `(lease_id, seq)`. `None`
+    /// disables event-stream ingestion entirely.
+    pub journal: Option<PathBuf>,
+    /// Metrics federation hub: when set, the coordinator periodically
+    /// scrapes every worker's `/metrics` into it, and the telemetry
+    /// server renders the merged fleet exposition from it.
+    pub federation: Option<Arc<FederationHub>>,
 }
 
 impl Default for FleetConfig {
@@ -101,6 +112,8 @@ impl Default for FleetConfig {
             net_fault_name: None,
             trace_dir: None,
             trace_recorder: None,
+            journal: None,
+            federation: None,
         }
     }
 }
@@ -268,8 +281,16 @@ enum PollVerdict {
         /// The worker's shipped trace payload
         /// (`{"segment","shed","now_us"}`), when the job ran traced.
         trace: Option<Value>,
+        /// The job's terminal lifecycle event, embedded in the reply
+        /// so the journal gets it even if `/events` is never reachable
+        /// again (dedup collapses it with the stream copy).
+        event: Option<JobEvent>,
     },
-    Failed { error: String, transient: bool },
+    Failed {
+        error: String,
+        transient: bool,
+        event: Option<JobEvent>,
+    },
     Gone,
 }
 
@@ -290,14 +311,154 @@ fn poll_lease(addr: &str, lease_id: u64, timeout: Duration) -> PollVerdict {
                 let t = body.field("trace");
                 (!t.is_null()).then(|| t.clone())
             },
+            event: event_from_value(body.field("event")),
         },
         Some("failed") => PollVerdict::Failed {
             error: body.field("error").as_str().unwrap_or("unknown worker error").to_string(),
             transient: body.field("transient").as_bool().unwrap_or(false),
+            event: event_from_value(body.field("event")),
         },
         // "cancelled" / "unknown" / garbage: the lease is not coming
         // back from this worker.
         _ => PollVerdict::Gone,
+    }
+}
+
+/// The coordinator's durable, exactly-once view of the fleet's event
+/// streams: at-least-once delivery (scrapes that reconnect after
+/// breaker trips, SIGKILLed workers replaced mid-stream, terminal
+/// copies riding poll replies) collapses through [`EventDedup`]
+/// before anything is appended to `journal.jsonl`.
+struct FleetJournal {
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    dedup: EventDedup,
+    /// worker -> resume cursor: highest seq durably ingested *from
+    /// the stream* (poll-embedded copies do not advance it — earlier
+    /// stream events may still be unread).
+    cursors: HashMap<String, u64>,
+    /// worker -> highest seq the worker reports assigned
+    /// (`X-Last-Seq`); minus the cursor, that worker's journal lag.
+    last_seqs: HashMap<String, u64>,
+}
+
+impl FleetJournal {
+    /// Append-opens the journal. An unopenable path degrades to
+    /// dedup-only ingestion (counters still advance) rather than
+    /// failing the run — the journal observes the fleet, it is not
+    /// load-bearing for results.
+    fn open(path: &PathBuf) -> Self {
+        let writer = match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            Ok(file) => Some(std::io::BufWriter::new(file)),
+            Err(e) => {
+                eprintln!("repro: fleet journal {}: {e}", path.display());
+                None
+            }
+        };
+        Self {
+            writer,
+            dedup: EventDedup::new(),
+            cursors: HashMap::new(),
+            last_seqs: HashMap::new(),
+        }
+    }
+
+    /// The resume cursor to present on the next `/events` scrape.
+    fn cursor(&self, worker: &str) -> u64 {
+        self.cursors.get(worker).copied().unwrap_or(0)
+    }
+
+    /// Highest seq known assigned by `worker`.
+    fn last_seq(&self, worker: &str) -> u64 {
+        self.last_seqs.get(worker).copied().unwrap_or(0).max(self.cursor(worker))
+    }
+
+    /// Journals one event if it has not been seen before. Never
+    /// advances the stream cursor.
+    fn ingest_one(&mut self, worker: &str, ev: &JobEvent) {
+        if self.dedup.admit(ev) {
+            if let Some(w) = self.writer.as_mut() {
+                let _ = w.write_all(stream::journal_line(worker, ev).as_bytes());
+                let _ = w.flush();
+            }
+            rh_obs::counter(names::FLEET_JOURNAL_EVENTS, 1);
+        } else {
+            rh_obs::counter(names::FLEET_JOURNAL_DUPLICATES, 1);
+        }
+        self.note_last_seq(worker, ev.seq);
+    }
+
+    /// Ingests one stream batch and advances the resume cursor over
+    /// every seq it covered (batches are oldest-first, so the max seq
+    /// is the new cursor).
+    fn ingest_batch(&mut self, worker: &str, events: &[JobEvent]) {
+        let mut fresh = 0u64;
+        let mut dup = 0u64;
+        let mut top = self.cursor(worker);
+        for ev in events {
+            if self.dedup.admit(ev) {
+                if let Some(w) = self.writer.as_mut() {
+                    let _ = w.write_all(stream::journal_line(worker, ev).as_bytes());
+                }
+                fresh += 1;
+            } else {
+                dup += 1;
+            }
+            top = top.max(ev.seq);
+        }
+        if fresh > 0 {
+            if let Some(w) = self.writer.as_mut() {
+                let _ = w.flush();
+            }
+            rh_obs::counter(names::FLEET_JOURNAL_EVENTS, fresh);
+        }
+        if dup > 0 {
+            rh_obs::counter(names::FLEET_JOURNAL_DUPLICATES, dup);
+        }
+        self.cursors.insert(worker.to_string(), top);
+    }
+
+    /// Records the highest seq `worker` reports having assigned.
+    fn note_last_seq(&mut self, worker: &str, last_seq: u64) {
+        let e = self.last_seqs.entry(worker.to_string()).or_insert(0);
+        *e = (*e).max(last_seq);
+    }
+
+    /// Worst per-worker lag: events assigned but not yet journaled.
+    fn worst_lag(&self) -> u64 {
+        self.last_seqs
+            .keys()
+            .map(|w| self.last_seq(w).saturating_sub(self.cursor(w)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One `/events` scrape of one worker into the journal. Scrape
+/// failures are silent (the cursor simply re-presents next tick) and
+/// NEVER feed the worker's circuit breaker: observability must not
+/// influence dispatch health.
+fn scrape_events(
+    journal: &mut FleetJournal,
+    progress: Option<&Arc<ProgressTracker>>,
+    addr: &str,
+    io_timeout: Duration,
+) {
+    let cursor = journal.cursor(addr);
+    let Ok(response) =
+        http_get(addr, &format!("/events?since={cursor}&max=512"), io_timeout)
+    else {
+        return;
+    };
+    if response.status != 200 {
+        return;
+    }
+    let parsed = stream::parse_events(&response.body);
+    journal.ingest_batch(addr, &parsed.events);
+    if let Some(last) = response.header("x-last-seq").and_then(|v| v.parse().ok()) {
+        journal.note_last_seq(addr, last);
+    }
+    if let Some(progress) = progress {
+        progress.set_stream_cursor(addr, journal.last_seq(addr), journal.cursor(addr));
     }
 }
 
@@ -482,6 +643,12 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
         }
     }
 
+    // Event-stream ingestion and metrics federation ride beside the
+    // dispatch loop; neither ever touches results or breakers.
+    let mut journal = cfg.journal.as_ref().map(FleetJournal::open);
+    let metrics_interval = Duration::from_millis(cfg.poll_ms.max(200));
+    let mut last_metrics_scrape: Option<Instant> = None;
+
     // lease id -> worker address, for polling.
     let mut lease_worker: HashMap<u64, String> = HashMap::new();
     // Expired leases we keep polling so a zombie's late result is
@@ -602,7 +769,15 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
                 PollVerdict::Alive => {
                     table.heartbeat(lease_id, now_ms(origin));
                 }
-                PollVerdict::Done { result, trace } => {
+                PollVerdict::Done { result, trace, event } => {
+                    // Journal the embedded terminal event through the
+                    // same dedup path as the stream copy — this is
+                    // what guarantees a committed job's terminal
+                    // event survives a worker SIGKILLed before its
+                    // stream is scraped again.
+                    if let (Some(journal), Some(ev)) = (journal.as_mut(), event.as_ref()) {
+                        journal.ingest_one(&addr, ev);
+                    }
                     let attempts = table.lease_generation(lease_id).unwrap_or(1);
                     if table.commit(lease_id, result) == CommitOutcome::Committed {
                         if let (Some(c), Some(trace)) = (capture.as_ref(), trace.as_ref()) {
@@ -618,7 +793,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
                         }
                     }
                 }
-                PollVerdict::Failed { error, transient } => {
+                PollVerdict::Failed { error, transient, event } => {
+                    if let (Some(journal), Some(ev)) = (journal.as_mut(), event.as_ref()) {
+                        journal.ingest_one(&addr, ev);
+                    }
                     lease_worker.remove(&lease_id);
                     if table.fail(lease_id, &error, transient, now_ms(origin))
                         == FailOutcome::Quarantined
@@ -649,13 +827,16 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
         // 4. Poll orphaned leases: a zombie that finished after its
         // lease expired gets its late result explicitly rejected.
         orphans.retain(|&lease_id, addr| match poll_lease(addr, lease_id, io_timeout) {
-            PollVerdict::Done { result, trace } => {
+            PollVerdict::Done { result, trace, event } => {
                 // Stale by construction: the lease no longer owns its
                 // job. Counted as fleet.duplicate inside commit(). Its
                 // trace segment is still kept — flagged, not dropped —
                 // so the stitched tree shows what the zombie executed.
                 if let (Some(c), Some(trace)) = (capture.as_ref(), trace.as_ref()) {
                     c.write_segment(lease_id, addr, trace, None, true);
+                }
+                if let (Some(journal), Some(ev)) = (journal.as_mut(), event.as_ref()) {
+                    journal.ingest_one(addr, ev);
                 }
                 let _ = table.commit(lease_id, result);
                 false
@@ -664,8 +845,54 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, CharError> {
             _ => false,
         });
 
+        // 5. Scrape worker event streams into the journal and worker
+        // /metrics into the federation hub (throttled). Neither feeds
+        // the circuit breakers.
+        if let Some(journal) = journal.as_mut() {
+            for worker in &workers {
+                scrape_events(journal, cfg.progress.as_ref(), &worker.addr, io_timeout);
+            }
+            rh_obs::gauge(names::FLEET_JOURNAL_LAG, journal.worst_lag() as f64);
+        }
+        if let Some(hub) = &cfg.federation {
+            let due = last_metrics_scrape.is_none_or(|t| t.elapsed() >= metrics_interval);
+            if due {
+                last_metrics_scrape = Some(Instant::now());
+                for worker in &workers {
+                    match http_get(&worker.addr, "/metrics", io_timeout) {
+                        Ok(r) if r.status == 200 => {
+                            rh_obs::counter(names::FLEET_FEDERATION_SCRAPES, 1);
+                            hub.publish(&worker.addr, r.body);
+                        }
+                        _ => rh_obs::counter(names::FLEET_FEDERATION_ERRORS, 1),
+                    }
+                }
+            }
+        }
+
         std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(10)));
     };
+
+    // Final drain: trailing events emitted after the last in-loop
+    // scrape (typically the winning jobs' committed events) get one
+    // more chance to land in the journal; dead workers just fail the
+    // connect and are skipped.
+    if let Some(journal) = journal.as_mut() {
+        for worker in &workers {
+            scrape_events(journal, cfg.progress.as_ref(), &worker.addr, io_timeout);
+        }
+        rh_obs::gauge(names::FLEET_JOURNAL_LAG, journal.worst_lag() as f64);
+    }
+    if let Some(hub) = &cfg.federation {
+        for worker in &workers {
+            if let Ok(r) = http_get(&worker.addr, "/metrics", io_timeout) {
+                if r.status == 200 {
+                    rh_obs::counter(names::FLEET_FEDERATION_SCRAPES, 1);
+                    hub.publish(&worker.addr, r.body);
+                }
+            }
+        }
+    }
 
     // Fan cancellation out to the workers we know about, then tear
     // down the children we spawned.

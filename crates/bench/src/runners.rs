@@ -122,15 +122,19 @@ struct LiveTelemetry {
     recorder: Arc<rh_obs::Recorder>,
     progress: Arc<ProgressTracker>,
     cancel: CancelToken,
+    /// Fleet metrics federation: worker expositions the coordinator
+    /// has scraped. Empty (every non-fleet run) renders the local
+    /// exposition byte-identically.
+    federation: Arc<rh_obs::FederationHub>,
 }
 
 impl rh_obs::TelemetrySource for LiveTelemetry {
     fn metrics_text(&self) -> String {
-        rh_obs::export::render_prometheus(&self.recorder)
+        self.federation.render(&rh_obs::export::render_prometheus(&self.recorder))
     }
 
     fn progress_json(&self) -> String {
-        self.progress.snapshot().to_json()
+        self.progress.progress_json()
     }
 
     fn healthy(&self) -> bool {
@@ -158,6 +162,7 @@ pub struct ObsSetup {
     progress: Option<Arc<ProgressTracker>>,
     server: Option<rh_obs::TelemetryServer>,
     rollup: Option<rh_obs::RollupPublisher>,
+    federation: Option<Arc<rh_obs::FederationHub>>,
 }
 
 impl ObsSetup {
@@ -205,12 +210,14 @@ impl ObsSetup {
         let rec = Arc::new(rec);
         rh_obs::install(rec.clone());
         let progress = Arc::new(ProgressTracker::new());
+        let federation = Arc::new(rh_obs::FederationHub::new());
 
         let server = telemetry.serve_addr.as_deref().and_then(|addr| {
             let source = Arc::new(LiveTelemetry {
                 recorder: Arc::clone(&rec),
                 progress: Arc::clone(&progress),
                 cancel: cancel.clone(),
+                federation: Arc::clone(&federation),
             });
             let token = cancel.clone();
             let shutdown = Box::new(move || token.is_cancelled());
@@ -263,6 +270,7 @@ impl ObsSetup {
             progress: Some(progress),
             server,
             rollup,
+            federation: Some(federation),
         }
     }
 
@@ -280,6 +288,13 @@ impl ObsSetup {
     /// (e.g. the fleet trace capture) that hold it past `self`.
     pub fn recorder_handle(&self) -> Option<Arc<rh_obs::Recorder>> {
         self.recorder.clone()
+    }
+
+    /// The metrics-federation hub the live `/metrics` endpoint renders
+    /// from (present whenever live telemetry is), for wiring into
+    /// [`crate::fleet::FleetConfig::federation`].
+    pub fn federation_hub(&self) -> Option<Arc<rh_obs::FederationHub>> {
+        self.federation.clone()
     }
 
     /// The shared progress tracker (present whenever a recorder is),

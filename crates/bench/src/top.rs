@@ -75,6 +75,82 @@ pub fn metric_value(metrics: &str, name: &str) -> Option<f64> {
     })
 }
 
+/// Extracts one `worker="..."`-labeled sample from a (federated)
+/// Prometheus exposition: the value of the first `name{...} value`
+/// line whose label set contains exactly `worker="<worker>"` as one
+/// of its comma-separated pairs. `None` when absent.
+#[must_use]
+pub fn metric_value_labeled(metrics: &str, name: &str, worker: &str) -> Option<f64> {
+    let needle = format!("worker=\"{worker}\"");
+    metrics.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix('{')?;
+        let (labels, value) = rest.split_once("} ")?;
+        if labels.split(',').any(|kv| kv == needle) {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Clamps every line of a frame to at most `width` display characters,
+/// eliding overflow with `…`, so narrow terminals never wrap a frame
+/// line (wrapped lines break the home-and-redraw animation). A zero
+/// width disables clamping.
+#[must_use]
+pub fn clamp_width(frame: &str, width: usize) -> String {
+    if width == 0 {
+        return frame.to_string();
+    }
+    let mut out = String::with_capacity(frame.len());
+    for line in frame.split_inclusive('\n') {
+        let (body, newline) = match line.strip_suffix('\n') {
+            Some(body) => (body, true),
+            None => (line, false),
+        };
+        if body.chars().count() <= width {
+            out.push_str(body);
+        } else {
+            out.extend(body.chars().take(width.saturating_sub(1)));
+            out.push('…');
+        }
+        if newline {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The terminal's current column count: `TIOCGWINSZ` on the
+/// controlling terminal, else the `COLUMNS` environment variable,
+/// else `None` (no clamping — e.g. output piped to a file).
+fn terminal_width() -> Option<usize> {
+    #[cfg(unix)]
+    {
+        #[repr(C)]
+        struct Winsize {
+            row: u16,
+            col: u16,
+            xpixel: u16,
+            ypixel: u16,
+        }
+        extern "C" {
+            fn ioctl(fd: i32, request: u64, argp: *mut Winsize) -> i32;
+        }
+        const TIOCGWINSZ: u64 = 0x5413;
+        let mut ws = Winsize { row: 0, col: 0, xpixel: 0, ypixel: 0 };
+        // SAFETY: TIOCGWINSZ only writes the four u16 fields of the
+        // passed struct; stdout (fd 1) may legitimately not be a tty,
+        // in which case the call fails and we fall through.
+        let ok = unsafe { ioctl(1, TIOCGWINSZ, &raw mut ws) } == 0;
+        if ok && ws.col > 0 {
+            return Some(ws.col as usize);
+        }
+    }
+    std::env::var("COLUMNS").ok().and_then(|v| v.parse().ok()).filter(|&c| c > 0)
+}
+
 /// Counter rates between two polls, for the flips/s and cmd/s columns.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Rates {
@@ -223,16 +299,90 @@ pub fn render_frame(progress: &Value, metrics: &str, rates: Rates) -> String {
     out
 }
 
+/// Renders the `--fleet` monitor frame: journal health from the
+/// coordinator's own (unlabeled) series, then one row per worker
+/// stream cursor from `/progress`, with per-worker event and flip
+/// rates derived from `worker="..."`-labeled federated counters. Pure,
+/// like [`render_frame`].
+#[must_use]
+pub fn render_fleet_frame(
+    progress: &Value,
+    metrics: &str,
+    prev_metrics: Option<&str>,
+    dt: Duration,
+) -> String {
+    let mut out = String::new();
+    out.push_str("repro top — live fleet monitor\n\n");
+
+    let counter = |name: &str| metric_value(metrics, &prom_name(name)).unwrap_or(0.0);
+    out.push_str(&format!(
+        "  journal   {:>8.0} events  {:>5.0} duplicates  lag {:>4.0}\n",
+        counter(names::FLEET_JOURNAL_EVENTS),
+        counter(names::FLEET_JOURNAL_DUPLICATES),
+        counter(names::FLEET_JOURNAL_LAG),
+    ));
+    out.push_str(&format!(
+        "  breakers  {:>8.0} not closed  {:>5.0} trips  {:>6.0} evicted\n",
+        counter(names::FLEET_BREAKER_OPEN),
+        counter(names::FLEET_BREAKER_TRIP),
+        counter(names::FLEET_BREAKER_EVICTED),
+    ));
+    out.push_str(&format!(
+        "  scrapes   {:>8.0} metrics  {:>5.0} errors\n",
+        counter(names::FLEET_FEDERATION_SCRAPES),
+        counter(names::FLEET_FEDERATION_ERRORS),
+    ));
+
+    let secs = dt.as_secs_f64().max(1e-9);
+    if let Value::Array(streams) = progress.field("streams") {
+        if !streams.is_empty() {
+            out.push_str("\n  workers:\n");
+            for s in streams {
+                let worker = s.field("worker").as_str().unwrap_or("?");
+                let last = s.field("last_seq").as_u64().unwrap_or(0);
+                let acked = s.field("acked_seq").as_u64().unwrap_or(0);
+                let lag =
+                    s.field("lag").as_u64().unwrap_or_else(|| last.saturating_sub(acked));
+                let labeled =
+                    |name: &str| metric_value_labeled(metrics, &prom_name(name), worker);
+                let rate = |name: &str| -> f64 {
+                    let curr = labeled(name).unwrap_or(0.0);
+                    let prev = prev_metrics
+                        .and_then(|p| {
+                            metric_value_labeled(p, &prom_name(name), worker)
+                        })
+                        .unwrap_or(0.0);
+                    ((curr - prev) / secs).max(0.0)
+                };
+                out.push_str(&format!(
+                    "    {worker:<21} seq {last:>6}  acked {acked:>6}  lag {lag:>4}  \
+                     {:>7.1} ev/s  {:>8.0} flips/s  jobs {:>4.0}\n",
+                    rate(names::WORKER_EVENTS_EMITTED),
+                    rate(names::DRAM_FLIP),
+                    labeled(names::WORKER_JOBS_COMPLETED).unwrap_or(0.0),
+                ));
+            }
+        }
+    }
+    if progress.field("done").as_bool() == Some(true) {
+        out.push_str("\n  fleet DONE\n");
+    }
+    out
+}
+
 /// `repro top`: poll `ADDR` until the campaign reports done (or the
 /// server goes away), redrawing the frame every `--interval-ms`.
+/// Frames are clamped to the terminal width so narrow terminals never
+/// wrap (and thus never corrupt the home-and-redraw animation).
 ///
 /// ```text
-/// repro top ADDR [--interval-ms N] [--once]
+/// repro top ADDR [--interval-ms N] [--once] [--fleet]
 /// ```
 pub fn top_main(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut interval = Duration::from_millis(1000);
     let mut once = false;
+    let mut fleet = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--interval-ms" => match args.next().and_then(|s| s.parse().ok()) {
@@ -240,6 +390,7 @@ pub fn top_main(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                 _ => return Err("--interval-ms needs an integer >= 50".into()),
             },
             "--once" => once = true,
+            "--fleet" => fleet = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown repro top flag '{other}'"));
             }
@@ -247,7 +398,8 @@ pub fn top_main(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    let addr = addr.ok_or("usage: repro top ADDR [--interval-ms N] [--once]")?;
+    let addr =
+        addr.ok_or("usage: repro top ADDR [--interval-ms N] [--once] [--fleet]")?;
     let timeout = Duration::from_secs(2);
 
     let mut prev_metrics: Option<String> = None;
@@ -265,12 +417,25 @@ pub fn top_main(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         match polled {
             Ok((progress, metrics)) => {
                 misses = 0;
-                let rates = prev_metrics
-                    .as_deref()
-                    .map_or_else(Rates::default, |prev| {
-                        rates_between(prev, &metrics, interval)
-                    });
-                let frame = render_frame(&progress, &metrics, rates);
+                let frame = if fleet {
+                    render_fleet_frame(
+                        &progress,
+                        &metrics,
+                        prev_metrics.as_deref(),
+                        interval,
+                    )
+                } else {
+                    let rates = prev_metrics
+                        .as_deref()
+                        .map_or_else(Rates::default, |prev| {
+                            rates_between(prev, &metrics, interval)
+                        });
+                    render_frame(&progress, &metrics, rates)
+                };
+                let frame = match terminal_width() {
+                    Some(w) => clamp_width(&frame, w),
+                    None => frame,
+                };
                 if once {
                     print!("{frame}");
                     return Ok(());
@@ -438,5 +603,83 @@ mod tests {
     #[test]
     fn http_get_rejects_unresolvable_addresses() {
         assert!(http_get("not-an-addr", "/metrics", Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn labeled_metric_lookup_requires_exact_worker_pair() {
+        let text = "dram_flip 9\n\
+                    dram_flip{worker=\"127.0.0.1:7001\"} 42\n\
+                    dram_flip{module=\"m#0\",worker=\"127.0.0.1:7002\"} 7\n";
+        assert_eq!(metric_value_labeled(text, "dram_flip", "127.0.0.1:7001"), Some(42.0));
+        assert_eq!(
+            metric_value_labeled(text, "dram_flip", "127.0.0.1:7002"),
+            Some(7.0),
+            "worker pair may sit anywhere in the label set"
+        );
+        assert_eq!(metric_value_labeled(text, "dram_flip", "127.0.0.1:7"), None);
+        assert_eq!(metric_value_labeled(text, "missing", "127.0.0.1:7001"), None);
+        assert_eq!(metric_value(text, "dram_flip"), Some(9.0), "unlabeled still wins");
+    }
+
+    #[test]
+    fn clamp_width_elides_long_lines_and_keeps_short_ones() {
+        let frame = "short\nexactly-10\na-line-that-is-much-too-long\n";
+        let clamped = clamp_width(frame, 10);
+        assert_eq!(clamped, "short\nexactly-10\na-line-th…\n");
+        assert_eq!(clamp_width(frame, 0), frame, "zero width disables clamping");
+        assert_eq!(clamp_width("ab", 1), "…", "width 1 leaves only the ellipsis");
+        assert!(
+            clamp_width(frame, 10).lines().all(|l| l.chars().count() <= 10),
+            "no line exceeds the clamp"
+        );
+    }
+
+    #[test]
+    fn fleet_frame_lists_worker_cursors_with_rates() {
+        let body = r#"{"total":4,"pending":1,"running":1,"succeeded":2,"recovered":0,
+            "quarantined":0,"timed_out":0,"cancelled":0,"elapsed_ms":5000,"eta_ms":null,
+            "streams":[{"worker":"127.0.0.1:7001","last_seq":12,"acked_seq":10,"lag":2},
+                       {"worker":"127.0.0.1:7002","last_seq":8,"acked_seq":8,"lag":0}]}"#;
+        let progress = parse_progress(body).unwrap_or_else(|e| panic!("{e}"));
+        let prev = "worker_events_emitted{worker=\"127.0.0.1:7001\"} 10\n";
+        let metrics = "fleet_journal_events 18\nfleet_journal_duplicates 1\n\
+                       fleet_journal_lag 2\n\
+                       worker_events_emitted{worker=\"127.0.0.1:7001\"} 30\n\
+                       dram_flip{worker=\"127.0.0.1:7001\"} 512\n\
+                       worker_jobs_completed{worker=\"127.0.0.1:7001\"} 3\n";
+        let frame = render_fleet_frame(
+            &progress,
+            metrics,
+            Some(prev),
+            Duration::from_secs(2),
+        );
+        assert!(frame.contains("live fleet monitor"), "{frame}");
+        assert!(frame.contains("18 events"), "{frame}");
+        assert!(frame.contains("1 duplicates"), "{frame}");
+        assert!(frame.contains("127.0.0.1:7001"), "{frame}");
+        assert!(frame.contains("lag    2"), "{frame}");
+        assert!(frame.contains("10.0 ev/s"), "(30-10)/2s: {frame}");
+        assert!(frame.contains("jobs    3"), "{frame}");
+        assert!(frame.contains("127.0.0.1:7002"), "{frame}");
+        assert!(!frame.contains("fleet DONE"), "{frame}");
+    }
+
+    #[test]
+    fn fleet_frame_marks_done_and_tolerates_missing_streams() {
+        let progress = parse(&ProgressSnapshot {
+            total: 2,
+            pending: 0,
+            running: 0,
+            succeeded: 2,
+            recovered: 0,
+            quarantined: 0,
+            timed_out: 0,
+            cancelled: 0,
+            elapsed_ms: 1_000,
+            eta_ms: Some(0),
+        });
+        let frame = render_fleet_frame(&progress, "", None, Duration::from_secs(1));
+        assert!(frame.contains("fleet DONE"), "{frame}");
+        assert!(!frame.contains("workers:"), "no stream cursors yet: {frame}");
     }
 }

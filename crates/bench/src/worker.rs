@@ -17,6 +17,11 @@
 //!   cancel token. Coordinator-driven lease revocation and operator
 //!   Ctrl-C meet in the same [`CancelToken::linked`] token.
 //! - `POST /shutdown` — drains and exits the serve loop.
+//! - `GET /events?since=N&max=M&wait=MS` — bounded long-poll over the
+//!   worker's per-job lifecycle [`rh_obs::EventRing`]: a JSONL batch
+//!   of events with `seq > since`, oldest first. The `since` cursor a
+//!   consumer presents doubles as its delivery acknowledgement, which
+//!   `/progress` re-exposes as `last_seq`/`acked_seq` journal lag.
 //!
 //! `GET /metrics`, `/progress`, and `/healthz` keep working, so
 //! `repro top` can watch an individual worker too.
@@ -32,7 +37,7 @@ use rh_core::fleet::JobGrant;
 use rh_core::{module_id, CharError, Scale};
 use rh_dram::Manufacturer;
 use rh_obs::names;
-use rh_obs::{HttpRequest, HttpResponse, TelemetrySource};
+use rh_obs::{EventKind, EventRing, HttpRequest, HttpResponse, JobEvent, TelemetrySource};
 use rh_softmc::CancelToken;
 use serde::{Deserialize as _, Value};
 use serde_json::json;
@@ -185,6 +190,12 @@ struct JobSlot {
     /// thread start — the key that isolates this job's records in the
     /// shared recorder when the segment ships back.
     job_tid: Option<u64>,
+    /// The terminal lifecycle event emitted when this job finished. A
+    /// byte-identical copy rides in the Done/Failed/Cancelled poll
+    /// reply so the coordinator journals a terminal event even if it
+    /// never reaches `/events` again (the stream copy and the poll
+    /// copy collapse under `(lease_id, seq)` dedup).
+    terminal: Option<JobEvent>,
 }
 
 /// Shared state between the HTTP routes and the job threads.
@@ -200,6 +211,9 @@ struct WorkerState {
     /// segments to ship back with results. `None` only in tests that
     /// build the state by hand.
     recorder: Option<Arc<rh_obs::Recorder>>,
+    /// Per-job lifecycle events with monotone seqs, served by
+    /// `GET /events`.
+    events: EventRing,
 }
 
 impl WorkerState {
@@ -238,6 +252,13 @@ impl WorkerState {
         let queued = jobs.iter().filter(|j| matches!(j.state, JobState::Queued)).count();
         if running >= self.slots && queued >= self.queue_depth {
             rh_obs::counter(names::WORKER_ADMISSION_SHED, 1);
+            self.events.emit(
+                EventKind::Shed,
+                grant.lease_id,
+                &grant.module_id,
+                (running + queued) as u64,
+                "admission queue full",
+            );
             return HttpResponse::json(429, json!({"accepted": false}).to_string())
                 .with_header("Retry-After", self.retry_after_secs.to_string());
         }
@@ -255,11 +276,20 @@ impl WorkerState {
             token,
             trace,
             job_tid: None,
+            terminal: None,
         });
         if start_now {
             self.running.fetch_add(1, Ordering::SeqCst);
+            self.events.emit(EventKind::Accepted, lease_id, &grant.module_id, 0, "");
         } else {
             rh_obs::counter(names::WORKER_ADMISSION_QUEUED, 1);
+            self.events.emit(
+                EventKind::Queued,
+                lease_id,
+                &grant.module_id,
+                (queued + 1) as u64,
+                "",
+            );
         }
         rh_obs::counter(names::WORKER_JOBS_ACCEPTED, 1);
         drop(jobs);
@@ -280,7 +310,7 @@ impl WorkerState {
         let Some(slot) = jobs.iter().find(|j| j.lease_id == lease_id) else {
             return HttpResponse::json(404, json!({"state": "unknown"}).to_string());
         };
-        let body = match &slot.state {
+        let mut body = match &slot.state {
             JobState::Queued => json!({"state": "queued", "lease_id": lease_id}),
             JobState::Running => json!({"state": "running", "lease_id": lease_id}),
             JobState::Done(result) => {
@@ -323,6 +353,16 @@ impl WorkerState {
             }),
             JobState::Cancelled => json!({"state": "cancelled", "lease_id": lease_id}),
         };
+        // Terminal replies carry the job's terminal lifecycle event:
+        // the coordinator journals it through the same dedup path as
+        // the `/events` stream, so every committed job has exactly one
+        // terminal journal entry even when the stream is never read
+        // again (worker SIGKILLed between the poll and the scrape).
+        if let Some(ev) = &slot.terminal {
+            if let Value::Object(pairs) = &mut body {
+                pairs.push(("event".to_string(), event_to_value(ev)));
+            }
+        }
         HttpResponse::ok_json(body.to_string())
     }
 
@@ -370,31 +410,66 @@ fn start_job(state: &Arc<WorkerState>, lease_id: u64) -> bool {
                     slot.job_tid = Some(rh_obs::thread_ordinal());
                 }
             }
+            owner.events.emit(EventKind::Started, lease_id, &module_id, 0, "");
             let outcome = if token.is_cancelled() {
                 Err(CharError::Cancelled { op: "fleet job".to_string() })
             } else {
                 let mut span = rh_obs::span(names::WORKER_JOB_SPAN);
                 span.set("lease", lease_id);
-                span.set("module", module_id);
+                span.set("module", module_id.clone());
                 execute_payload(&payload, &token)
             };
             {
+                let (state, terminal) = match outcome {
+                    Ok(result) => {
+                        rh_obs::counter(names::WORKER_JOBS_COMPLETED, 1);
+                        let flips = flip_evidence(&result);
+                        if flips > 0 {
+                            owner.events.emit(
+                                EventKind::FlipFound,
+                                lease_id,
+                                &module_id,
+                                flips,
+                                "",
+                            );
+                        }
+                        let ev = owner.events.emit_full(
+                            EventKind::Committed,
+                            lease_id,
+                            &module_id,
+                            flips,
+                            "",
+                        );
+                        (JobState::Done(result), ev)
+                    }
+                    Err(e) if e.is_cancelled() || token.is_cancelled() => {
+                        rh_obs::counter(names::WORKER_JOBS_CANCELLED, 1);
+                        let ev = owner.events.emit_full(
+                            EventKind::Cancelled,
+                            lease_id,
+                            &module_id,
+                            0,
+                            "",
+                        );
+                        (JobState::Cancelled, ev)
+                    }
+                    Err(e) => {
+                        rh_obs::counter(names::WORKER_JOBS_FAILED, 1);
+                        let error = e.to_string();
+                        let ev = owner.events.emit_full(
+                            EventKind::Failed,
+                            lease_id,
+                            &module_id,
+                            0,
+                            &error,
+                        );
+                        (JobState::Failed { error, transient: e.is_transient() }, ev)
+                    }
+                };
                 let mut jobs = lock(&owner.jobs);
                 if let Some(slot) = jobs.iter_mut().find(|j| j.lease_id == lease_id) {
-                    slot.state = match outcome {
-                        Ok(result) => {
-                            rh_obs::counter(names::WORKER_JOBS_COMPLETED, 1);
-                            JobState::Done(result)
-                        }
-                        Err(e) if e.is_cancelled() || token.is_cancelled() => {
-                            rh_obs::counter(names::WORKER_JOBS_CANCELLED, 1);
-                            JobState::Cancelled
-                        }
-                        Err(e) => {
-                            rh_obs::counter(names::WORKER_JOBS_FAILED, 1);
-                            JobState::Failed { error: e.to_string(), transient: e.is_transient() }
-                        }
-                    };
+                    slot.state = state;
+                    slot.terminal = Some(terminal);
                 }
                 owner.running.fetch_sub(1, Ordering::SeqCst);
             }
@@ -423,10 +498,63 @@ fn pump(state: &Arc<WorkerState>) {
             };
             slot.state = JobState::Running;
             state.running.fetch_add(1, Ordering::SeqCst);
+            state.events.emit(
+                EventKind::Progress,
+                slot.lease_id,
+                &slot.module_id,
+                0,
+                "promoted from queue",
+            );
             slot.lease_id
         };
         let _ = start_job(state, promoted);
     }
+}
+
+/// Flip evidence carried on `flip_found`/`committed` events: the
+/// result's own vulnerability tally when the workload exposes one
+/// (`vulnerable_cells` for `temp_ranges`, vulnerable-row count for
+/// `row_variation`), else 0.
+fn flip_evidence(result: &Value) -> u64 {
+    if let Some(n) = result.field("vulnerable_cells").as_u64() {
+        return n;
+    }
+    if let Value::Array(rows) = result.field("rows") {
+        return rows.len() as u64;
+    }
+    0
+}
+
+/// Serializes one lifecycle event for embedding in a poll reply's
+/// `"event"` field (all keys explicit, unlike the wire JSONL which
+/// omits defaults).
+#[must_use]
+pub fn event_to_value(ev: &JobEvent) -> Value {
+    json!({
+        "seq": ev.seq,
+        "lease_id": ev.lease_id,
+        "kind": ev.kind.as_str(),
+        "module": ev.module.clone(),
+        "ts_us": ev.ts_us,
+        "value": ev.value,
+        "detail": ev.detail.clone(),
+    })
+}
+
+/// Inverse of [`event_to_value`]: decodes an embedded event from a
+/// poll reply. `None` when fields are missing or the kind is unknown.
+#[must_use]
+pub fn event_from_value(v: &Value) -> Option<JobEvent> {
+    Some(JobEvent {
+        seq: v.field("seq").as_u64()?,
+        lease_id: v.field("lease_id").as_u64()?,
+        kind: EventKind::parse(v.field("kind").as_str()?)?,
+        module: v.field("module").as_str().unwrap_or("").to_string(),
+        ts_us: v.field("ts_us").as_u64()?,
+        value: v.field("value").as_u64().unwrap_or(0),
+        detail: v.field("detail").as_str().unwrap_or("").to_string(),
+        worker: String::new(),
+    })
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -472,8 +600,18 @@ impl TelemetrySource for WorkerSource {
                 })
             })
             .collect();
-        json!({"total": jobs.len(), "running": running, "queued": queued, "slots": slots})
-            .to_string()
+        json!({
+            "total": jobs.len(),
+            "running": running,
+            "queued": queued,
+            "slots": slots,
+            // Journal lag: highest seq emitted vs highest resume
+            // cursor any consumer has presented.
+            "last_seq": self.state.events.last_seq(),
+            "acked_seq": self.state.events.acked_seq(),
+            "events_dropped": self.state.events.dropped(),
+        })
+        .to_string()
     }
 
     fn healthy(&self) -> bool {
@@ -511,9 +649,36 @@ impl TelemetrySource for WorkerSource {
                 self.state.shutdown.store(true, Ordering::SeqCst);
                 Some(HttpResponse::ok_json(json!({"ok": true}).to_string()))
             }
-            (_, "/job" | "/cancel" | "/shutdown") => {
+            ("GET", "/events") => {
+                let since = request
+                    .query_param("since")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+                let max = request
+                    .query_param("max")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(256)
+                    .min(4096);
+                // Bounded long-poll: capped well under the client's
+                // read timeout so a quiet worker still answers.
+                let wait_ms = request
+                    .query_param("wait")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+                    .min(2_000);
+                rh_obs::counter(names::WORKER_EVENTS_POLLS, 1);
+                let batch =
+                    self.state.events.since(since, max, Duration::from_millis(wait_ms));
+                Some(
+                    HttpResponse::text(200, EventRing::to_jsonl(&batch.events))
+                        .with_header("X-Last-Seq", batch.last_seq.to_string())
+                        .with_header("X-Dropped", batch.dropped.to_string()),
+                )
+            }
+            (_, "/job" | "/cancel" | "/shutdown" | "/events") => {
                 Some(HttpResponse::method_not_allowed(match request.path.as_str() {
                     "/job" => "GET, POST",
+                    "/events" => "GET",
                     _ => "POST",
                 }))
             }
@@ -544,6 +709,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> std::io::Result<()> {
         operator: cfg.cancel.clone(),
         shutdown: AtomicBool::new(false),
         recorder: Some(Arc::clone(&recorder)),
+        events: EventRing::new(4096),
     });
     let source = Arc::new(WorkerSource { state: Arc::clone(&state), recorder });
 
@@ -818,6 +984,52 @@ mod tests {
         assert_eq!(r.status, 200);
         let v = poll_until_done(&addr, 21);
         assert_eq!(v.field("state").as_str(), Some("done"), "{v:?}");
+
+        cancel.cancel();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn events_stream_tracks_lifecycle_and_terminal_rides_the_poll() {
+        let (handle, addr, cancel) = start_worker(1, 0);
+        let timeout = Duration::from_secs(5);
+        let g = grant(31, 1);
+        let body = serde_json::to_string(&g.to_json_value()).unwrap();
+        let r = http_post(&addr, "/job", &body, timeout).unwrap();
+        assert_eq!(r.status, 202, "{}", r.body);
+        let done = poll_until_done(&addr, 31);
+        assert_eq!(done.field("state").as_str(), Some("done"));
+
+        // The terminal event rides the poll reply...
+        let embedded = event_from_value(done.field("event"))
+            .unwrap_or_else(|| panic!("no embedded event: {done:?}"));
+        assert_eq!(embedded.kind, EventKind::Committed);
+        assert_eq!(embedded.lease_id, 31);
+
+        // ...and the stream carries the same lifecycle, ending in a
+        // committed event with the very same seq.
+        let r = http_get(&addr, "/events?since=0&max=100", timeout).unwrap();
+        assert_eq!(r.status, 200);
+        let parsed = rh_obs::stream::parse_events(&r.body);
+        assert_eq!(parsed.skipped, 0, "{}", r.body);
+        let kinds: Vec<EventKind> = parsed.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds.first(), Some(&EventKind::Accepted), "{kinds:?}");
+        assert_eq!(kinds.last(), Some(&EventKind::Committed), "{kinds:?}");
+        assert!(kinds.contains(&EventKind::Started), "{kinds:?}");
+        let committed = parsed.events.last().unwrap();
+        assert_eq!(committed.seq, embedded.seq, "stream and poll copies must collapse");
+        let seqs: Vec<u64> = parsed.events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seqs must be monotone: {seqs:?}");
+
+        // Presenting a resume cursor acknowledges delivery, which
+        // /progress exposes as journal lag.
+        let r = http_get(&addr, &format!("/events?since={}", committed.seq), timeout).unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.body.is_empty(), "drained stream must be empty: {}", r.body);
+        let r = http_get(&addr, "/progress", timeout).unwrap();
+        let progress: Value = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(progress.field("last_seq").as_u64(), Some(committed.seq), "{progress:?}");
+        assert_eq!(progress.field("acked_seq").as_u64(), Some(committed.seq), "{progress:?}");
 
         cancel.cancel();
         handle.join().unwrap();

@@ -1087,6 +1087,214 @@ pub fn render_report(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fleet journal analysis
+// ---------------------------------------------------------------------------
+
+/// Row filters for [`analyze_journal`]. `None` matches everything;
+/// `kind` narrows only the counting tables, never the latency pairing
+/// (filtering out `started` must not silently empty the percentiles).
+#[derive(Debug, Clone, Default)]
+pub struct JournalFilter {
+    /// Keep only events attributed to this worker address.
+    pub worker: Option<String>,
+    /// Keep only events for this module id.
+    pub module: Option<String>,
+    /// Keep only this kind in the per-kind/worker/module tables.
+    pub kind: Option<crate::stream::EventKind>,
+}
+
+/// Latency percentiles (µs) between one event pair, nearest-rank over
+/// the sorted samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of `(from, to)` pairs found.
+    pub samples: usize,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst case.
+    pub max_us: u64,
+}
+
+/// What [`analyze_journal`] extracts from a fleet journal.
+#[derive(Debug, Clone)]
+pub struct JournalAnalysis {
+    /// Events that matched the filter.
+    pub total: u64,
+    /// Malformed journal lines (crash-truncated tail, corruption).
+    pub skipped: u64,
+    /// Matched events per kind wire name, in lifecycle order.
+    pub by_kind: Vec<(&'static str, u64)>,
+    /// Matched events per source worker.
+    pub by_worker: BTreeMap<String, u64>,
+    /// Matched events per module.
+    pub by_module: BTreeMap<String, u64>,
+    /// Distinct lease ids seen (excluding the worker-global lease 0).
+    pub leases: u64,
+    /// Lease ids carrying more than one terminal event — always zero
+    /// when the coordinator's `(lease_id, seq)` dedup held.
+    pub multi_terminal_leases: u64,
+    /// The `from -> to` pair the latency stats cover.
+    pub pair: (crate::stream::EventKind, crate::stream::EventKind),
+    /// Latency between the pair, per `(worker, lease)`.
+    pub latency: LatencyStats,
+}
+
+fn nearest_rank(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
+/// Analyzes a fleet `journal.jsonl`: per-kind/worker/module counts
+/// under `filter`, an exactly-once sanity check (no lease may carry
+/// two terminal events), and latency percentiles from the first
+/// `from`-kind to the first subsequent `to`-kind event of each
+/// `(worker, lease)` — per worker because `ts_us` is each worker's
+/// own monotonic clock and is not comparable across machines.
+#[must_use]
+pub fn analyze_journal(
+    text: &str,
+    filter: &JournalFilter,
+    from: crate::stream::EventKind,
+    to: crate::stream::EventKind,
+) -> JournalAnalysis {
+    use crate::stream::EventKind;
+    let parsed = crate::stream::parse_events(text);
+    let mut out = JournalAnalysis {
+        total: 0,
+        skipped: parsed.skipped,
+        by_kind: Vec::new(),
+        by_worker: BTreeMap::new(),
+        by_module: BTreeMap::new(),
+        leases: 0,
+        multi_terminal_leases: 0,
+        pair: (from, to),
+        latency: LatencyStats::default(),
+    };
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut terminals: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut pairs: BTreeMap<(String, u64), (Option<u64>, Option<u64>)> = BTreeMap::new();
+    let mut leases: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for ev in &parsed.events {
+        if filter.worker.as_deref().is_some_and(|w| w != ev.worker) {
+            continue;
+        }
+        if filter.module.as_deref().is_some_and(|m| m != ev.module) {
+            continue;
+        }
+        if ev.lease_id != 0 {
+            leases.insert(ev.lease_id);
+            if ev.kind.is_terminal() {
+                *terminals.entry(ev.lease_id).or_insert(0) += 1;
+            }
+            let slot = pairs.entry((ev.worker.clone(), ev.lease_id)).or_insert((None, None));
+            if ev.kind == from && slot.0.is_none() {
+                slot.0 = Some(ev.ts_us);
+            }
+            if ev.kind == to && slot.1.is_none() {
+                slot.1 = Some(ev.ts_us);
+            }
+        }
+        if filter.kind.is_some_and(|k| k != ev.kind) {
+            continue;
+        }
+        out.total += 1;
+        *by_kind.entry(ev.kind.as_str()).or_insert(0) += 1;
+        *out.by_worker.entry(ev.worker.clone()).or_insert(0) += 1;
+        *out.by_module.entry(ev.module.clone()).or_insert(0) += 1;
+    }
+    out.by_kind = EventKind::ALL
+        .into_iter()
+        .filter_map(|k| by_kind.get(k.as_str()).map(|&n| (k.as_str(), n)))
+        .collect();
+    out.leases = leases.len() as u64;
+    out.multi_terminal_leases = terminals.values().filter(|&&n| n > 1).count() as u64;
+    let mut samples: Vec<u64> = pairs
+        .values()
+        .filter_map(|&(f, t)| match (f, t) {
+            (Some(f), Some(t)) if t >= f => Some(t - f),
+            _ => None,
+        })
+        .collect();
+    samples.sort_unstable();
+    out.latency = LatencyStats {
+        samples: samples.len(),
+        p50_us: nearest_rank(&samples, 50),
+        p90_us: nearest_rank(&samples, 90),
+        p99_us: nearest_rank(&samples, 99),
+        max_us: samples.last().copied().unwrap_or(0),
+    };
+    out
+}
+
+/// Renders the journal analysis as the `repro analyze journal` report.
+#[must_use]
+pub fn render_journal_report(a: &JournalAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "journal: {} event(s), {} lease(s), {} worker(s){}",
+        a.total,
+        a.leases,
+        a.by_worker.len(),
+        if a.skipped > 0 {
+            format!(" ({} malformed line(s) skipped)", a.skipped)
+        } else {
+            String::new()
+        }
+    );
+    if a.multi_terminal_leases > 0 {
+        let _ = writeln!(
+            out,
+            "\nWARNING: {} lease(s) carry more than one terminal event \
+             (exactly-once violated)",
+            a.multi_terminal_leases
+        );
+    }
+    if !a.by_kind.is_empty() {
+        let _ = writeln!(out, "\nevents by kind:");
+        for (kind, n) in &a.by_kind {
+            let _ = writeln!(out, "  {kind:<12} {n:>8}");
+        }
+    }
+    if !a.by_worker.is_empty() {
+        let _ = writeln!(out, "\nevents by worker:");
+        for (worker, n) in &a.by_worker {
+            let _ = writeln!(out, "  {worker:<24} {n:>8}");
+        }
+    }
+    if !a.by_module.is_empty() {
+        let _ = writeln!(out, "\nevents by module:");
+        for (module, n) in &a.by_module {
+            let _ = writeln!(out, "  {module:<28} {n:>8}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nlatency {} -> {} (per worker+lease): {} sample(s)",
+        a.pair.0.as_str(),
+        a.pair.1.as_str(),
+        a.latency.samples
+    );
+    if a.latency.samples > 0 {
+        let _ = writeln!(
+            out,
+            "  p50 {}  p90 {}  p99 {}  max {}",
+            fmt_us(a.latency.p50_us),
+            fmt_us(a.latency.p90_us),
+            fmt_us(a.latency.p99_us),
+            fmt_us(a.latency.max_us),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1394,5 +1602,119 @@ mod tests {
         assert_eq!(c.get("dram.flip"), Some(&42));
         assert_eq!(c.get("softmc.cmd"), Some(&1000));
         assert!(parse_metrics_counters("{}").is_err());
+    }
+
+    fn journal_fixture() -> String {
+        use crate::stream::{journal_line, EventKind, JobEvent};
+        let ev = |seq, lease_id, kind, module: &str, ts_us| JobEvent {
+            seq,
+            lease_id,
+            kind,
+            module: module.to_string(),
+            ts_us,
+            value: 0,
+            detail: String::new(),
+            worker: String::new(),
+        };
+        let mut text = String::new();
+        // Worker 1: lease 7 runs A0, 100us start-to-commit.
+        for e in [
+            ev(1, 7, EventKind::Accepted, "A0", 10),
+            ev(2, 7, EventKind::Started, "A0", 20),
+            ev(3, 7, EventKind::Committed, "A0", 120),
+        ] {
+            text.push_str(&journal_line("127.0.0.1:7001", &e));
+        }
+        // Worker 2: lease 8 runs B1, 300us start-to-commit; lease 9
+        // sheds (terminal on this worker, never started).
+        for e in [
+            ev(1, 8, EventKind::Started, "B1", 50),
+            ev(2, 8, EventKind::Committed, "B1", 350),
+            ev(3, 9, EventKind::Shed, "C2", 400),
+        ] {
+            text.push_str(&journal_line("127.0.0.1:7002", &e));
+        }
+        text.push_str("cut-mid-record{\"seq\":\n");
+        text
+    }
+
+    #[test]
+    fn journal_analysis_counts_and_latency_percentiles() {
+        let a = analyze_journal(
+            &journal_fixture(),
+            &JournalFilter::default(),
+            crate::stream::EventKind::Started,
+            crate::stream::EventKind::Committed,
+        );
+        assert_eq!(a.total, 6);
+        assert_eq!(a.skipped, 1);
+        assert_eq!(a.leases, 3);
+        assert_eq!(a.multi_terminal_leases, 0);
+        assert_eq!(a.by_worker.get("127.0.0.1:7001"), Some(&3));
+        assert_eq!(a.by_kind, vec![("accepted", 1), ("started", 2), ("committed", 2), ("shed", 1)]);
+        assert_eq!(a.latency.samples, 2);
+        assert_eq!(a.latency.p50_us, 100, "sorted samples [100, 300]");
+        assert_eq!(a.latency.max_us, 300);
+        let report = render_journal_report(&a);
+        assert!(report.contains("6 event(s), 3 lease(s), 2 worker(s)"), "{report}");
+        assert!(report.contains("(1 malformed line(s) skipped)"), "{report}");
+        assert!(report.contains("latency started -> committed"), "{report}");
+        assert!(report.contains("max 300us"), "{report}");
+        assert!(!report.contains("WARNING"), "{report}");
+    }
+
+    #[test]
+    fn journal_filters_narrow_tables_but_not_latency() {
+        let text = journal_fixture();
+        let by_worker = analyze_journal(
+            &text,
+            &JournalFilter {
+                worker: Some("127.0.0.1:7002".to_string()),
+                ..JournalFilter::default()
+            },
+            crate::stream::EventKind::Started,
+            crate::stream::EventKind::Committed,
+        );
+        assert_eq!(by_worker.total, 3);
+        assert_eq!(by_worker.latency.samples, 1, "worker filter scopes the pairing");
+        assert_eq!(by_worker.latency.max_us, 300);
+
+        let by_kind = analyze_journal(
+            &text,
+            &JournalFilter {
+                kind: Some(crate::stream::EventKind::Committed),
+                ..JournalFilter::default()
+            },
+            crate::stream::EventKind::Started,
+            crate::stream::EventKind::Committed,
+        );
+        assert_eq!(by_kind.total, 2, "kind filter narrows the tables");
+        assert_eq!(by_kind.latency.samples, 2, "kind filter must not break pairing");
+    }
+
+    #[test]
+    fn journal_analysis_flags_double_terminals() {
+        use crate::stream::{journal_line, EventKind, JobEvent};
+        let ev = |seq, kind| JobEvent {
+            seq,
+            lease_id: 5,
+            kind,
+            module: "A0".to_string(),
+            ts_us: seq,
+            value: 0,
+            detail: String::new(),
+            worker: String::new(),
+        };
+        let mut text = String::new();
+        text.push_str(&journal_line("w1", &ev(1, EventKind::Committed)));
+        text.push_str(&journal_line("w1", &ev(2, EventKind::Committed)));
+        let a = analyze_journal(
+            &text,
+            &JournalFilter::default(),
+            EventKind::Started,
+            EventKind::Committed,
+        );
+        assert_eq!(a.multi_terminal_leases, 1);
+        assert!(render_journal_report(&a).contains("WARNING"), "exactly-once violation surfaces");
     }
 }

@@ -52,6 +52,8 @@ pub struct ClientResponse {
     pub body: String,
     /// Parsed `Retry-After` header (seconds form), when present.
     pub retry_after: Option<Duration>,
+    /// All response headers, names lowercased, in wire order.
+    pub headers: Vec<(String, String)>,
 }
 
 impl ClientResponse {
@@ -59,6 +61,12 @@ impl ClientResponse {
     #[must_use]
     pub fn is_success(&self) -> bool {
         (200..300).contains(&self.status)
+    }
+
+    /// First header with this name (lowercase), if any.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 }
 
@@ -269,9 +277,11 @@ pub fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
 
     let mut retry_after = None;
     let mut content_length: Option<usize> = None;
+    let mut headers = Vec::new();
     for line in lines {
         let (name, value) = line.split_once(':').ok_or_else(|| malformed("bad header line"))?;
         let name = name.trim();
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         if name.eq_ignore_ascii_case("retry-after") {
             retry_after = value.trim().parse::<u64>().ok().map(Duration::from_secs);
         } else if name.eq_ignore_ascii_case("content-length") {
@@ -296,7 +306,7 @@ pub fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
     };
     let body =
         String::from_utf8(body_bytes.to_vec()).map_err(|_| malformed("non-utf8 body"))?;
-    Ok(ClientResponse { status, body, retry_after })
+    Ok(ClientResponse { status, body, retry_after, headers })
 }
 
 #[cfg(test)]

@@ -52,11 +52,13 @@ pub mod hist;
 pub mod names;
 mod recorder;
 pub mod serve;
+pub mod stream;
 pub mod trace;
 
 pub use client::{http_get, http_post, ClientResponse};
 pub use faultnet::{NetFault, NetFaultInjector, NetFaultPlan};
-pub use export::RollupPublisher;
+pub use export::{FederationHub, RollupPublisher};
+pub use stream::{EventBatch, EventDedup, EventKind, EventRing, JobEvent};
 pub use hist::{HistSnapshot, Histogram, TimerGuard};
 pub use recorder::{Recorder, SpanStat, TraceRecord};
 pub use trace::{

@@ -244,6 +244,23 @@ pub const FLEET_TRACE_SEGMENT: &str = "fleet.trace.segment";
 /// Trace records a worker shed from a job segment to stay in budget.
 pub const OBS_TRACE_SHED: &str = "obs.trace.shed";
 
+/// Per-job lifecycle events appended to a worker's event ring.
+pub const WORKER_EVENTS_EMITTED: &str = "worker.events.emitted";
+/// Lifecycle events evicted from a worker's ring by overflow.
+pub const WORKER_EVENTS_DROPPED: &str = "worker.events.dropped";
+/// `GET /events` polls a worker answered.
+pub const WORKER_EVENTS_POLLS: &str = "worker.events.polls";
+/// Events appended to the coordinator's fleet journal (post-dedup).
+pub const FLEET_JOURNAL_EVENTS: &str = "fleet.journal.events";
+/// Redelivered events the journal rejected via `(lease_id, seq)`.
+pub const FLEET_JOURNAL_DUPLICATES: &str = "fleet.journal.duplicates";
+/// Gauge: worst per-worker stream lag (`last_seq - acked_seq`).
+pub const FLEET_JOURNAL_LAG: &str = "fleet.journal.lag";
+/// Worker `/metrics` scrapes merged into the federated exposition.
+pub const FLEET_FEDERATION_SCRAPES: &str = "fleet.federation.scrapes";
+/// Worker `/metrics` scrapes that failed (kept serving stale text).
+pub const FLEET_FEDERATION_ERRORS: &str = "fleet.federation.errors";
+
 /// Trace records dropped by the recorder (memory cap or write error).
 pub const OBS_DROPPED_RECORDS: &str = "obs.dropped_records";
 /// Connections accepted by the telemetry HTTP server.
@@ -359,6 +376,14 @@ pub fn all() -> &'static [&'static str] {
         FAULTMODEL_KERNEL_SPAN,
         FLEET_TRACE_SEGMENT,
         OBS_TRACE_SHED,
+        WORKER_EVENTS_EMITTED,
+        WORKER_EVENTS_DROPPED,
+        WORKER_EVENTS_POLLS,
+        FLEET_JOURNAL_EVENTS,
+        FLEET_JOURNAL_DUPLICATES,
+        FLEET_JOURNAL_LAG,
+        FLEET_FEDERATION_SCRAPES,
+        FLEET_FEDERATION_ERRORS,
         OBS_DROPPED_RECORDS,
         OBS_HTTP_REQUESTS,
         OBS_HTTP_REJECTED,

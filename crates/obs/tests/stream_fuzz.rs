@@ -1,0 +1,140 @@
+//! Adversarial fuzz suite for the event-stream codec
+//! (`rh_obs::stream`).
+//!
+//! The coordinator parses `/events` bodies received over a
+//! fault-injected link and journal files that may have been cut
+//! mid-record by a crash, so the parse side is fuzzed under the same
+//! absolute contract as the HTTP client: [`parse_events`] never
+//! panics, whatever the bytes. The structured properties pin the
+//! useful directions: well-formed batches — including seq gaps from
+//! ring overflow and hostile escape sequences — round-trip exactly;
+//! truncation yields a clean prefix plus at most one skipped line;
+//! and duplicated chunks (an at-least-once redelivery) never
+//! double-count once [`EventDedup`] has seen them.
+
+use proptest::prelude::*;
+use rh_obs::stream::{parse_events, EventDedup, EventKind, EventRing, JobEvent};
+
+/// Hostile text for `module` / `detail` / `worker`: quotes,
+/// backslashes, control characters, and multibyte UTF-8.
+fn hostile_text(rng: &mut TestRng) -> String {
+    const PALETTE: [char; 12] =
+        ['a', 'Z', '9', '"', '\\', '\n', '\t', '\r', '\u{1}', 'é', '\u{7f}', ' '];
+    let len = rng.below(12) as usize;
+    (0..len).map(|_| PALETTE[rng.below(PALETTE.len() as u64) as usize]).collect()
+}
+
+/// A batch of events with strictly monotone (but gappy) seqs — the
+/// shape a consumer sees after ring overflow evicted some events.
+struct Events;
+
+impl Strategy for Events {
+    type Value = Vec<JobEvent>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<JobEvent> {
+        let n = rng.below(16) as usize;
+        let mut seq = 0u64;
+        (0..n)
+            .map(|_| {
+                seq += 1 + rng.below(5); // gap of up to 4
+                JobEvent {
+                    seq,
+                    lease_id: rng.below(4),
+                    kind: EventKind::ALL[rng.below(EventKind::ALL.len() as u64) as usize],
+                    module: hostile_text(rng),
+                    ts_us: rng.below(1_000_000_000),
+                    value: rng.below(1 << 40),
+                    detail: hostile_text(rng),
+                    worker: hostile_text(rng),
+                }
+            })
+            .collect()
+    }
+}
+
+fn events() -> impl Strategy<Value = Vec<JobEvent>> {
+    Events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // The absolute contract: arbitrary byte soup (made lossily UTF-8,
+    // as a journal reader would) never panics the parser, and feeding
+    // whatever it produced through dedup never panics either.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let text = String::from_utf8_lossy(&raw);
+        let parsed = parse_events(&text);
+        let mut dedup = EventDedup::new();
+        for ev in &parsed.events {
+            let _ = dedup.admit(ev);
+        }
+    }
+
+    // Well-formed batches round-trip exactly — seq gaps, hostile
+    // escapes, and all — with nothing skipped.
+    #[test]
+    fn batches_with_gaps_round_trip_exactly(evs in events()) {
+        let text = EventRing::to_jsonl(&evs);
+        let parsed = parse_events(&text);
+        prop_assert_eq!(parsed.skipped, 0, "round trip must not skip");
+        prop_assert_eq!(parsed.events, evs);
+    }
+
+    // Cutting a batch anywhere (on a char boundary, as &str demands)
+    // never panics and yields a clean prefix: every decoded event
+    // matches the original order, and at most the cut line is lost.
+    #[test]
+    fn truncation_yields_a_prefix_not_a_panic(evs in events(), cut_seed in any::<u64>()) {
+        let text = EventRing::to_jsonl(&evs);
+        let mut cut = if text.is_empty() { 0 } else { (cut_seed % text.len() as u64) as usize };
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let parsed = parse_events(&text[..cut]);
+        prop_assert!(parsed.skipped <= 1, "a cut costs at most the cut line");
+        prop_assert!(parsed.events.len() <= evs.len());
+        prop_assert_eq!(&parsed.events[..], &evs[..parsed.events.len()]);
+    }
+
+    // An at-least-once redelivery — the same chunk presented several
+    // times, as a resumed consumer does after a timeout — admits each
+    // (lease_id, seq) exactly once, however often it is replayed.
+    #[test]
+    fn duplicated_chunks_never_double_count(evs in events(), replays in 2u8..5) {
+        let chunk = EventRing::to_jsonl(&evs);
+        let mut text = String::new();
+        for _ in 0..replays {
+            text.push_str(&chunk);
+        }
+        let parsed = parse_events(&text);
+        prop_assert_eq!(parsed.skipped, 0);
+        prop_assert_eq!(parsed.events.len(), evs.len() * replays as usize);
+        let mut dedup = EventDedup::new();
+        let admitted = parsed.events.iter().filter(|ev| dedup.admit(ev)).count();
+        prop_assert_eq!(admitted, evs.len(), "dedup must collapse replays exactly");
+        prop_assert_eq!(dedup.len(), evs.len());
+    }
+
+    // Garbage lines interleaved between valid records are counted and
+    // skipped without disturbing the valid ones around them.
+    #[test]
+    fn interleaved_garbage_is_skipped_not_fatal(
+        evs in events(),
+        junk in prop::collection::vec(32u8..127u8, 1..40),
+    ) {
+        let junk_line: String = junk.iter().map(|&b| b as char).collect();
+        // A junk line that happens to parse as an event would perturb
+        // the count; printable ASCII without '{' cannot.
+        let junk_line = junk_line.replace('{', "(");
+        let mut text = String::new();
+        for ev in &evs {
+            text.push_str(&junk_line);
+            text.push('\n');
+            text.push_str(&ev.to_json_line());
+        }
+        let parsed = parse_events(&text);
+        prop_assert_eq!(parsed.events, evs);
+        prop_assert_eq!(parsed.skipped, u64::try_from(evs.len()).unwrap_or(0));
+    }
+}
